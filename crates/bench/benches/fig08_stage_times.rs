@@ -1,0 +1,26 @@
+//! Figure 8 regenerator bench: the single-core baseline (all stages on
+//! one core). `cargo run -p scc-bench --bin experiments fig8` prints the
+//! actual figure; this bench times its regeneration on a shortened
+//! walkthrough.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scc_core::{run_baseline, RunConfig};
+use scc_render::{CityConfig, Scene};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let scene = Arc::new(Scene::city(CityConfig::default()));
+    let cfg = RunConfig {
+        frames: 40,
+        ..RunConfig::default()
+    };
+    let mut g = c.benchmark_group("fig08");
+    g.sample_size(10);
+    g.bench_function("single_core_baseline_40_frames", |b| {
+        b.iter(|| black_box(run_baseline(&cfg, Arc::clone(&scene))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 10 regenerator bench: one renderer per pipeline, 1..7 pipelines.
+//!
+//! The `experiments` binary prints the full figure; this bench times its
+//! regeneration on a shortened walkthrough at the paper's geometry.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scc_core::{Arrangement, Fidelity, RendererMode, RunConfig, SimRunner};
+use scc_render::{CityConfig, Scene};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let scene = Arc::new(Scene::city(CityConfig::default()));
+    let mut g = c.benchmark_group("fig10_n_renderer");
+    g.sample_size(10);
+    for pipelines in [1u32, 3, 5, 7] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(pipelines),
+            &pipelines,
+            |b, &p| {
+                let cfg = RunConfig {
+                    renderer: RendererMode::PerPipelineRenderer,
+                    arrangement: Arrangement::Ordered,
+                    pipelines: p,
+                    frames: 40,
+                    fidelity: Fidelity::TimingOnly,
+                    trace: false,
+                    ..RunConfig::default()
+                };
+                b.iter(|| {
+                    black_box(
+                        SimRunner::new(cfg.clone(), Arc::clone(&scene))
+                            .run()
+                            .total_secs,
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

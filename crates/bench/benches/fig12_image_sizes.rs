@@ -1,0 +1,39 @@
+//! Figure 12 regenerator bench: one MCPC-fed pipeline over increasing
+//! image side lengths (the "no cache cliff" experiment).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scc_core::{Arrangement, Fidelity, RendererMode, RunConfig, SimRunner};
+use scc_render::{CityConfig, Scene};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let scene = Arc::new(Scene::city(CityConfig::default()));
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    for side in [100u32, 200, 400] {
+        g.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, &side| {
+            let cfg = RunConfig {
+                renderer: RendererMode::McpcRenderer,
+                arrangement: Arrangement::Ordered,
+                pipelines: 1,
+                width: side,
+                height: side,
+                frames: 40,
+                fidelity: Fidelity::TimingOnly,
+                trace: false,
+                ..RunConfig::default()
+            };
+            b.iter(|| {
+                black_box(
+                    SimRunner::new(cfg.clone(), Arc::clone(&scene))
+                        .run()
+                        .total_secs,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

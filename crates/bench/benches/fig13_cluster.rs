@@ -1,0 +1,31 @@
+//! Figure 13 regenerator bench: the walkthrough on the Mogon-like
+//! cluster, all three configurations.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scc_cluster::{cluster_walkthrough, ClusterMode};
+use scc_core::RunConfig;
+use scc_render::{CityConfig, Scene};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let scene = Arc::new(Scene::city(CityConfig::default()));
+    let cfg = RunConfig {
+        frames: 40,
+        ..RunConfig::default()
+    };
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    for (mode, name) in [
+        (ClusterMode::ExternalRenderer, "external"),
+        (ClusterMode::SingleRenderer, "single"),
+        (ClusterMode::ParallelRenderer, "parallel"),
+    ] {
+        g.bench_with_input(BenchmarkId::new(name, 7), &mode, |b, &mode| {
+            b.iter(|| black_box(cluster_walkthrough(mode, 7, &cfg, Arc::clone(&scene))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

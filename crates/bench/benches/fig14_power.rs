@@ -1,0 +1,39 @@
+//! Figure 14 regenerator bench: power-trace extraction for the MCPC
+//! configuration across core counts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scc_core::{Arrangement, Fidelity, RendererMode, RunConfig, SimRunner};
+use scc_render::{CityConfig, Scene};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let scene = Arc::new(Scene::city(CityConfig::default()));
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    for pipelines in [1u32, 4, 8] {
+        let cpus = RendererMode::McpcRenderer.cores_needed(pipelines);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{cpus}cpus")),
+            &pipelines,
+            |b, &p| {
+                let cfg = RunConfig {
+                    renderer: RendererMode::McpcRenderer,
+                    arrangement: Arrangement::Flipped,
+                    pipelines: p,
+                    frames: 40,
+                    fidelity: Fidelity::TimingOnly,
+                    trace: false,
+                    ..RunConfig::default()
+                };
+                b.iter(|| {
+                    let r = SimRunner::new(cfg.clone(), Arc::clone(&scene)).run();
+                    black_box((r.power_trace.len(), r.scc_energy_joules))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

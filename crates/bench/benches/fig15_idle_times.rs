@@ -1,0 +1,36 @@
+//! Figure 15 regenerator bench: per-stage idle-time quartile collection
+//! with seven MCPC-fed pipelines.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scc_core::{Arrangement, Fidelity, RendererMode, RunConfig, SimRunner, StageKind};
+use scc_render::{CityConfig, Scene};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let scene = Arc::new(Scene::city(CityConfig::default()));
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    g.bench_function("idle_quartiles_7_pipelines", |b| {
+        let cfg = RunConfig {
+            renderer: RendererMode::McpcRenderer,
+            arrangement: Arrangement::Ordered,
+            pipelines: 7,
+            frames: 40,
+            fidelity: Fidelity::TimingOnly,
+            trace: false,
+            ..RunConfig::default()
+        };
+        b.iter(|| {
+            let r = SimRunner::new(cfg.clone(), Arc::clone(&scene)).run();
+            let rows: Vec<_> = StageKind::PIPELINE_FILTERS
+                .iter()
+                .map(|k| r.stage(*k, Some(0)).and_then(|s| s.idle_ms))
+                .collect();
+            black_box(rows)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

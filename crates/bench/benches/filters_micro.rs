@@ -1,0 +1,77 @@
+//! Microbenchmarks of the five filter stages on one strip — native
+//! throughput of the kernels themselves (useful for comparing hosts and
+//! for sanity-checking the relative weights the cost model assumes:
+//! blur >> sepia > flicker > swap > scratch).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scc_filters::{Blur, Flicker, FrameCtx, Image, ImageFilter, Scratch, Sepia, VSwap};
+
+fn strip() -> Image {
+    let mut img = Image::new(400, 100);
+    for y in 0..100 {
+        for x in 0..400 {
+            img.set(x, y, [(x % 256) as u8, (y * 2 % 256) as u8, 128, 255]);
+        }
+    }
+    img
+}
+
+fn bench_filters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filters");
+    let base = strip();
+    let ctx = FrameCtx::whole_frame(7, 42, 400, 100);
+    group.throughput(Throughput::Bytes(base.byte_len()));
+    let filters: Vec<(&str, Box<dyn ImageFilter>)> = vec![
+        ("sepia", Box::new(Sepia)),
+        ("blur", Box::new(Blur::default())),
+        ("scratch", Box::new(Scratch::default())),
+        ("flicker", Box::new(Flicker::default())),
+        ("swap", Box::new(VSwap)),
+    ];
+    for (name, filter) in &filters {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut img| {
+                    filter.apply(&mut img, &ctx);
+                    black_box(img)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_blur_radius(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blur_radius");
+    let base = strip();
+    let ctx = FrameCtx::whole_frame(0, 0, 400, 100);
+    for radius in [1u32, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(radius), &radius, |b, &r| {
+            let blur = Blur::new(r);
+            b.iter_batched(
+                || base.clone(),
+                |mut img| {
+                    blur.apply(&mut img, &ctx);
+                    black_box(img)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_strip_split(c: &mut Criterion) {
+    let img = strip();
+    c.bench_function("split_assemble_4_strips", |b| {
+        b.iter(|| {
+            let strips = black_box(&img).split_strips(4);
+            black_box(Image::assemble(&strips))
+        })
+    });
+}
+
+criterion_group!(benches, bench_filters, bench_blur_radius, bench_strip_split);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! End-to-end native pipeline throughput on the host: real threads, real
+//! pixels. Demonstrates actual pipeline-parallel speed-up of the macro
+//! pipeline implementation (this is host-dependent, unlike the simulated
+//! figures).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scc_core::{run_native, Arrangement, Fidelity, RendererMode, RunConfig};
+use scc_render::{CityConfig, Scene};
+use std::sync::Arc;
+
+fn bench_native_scaling(c: &mut Criterion) {
+    let scene = Arc::new(Scene::city(CityConfig {
+        side: 10,
+        spacing: 8.0,
+        seed: 5,
+    }));
+    let mut group = c.benchmark_group("native_pipeline");
+    group.sample_size(10);
+    for pipelines in [1u32, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(pipelines),
+            &pipelines,
+            |b, &p| {
+                let cfg = RunConfig {
+                    renderer: RendererMode::SingleRenderer,
+                    arrangement: Arrangement::Ordered,
+                    pipelines: p,
+                    width: 160,
+                    height: 120,
+                    frames: 12,
+                    seed: 3,
+                    fidelity: Fidelity::Full,
+                    trace: false,
+                };
+                b.iter(|| black_box(run_native(&cfg, Arc::clone(&scene))))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_native_scaling);
+criterion_main!(benches);

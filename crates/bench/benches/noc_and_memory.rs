@@ -1,0 +1,51 @@
+//! Platform-model microbenchmarks: cost of booking transfers through the
+//! mesh, the memory controllers and the partition-message path. These are
+//! simulator-implementation benchmarks (host nanoseconds per modelled
+//! operation), guarding the sweep runtimes of the figure regenerators.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scc_sim::platform::MemOp;
+use scc_sim::{CoreId, SccConfig, SccPlatform, SimTime};
+
+fn bench_message_path(c: &mut Criterion) {
+    c.bench_function("platform_message_64k", |b| {
+        let mut platform = SccPlatform::new(SccConfig::default());
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t = platform.message(CoreId::new(0), CoreId::new(47), t, 64 * 1024);
+            black_box(t)
+        })
+    });
+}
+
+fn bench_mem_stream(c: &mut Criterion) {
+    c.bench_function("platform_mem_stream_640k", |b| {
+        let mut platform = SccPlatform::new(SccConfig::default());
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t = platform.mem_stream(CoreId::new(4), t, MemOp::Read, 640_000);
+            black_box(t)
+        })
+    });
+}
+
+fn bench_contended_quadrant(c: &mut Criterion) {
+    c.bench_function("platform_six_streams_one_quadrant", |b| {
+        let mut platform = SccPlatform::new(SccConfig::default());
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            for core in [0u8, 2, 4, 12, 14, 16] {
+                black_box(platform.mem_stream(CoreId::new(core), t, MemOp::Write, 640_000));
+            }
+            t += SimTime::from_ms(50);
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_message_path,
+    bench_mem_stream,
+    bench_contended_quadrant
+);
+criterion_main!(benches);

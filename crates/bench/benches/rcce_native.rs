@@ -1,0 +1,73 @@
+//! RCCE-style communicator benchmarks on real threads: ping-pong latency
+//! and pipeline-pattern throughput.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scc_rcce::{communicator, MpbConfig};
+use std::thread;
+
+fn bench_ping_pong(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rcce_ping_pong");
+    for size in [64usize, 8 * 1024, 256 * 1024] {
+        group.throughput(Throughput::Bytes(size as u64 * 2));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let mut eps = communicator(2, 2, MpbConfig::default());
+            let b1 = eps.pop().unwrap();
+            let a = eps.pop().unwrap();
+            let echo = thread::spawn(move || {
+                while let Ok(m) = b1.recv(0) {
+                    if m.is_empty() {
+                        break;
+                    }
+                    b1.send(0, m).unwrap();
+                }
+            });
+            let payload = Bytes::from(vec![7u8; size]);
+            b.iter(|| {
+                a.send(1, payload.clone()).unwrap();
+                black_box(a.recv(1).unwrap());
+            });
+            a.send(1, Bytes::new()).unwrap();
+            echo.join().unwrap();
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain_throughput(c: &mut Criterion) {
+    // A 5-stage relay chain, the shape of one macro pipeline.
+    c.bench_function("rcce_5_stage_relay_64k", |b| {
+        let size = 64 * 1024;
+        let n = 6;
+        let mut eps = communicator(n, 2, MpbConfig::default());
+        let last = eps.pop().unwrap();
+        let mut relays = Vec::new();
+        for rank in (1..n - 1).rev() {
+            let ep = eps.remove(rank);
+            relays.push(thread::spawn(move || {
+                let (src, dst) = (rank - 1, rank + 1);
+                while let Ok(m) = ep.recv(src) {
+                    let stop = m.is_empty();
+                    ep.send(dst, m).unwrap();
+                    if stop {
+                        break;
+                    }
+                }
+            }));
+        }
+        let first = eps.remove(0);
+        let payload = Bytes::from(vec![3u8; size]);
+        b.iter(|| {
+            first.send(1, payload.clone()).unwrap();
+            black_box(last.recv(n - 2).unwrap());
+        });
+        first.send(1, Bytes::new()).unwrap();
+        last.recv(n - 2).unwrap();
+        for r in relays {
+            r.join().unwrap();
+        }
+    });
+}
+
+criterion_group!(benches, bench_ping_pong, bench_chain_throughput);
+criterion_main!(benches);

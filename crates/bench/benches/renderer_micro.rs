@@ -1,0 +1,53 @@
+//! Renderer substrate microbenchmarks: octree construction, frustum
+//! culling, strip rendering and the coverage estimator.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scc_render::{CityConfig, Octree, OctreeConfig, Renderer, Scene, Walkthrough};
+use std::sync::Arc;
+
+fn bench_octree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("octree_build");
+    for side in [8u32, 16, 24] {
+        let scene = Scene::city(CityConfig {
+            side,
+            spacing: 8.0,
+            seed: 1,
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scene.triangle_count()),
+            &scene,
+            |b, s| b.iter(|| black_box(Octree::build(&s.triangles, OctreeConfig::default()))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_cull(c: &mut Criterion) {
+    let scene = Arc::new(Scene::city(CityConfig::default()));
+    let renderer = Renderer::new(scene);
+    let cam = Walkthrough::standard(1.0).camera(13);
+    c.bench_function("cull_full_frame", |b| {
+        b.iter(|| black_box(renderer.cull_strip(&cam, 400, 400, 0, 400)))
+    });
+    c.bench_function("cull_one_of_seven_strips", |b| {
+        b.iter(|| black_box(renderer.cull_strip(&cam, 400, 400, 114, 57)))
+    });
+}
+
+fn bench_render_strip(c: &mut Criterion) {
+    let scene = Arc::new(Scene::city(CityConfig::default()));
+    let renderer = Renderer::new(scene);
+    let cam = Walkthrough::standard(1.0).camera(29);
+    let mut group = c.benchmark_group("render");
+    group.sample_size(20);
+    group.bench_function("full_400x400", |b| {
+        b.iter(|| black_box(renderer.render_full(&cam, 400, 400)))
+    });
+    group.bench_function("strip_400x100", |b| {
+        b.iter(|| black_box(renderer.render_strip(&cam, 400, 400, 100, 100)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_octree_build, bench_cull, bench_render_strip);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Table I regenerator bench: one representative cell per configuration
+//! class (the `experiments table1` binary prints the full 12x7 table).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scc_cluster::{cluster_walkthrough, ClusterMode};
+use scc_core::{Arrangement, Fidelity, RendererMode, RunConfig, SimRunner};
+use scc_render::{CityConfig, Scene};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let scene = Arc::new(Scene::city(CityConfig::default()));
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    let cfg = |mode, p| RunConfig {
+        renderer: mode,
+        arrangement: Arrangement::Ordered,
+        pipelines: p,
+        frames: 40,
+        fidelity: Fidelity::TimingOnly,
+        trace: false,
+        ..RunConfig::default()
+    };
+    for (label, mode, p) in [
+        ("1rend_7pl", RendererMode::SingleRenderer, 7u32),
+        ("nrend_7pl", RendererMode::PerPipelineRenderer, 7),
+        ("mcpc_5pl", RendererMode::McpcRenderer, 5),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(mode, p),
+            |b, &(m, p)| {
+                b.iter(|| {
+                    black_box(
+                        SimRunner::new(cfg(m, p), Arc::clone(&scene))
+                            .run()
+                            .total_secs,
+                    )
+                })
+            },
+        );
+    }
+    g.bench_function("hpc_parallel_7pl", |b| {
+        let rc = RunConfig {
+            frames: 40,
+            ..RunConfig::default()
+        };
+        b.iter(|| {
+            black_box(cluster_walkthrough(
+                ClusterMode::ParallelRenderer,
+                7,
+                &rc,
+                Arc::clone(&scene),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! # scc-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§VI) from
+//! the simulated platform. Each `figN` function returns plain data the
+//! `experiments` binary prints; the Criterion benches in `benches/` wrap
+//! the same entry points.
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::*;

@@ -1,0 +1,111 @@
+//! Cluster platform parameters.
+
+use scc_sim::SimTime;
+
+/// Calibration of the Mogon-like node (see DESIGN.md for provenance: the
+/// effective per-core speed-up over a 533 MHz P54C combines the 3.94×
+/// clock ratio the paper quotes with the micro-architectural advantage of
+/// an out-of-order core; the renderer gains more because rasterisation
+/// vectorises well).
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Filter/transfer stage speed-up over the 533 MHz P54C.
+    pub core_speedup: f64,
+    /// Render-stage speed-up (modern cores rasterise far better).
+    pub render_speedup: f64,
+    /// Per-message software latency (MPI over shared memory / IB).
+    pub msg_latency: SimTime,
+    /// Intra-node message bandwidth (shared memory copy).
+    pub msg_bandwidth: u64,
+    /// Off-node link bandwidth for the external renderer feed (the
+    /// slower front-end path of the paper's "external rend." rows).
+    pub feed_bandwidth: u64,
+    /// Off-node link bandwidth towards the visualisation client.
+    pub viewer_bandwidth: u64,
+    /// Per-packet overhead on the external links.
+    pub external_packet: (u64, SimTime),
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            core_speedup: 6.9,
+            render_speedup: 25.0,
+            msg_latency: SimTime::from_us(80),
+            msg_bandwidth: 2_500_000_000,
+            feed_bandwidth: 15_000_000,
+            viewer_bandwidth: 150_000_000,
+            external_packet: (8 * 1024, SimTime::from_us(20)),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Duration of an intra-node message of `bytes`.
+    pub fn message_time(&self, bytes: u64) -> SimTime {
+        self.msg_latency + SimTime::from_bytes_at(bytes.max(1), self.msg_bandwidth)
+    }
+
+    /// Duration of a renderer-feed transfer of `bytes` (off-node).
+    pub fn feed_time(&self, bytes: u64) -> SimTime {
+        let (pkt, overhead) = self.external_packet;
+        let packets = bytes.div_ceil(pkt).max(1);
+        overhead * packets + SimTime::from_bytes_at(bytes.max(1), self.feed_bandwidth)
+    }
+
+    /// Duration of a viewer-bound transfer of `bytes` (off-node).
+    pub fn viewer_time(&self, bytes: u64) -> SimTime {
+        let (pkt, overhead) = self.external_packet;
+        let packets = bytes.div_ceil(pkt).max(1);
+        overhead * packets + SimTime::from_bytes_at(bytes.max(1), self.viewer_bandwidth)
+    }
+
+    /// Seconds for work costing `p54c_cycles` at 533 MHz on a cluster
+    /// core, for a render (`true`) or filter (`false`) stage.
+    pub fn stage_seconds(&self, p54c_cycles: f64, render: bool) -> f64 {
+        let s = if render {
+            self.render_speedup
+        } else {
+            self.core_speedup
+        };
+        p54c_cycles / (533.0e6 * s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_cores_are_much_faster() {
+        let c = ClusterConfig::default();
+        // The paper's quoted clock ratio is a lower bound on the speed-up.
+        assert!(c.core_speedup > 3.94);
+        assert!(c.render_speedup > c.core_speedup);
+        assert!(c.stage_seconds(533.0e6, false) < 0.2);
+    }
+
+    #[test]
+    fn messaging_is_far_cheaper_than_scc_partitions() {
+        let c = ClusterConfig::default();
+        // 640 KB strip: sub-millisecond inside the node.
+        let t = c.message_time(640_000);
+        assert!(t < SimTime::from_ms(1), "intra-node message {t}");
+    }
+
+    #[test]
+    fn feed_link_is_the_slow_path() {
+        let c = ClusterConfig::default();
+        let feed = c.feed_time(640_000);
+        let int = c.message_time(640_000);
+        assert!(feed > int * 10, "feed {feed} vs internal {int}");
+        // A full frame over the feed ≈ 45 ms: the Figure 13
+        // external-renderer plateau (~18 s / 400 frames).
+        assert!(
+            feed > SimTime::from_ms(30) && feed < SimTime::from_ms(60),
+            "{feed}"
+        );
+        // The viewer link is much faster and never dominates.
+        assert!(c.viewer_time(640_000) < SimTime::from_ms(10));
+    }
+}

@@ -1,0 +1,84 @@
+//! Frames moving through the macro pipeline.
+
+use scc_filters::{Image, StripInfo};
+
+/// One unit of pipeline work: a strip of one walkthrough frame.
+///
+/// In full-fidelity runs the pixel payload travels with the frame; in
+/// timing-only runs only the byte count does (the simulator charges
+/// identical costs either way).
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Walkthrough frame number (0-based).
+    pub id: u64,
+    /// Position of this strip within the full frame.
+    pub strip: StripInfo,
+    /// Full frame width in pixels.
+    pub full_width: u32,
+    /// Pixel payload (absent in timing-only mode).
+    pub image: Option<Image>,
+}
+
+impl Frame {
+    /// Payload size in bytes (4 bytes/pixel framebuffer, §IV).
+    pub fn byte_len(&self) -> u64 {
+        self.full_width as u64 * self.strip.height as u64 * 4
+    }
+
+    /// Pixels in this strip.
+    pub fn pixel_count(&self) -> u64 {
+        self.full_width as u64 * self.strip.height as u64
+    }
+
+    /// Filter context for this strip.
+    pub fn ctx(&self, run_seed: u64) -> scc_filters::FrameCtx {
+        scc_filters::FrameCtx {
+            frame_id: self.id,
+            run_seed,
+            strip: self.strip,
+            full_width: self.full_width,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strip() -> StripInfo {
+        StripInfo {
+            index: 1,
+            count: 4,
+            y0: 100,
+            height: 100,
+            full_height: 400,
+        }
+    }
+
+    #[test]
+    fn byte_len_is_4_per_pixel() {
+        let f = Frame {
+            id: 0,
+            strip: strip(),
+            full_width: 400,
+            image: None,
+        };
+        assert_eq!(f.pixel_count(), 40_000);
+        assert_eq!(f.byte_len(), 160_000);
+    }
+
+    #[test]
+    fn ctx_carries_strip_and_seed() {
+        let f = Frame {
+            id: 7,
+            strip: strip(),
+            full_width: 400,
+            image: None,
+        };
+        let c = f.ctx(42);
+        assert_eq!(c.frame_id, 7);
+        assert_eq!(c.run_seed, 42);
+        assert_eq!(c.strip.y0, 100);
+        assert_eq!(c.full_width, 400);
+    }
+}

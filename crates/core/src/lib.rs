@@ -1,0 +1,55 @@
+//! # scc-core — parallel macro pipelining on the (simulated) Intel SCC
+//!
+//! The primary contribution of the reproduced paper: a framework for
+//! running parallel macro pipelines — chains of coarse stages, each owning
+//! a core, connected by messages — on the SCC + MCPC heterogeneous system,
+//! evaluated with the silent-film rendering case study.
+//!
+//! * [`spec`] — run configurations: renderer mode (§V's three scenarios),
+//!   pipeline arrangement (§IV-A), geometry, fidelity;
+//! * [`placement`] — stage→core mapping for the unordered / ordered /
+//!   flipped arrangements and the DVFS island layout (Figure 18);
+//! * [`cost`] — the calibrated P54C cycle/traffic model (anchored to
+//!   Figure 8 and §VI);
+//! * [`runner::sim`] — virtual-time execution on `scc-sim`'s platform,
+//!   reproducing every figure of the paper deterministically;
+//! * [`runner::native`] — the same pipeline on real OS threads with
+//!   RCCE-style channels, for actually-parallel runs on the host;
+//! * [`runner::des`] — an independent event-driven executor used to
+//!   cross-validate the frame-major scheduler;
+//! * [`baseline`] — the single-core Figure 8 reference;
+//! * [`mod@reference`] — the sequential data-path oracle used to verify both
+//!   runners bit-exactly;
+//! * [`metrics`] — walkthrough reports: times, speed-ups, per-stage idle
+//!   quartiles (Figure 15), power traces and energy (Figures 14/17,
+//!   §VI-B);
+//! * [`generic`] — user-defined macro pipelines on the same substrate
+//!   (the §I claim that the results translate to other domains);
+//! * [`trace`] — per-stage phase spans with a Chrome-trace exporter;
+//! * [`viz`] — the visualisation-client endpoint: checksums, the flicker
+//!   series, scratch detection, delivery statistics.
+
+pub mod baseline;
+pub mod cost;
+pub mod frame;
+pub mod generic;
+pub mod metrics;
+pub mod placement;
+pub mod reference;
+pub mod runner;
+pub mod spec;
+pub mod trace;
+pub mod viz;
+
+pub use baseline::{run_baseline, BaselineReport};
+pub use cost::CostModel;
+pub use frame::Frame;
+pub use generic::{run_generic_chain, FnStage, GenericReport, MacroStage, StageWork};
+pub use metrics::{StageReport, WalkthroughReport};
+pub use placement::{place, place_dvfs_single_pipeline, Placement};
+pub use runner::des::{run_des, DesReport};
+pub use runner::native::{run_native, NativeReport};
+pub use runner::sim::{DvfsPlan, SimRunner};
+pub use spec::{Arrangement, Fidelity, RendererMode, RunConfig, StageKind};
+pub use trace::{Phase, TraceEvent, TraceLog};
+pub use viz::{VizClient, VizReport};

@@ -1,0 +1,156 @@
+//! Walkthrough measurement reports.
+
+use crate::spec::{RunConfig, StageKind};
+use scc_filters::Image;
+use scc_sim::platform::PlatformStats;
+use scc_sim::power::{McpcPower, PowerSample};
+use scc_sim::stats::Quartiles;
+use serde::Serialize;
+
+/// Per-stage outcome of a simulated walkthrough.
+#[derive(Debug, Clone, Serialize)]
+pub struct StageReport {
+    pub kind: StageKind,
+    /// Pipeline index for per-pipeline stages.
+    pub pipeline: Option<u32>,
+    pub core_id: u8,
+    /// Total virtual time the stage's core spent working.
+    pub busy_secs: f64,
+    /// Quartiles of the per-frame wait for input, in milliseconds
+    /// (Figure 15's quantity).
+    pub idle_ms: Option<Quartiles>,
+    pub idle_total_secs: f64,
+    pub frames: u64,
+}
+
+/// Everything measured in one walkthrough run.
+#[derive(Serialize)]
+pub struct WalkthroughReport {
+    pub config: RunConfig,
+    /// Virtual seconds from start to the last frame reaching the
+    /// visualisation client — the paper's "walkthrough time".
+    pub total_secs: f64,
+    pub stage_reports: Vec<StageReport>,
+    /// SCC power over time, 1 s samples.
+    pub power_trace: Vec<PowerSample>,
+    /// SCC energy for the run, joules.
+    pub scc_energy_joules: f64,
+    /// SCC idle power at the run's DVFS state, watts.
+    pub scc_idle_power: f64,
+    /// Seconds the MCPC spent rendering (0 unless MCPC mode).
+    pub mcpc_busy_secs: f64,
+    pub platform: PlatformStats,
+    /// Final assembled frames (full fidelity only).
+    #[serde(skip)]
+    pub outputs: Option<Vec<Image>>,
+    /// Stage phase spans (when `RunConfig::trace` was set).
+    #[serde(skip)]
+    pub trace: Option<crate::trace::TraceLog>,
+}
+
+impl WalkthroughReport {
+    /// Speed-up of this run versus a reference time (e.g. the single-core
+    /// baseline's 382 s, or a one-pipeline run).
+    pub fn speedup_vs(&self, reference_secs: f64) -> f64 {
+        reference_secs / self.total_secs
+    }
+
+    /// Mean measured SCC power while running, watts.
+    pub fn mean_power(&self) -> f64 {
+        if self.total_secs <= 0.0 {
+            return 0.0;
+        }
+        self.scc_energy_joules / self.total_secs
+    }
+
+    /// MCPC energy for the run: idle floor for the whole walkthrough plus
+    /// the render-active delta (§VI-B's accounting charges the render
+    /// delta over the render time only).
+    pub fn mcpc_energy_joules(&self, mcpc: &McpcPower) -> f64 {
+        mcpc.idle * self.total_secs + mcpc.render_delta() * self.mcpc_busy_secs
+    }
+
+    /// The §VI-B comparison figure: incremental energy of the computation
+    /// — SCC active energy above idle, plus the MCPC's render delta.
+    /// (The paper computes `3.3 s · 28 W + 51 s · 50 W` for the hybrid.)
+    pub fn active_energy_joules(&self, mcpc: &McpcPower) -> f64 {
+        self.scc_energy_joules + mcpc.render_delta() * self.mcpc_busy_secs
+    }
+
+    /// Report for a specific stage of a specific pipeline.
+    pub fn stage(&self, kind: StageKind, pipeline: Option<u32>) -> Option<&StageReport> {
+        self.stage_reports
+            .iter()
+            .find(|s| s.kind == kind && s.pipeline == pipeline)
+    }
+
+    /// Utilisation of a stage: busy time / total time.
+    pub fn utilisation(&self, kind: StageKind, pipeline: Option<u32>) -> Option<f64> {
+        self.stage(kind, pipeline)
+            .map(|s| s.busy_secs / self.total_secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::RunConfig;
+
+    fn report() -> WalkthroughReport {
+        WalkthroughReport {
+            config: RunConfig::default(),
+            total_secs: 50.0,
+            stage_reports: vec![StageReport {
+                kind: StageKind::Blur,
+                pipeline: Some(0),
+                core_id: 3,
+                busy_secs: 45.0,
+                idle_ms: None,
+                idle_total_secs: 5.0,
+                frames: 400,
+            }],
+            power_trace: vec![],
+            scc_energy_joules: 2500.0,
+            scc_idle_power: 22.0,
+            mcpc_busy_secs: 3.3,
+            platform: PlatformStats {
+                noc_messages: 0,
+                noc_bytes: 0,
+                noc_wait_secs: 0.0,
+                mem_bytes: 0,
+                mem_bytes_per_mc: [0; 4],
+                mem_wait_secs: 0.0,
+                mem_imbalance: 0.0,
+                host_link: Default::default(),
+            },
+            outputs: None,
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn speedup_and_power_math() {
+        let r = report();
+        assert_eq!(r.speedup_vs(382.0), 7.64);
+        assert_eq!(r.mean_power(), 50.0);
+    }
+
+    #[test]
+    fn mcpc_energy_accounting_matches_paper_formula() {
+        let r = report();
+        let mcpc = McpcPower::default();
+        // active energy = SCC + 3.3 s × 28 W, the §VI-B structure.
+        let e = r.active_energy_joules(&mcpc);
+        assert!((e - (2500.0 + 3.3 * 28.0)).abs() < 1e-9);
+        let full = r.mcpc_energy_joules(&mcpc);
+        assert!((full - (52.0 * 50.0 + 28.0 * 3.3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stage_lookup_and_utilisation() {
+        let r = report();
+        assert!(r.stage(StageKind::Blur, Some(0)).is_some());
+        assert!(r.stage(StageKind::Sepia, Some(0)).is_none());
+        assert_eq!(r.utilisation(StageKind::Blur, Some(0)), Some(0.9));
+    }
+}

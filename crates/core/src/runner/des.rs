@@ -1,0 +1,404 @@
+//! Event-driven cross-validation executor.
+//!
+//! [`super::sim::SimRunner`] computes stage timelines frame-major, relying
+//! on the time-bucketed resource ledger to tolerate out-of-order platform
+//! bookings. This module is an *independent* implementation of the same
+//! rendezvous pipeline semantics as a dependency-driven discrete-event
+//! simulation on [`scc_sim::EventQueue`]: nodes are `(stage, frame)` work
+//! items, scheduled once all their dependencies (input arrival, own
+//! previous frame, downstream readiness) resolve, and executed in
+//! nondecreasing start-time order — so platform bookings happen almost
+//! exactly in virtual-time order.
+//!
+//! The two executors share only the platform and cost models; the pipeline
+//! logic is written twice on purpose. `tests/` asserts they agree within a
+//! small tolerance, which guards both implementations against scheduling
+//! bugs. (Single-renderer configurations only — enough to exercise every
+//! rendezvous pattern: fan-out, chains, fan-in.)
+
+use crate::cost::{CostModel, RenderWork};
+use crate::placement::{place, Placement};
+use crate::spec::{RendererMode, RunConfig, StageKind};
+use scc_filters::{Blur, Flicker, Image, ImageFilter, Scratch, Sepia, VSwap};
+use scc_render::{Renderer, Scene, Walkthrough};
+use scc_sim::platform::MemOp;
+use scc_sim::{EventQueue, SccConfig, SccPlatform, SimTime};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A work item: one stage processing one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Node {
+    Render(u64),
+    /// (pipeline, stage index 0..5, frame)
+    Filter(usize, usize, u64),
+    Transfer(u64),
+}
+
+/// Resolved timing facts other nodes consume.
+#[derive(Debug, Default, Clone, Copy)]
+struct Facts {
+    /// When the stage finished its cycle (ready for the next frame).
+    free: SimTime,
+    /// When this node's output became resident downstream (per-target for
+    /// the renderer this is folded into `arrivals`).
+    _done: SimTime,
+}
+
+/// Minimal result of a DES run.
+#[derive(Debug, Clone)]
+pub struct DesReport {
+    pub total_secs: f64,
+}
+
+/// Execute `cfg` (must be `SingleRenderer`) event-wise.
+pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
+    assert_eq!(
+        cfg.renderer,
+        RendererMode::SingleRenderer,
+        "the DES validator covers the single-renderer configuration"
+    );
+    cfg.validate().expect("invalid configuration");
+    let cost = CostModel::default();
+    let mut platform = SccPlatform::new(SccConfig::default());
+    let placement: Placement = place(cfg.renderer, cfg.arrangement, cfg.pipelines);
+    platform.set_spinning(placement.all_cores());
+    let renderer = Renderer::new(scene);
+    let walkthrough = Walkthrough::standard(cfg.width as f32 / cfg.height as f32);
+    let impls: [Box<dyn ImageFilter>; 5] = [
+        Box::new(Sepia),
+        Box::new(Blur::default()),
+        Box::new(Scratch::default()),
+        Box::new(Flicker::default()),
+        Box::new(VSwap),
+    ];
+    let p = cfg.pipelines as usize;
+    let frames = cfg.frames;
+    let bounds = Image::strip_bounds(cfg.height, cfg.pipelines);
+    let full_px = cfg.width as u64 * cfg.height as u64;
+    let full_bytes = cfg.frame_bytes();
+
+    // Dependency counts per node; a node becomes schedulable at 0.
+    let mut pending: HashMap<Node, u32> = HashMap::new();
+    let deps_of = |node: Node| -> Vec<Node> {
+        let mut d = Vec::new();
+        match node {
+            Node::Render(f) => {
+                if f > 0 {
+                    d.push(Node::Render(f - 1));
+                    // Sends rendezvous with each sepia's previous frame.
+                    for i in 0..p {
+                        d.push(Node::Filter(i, 0, f - 1));
+                    }
+                }
+            }
+            Node::Filter(i, j, f) => {
+                // Input arrival.
+                if j == 0 {
+                    d.push(Node::Render(f));
+                } else {
+                    d.push(Node::Filter(i, j - 1, f));
+                }
+                if f > 0 {
+                    // Own previous cycle and downstream readiness.
+                    d.push(Node::Filter(i, j, f - 1));
+                    if j + 1 < 5 {
+                        d.push(Node::Filter(i, j + 1, f - 1));
+                    } else {
+                        d.push(Node::Transfer(f - 1));
+                    }
+                }
+            }
+            Node::Transfer(f) => {
+                for i in 0..p {
+                    d.push(Node::Filter(i, 4, f));
+                }
+                if f > 0 {
+                    d.push(Node::Transfer(f - 1));
+                }
+            }
+        }
+        d
+    };
+
+    let mut all_nodes: Vec<Node> = Vec::new();
+    for f in 0..frames {
+        all_nodes.push(Node::Render(f));
+        for i in 0..p {
+            for j in 0..5 {
+                all_nodes.push(Node::Filter(i, j, f));
+            }
+        }
+        all_nodes.push(Node::Transfer(f));
+    }
+    let mut dependents: HashMap<Node, Vec<Node>> = HashMap::new();
+    for &n in &all_nodes {
+        let deps = deps_of(n);
+        pending.insert(n, deps.len() as u32);
+        for d in deps {
+            dependents.entry(d).or_default().push(n);
+        }
+    }
+
+    // Resolved facts.
+    let mut facts: HashMap<Node, Facts> = HashMap::new();
+    // Arrival time of each filter/transfer input (per node).
+    let mut arrivals: HashMap<Node, SimTime> = HashMap::new();
+    // Transfer collects one arrival per pipeline.
+    let mut transfer_arrivals: HashMap<u64, Vec<SimTime>> = HashMap::new();
+
+    // Earliest-start of a node once schedulable.
+    let start_of =
+        |node: Node, facts: &HashMap<Node, Facts>, arrivals: &HashMap<Node, SimTime>| -> SimTime {
+            match node {
+                Node::Render(f) => {
+                    if f == 0 {
+                        SimTime::ZERO
+                    } else {
+                        facts[&Node::Render(f - 1)].free
+                    }
+                }
+                Node::Filter(i, j, f) => {
+                    let own = if f == 0 {
+                        SimTime::ZERO
+                    } else {
+                        facts[&Node::Filter(i, j, f - 1)].free
+                    };
+                    arrivals[&node].max(own)
+                }
+                Node::Transfer(f) => {
+                    if f == 0 {
+                        SimTime::ZERO
+                    } else {
+                        facts[&Node::Transfer(f - 1)].free
+                    }
+                }
+            }
+        };
+
+    let mut queue: EventQueue<Node> = EventQueue::new();
+    // Seed the initially-ready nodes.
+    for (&n, &c) in &pending {
+        if c == 0 {
+            queue.schedule(SimTime::ZERO, n);
+        }
+    }
+
+    let mut finish = SimTime::ZERO;
+    let mut executed = 0usize;
+    while let Some((_, node)) = queue.pop() {
+        match node {
+            Node::Render(f) => {
+                let cam = walkthrough.camera(f);
+                let core = placement.renderers[0];
+                let (_, cull, coverage) =
+                    renderer.cull_strip(&cam, cfg.width, cfg.height, 0, cfg.height);
+                let work = RenderWork {
+                    nodes_visited: cull.nodes_visited,
+                    triangles_out: cull.triangles_out,
+                    est_coverage: coverage,
+                };
+                let mut t = start_of(node, &facts, &arrivals);
+                let t0 = t;
+                t = platform.mem_raw(core, t, MemOp::Read, cost.render_scene_bytes(&work));
+                let cycles =
+                    cost.render_cycles(&work, false) + cost.split_cycles(full_px, cfg.pipelines);
+                t = platform.compute(core, t, cycles as u64);
+                t = platform.mem_stream(core, t, MemOp::Write, full_bytes);
+                platform.record_busy(core, t0, t);
+                for (i, (_, h)) in bounds.iter().enumerate() {
+                    let bytes = cfg.width as u64 * *h as u64 * 4;
+                    let dst = placement.pipelines[i][0];
+                    let recv_free = if f == 0 {
+                        SimTime::ZERO
+                    } else {
+                        facts[&Node::Filter(i, 0, f - 1)].free
+                    };
+                    let send_start = t.max(recv_free);
+                    let resident = platform.send_to_partition(core, dst, send_start, bytes);
+                    platform.record_busy(core, send_start, resident);
+                    arrivals.insert(Node::Filter(i, 0, f), resident);
+                    t = resident;
+                }
+                facts.insert(node, Facts { free: t, _done: t });
+            }
+            Node::Filter(i, j, f) => {
+                let core = placement.pipelines[i][j];
+                let kind = StageKind::PIPELINE_FILTERS[j];
+                let (_, h) = bounds[i];
+                let bytes = cfg.width as u64 * h as u64 * 4;
+                let start = start_of(node, &facts, &arrivals);
+                let mut t = platform.fetch_from_partition(core, start, bytes);
+                let proxy = Image::new(cfg.width, h);
+                let ctx = scc_filters::FrameCtx {
+                    frame_id: f,
+                    run_seed: cfg.seed,
+                    strip: scc_filters::StripInfo {
+                        index: i as u32,
+                        count: cfg.pipelines,
+                        y0: bounds[i].0,
+                        height: h,
+                        full_height: cfg.height,
+                    },
+                    full_width: cfg.width,
+                };
+                let cycles = cost.filter_cycles(impls[j].as_ref(), &proxy, &ctx);
+                t = platform.compute(core, t, cycles as u64);
+                let traffic = cost.stage_traffic(kind, bytes);
+                t = platform.mem_stream(core, t, MemOp::Read, traffic.read_bytes);
+                t = platform.mem_stream(core, t, MemOp::Write, traffic.write_bytes);
+                platform.record_busy(core, start, t);
+                let (next_core, next_free) = if j + 1 < 5 {
+                    (
+                        placement.pipelines[i][j + 1],
+                        if f == 0 {
+                            SimTime::ZERO
+                        } else {
+                            facts[&Node::Filter(i, j + 1, f - 1)].free
+                        },
+                    )
+                } else {
+                    (
+                        placement.transfer,
+                        if f == 0 {
+                            SimTime::ZERO
+                        } else {
+                            facts[&Node::Transfer(f - 1)].free
+                        },
+                    )
+                };
+                let send_start = t.max(next_free);
+                let resident = platform.send_to_partition(core, next_core, send_start, bytes);
+                platform.record_busy(core, send_start, resident);
+                if j + 1 < 5 {
+                    arrivals.insert(Node::Filter(i, j + 1, f), resident);
+                } else {
+                    transfer_arrivals.entry(f).or_default().push(resident);
+                }
+                facts.insert(
+                    node,
+                    Facts {
+                        free: resident,
+                        _done: resident,
+                    },
+                );
+            }
+            Node::Transfer(f) => {
+                let core = placement.transfer;
+                // Collect strips in pipeline order, mirroring SimRunner.
+                let mut arr = transfer_arrivals.remove(&f).expect("all strips arrived");
+                arr.sort();
+                let own_free = start_of(node, &facts, &arrivals);
+                let cycle_start = own_free.max(arr[0]);
+                let mut t = own_free;
+                for (i, &a) in arr.iter().enumerate() {
+                    let strip_bytes = cfg.width as u64 * bounds[i].1 as u64 * 4;
+                    let s = a.max(t);
+                    t = platform.fetch_from_partition(core, s, strip_bytes);
+                }
+                t = platform.compute(core, t, cost.assemble_cycles(full_px) as u64);
+                t = platform.mem_stream(core, t, MemOp::Write, full_bytes);
+                let t_out = platform.chip_to_host(core, t, full_bytes);
+                platform.record_busy(core, cycle_start, t_out);
+                facts.insert(
+                    node,
+                    Facts {
+                        free: t_out,
+                        _done: t_out,
+                    },
+                );
+                finish = t_out;
+            }
+        }
+        executed += 1;
+        // Release dependents.
+        if let Some(deps) = dependents.get(&node) {
+            for &d in deps.clone().iter() {
+                let c = pending.get_mut(&d).expect("known node");
+                *c -= 1;
+                if *c == 0 {
+                    let at = match d {
+                        // Filters need their arrival before start_of works.
+                        Node::Filter(..) => start_of(d, &facts, &arrivals),
+                        _ => start_of(d, &facts, &arrivals),
+                    };
+                    queue.schedule(at.max(queue.now()), d);
+                }
+            }
+        }
+    }
+    assert_eq!(executed, all_nodes.len(), "deadlock: unexecuted nodes");
+
+    DesReport {
+        total_secs: finish.as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::sim::SimRunner;
+    use crate::spec::{Arrangement, Fidelity};
+    use scc_render::CityConfig;
+
+    fn scene() -> Arc<Scene> {
+        Arc::new(Scene::city(CityConfig {
+            side: 8,
+            spacing: 8.0,
+            seed: 3,
+        }))
+    }
+
+    fn cfg(pipelines: u32, frames: u64) -> RunConfig {
+        RunConfig {
+            renderer: RendererMode::SingleRenderer,
+            arrangement: Arrangement::Ordered,
+            pipelines,
+            width: 120,
+            height: 120,
+            frames,
+            seed: 5,
+            fidelity: Fidelity::TimingOnly,
+            trace: false,
+        }
+    }
+
+    #[test]
+    fn des_completes_every_node() {
+        let r = run_des(&cfg(2, 8), scene());
+        assert!(r.total_secs > 0.0);
+    }
+
+    #[test]
+    fn des_agrees_with_frame_major_runner() {
+        // Two independent implementations of the same pipeline semantics
+        // must agree closely (small differences come from resource-ledger
+        // booking order).
+        for p in [1u32, 3, 5] {
+            let c = cfg(p, 20);
+            let des = run_des(&c, scene()).total_secs;
+            let fm = SimRunner::new(c, scene()).run().total_secs;
+            let dev = (des - fm).abs() / fm;
+            assert!(
+                dev < 0.03,
+                "{p} pipelines: DES {des:.3}s vs frame-major {fm:.3}s ({:.1}% apart)",
+                dev * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn des_is_deterministic() {
+        let a = run_des(&cfg(3, 10), scene()).total_secs;
+        let b = run_des(&cfg(3, 10), scene()).total_secs;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-renderer")]
+    fn rejects_other_modes() {
+        let mut c = cfg(2, 2);
+        c.renderer = RendererMode::McpcRenderer;
+        run_des(&c, scene());
+    }
+}

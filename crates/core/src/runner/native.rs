@@ -1,0 +1,382 @@
+//! Real-thread execution of the parallel macro pipeline.
+//!
+//! Runs the same stage graph as the simulator on the host machine: one OS
+//! thread per stage, connected by `scc-rcce` endpoints (blocking
+//! source-matched send/recv over bounded windows — the RCCE programming
+//! model). Frames carry real pixels; the output is bit-identical to
+//! [`crate::reference::reference_frames`]. Wall-clock timings demonstrate
+//! genuine pipeline parallelism on the host, and per-stage receive-wait
+//! statistics mirror the paper's Figure 15 measurement methodology.
+
+use crate::frame::Frame;
+use crate::spec::{RendererMode, RunConfig, StageKind};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use scc_filters::{standard_chain, vswap, Image, StripInfo};
+use scc_rcce::{communicator, Endpoint, MpbConfig};
+use scc_render::{Renderer, Scene, Walkthrough};
+use scc_sim::stats::Quartiles;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Outcome of a native run.
+#[derive(Debug)]
+pub struct NativeReport {
+    /// Wall-clock duration of the whole walkthrough.
+    pub wall: Duration,
+    /// Final frames as delivered to the visualisation client.
+    pub frames: Vec<Image>,
+    /// Per-stage receive-wait quartiles in milliseconds, keyed by
+    /// (stage, pipeline).
+    pub idle_ms: Vec<(StageKind, u32, Option<Quartiles>)>,
+}
+
+/// Wire format: frame header + RGBA payload.
+pub fn encode_frame(frame: &Frame) -> Bytes {
+    let img = frame.image.as_ref().expect("native frames carry pixels");
+    let mut buf = BytesMut::with_capacity(36 + img.as_bytes().len());
+    buf.put_u64(frame.id);
+    buf.put_u32(frame.strip.index);
+    buf.put_u32(frame.strip.count);
+    buf.put_u32(frame.strip.y0);
+    buf.put_u32(frame.strip.height);
+    buf.put_u32(frame.strip.full_height);
+    buf.put_u32(frame.full_width);
+    buf.put_slice(img.as_bytes());
+    buf.freeze()
+}
+
+/// Inverse of [`encode_frame`].
+pub fn decode_frame(mut b: Bytes) -> Frame {
+    assert!(b.len() >= 32, "truncated frame header");
+    let id = b.get_u64();
+    let index = b.get_u32();
+    let count = b.get_u32();
+    let y0 = b.get_u32();
+    let height = b.get_u32();
+    let full_height = b.get_u32();
+    let full_width = b.get_u32();
+    let strip = StripInfo {
+        index,
+        count,
+        y0,
+        height,
+        full_height,
+    };
+    let expect = full_width as usize * height as usize * 4;
+    assert_eq!(b.len(), expect, "payload size mismatch");
+    Frame {
+        id,
+        strip,
+        full_width,
+        image: Some(Image::from_raw(full_width, height, b.to_vec())),
+    }
+}
+
+/// Rank layout of the native communicator.
+struct Ranks {
+    sources: Vec<usize>,
+    filters: Vec<[usize; 5]>,
+    transfer: usize,
+    total: usize,
+}
+
+fn ranks(mode: RendererMode, p: usize) -> Ranks {
+    let n_sources = match mode {
+        RendererMode::PerPipelineRenderer => p,
+        _ => 1,
+    };
+    let sources: Vec<usize> = (0..n_sources).collect();
+    let mut next = n_sources;
+    let filters: Vec<[usize; 5]> = (0..p)
+        .map(|_| {
+            let f = [next, next + 1, next + 2, next + 3, next + 4];
+            next += 5;
+            f
+        })
+        .collect();
+    Ranks {
+        sources,
+        filters,
+        transfer: next,
+        total: next + 1,
+    }
+}
+
+/// Run the walkthrough natively. Frames always carry pixels (the
+/// `fidelity` field of the config is ignored).
+pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
+    cfg.validate().expect("invalid run configuration");
+    let p = cfg.pipelines as usize;
+    let layout = ranks(cfg.renderer, p);
+    // Window of 2 in-flight frames per channel: enough to pipeline,
+    // small enough to exert RCCE-like backpressure.
+    let mut endpoints = communicator(layout.total, 2, MpbConfig::default());
+    let mut eps: Vec<Option<Endpoint>> = endpoints.drain(..).map(Some).collect();
+
+    let renderer = Arc::new(Renderer::new(scene));
+    let bounds = Image::strip_bounds(cfg.height, cfg.pipelines);
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    type StageResult = (Vec<Duration>, Option<Vec<Image>>);
+    let mut stage_handles: Vec<(StageKind, u32, thread::JoinHandle<StageResult>)> = Vec::new();
+
+    // ---- source threads ----
+    match cfg.renderer {
+        RendererMode::SingleRenderer | RendererMode::McpcRenderer => {
+            // One source renders full frames and scatters strips. In MCPC
+            // mode this thread plays the MCPC renderer + connector pair —
+            // functionally identical; only the platform timing differed.
+            let ep = eps[layout.sources[0]].take().unwrap();
+            let renderer = Arc::clone(&renderer);
+            let cfg = cfg.clone();
+            let filters0: Vec<usize> = layout.filters.iter().map(|f| f[0]).collect();
+            handles.push(thread::spawn(move || {
+                let walkthrough = Walkthrough::standard(cfg.width as f32 / cfg.height as f32);
+                for f in 0..cfg.frames {
+                    let cam = walkthrough.camera(f);
+                    let (img, _) = renderer.render_full(&cam, cfg.width, cfg.height);
+                    for (i, (info, strip)) in
+                        img.split_strips(cfg.pipelines).into_iter().enumerate()
+                    {
+                        let frame = Frame {
+                            id: f,
+                            strip: info,
+                            full_width: cfg.width,
+                            image: Some(strip),
+                        };
+                        ep.send(filters0[i], encode_frame(&frame)).expect("send");
+                    }
+                }
+            }));
+        }
+        RendererMode::PerPipelineRenderer => {
+            for (i, &rank) in layout.sources.iter().enumerate() {
+                let ep = eps[rank].take().unwrap();
+                let renderer = renderer.as_ref().clone_shared();
+                let cfg = cfg.clone();
+                let (y0, h) = bounds[i];
+                let dst = layout.filters[i][0];
+                let count = cfg.pipelines;
+                handles.push(thread::spawn(move || {
+                    let walkthrough = Walkthrough::standard(cfg.width as f32 / cfg.height as f32);
+                    for f in 0..cfg.frames {
+                        let cam = walkthrough.camera(f);
+                        let (strip, _) = renderer.render_strip(&cam, cfg.width, cfg.height, y0, h);
+                        let frame = Frame {
+                            id: f,
+                            strip: StripInfo {
+                                index: i as u32,
+                                count,
+                                y0,
+                                height: h,
+                                full_height: cfg.height,
+                            },
+                            full_width: cfg.width,
+                            image: Some(strip),
+                        };
+                        ep.send(dst, encode_frame(&frame)).expect("send");
+                    }
+                }));
+            }
+        }
+    }
+
+    // ---- filter stage threads ----
+    for i in 0..p {
+        for j in 0..5 {
+            let rank = layout.filters[i][j];
+            let ep = eps[rank].take().unwrap();
+            let cfg = cfg.clone();
+            let src = if j == 0 {
+                match cfg.renderer {
+                    RendererMode::PerPipelineRenderer => layout.sources[i],
+                    _ => layout.sources[0],
+                }
+            } else {
+                layout.filters[i][j - 1]
+            };
+            let dst = if j + 1 < 5 {
+                layout.filters[i][j + 1]
+            } else {
+                layout.transfer
+            };
+            let kind = StageKind::PIPELINE_FILTERS[j];
+            stage_handles.push((
+                kind,
+                i as u32,
+                thread::spawn(move || {
+                    let chain = standard_chain();
+                    let filter = &chain[j];
+                    for _ in 0..cfg.frames {
+                        let mut frame = decode_frame(ep.recv(src).expect("recv"));
+                        let ctx = frame.ctx(cfg.seed);
+                        filter.apply(frame.image.as_mut().expect("pixels"), &ctx);
+                        ep.send(dst, encode_frame(&frame)).expect("send");
+                    }
+                    (ep.take_wait_samples(), None)
+                }),
+            ));
+        }
+    }
+
+    // ---- transfer thread (returns the assembled frames) ----
+    {
+        let ep = eps[layout.transfer].take().unwrap();
+        let cfg = cfg.clone();
+        let swap_ranks: Vec<usize> = layout.filters.iter().map(|f| f[4]).collect();
+        stage_handles.push((
+            StageKind::Transfer,
+            0,
+            thread::spawn(move || {
+                let mut out = Vec::with_capacity(cfg.frames as usize);
+                for _ in 0..cfg.frames {
+                    let mut strips = Vec::with_capacity(swap_ranks.len());
+                    for &r in &swap_ranks {
+                        let frame = decode_frame(ep.recv(r).expect("recv"));
+                        strips.push((
+                            vswap::mirrored_info(frame.strip),
+                            frame.image.expect("pixels"),
+                        ));
+                    }
+                    out.push(Image::assemble(&strips));
+                }
+                (ep.take_wait_samples(), Some(out))
+            }),
+        ));
+    }
+
+    for h in handles {
+        h.join().expect("source thread panicked");
+    }
+    let mut frames = Vec::new();
+    let mut idle_ms = Vec::new();
+    for (kind, pl, h) in stage_handles {
+        let (waits, out) = h.join().expect("stage thread panicked");
+        if let Some(out) = out {
+            frames = out;
+        }
+        let ms: Vec<f64> = waits.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+        idle_ms.push((kind, pl, Quartiles::from_samples(&ms)));
+    }
+
+    NativeReport {
+        wall: start.elapsed(),
+        frames,
+        idle_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_frames;
+    use crate::spec::{Arrangement, Fidelity};
+    use scc_render::CityConfig;
+
+    fn scene() -> Arc<Scene> {
+        Arc::new(Scene::city(CityConfig {
+            side: 8,
+            spacing: 8.0,
+            seed: 3,
+        }))
+    }
+
+    fn cfg(mode: RendererMode, pipelines: u32, frames: u64) -> RunConfig {
+        RunConfig {
+            renderer: mode,
+            arrangement: Arrangement::Ordered,
+            pipelines,
+            width: 64,
+            height: 64,
+            frames,
+            seed: 77,
+            fidelity: Fidelity::Full,
+            trace: false,
+        }
+    }
+
+    #[test]
+    fn frame_codec_roundtrip() {
+        let mut img = Image::new(8, 4);
+        img.set(3, 2, [9, 8, 7, 6]);
+        let frame = Frame {
+            id: 42,
+            strip: StripInfo {
+                index: 1,
+                count: 3,
+                y0: 4,
+                height: 4,
+                full_height: 12,
+            },
+            full_width: 8,
+            image: Some(img.clone()),
+        };
+        let decoded = decode_frame(encode_frame(&frame));
+        assert_eq!(decoded.id, 42);
+        assert_eq!(decoded.strip, frame.strip);
+        assert_eq!(decoded.image.unwrap(), img);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload size mismatch")]
+    fn codec_rejects_bad_payload() {
+        let mut b = BytesMut::new();
+        b.put_u64(0);
+        for v in [0u32, 1, 0, 4, 4, 8] {
+            b.put_u32(v);
+        }
+        b.put_slice(&[0u8; 3]);
+        decode_frame(b.freeze());
+    }
+
+    #[test]
+    fn native_single_renderer_matches_reference() {
+        let c = cfg(RendererMode::SingleRenderer, 2, 4);
+        let native = run_native(&c, scene());
+        let reference = reference_frames(&c, scene());
+        assert_eq!(native.frames.len(), 4);
+        assert_eq!(native.frames, reference, "native output != reference");
+    }
+
+    #[test]
+    fn native_per_pipeline_renderer_matches_its_reference() {
+        let c = cfg(RendererMode::PerPipelineRenderer, 3, 3);
+        let native = run_native(&c, scene());
+        let reference = reference_frames(&c, scene());
+        assert_eq!(native.frames, reference);
+    }
+
+    #[test]
+    fn native_mcpc_mode_matches_reference() {
+        let c = cfg(RendererMode::McpcRenderer, 2, 3);
+        let native = run_native(&c, scene());
+        // The MCPC-mode data path renders full frames and splits — same
+        // as the single-renderer reference.
+        let mut ref_cfg = c.clone();
+        ref_cfg.renderer = RendererMode::SingleRenderer;
+        let reference = reference_frames(&ref_cfg, scene());
+        assert_eq!(native.frames, reference);
+    }
+
+    #[test]
+    fn idle_stats_are_collected() {
+        let c = cfg(RendererMode::SingleRenderer, 2, 6);
+        let report = run_native(&c, scene());
+        // 2 pipelines × 5 filters + transfer = 11 instrumented stages.
+        assert_eq!(report.idle_ms.len(), 11);
+        for (_, _, q) in &report.idle_ms {
+            let q = q.expect("samples recorded");
+            assert!(q.median >= 0.0);
+        }
+        assert!(report.wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn deterministic_output_across_runs() {
+        let c = cfg(RendererMode::SingleRenderer, 3, 3);
+        let a = run_native(&c, scene());
+        let b = run_native(&c, scene());
+        assert_eq!(a.frames, b.frames);
+    }
+}

@@ -1,0 +1,891 @@
+//! Virtual-time execution of the parallel macro pipeline on the simulated
+//! SCC.
+//!
+//! Every stage is a sequential process — *receive a strip, process it,
+//! hand it on* — with RCCE-style rendezvous flow control: a sender blocks
+//! until its receiver has finished the previous frame, so the pipeline is
+//! self-clocking at the bottleneck stage's rate, exactly like the paper's
+//! system. Because the stage graph is a tree processed in topological
+//! order, the whole walkthrough can be timed frame-by-frame without an
+//! explicit event queue while still sharing the platform's contended
+//! resources (mesh links, memory controllers, host link) in timestamp
+//! order.
+//!
+//! Message timing follows the SCC's no-local-memory path: payloads land in
+//! the **receiver's DRAM partition** and are fetched back out before
+//! processing (`SccPlatform::{send_to_partition, fetch_from_partition}`) —
+//! the overhead the paper identifies as the platform's key weakness.
+
+use crate::cost::{CostModel, RenderWork};
+use crate::frame::Frame;
+use crate::metrics::{StageReport, WalkthroughReport};
+use crate::placement::{place, Placement};
+use crate::spec::{Fidelity, RendererMode, RunConfig, StageKind};
+use crate::trace::{Phase, TraceLog};
+use scc_filters::{Blur, Flicker, Image, ImageFilter, Scratch, Sepia, StripInfo, VSwap};
+use scc_render::{Renderer, Scene, Walkthrough};
+use scc_sim::platform::MemOp;
+use scc_sim::{CoreId, FreqMHz, SccConfig, SccPlatform, SimTime};
+use std::sync::Arc;
+
+/// Per-stage runtime state.
+struct StageState {
+    kind: StageKind,
+    core: CoreId,
+    pipeline: Option<u32>,
+    /// Time the stage finished its previous frame (ready for the next).
+    free: SimTime,
+    busy: SimTime,
+    idle_samples: Vec<SimTime>,
+    frames: u64,
+}
+
+impl StageState {
+    fn new(kind: StageKind, core: CoreId, pipeline: Option<u32>) -> StageState {
+        StageState {
+            kind,
+            core,
+            pipeline,
+            free: SimTime::ZERO,
+            busy: SimTime::ZERO,
+            idle_samples: Vec::new(),
+            frames: 0,
+        }
+    }
+
+    fn report(&self) -> StageReport {
+        StageReport {
+            kind: self.kind,
+            pipeline: self.pipeline,
+            core_id: self.core.raw(),
+            busy_secs: self.busy.as_secs_f64(),
+            idle_ms: scc_sim::stats::Quartiles::from_times(&self.idle_samples),
+            idle_total_secs: self
+                .idle_samples
+                .iter()
+                .copied()
+                .sum::<SimTime>()
+                .as_secs_f64(),
+            frames: self.frames,
+        }
+    }
+}
+
+/// DVFS directives applied before the run.
+#[derive(Debug, Clone, Default)]
+pub struct DvfsPlan {
+    /// (core, frequency) pairs; each sets the core's whole tile.
+    pub settings: Vec<(CoreId, FreqMHz)>,
+}
+
+/// The simulated-SCC pipeline runner.
+pub struct SimRunner {
+    cfg: RunConfig,
+    cost: CostModel,
+    placement: Placement,
+    platform: SccPlatform,
+    renderer: Arc<Renderer>,
+    walkthrough: Walkthrough,
+    dvfs: DvfsPlan,
+}
+
+impl SimRunner {
+    /// Build a runner with the default platform, cost model, scene and the
+    /// placement implied by the configuration.
+    pub fn new(cfg: RunConfig, scene: Arc<Scene>) -> SimRunner {
+        let placement = place(cfg.renderer, cfg.arrangement, cfg.pipelines);
+        SimRunner::with_parts(
+            cfg,
+            scene,
+            placement,
+            SccPlatform::new(SccConfig::default()),
+            CostModel::default(),
+            DvfsPlan::default(),
+        )
+    }
+
+    /// Full control over every part (placement overrides for the DVFS
+    /// experiment, alternative platforms or cost calibrations).
+    pub fn with_parts(
+        cfg: RunConfig,
+        scene: Arc<Scene>,
+        placement: Placement,
+        platform: SccPlatform,
+        cost: CostModel,
+        dvfs: DvfsPlan,
+    ) -> SimRunner {
+        cfg.validate().expect("invalid run configuration");
+        let walkthrough = Walkthrough::standard(cfg.width as f32 / cfg.height as f32);
+        SimRunner {
+            renderer: Arc::new(Renderer::new(scene)),
+            cfg,
+            cost,
+            placement,
+            platform,
+            walkthrough,
+            dvfs,
+        }
+    }
+
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Execute the walkthrough; consumes the runner.
+    pub fn run(mut self) -> WalkthroughReport {
+        for (core, freq) in &self.dvfs.settings {
+            self.platform.set_core_frequency(*core, *freq);
+        }
+        // Every placed stage spin-waits on its RCCE flags when idle.
+        self.platform.set_spinning(self.placement.all_cores());
+        let mut trace = self.cfg.trace.then(TraceLog::new);
+
+        let p = self.cfg.pipelines as usize;
+        let full = self.cfg.renderer != RendererMode::PerPipelineRenderer;
+        let strip_bounds = Image::strip_bounds(self.cfg.height, self.cfg.pipelines);
+
+        // Stage states.
+        let mut renderers: Vec<StageState> = self
+            .placement
+            .renderers
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let pl = (!full).then_some(i as u32);
+                StageState::new(StageKind::Render, *c, pl)
+            })
+            .collect();
+        let mut connector = self
+            .placement
+            .connector
+            .map(|c| StageState::new(StageKind::Connect, c, None));
+        let mut filters: Vec<[StageState; 5]> = self
+            .placement
+            .pipelines
+            .iter()
+            .enumerate()
+            .map(|(i, cores)| {
+                let mk = |j: usize| {
+                    StageState::new(StageKind::PIPELINE_FILTERS[j], cores[j], Some(i as u32))
+                };
+                [mk(0), mk(1), mk(2), mk(3), mk(4)]
+            })
+            .collect();
+        let mut transfer = StageState::new(StageKind::Transfer, self.placement.transfer, None);
+
+        // Filter implementations in stage order.
+        let impls: [Box<dyn ImageFilter>; 5] = [
+            Box::new(Sepia),
+            Box::new(Blur::default()),
+            Box::new(Scratch::default()),
+            Box::new(Flicker::default()),
+            Box::new(VSwap),
+        ];
+
+        let full_px = self.cfg.width as u64 * self.cfg.height as u64;
+        let full_bytes = self.cfg.frame_bytes();
+        let fidelity = self.cfg.fidelity;
+
+        let mut mcpc_free = SimTime::ZERO;
+        let mut mcpc_busy = SimTime::ZERO;
+        let mut outputs: Vec<Image> = Vec::new();
+        let mut finish = SimTime::ZERO;
+
+        for f in 0..self.cfg.frames {
+            let cam = self.walkthrough.camera(f);
+
+            // ---- source: produce the P strips of frame f ----
+            // For each pipeline: the time its strip is resident in the
+            // sepia core's partition, plus (optionally) the pixels.
+            let mut strip_arrivals: Vec<SimTime> = vec![SimTime::ZERO; p];
+            let mut strip_frames: Vec<Frame> = Vec::with_capacity(p);
+
+            match self.cfg.renderer {
+                RendererMode::SingleRenderer => {
+                    let r = &mut renderers[0];
+                    let (visible, cull, coverage) = self.renderer.cull_strip(
+                        &cam,
+                        self.cfg.width,
+                        self.cfg.height,
+                        0,
+                        self.cfg.height,
+                    );
+                    let work = RenderWork {
+                        nodes_visited: cull.nodes_visited,
+                        triangles_out: cull.triangles_out,
+                        est_coverage: coverage,
+                    };
+                    let mut t = r.free;
+                    // Pull the visible scene data through the mesh.
+                    let scene_bytes = self.cost.render_scene_bytes(&work);
+                    let t0 = t;
+                    t = self.platform.mem_raw(r.core, t, MemOp::Read, scene_bytes);
+                    let cycles = self.cost.render_cycles(&work, false)
+                        + self.cost.split_cycles(full_px, self.cfg.pipelines);
+                    t = self.platform.compute(r.core, t, cycles as u64);
+                    // Frame buffer writeback if it exceeds the L2.
+                    t = self
+                        .platform
+                        .mem_stream(r.core, t, MemOp::Write, full_bytes);
+                    self.platform.record_busy(r.core, t0, t);
+
+                    let image = (fidelity == Fidelity::Full).then(|| {
+                        let (img, _) =
+                            self.renderer
+                                .render_full(&cam, self.cfg.width, self.cfg.height);
+                        img
+                    });
+                    let strips = make_strips(f, &strip_bounds, self.cfg.width, image);
+
+                    // Fan the strips out, serialised on the render core.
+                    for (i, frame) in strips.into_iter().enumerate() {
+                        let dst = filters[i][0].core;
+                        let start = t.max(filters[i][0].free);
+                        let resident =
+                            self.platform
+                                .send_to_partition(r.core, dst, start, frame.byte_len());
+                        self.platform.record_busy(r.core, start, resident);
+                        strip_arrivals[i] = resident;
+                        strip_frames.push(frame);
+                        t = resident;
+                    }
+                    r.busy += t - r.free;
+                    r.free = t;
+                    r.frames += 1;
+                    let _ = visible;
+                }
+                RendererMode::PerPipelineRenderer => {
+                    // Fill work per renderer: the full frame's coverage
+                    // split evenly. The paper's sort-first renderers share
+                    // the fill load almost perfectly (Figure 10 scales
+                    // ~1/P up to 3 pipelines); charging each renderer its
+                    // strip's raw coverage would instead import this
+                    // scene's horizon-heavy imbalance. Culling and
+                    // triangle-setup costs stay per-strip (they genuinely
+                    // do not shrink with strip height).
+                    let (_, _, full_coverage) = self.renderer.cull_strip(
+                        &cam,
+                        self.cfg.width,
+                        self.cfg.height,
+                        0,
+                        self.cfg.height,
+                    );
+                    for i in 0..p {
+                        let (y0, h) = strip_bounds[i];
+                        let r = &mut renderers[i];
+                        let (_, cull, _) =
+                            self.renderer
+                                .cull_strip(&cam, self.cfg.width, self.cfg.height, y0, h);
+                        let work = RenderWork {
+                            nodes_visited: cull.nodes_visited,
+                            triangles_out: cull.triangles_out,
+                            est_coverage: full_coverage / p as u64,
+                        };
+                        let mut t = r.free;
+                        let t0 = t;
+                        let scene_bytes = self.cost.render_scene_bytes(&work);
+                        t = self.platform.mem_raw(r.core, t, MemOp::Read, scene_bytes);
+                        let cycles = self.cost.render_cycles(&work, true);
+                        t = self.platform.compute(r.core, t, cycles as u64);
+                        let strip_bytes = self.cfg.width as u64 * h as u64 * 4;
+                        t = self
+                            .platform
+                            .mem_stream(r.core, t, MemOp::Write, strip_bytes);
+                        self.platform.record_busy(r.core, t0, t);
+
+                        let image = (fidelity == Fidelity::Full).then(|| {
+                            let (img, _) = self.renderer.render_strip(
+                                &cam,
+                                self.cfg.width,
+                                self.cfg.height,
+                                y0,
+                                h,
+                            );
+                            img
+                        });
+                        let frame = Frame {
+                            id: f,
+                            strip: strip_info(i, &strip_bounds, self.cfg.height),
+                            full_width: self.cfg.width,
+                            image,
+                        };
+
+                        let dst = filters[i][0].core;
+                        let start = t.max(filters[i][0].free);
+                        let resident =
+                            self.platform
+                                .send_to_partition(r.core, dst, start, frame.byte_len());
+                        self.platform.record_busy(r.core, start, resident);
+                        strip_arrivals[i] = resident;
+                        strip_frames.push(frame);
+                        r.busy += resident - r.free;
+                        r.free = resident;
+                        r.frames += 1;
+                    }
+                }
+                RendererMode::McpcRenderer => {
+                    // The MCPC renders on its own timeline.
+                    let (_, cull, coverage) = self.renderer.cull_strip(
+                        &cam,
+                        self.cfg.width,
+                        self.cfg.height,
+                        0,
+                        self.cfg.height,
+                    );
+                    let work = RenderWork {
+                        nodes_visited: cull.nodes_visited,
+                        triangles_out: cull.triangles_out,
+                        est_coverage: coverage,
+                    };
+                    let p54c_cycles = self.cost.render_cycles(&work, false);
+                    let render_dur =
+                        SimTime::from_secs_f64(self.cost.mcpc_render_seconds(p54c_cycles));
+                    let render_done = mcpc_free + render_dur;
+                    mcpc_busy += render_dur;
+
+                    let conn = connector.as_mut().expect("MCPC mode has a connector");
+                    // UDP into the connector's partition, paced by the
+                    // connector being ready (receive window).
+                    let send_start = render_done.max(conn.free);
+                    let resident = self
+                        .platform
+                        .host_to_chip(conn.core, send_start, full_bytes);
+                    mcpc_free = resident;
+
+                    // Connector: fetch the frame, run the UDP/IP stack,
+                    // split, fan out.
+                    let idle = resident.saturating_sub(conn.free);
+                    conn.idle_samples.push(idle);
+                    let start = resident.max(conn.free);
+                    let mut t = self
+                        .platform
+                        .fetch_from_partition(conn.core, start, full_bytes);
+                    let cycles = self.cost.connector_cycles(full_bytes, self.cfg.pipelines)
+                        + self.cost.split_cycles(full_px, self.cfg.pipelines);
+                    t = self.platform.compute(conn.core, t, cycles as u64);
+                    t = self
+                        .platform
+                        .mem_stream(conn.core, t, MemOp::Write, full_bytes);
+                    self.platform.record_busy(conn.core, start, t);
+
+                    let image = (fidelity == Fidelity::Full).then(|| {
+                        let (img, _) =
+                            self.renderer
+                                .render_full(&cam, self.cfg.width, self.cfg.height);
+                        img
+                    });
+                    let strips = make_strips(f, &strip_bounds, self.cfg.width, image);
+                    for (i, frame) in strips.into_iter().enumerate() {
+                        let dst = filters[i][0].core;
+                        let start = t.max(filters[i][0].free);
+                        let resident = self.platform.send_to_partition(
+                            conn.core,
+                            dst,
+                            start,
+                            frame.byte_len(),
+                        );
+                        self.platform.record_busy(conn.core, start, resident);
+                        strip_arrivals[i] = resident;
+                        strip_frames.push(frame);
+                        t = resident;
+                    }
+                    conn.busy += t - start;
+                    conn.free = t;
+                    conn.frames += 1;
+                }
+            }
+
+            // ---- the five filter stages of each pipeline ----
+            let mut swap_arrivals: Vec<SimTime> = vec![SimTime::ZERO; p];
+            for i in 0..p {
+                let mut avail = strip_arrivals[i];
+                let frame = &mut strip_frames[i];
+                let ctx = frame.ctx(self.cfg.seed);
+                let bytes = frame.byte_len();
+                for j in 0..5 {
+                    let (stage_core, stage_free, stage_kind) = {
+                        let stage = &mut filters[i][j];
+                        let idle = avail.saturating_sub(stage.free);
+                        stage.idle_samples.push(idle);
+                        (stage.core, stage.free, stage.kind)
+                    };
+                    let start = avail.max(stage_free);
+                    // Fetch the strip out of this core's DRAM partition.
+                    let t_fetch = self.platform.fetch_from_partition(stage_core, start, bytes);
+                    if let Some(log) = trace.as_mut() {
+                        log.span(
+                            stage_core,
+                            stage_kind,
+                            Some(i as u32),
+                            f,
+                            Phase::Wait,
+                            stage_free,
+                            start,
+                        );
+                        log.span(
+                            stage_core,
+                            stage_kind,
+                            Some(i as u32),
+                            f,
+                            Phase::Fetch,
+                            start,
+                            t_fetch,
+                        );
+                    }
+                    let mut t = t_fetch;
+                    // Apply (really, in full fidelity) and charge compute.
+                    let cycles = match &frame.image {
+                        Some(img) => {
+                            let c = self.cost.filter_cycles(impls[j].as_ref(), img, &ctx);
+                            // Mutate the pixels.
+                            impls[j].apply(frame.image.as_mut().expect("image present"), &ctx);
+                            c
+                        }
+                        None => {
+                            // Timing-only: identical cost from a synthetic
+                            // image descriptor of the same geometry.
+                            let proxy = Image::new(self.cfg.width, frame.strip.height);
+                            self.cost.filter_cycles(impls[j].as_ref(), &proxy, &ctx)
+                        }
+                    };
+                    t = self.platform.compute(stage_core, t, cycles as u64);
+                    if let Some(log) = trace.as_mut() {
+                        log.span(
+                            stage_core,
+                            stage_kind,
+                            Some(i as u32),
+                            f,
+                            Phase::Compute,
+                            t_fetch,
+                            t,
+                        );
+                    }
+                    let t_compute = t;
+                    // Stage-specific extra traffic through the cache model.
+                    let traffic = self.cost.stage_traffic(stage_kind, bytes);
+                    t = self
+                        .platform
+                        .mem_stream(stage_core, t, MemOp::Read, traffic.read_bytes);
+                    t = self
+                        .platform
+                        .mem_stream(stage_core, t, MemOp::Write, traffic.write_bytes);
+                    self.platform.record_busy(stage_core, start, t);
+                    if let Some(log) = trace.as_mut() {
+                        log.span(
+                            stage_core,
+                            stage_kind,
+                            Some(i as u32),
+                            f,
+                            Phase::Memory,
+                            t_compute,
+                            t,
+                        );
+                    }
+
+                    // Hand over to the next stage (or the transfer stage),
+                    // rendezvous-paced.
+                    let (next_core, next_free) = if j + 1 < 5 {
+                        (filters[i][j + 1].core, filters[i][j + 1].free)
+                    } else {
+                        (transfer.core, transfer.free)
+                    };
+                    let send_start = t.max(next_free);
+                    let resident = self
+                        .platform
+                        .send_to_partition(stage_core, next_core, send_start, bytes);
+                    self.platform.record_busy(stage_core, send_start, resident);
+                    if let Some(log) = trace.as_mut() {
+                        log.span(
+                            stage_core,
+                            stage_kind,
+                            Some(i as u32),
+                            f,
+                            Phase::Send,
+                            t,
+                            resident,
+                        );
+                    }
+                    let stage = &mut filters[i][j];
+                    stage.busy += resident - start;
+                    stage.free = resident;
+                    stage.frames += 1;
+                    avail = resident;
+                }
+                swap_arrivals[i] = avail;
+            }
+
+            // ---- transfer: collect strips, assemble, ship to the client ----
+            {
+                let first_avail = swap_arrivals.iter().copied().min().unwrap();
+                transfer
+                    .idle_samples
+                    .push(first_avail.saturating_sub(transfer.free));
+                let cycle_start = transfer.free.max(first_avail);
+                let mut t = transfer.free;
+                for (i, &arr) in swap_arrivals.iter().enumerate() {
+                    let start = arr.max(t);
+                    let strip_bytes = strip_frames[i].byte_len();
+                    t = self
+                        .platform
+                        .fetch_from_partition(transfer.core, start, strip_bytes);
+                }
+                t = self.platform.compute(
+                    transfer.core,
+                    t,
+                    self.cost.assemble_cycles(full_px) as u64,
+                );
+                t = self
+                    .platform
+                    .mem_stream(transfer.core, t, MemOp::Write, full_bytes);
+                let t_out = self.platform.chip_to_host(transfer.core, t, full_bytes);
+                self.platform.record_busy(transfer.core, cycle_start, t_out);
+                if let Some(log) = trace.as_mut() {
+                    log.span(
+                        transfer.core,
+                        StageKind::Transfer,
+                        None,
+                        f,
+                        Phase::Wait,
+                        transfer.free,
+                        cycle_start,
+                    );
+                    log.span(
+                        transfer.core,
+                        StageKind::Transfer,
+                        None,
+                        f,
+                        Phase::Compute,
+                        cycle_start,
+                        t_out,
+                    );
+                }
+                transfer.busy += t_out - cycle_start;
+                transfer.free = t_out;
+                transfer.frames += 1;
+                finish = t_out;
+
+                if fidelity == Fidelity::Full {
+                    // The swap stage flipped each strip locally; the
+                    // transfer stage places strips at mirrored positions
+                    // so the client sees the globally flipped frame.
+                    let strips: Vec<(StripInfo, Image)> = strip_frames
+                        .iter()
+                        .map(|fr| {
+                            (
+                                scc_filters::vswap::mirrored_info(fr.strip),
+                                fr.image.clone().expect("image present"),
+                            )
+                        })
+                        .collect();
+                    outputs.push(Image::assemble(&strips));
+                }
+            }
+        }
+
+        // ---- reports ----
+        let mut stage_reports: Vec<StageReport> = Vec::new();
+        for r in &renderers {
+            stage_reports.push(r.report());
+        }
+        if let Some(c) = &connector {
+            stage_reports.push(c.report());
+        }
+        for pipe in &filters {
+            for s in pipe {
+                stage_reports.push(s.report());
+            }
+        }
+        stage_reports.push(transfer.report());
+
+        let power_trace = self.platform.power_trace(finish, SimTime::from_secs(1));
+        let energy = self.platform.energy_joules(finish);
+        WalkthroughReport {
+            config: self.cfg.clone(),
+            total_secs: finish.as_secs_f64(),
+            stage_reports,
+            power_trace,
+            scc_energy_joules: energy,
+            scc_idle_power: self.platform.idle_power(),
+            mcpc_busy_secs: mcpc_busy.as_secs_f64(),
+            platform: self.platform.stats(),
+            outputs: (fidelity == Fidelity::Full).then_some(outputs),
+            trace,
+        }
+    }
+}
+
+fn strip_info(i: usize, bounds: &[(u32, u32)], full_height: u32) -> StripInfo {
+    let (y0, h) = bounds[i];
+    StripInfo {
+        index: i as u32,
+        count: bounds.len() as u32,
+        y0,
+        height: h,
+        full_height,
+    }
+}
+
+/// Split an (optional) full frame into per-pipeline strip frames.
+fn make_strips(
+    frame_id: u64,
+    bounds: &[(u32, u32)],
+    width: u32,
+    image: Option<Image>,
+) -> Vec<Frame> {
+    let full_height: u32 = bounds.iter().map(|(_, h)| h).sum();
+    match image {
+        Some(img) => img
+            .split_strips(bounds.len() as u32)
+            .into_iter()
+            .map(|(info, strip)| Frame {
+                id: frame_id,
+                strip: info,
+                full_width: width,
+                image: Some(strip),
+            })
+            .collect(),
+        None => (0..bounds.len())
+            .map(|i| Frame {
+                id: frame_id,
+                strip: strip_info(i, bounds, full_height),
+                full_width: width,
+                image: None,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Arrangement;
+    use scc_render::CityConfig;
+
+    fn tiny_scene() -> Arc<Scene> {
+        Arc::new(Scene::city(CityConfig {
+            side: 8,
+            spacing: 8.0,
+            seed: 3,
+        }))
+    }
+
+    fn quick_cfg(mode: RendererMode, pipelines: u32) -> RunConfig {
+        RunConfig {
+            renderer: mode,
+            arrangement: Arrangement::Ordered,
+            pipelines,
+            width: 100,
+            height: 100,
+            frames: 12,
+            seed: 42,
+            fidelity: Fidelity::TimingOnly,
+            trace: false,
+        }
+    }
+
+    #[test]
+    fn runs_complete_and_report_all_stages() {
+        let cfg = quick_cfg(RendererMode::SingleRenderer, 2);
+        let report = SimRunner::new(cfg, tiny_scene()).run();
+        assert!(report.total_secs > 0.0);
+        // 1 render + 2×5 filters + 1 transfer = 12 stages.
+        assert_eq!(report.stage_reports.len(), 12);
+        for s in &report.stage_reports {
+            assert_eq!(s.frames, 12, "{:?} missed frames", s.kind);
+        }
+    }
+
+    #[test]
+    fn mcpc_mode_has_connector_and_mcpc_time() {
+        let cfg = quick_cfg(RendererMode::McpcRenderer, 2);
+        let report = SimRunner::new(cfg, tiny_scene()).run();
+        assert!(report
+            .stage_reports
+            .iter()
+            .any(|s| s.kind == StageKind::Connect));
+        assert!(report.mcpc_busy_secs > 0.0);
+        assert!(report.mcpc_busy_secs < report.total_secs);
+    }
+
+    #[test]
+    fn more_pipelines_do_not_slow_things_down() {
+        let scene = tiny_scene();
+        let t1 = SimRunner::new(quick_cfg(RendererMode::McpcRenderer, 1), Arc::clone(&scene))
+            .run()
+            .total_secs;
+        let t3 = SimRunner::new(quick_cfg(RendererMode::McpcRenderer, 3), scene)
+            .run()
+            .total_secs;
+        assert!(t3 < t1, "3 pipelines ({t3:.3}s) should beat 1 ({t1:.3}s)");
+    }
+
+    #[test]
+    fn full_fidelity_produces_frames() {
+        let mut cfg = quick_cfg(RendererMode::SingleRenderer, 2);
+        cfg.fidelity = Fidelity::Full;
+        cfg.frames = 3;
+        let report = SimRunner::new(cfg, tiny_scene()).run();
+        let out = report.outputs.expect("full fidelity keeps outputs");
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].width(), 100);
+        assert_eq!(out[0].height(), 100);
+        // Frames differ (walkthrough moves).
+        assert_ne!(out[0], out[2]);
+    }
+
+    #[test]
+    fn timing_identical_across_fidelity_modes() {
+        // The central invariant permitting cheap sweeps: the virtual-time
+        // result does not depend on whether pixels are computed.
+        let scene = tiny_scene();
+        let mut a = quick_cfg(RendererMode::McpcRenderer, 2);
+        a.frames = 5;
+        let mut b = a.clone();
+        b.fidelity = Fidelity::Full;
+        let ta = SimRunner::new(a, Arc::clone(&scene)).run().total_secs;
+        let tb = SimRunner::new(b, scene).run().total_secs;
+        assert_eq!(ta, tb, "fidelity changed virtual time");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let scene = tiny_scene();
+        let r1 = SimRunner::new(
+            quick_cfg(RendererMode::PerPipelineRenderer, 3),
+            Arc::clone(&scene),
+        )
+        .run();
+        let r2 = SimRunner::new(quick_cfg(RendererMode::PerPipelineRenderer, 3), scene).run();
+        assert_eq!(r1.total_secs, r2.total_secs);
+        assert_eq!(r1.scc_energy_joules, r2.scc_energy_joules);
+    }
+
+    #[test]
+    fn dvfs_plan_speeds_up_blur_bound_pipeline() {
+        let scene = tiny_scene();
+        let cfg = quick_cfg(RendererMode::McpcRenderer, 1);
+        let base = SimRunner::new(cfg.clone(), Arc::clone(&scene)).run();
+        let placement = place(cfg.renderer, cfg.arrangement, cfg.pipelines);
+        let blur_core = placement.pipelines[0][1];
+        let fast = SimRunner::with_parts(
+            cfg,
+            scene,
+            placement,
+            SccPlatform::new(SccConfig::default()),
+            CostModel::default(),
+            DvfsPlan {
+                settings: vec![(blur_core, FreqMHz::F800)],
+            },
+        )
+        .run();
+        assert!(
+            fast.total_secs < base.total_secs * 0.9,
+            "blur at 800 MHz should cut the walkthrough markedly \
+             ({:.3}s vs {:.3}s)",
+            fast.total_secs,
+            base.total_secs
+        );
+    }
+
+    #[test]
+    fn idle_times_collected_per_stage() {
+        let report = SimRunner::new(quick_cfg(RendererMode::McpcRenderer, 3), tiny_scene()).run();
+        let scratch = report
+            .stage_reports
+            .iter()
+            .find(|s| s.kind == StageKind::Scratch && s.pipeline == Some(0))
+            .unwrap();
+        let blur = report
+            .stage_reports
+            .iter()
+            .find(|s| s.kind == StageKind::Blur && s.pipeline == Some(0))
+            .unwrap();
+        // The cheap scratch stage waits longer than the expensive blur.
+        let sq = scratch.idle_ms.expect("samples");
+        let bq = blur.idle_ms.expect("samples");
+        assert!(
+            sq.median >= bq.median,
+            "scratch median idle {:.2}ms < blur {:.2}ms",
+            sq.median,
+            bq.median
+        );
+    }
+
+    #[test]
+    fn power_trace_spans_run() {
+        let report = SimRunner::new(quick_cfg(RendererMode::SingleRenderer, 2), tiny_scene()).run();
+        assert!(!report.power_trace.is_empty());
+        // All samples at or above idle power, and at least one above it.
+        let idle = report.scc_idle_power;
+        assert!(report.power_trace.iter().all(|s| s.watts >= idle - 1e-9));
+        assert!(report.power_trace.iter().any(|s| s.watts > idle + 1.0));
+        assert!(report.scc_energy_joules > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::spec::Arrangement;
+    use crate::trace::Phase;
+    use scc_render::CityConfig;
+
+    #[test]
+    fn trace_records_all_phases_when_enabled() {
+        let cfg = RunConfig {
+            renderer: RendererMode::McpcRenderer,
+            arrangement: Arrangement::Ordered,
+            pipelines: 2,
+            width: 100,
+            height: 100,
+            frames: 6,
+            seed: 1,
+            fidelity: Fidelity::TimingOnly,
+            trace: true,
+        };
+        let scene = Arc::new(Scene::city(CityConfig {
+            side: 8,
+            spacing: 8.0,
+            seed: 3,
+        }));
+        let report = SimRunner::new(cfg, scene).run();
+        let log = report.trace.expect("trace enabled");
+        assert!(!log.is_empty());
+        // Blur compute spans must dominate sepia compute spans.
+        let blur = log.phase_total(StageKind::Blur, Phase::Compute);
+        let sepia = log.phase_total(StageKind::Sepia, Phase::Compute);
+        assert!(blur > sepia * 2);
+        // Every filter stage fetched and sent each frame.
+        let fetches = log
+            .events()
+            .iter()
+            .filter(|e| e.kind == StageKind::Blur && e.phase == Phase::Fetch)
+            .count();
+        assert_eq!(fetches, 2 * 6, "2 pipelines x 6 frames");
+        // Spans are well-formed and inside the run.
+        for e in log.events() {
+            assert!(e.t1 > e.t0);
+            assert!(e.t1.as_secs_f64() <= report.total_secs + 1e-9);
+        }
+        // Chrome export is non-trivial.
+        assert!(log.to_chrome_json().len() > 200);
+    }
+
+    #[test]
+    fn trace_absent_when_disabled() {
+        let cfg = RunConfig {
+            width: 50,
+            height: 50,
+            frames: 2,
+            pipelines: 1,
+            ..RunConfig::default()
+        };
+        let scene = Arc::new(Scene::city(CityConfig {
+            side: 6,
+            spacing: 8.0,
+            seed: 3,
+        }));
+        let report = SimRunner::new(cfg, scene).run();
+        assert!(report.trace.is_none());
+    }
+}

@@ -1,0 +1,268 @@
+//! Pipeline configuration: renderer mode, arrangement, geometry, fidelity.
+
+use serde::Serialize;
+
+/// The stage types of the paper's macro pipeline (§IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum StageKind {
+    /// RS — renders a strip (or the full frame) from the CAD data.
+    Render,
+    /// CS — receives frames from the MCPC and distributes them.
+    Connect,
+    /// SeS — sepia tone.
+    Sepia,
+    /// BS — blur (the most expensive filter stage).
+    Blur,
+    /// ScS — random vertical scratches.
+    Scratch,
+    /// FS — per-frame brightness flicker.
+    Flicker,
+    /// SwS — vertical mirror.
+    Swap,
+    /// TrS — collects strips, assembles, sends to the visualisation client.
+    Transfer,
+}
+
+impl StageKind {
+    /// The five filter stages inside one pipeline, in order.
+    pub const PIPELINE_FILTERS: [StageKind; 5] = [
+        StageKind::Sepia,
+        StageKind::Blur,
+        StageKind::Scratch,
+        StageKind::Flicker,
+        StageKind::Swap,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            StageKind::Render => "render",
+            StageKind::Connect => "connect",
+            StageKind::Sepia => "sepia",
+            StageKind::Blur => "blur",
+            StageKind::Scratch => "scratch",
+            StageKind::Flicker => "flicker",
+            StageKind::Swap => "swap",
+            StageKind::Transfer => "transfer",
+        }
+    }
+}
+
+/// Who renders (§V's three scenarios).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum RendererMode {
+    /// One SCC core renders full frames and splits them among pipelines.
+    SingleRenderer,
+    /// One render stage per pipeline, each rendering its own strip
+    /// (sort-first).
+    PerPipelineRenderer,
+    /// The MCPC's Xeon renders; a connector core on the SCC distributes.
+    McpcRenderer,
+}
+
+impl RendererMode {
+    pub fn name(self) -> &'static str {
+        match self {
+            RendererMode::SingleRenderer => "1 renderer",
+            RendererMode::PerPipelineRenderer => "n renderers",
+            RendererMode::McpcRenderer => "MCPC renderer",
+        }
+    }
+
+    /// SCC cores needed for `p` pipelines in this mode.
+    pub fn cores_needed(self, p: u32) -> u32 {
+        match self {
+            // render + 5p filters + transfer
+            RendererMode::SingleRenderer => 5 * p + 2,
+            // p renderers + 5p filters + transfer
+            RendererMode::PerPipelineRenderer => 6 * p + 1,
+            // connector + 5p filters + transfer
+            RendererMode::McpcRenderer => 5 * p + 2,
+        }
+    }
+
+    /// Largest pipeline count that fits on the 48-core SCC.
+    pub fn max_pipelines(self) -> u32 {
+        let mut p = 1;
+        while self.cores_needed(p + 1) <= 48 {
+            p += 1;
+        }
+        p
+    }
+}
+
+/// Physical placement strategies for the pipeline stages (§IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Arrangement {
+    /// Stages assigned in SCC core-id order.
+    Unordered,
+    /// Pipelines laid in parallel along the mesh rows.
+    Ordered,
+    /// Like ordered, but every second pipeline reversed.
+    Flipped,
+}
+
+impl Arrangement {
+    pub fn name(self) -> &'static str {
+        match self {
+            Arrangement::Unordered => "unordered",
+            Arrangement::Ordered => "ordered",
+            Arrangement::Flipped => "flipped",
+        }
+    }
+
+    pub fn all() -> [Arrangement; 3] {
+        [
+            Arrangement::Unordered,
+            Arrangement::Ordered,
+            Arrangement::Flipped,
+        ]
+    }
+}
+
+/// Whether frames carry real pixels through the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Fidelity {
+    /// Process real images (output comparable to the reference).
+    Full,
+    /// Charge costs only; frames carry byte counts. Timing is identical
+    /// to `Full` by construction.
+    TimingOnly,
+}
+
+/// A complete experiment description.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunConfig {
+    pub renderer: RendererMode,
+    pub arrangement: Arrangement,
+    pub pipelines: u32,
+    /// Full frame width in pixels.
+    pub width: u32,
+    /// Full frame height in pixels.
+    pub height: u32,
+    /// Walkthrough length in frames.
+    pub frames: u64,
+    /// Run seed for the scratch/flicker randomness.
+    pub seed: u64,
+    pub fidelity: Fidelity,
+    /// Record per-stage phase spans (exportable to Chrome trace JSON).
+    pub trace: bool,
+}
+
+impl Default for RunConfig {
+    /// The paper's default experiment: 400-frame walkthrough over 400×400
+    /// frames (Figure 12's largest point matches the walkthrough time of
+    /// the single-pipeline MCPC configuration).
+    fn default() -> Self {
+        RunConfig {
+            renderer: RendererMode::SingleRenderer,
+            arrangement: Arrangement::Ordered,
+            pipelines: 1,
+            width: 400,
+            height: 400,
+            frames: 400,
+            seed: 0x51CC_F11F,
+            fidelity: Fidelity::TimingOnly,
+            trace: false,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Check the configuration fits the machine.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pipelines == 0 {
+            return Err("at least one pipeline required".into());
+        }
+        let needed = self.renderer.cores_needed(self.pipelines);
+        if needed > 48 {
+            return Err(format!(
+                "{} pipelines need {needed} cores; the SCC has 48",
+                self.pipelines
+            ));
+        }
+        if self.height < self.pipelines {
+            return Err("more pipelines than image rows".into());
+        }
+        if self.width == 0 || self.height == 0 || self.frames == 0 {
+            return Err("degenerate geometry".into());
+        }
+        Ok(())
+    }
+
+    /// Bytes of one full frame.
+    pub fn frame_bytes(&self) -> u64 {
+        self.width as u64 * self.height as u64 * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_budgets_match_paper() {
+        // §V/§VI: the n-renderer configuration tops out at 7 pipelines
+        // (6·7+1 = 43 ≤ 48); the others support more.
+        assert_eq!(RendererMode::PerPipelineRenderer.max_pipelines(), 7);
+        assert_eq!(RendererMode::SingleRenderer.max_pipelines(), 9);
+        assert_eq!(RendererMode::McpcRenderer.max_pipelines(), 9);
+        // Figure 14's x-axis: 5p+2 cores = 7, 12, ..., 42 for p = 1..8.
+        assert_eq!(RendererMode::McpcRenderer.cores_needed(1), 7);
+        assert_eq!(RendererMode::McpcRenderer.cores_needed(8), 42);
+    }
+
+    #[test]
+    fn validation_rejects_oversubscription() {
+        let cfg = RunConfig {
+            renderer: RendererMode::PerPipelineRenderer,
+            pipelines: 8,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        let ok = RunConfig {
+            renderer: RendererMode::PerPipelineRenderer,
+            pipelines: 7,
+            ..Default::default()
+        };
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate() {
+        assert!(RunConfig {
+            pipelines: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RunConfig {
+            frames: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RunConfig {
+            height: 4,
+            pipelines: 5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn default_matches_paper_geometry() {
+        let cfg = RunConfig::default();
+        assert_eq!(cfg.frames, 400);
+        assert_eq!(cfg.frame_bytes(), 640_000, "Figure 12: 400 side = 640 kb");
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn stage_names() {
+        assert_eq!(StageKind::Blur.name(), "blur");
+        assert_eq!(StageKind::PIPELINE_FILTERS.len(), 5);
+        assert_eq!(Arrangement::all().len(), 3);
+        assert_eq!(RendererMode::McpcRenderer.name(), "MCPC renderer");
+    }
+}

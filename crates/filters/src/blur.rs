@@ -1,0 +1,182 @@
+//! Blur stage (BS): box blur over a square neighbourhood.
+//!
+//! "Pixels are transformed with respect to the neighboring pixels by
+//! calculating the average color of these pixels. To work from the
+//! original data, a second buffer is required" (§IV). This is the most
+//! expensive filter stage in the paper's measurements — the 3×3 (or
+//! larger) gather makes it both compute- and memory-heavy.
+
+use crate::filter::{FrameCtx, ImageFilter, Traffic};
+use crate::image::Image;
+
+/// Box blur with configurable radius (radius 1 = 3×3 window).
+#[derive(Debug, Clone, Copy)]
+pub struct Blur {
+    pub radius: u32,
+}
+
+impl Default for Blur {
+    fn default() -> Self {
+        Blur { radius: 1 }
+    }
+}
+
+impl Blur {
+    pub fn new(radius: u32) -> Blur {
+        assert!(radius >= 1, "radius 0 is a no-op blur");
+        Blur { radius }
+    }
+
+    fn window(&self) -> u64 {
+        let d = (2 * self.radius + 1) as u64;
+        d * d
+    }
+}
+
+impl ImageFilter for Blur {
+    fn name(&self) -> &'static str {
+        "blur"
+    }
+
+    fn apply(&self, img: &mut Image, _ctx: &FrameCtx) {
+        let w = img.width();
+        let h = img.height();
+        let r = self.radius as i64;
+        // The second buffer the paper describes: blur must read original
+        // values, not partially blurred ones.
+        let src = img.clone();
+        for y in 0..h {
+            for x in 0..w {
+                let mut acc = [0u32; 3];
+                let mut n = 0u32;
+                for dy in -r..=r {
+                    for dx in -r..=r {
+                        let sx = x as i64 + dx;
+                        let sy = y as i64 + dy;
+                        if sx < 0 || sy < 0 || sx >= w as i64 || sy >= h as i64 {
+                            continue;
+                        }
+                        let p = src.get(sx as u32, sy as u32);
+                        acc[0] += p[0] as u32;
+                        acc[1] += p[1] as u32;
+                        acc[2] += p[2] as u32;
+                        n += 1;
+                    }
+                }
+                let a = img.get(x, y)[3];
+                img.set(
+                    x,
+                    y,
+                    [
+                        (acc[0] / n) as u8,
+                        (acc[1] / n) as u8,
+                        (acc[2] / n) as u8,
+                        a,
+                    ],
+                );
+            }
+        }
+    }
+
+    fn work_units(&self, img: &Image, _ctx: &FrameCtx) -> f64 {
+        // One unit per pixel per window element gathered: a 3×3 blur is
+        // ~9 units/pixel, several times the 1 unit/pixel of sepia —
+        // matching its rank as the slowest filter stage (Figure 8).
+        img.pixel_count() as f64 * self.window() as f64 * 0.45
+    }
+
+    fn traffic(&self, img: &Image, _ctx: &FrameCtx) -> Traffic {
+        // Reads the source buffer, writes the second buffer.
+        Traffic {
+            read_bytes: img.byte_len(),
+            write_bytes: img.byte_len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(w: u32, h: u32) -> FrameCtx {
+        FrameCtx::whole_frame(0, 0, w, h)
+    }
+
+    #[test]
+    fn constant_image_is_fixed_point() {
+        let mut img = Image::new(8, 8);
+        img.fill([100, 150, 200, 255]);
+        Blur::default().apply(&mut img, &ctx(8, 8));
+        for y in 0..8 {
+            for x in 0..8 {
+                assert_eq!(img.get(x, y), [100, 150, 200, 255]);
+            }
+        }
+    }
+
+    #[test]
+    fn blur_averages_neighbourhood() {
+        // A lone white pixel in black spreads to 255/9 = 28 in its window.
+        let mut img = Image::new(5, 5);
+        img.set(2, 2, [255, 255, 255, 255]);
+        Blur::default().apply(&mut img, &ctx(5, 5));
+        assert_eq!(img.get(2, 2)[0], 28);
+        assert_eq!(img.get(1, 1)[0], 28);
+        assert_eq!(img.get(0, 0)[0], 0, "outside the 3x3 window");
+    }
+
+    #[test]
+    fn border_uses_partial_window() {
+        // A 2x1 image: each pixel averages the two.
+        let mut img = Image::new(2, 1);
+        img.set(0, 0, [0, 0, 0, 255]);
+        img.set(1, 0, [200, 0, 0, 255]);
+        Blur::default().apply(&mut img, &ctx(2, 1));
+        assert_eq!(img.get(0, 0)[0], 100);
+        assert_eq!(img.get(1, 0)[0], 100);
+    }
+
+    #[test]
+    fn blur_reduces_contrast() {
+        let mut img = Image::new(16, 16);
+        for y in 0..16 {
+            for x in 0..16 {
+                let v = if (x + y) % 2 == 0 { 255 } else { 0 };
+                img.set(x, y, [v, v, v, 255]);
+            }
+        }
+        let before_spread = 255;
+        Blur::default().apply(&mut img, &ctx(16, 16));
+        let mut max = 0u8;
+        let mut min = 255u8;
+        for y in 0..16 {
+            for x in 0..16 {
+                let v = img.get(x, y)[0];
+                max = max.max(v);
+                min = min.min(v);
+            }
+        }
+        assert!((max - min) < before_spread, "contrast must shrink");
+    }
+
+    #[test]
+    fn larger_radius_is_more_work() {
+        let img = Image::new(10, 10);
+        let c = ctx(10, 10);
+        assert!(Blur::new(2).work_units(&img, &c) > Blur::new(1).work_units(&img, &c));
+    }
+
+    #[test]
+    fn alpha_preserved() {
+        let mut img = Image::new(3, 3);
+        img.set(1, 1, [10, 20, 30, 42]);
+        Blur::default().apply(&mut img, &ctx(3, 3));
+        assert_eq!(img.get(1, 1)[3], 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "no-op blur")]
+    fn zero_radius_rejected() {
+        Blur::new(0);
+    }
+}

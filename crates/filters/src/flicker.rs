@@ -1,0 +1,138 @@
+//! Flicker stage (FS): vary each frame's overall brightness.
+//!
+//! "We choose a random number in the interval [−1/10, 1/10]. This value is
+//! added to all pixels' RGB values and clamped to the [0, 1] interval"
+//! (§IV). Viewed as a sequence, the random per-frame offsets read as the
+//! flicker of an old projector. The offset is a *frame* property: every
+//! strip of a frame must shift by the same amount, so it comes from the
+//! deterministic per-frame RNG.
+
+use crate::filter::{FrameCtx, ImageFilter};
+use crate::frame_rng::frame_rng;
+use crate::image::{from_unit, to_unit, Image};
+use rand::Rng;
+
+/// Flicker filter parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Flicker {
+    /// Maximum absolute brightness offset (the paper uses 1/10).
+    pub amplitude: f32,
+}
+
+impl Default for Flicker {
+    fn default() -> Self {
+        Flicker { amplitude: 0.1 }
+    }
+}
+
+impl Flicker {
+    /// The frame's brightness offset in [−amplitude, +amplitude].
+    pub fn offset(&self, ctx: &FrameCtx) -> f32 {
+        let mut rng = frame_rng(ctx.run_seed, ctx.frame_id.wrapping_add(0x5F1C_7E11));
+        rng.gen_range(-self.amplitude..=self.amplitude)
+    }
+}
+
+impl ImageFilter for Flicker {
+    fn name(&self) -> &'static str {
+        "flicker"
+    }
+
+    fn apply(&self, img: &mut Image, ctx: &FrameCtx) {
+        let d = self.offset(ctx);
+        for px in img.as_bytes_mut().chunks_exact_mut(4) {
+            for c in px.iter_mut().take(3) {
+                *c = from_unit(to_unit(*c) + d);
+            }
+        }
+    }
+
+    fn work_units(&self, img: &Image, _ctx: &FrameCtx) -> f64 {
+        // "Each pixel is accessed in sequential order but with a minor
+        // operation" — lighter than sepia.
+        img.pixel_count() as f64 * 0.55
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::StripInfo;
+
+    fn ctx(frame: u64) -> FrameCtx {
+        FrameCtx::whole_frame(frame, 7, 16, 16)
+    }
+
+    #[test]
+    fn offset_is_in_range_and_deterministic() {
+        let f = Flicker::default();
+        for frame in 0..200 {
+            let d = f.offset(&ctx(frame));
+            assert!((-0.1..=0.1).contains(&d), "offset {d} out of range");
+            assert_eq!(d, f.offset(&ctx(frame)));
+        }
+    }
+
+    #[test]
+    fn offsets_vary_across_frames() {
+        let f = Flicker::default();
+        let offsets: Vec<f32> = (0..32).map(|fr| f.offset(&ctx(fr))).collect();
+        let first = offsets[0];
+        assert!(offsets.iter().any(|&d| (d - first).abs() > 1e-4));
+    }
+
+    #[test]
+    fn clamps_at_both_ends() {
+        let f = Flicker { amplitude: 0.5 };
+        // Find a frame with a clearly positive offset.
+        let frame = (0..200)
+            .find(|&fr| f.offset(&ctx(fr)) > 0.2)
+            .expect("no positive offset found");
+        let mut img = Image::new(2, 1);
+        img.set(0, 0, [250, 250, 250, 255]);
+        img.set(1, 0, [0, 0, 0, 255]);
+        f.apply(&mut img, &ctx(frame));
+        assert_eq!(img.get(0, 0)[0], 255, "bright pixel clamps to white");
+        assert!(img.get(1, 0)[0] > 0, "dark pixel lifted");
+    }
+
+    #[test]
+    fn strip_and_whole_frame_agree() {
+        let f = Flicker::default();
+        let whole = f.offset(&ctx(9));
+        let strip_ctx = FrameCtx {
+            frame_id: 9,
+            run_seed: 7,
+            strip: StripInfo {
+                index: 1,
+                count: 3,
+                y0: 5,
+                height: 5,
+                full_height: 16,
+            },
+            full_width: 16,
+        };
+        assert_eq!(f.offset(&strip_ctx), whole);
+    }
+
+    #[test]
+    fn alpha_untouched() {
+        let f = Flicker::default();
+        let mut img = Image::new(1, 1);
+        img.set(0, 0, [10, 20, 30, 99]);
+        f.apply(&mut img, &ctx(0));
+        assert_eq!(img.get(0, 0)[3], 99);
+    }
+
+    #[test]
+    fn flicker_differs_from_scratch_stream() {
+        // Both stages draw from frame RNGs; the streams must be decoupled
+        // (different domains) so adding a stage doesn't shift the other's
+        // randomness.
+        let f = Flicker { amplitude: 1.0 };
+        let d = f.offset(&ctx(4));
+        let mut rng = frame_rng(7, 4);
+        let raw: f32 = rng.gen_range(-1.0..=1.0);
+        assert_ne!(d, raw, "flicker must use its own RNG domain");
+    }
+}

@@ -1,0 +1,213 @@
+//! Property-based tests of the filter stages and strip decomposition.
+
+use proptest::prelude::*;
+use scc_filters::{
+    sepia::sepia_pixel, vswap, Blur, Flicker, FrameCtx, Image, ImageFilter, Scratch, Sepia,
+    StripInfo, VSwap,
+};
+
+/// An arbitrary small image with arbitrary pixels.
+fn arb_image(max_w: u32, max_h: u32) -> impl Strategy<Value = Image> {
+    (1..=max_w, 1..=max_h).prop_flat_map(|(w, h)| {
+        prop::collection::vec(any::<u8>(), (w * h * 4) as usize)
+            .prop_map(move |data| Image::from_raw(w, h, data))
+    })
+}
+
+fn whole(img: &Image, frame: u64, seed: u64) -> FrameCtx {
+    FrameCtx::whole_frame(frame, seed, img.width(), img.height())
+}
+
+proptest! {
+    #[test]
+    fn sepia_output_always_channel_ordered(r in 0f32..=1.0, g in 0f32..=1.0, b in 0f32..=1.0) {
+        let [or, og, ob] = sepia_pixel(r, g, b);
+        prop_assert!(or >= og && og >= ob, "not sepia-toned: ({or},{og},{ob})");
+        prop_assert!((0.0..=1.0).contains(&or));
+        prop_assert!((0.0..=1.0).contains(&ob));
+    }
+
+    #[test]
+    fn sepia_is_monotone_in_luminance(
+        a in 0f32..=1.0, b in 0f32..=1.0
+    ) {
+        // Brighter grey input -> brighter sepia output, channel-wise.
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let out_lo = sepia_pixel(lo, lo, lo);
+        let out_hi = sepia_pixel(hi, hi, hi);
+        for c in 0..3 {
+            prop_assert!(out_hi[c] >= out_lo[c] - 1e-6);
+        }
+    }
+
+    #[test]
+    fn swap_is_an_involution(img in arb_image(16, 16)) {
+        let ctx = whole(&img, 0, 0);
+        let mut twice = img.clone();
+        VSwap.apply(&mut twice, &ctx);
+        VSwap.apply(&mut twice, &ctx);
+        prop_assert_eq!(twice, img);
+    }
+
+    #[test]
+    fn blur_stays_within_input_range(img in arb_image(12, 12)) {
+        // Box blur output channels stay within the min/max of the input.
+        let (mut lo, mut hi) = ([255u8; 3], [0u8; 3]);
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                let p = img.get(x, y);
+                for c in 0..3 {
+                    lo[c] = lo[c].min(p[c]);
+                    hi[c] = hi[c].max(p[c]);
+                }
+            }
+        }
+        let mut blurred = img.clone();
+        Blur::default().apply(&mut blurred, &whole(&img, 0, 0));
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                let p = blurred.get(x, y);
+                for c in 0..3 {
+                    prop_assert!(p[c] >= lo[c] && p[c] <= hi[c]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flicker_shifts_every_pixel_uniformly(
+        img in arb_image(10, 10),
+        frame in 0u64..50,
+        seed in any::<u64>(),
+    ) {
+        let f = Flicker::default();
+        let ctx = whole(&img, frame, seed);
+        let offset = f.offset(&ctx);
+        let mut out = img.clone();
+        f.apply(&mut out, &ctx);
+        let d8 = (offset * 255.0).round();
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                let a = img.get(x, y);
+                let b = out.get(x, y);
+                for c in 0..3 {
+                    let expect = (a[c] as f32 + d8).clamp(0.0, 255.0);
+                    // Allow 1 quantisation step of slack.
+                    prop_assert!((b[c] as f32 - expect).abs() <= 1.0);
+                }
+                prop_assert_eq!(a[3], b[3], "alpha changed");
+            }
+        }
+    }
+
+    #[test]
+    fn split_assemble_identity(img in arb_image(16, 16), n in 1u32..8) {
+        let n = n.min(img.height());
+        let strips = img.split_strips(n);
+        prop_assert_eq!(Image::assemble(&strips), img);
+    }
+
+    #[test]
+    fn strip_processing_equals_whole_frame_for_pixelwise_filters(
+        img in arb_image(16, 16),
+        n in 1u32..6,
+        frame in 0u64..20,
+        seed in any::<u64>(),
+    ) {
+        let n = n.min(img.height());
+        let filters: Vec<Box<dyn ImageFilter>> = vec![
+            Box::new(Sepia),
+            Box::new(Scratch::default()),
+            Box::new(Flicker::default()),
+        ];
+        // Whole frame.
+        let mut reference = img.clone();
+        let ctx = whole(&img, frame, seed);
+        for f in &filters {
+            f.apply(&mut reference, &ctx);
+        }
+        // Strips.
+        let mut strips = img.split_strips(n);
+        for (info, strip) in &mut strips {
+            let ctx = FrameCtx {
+                frame_id: frame,
+                run_seed: seed,
+                strip: *info,
+                full_width: img.width(),
+            };
+            for f in &filters {
+                f.apply(strip, &ctx);
+            }
+        }
+        prop_assert_eq!(Image::assemble(&strips), reference);
+    }
+
+    #[test]
+    fn per_strip_swap_with_mirrored_assembly_is_global_flip(
+        img in arb_image(12, 12),
+        n in 1u32..6,
+    ) {
+        let n = n.min(img.height());
+        let mut reference = img.clone();
+        VSwap.apply(&mut reference, &whole(&img, 0, 0));
+        let mut strips = img.split_strips(n);
+        for (info, strip) in &mut strips {
+            let ctx = FrameCtx {
+                frame_id: 0,
+                run_seed: 0,
+                strip: *info,
+                full_width: img.width(),
+            };
+            VSwap.apply(strip, &ctx);
+            *info = vswap::mirrored_info(*info);
+        }
+        prop_assert_eq!(Image::assemble(&strips), reference);
+    }
+
+    #[test]
+    fn scratch_plan_independent_of_strip(
+        frame in 0u64..100,
+        seed in any::<u64>(),
+        y0 in 0u32..64,
+    ) {
+        let s = Scratch::default();
+        let whole_ctx = FrameCtx::whole_frame(frame, seed, 128, 128);
+        let strip_ctx = FrameCtx {
+            frame_id: frame,
+            run_seed: seed,
+            strip: StripInfo {
+                index: 1,
+                count: 2,
+                y0,
+                height: 64,
+                full_height: 128,
+            },
+            full_width: 128,
+        };
+        prop_assert_eq!(s.plan(&whole_ctx), s.plan(&strip_ctx));
+    }
+
+    #[test]
+    fn work_units_are_finite_and_nonnegative(
+        img in arb_image(12, 12),
+        frame in 0u64..20,
+    ) {
+        let ctx = whole(&img, frame, 5);
+        let filters: Vec<Box<dyn ImageFilter>> = vec![
+            Box::new(Sepia),
+            Box::new(Blur::default()),
+            Box::new(Scratch::default()),
+            Box::new(Flicker::default()),
+            Box::new(VSwap),
+        ];
+        for f in &filters {
+            let w = f.work_units(&img, &ctx);
+            prop_assert!(w.is_finite() && w >= 0.0, "{}: {w}", f.name());
+            let t = f.traffic(&img, &ctx);
+            // Scratch can revisit columns (plans may repeat an x), so the
+            // only hard bound is nonnegativity plus a generous ceiling.
+            prop_assert!(t.read_bytes <= img.byte_len() * 16);
+            prop_assert!(t.write_bytes <= img.byte_len() * 16);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Collectives built on the point-to-point primitives, RCCE-style
+//! (RCCE implements its collectives in software over send/recv too).
+
+use crate::comm::Endpoint;
+use crate::error::RcceError;
+use bytes::Bytes;
+
+/// Root sends `payload` to every other rank; non-roots return the payload
+/// they received. A simple linear broadcast, like RCCE_bcast.
+pub fn broadcast(ep: &Endpoint, root: usize, payload: Option<Bytes>) -> Result<Bytes, RcceError> {
+    if ep.rank() == root {
+        let p = payload.expect("root must supply the broadcast payload");
+        for d in 0..ep.size() {
+            if d != root {
+                ep.send(d, p.clone())?;
+            }
+        }
+        Ok(p)
+    } else {
+        ep.recv(root)
+    }
+}
+
+/// Every rank sends its contribution to `root`; root returns all
+/// contributions ordered by rank (its own slot holds its own payload).
+pub fn gather(ep: &Endpoint, root: usize, payload: Bytes) -> Result<Option<Vec<Bytes>>, RcceError> {
+    if ep.rank() == root {
+        let mut out = vec![Bytes::new(); ep.size()];
+        out[root] = payload;
+        for (s, slot) in out.iter_mut().enumerate() {
+            if s != root {
+                *slot = ep.recv(s)?;
+            }
+        }
+        Ok(Some(out))
+    } else {
+        ep.send(root, payload)?;
+        Ok(None)
+    }
+}
+
+/// Root splits `parts` among ranks; rank `i` receives `parts[i]`.
+pub fn scatter(ep: &Endpoint, root: usize, parts: Option<Vec<Bytes>>) -> Result<Bytes, RcceError> {
+    if ep.rank() == root {
+        let parts = parts.expect("root must supply the scatter parts");
+        assert_eq!(parts.len(), ep.size(), "one part per rank");
+        for (d, p) in parts.iter().enumerate() {
+            if d != root {
+                ep.send(d, p.clone())?;
+            }
+        }
+        Ok(parts[root].clone())
+    } else {
+        ep.recv(root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::communicator;
+    use crate::mpb::MpbConfig;
+    use std::thread;
+
+    fn run_all<F>(n: usize, f: F)
+    where
+        F: Fn(Endpoint) + Send + Sync + Clone + 'static,
+    {
+        let eps = communicator(n, n, MpbConfig::default());
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|ep| {
+                let f = f.clone();
+                thread::spawn(move || f(ep))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        run_all(4, |ep| {
+            let payload = (ep.rank() == 1).then(|| Bytes::from_static(b"hello"));
+            let got = broadcast(&ep, 1, payload).unwrap();
+            assert_eq!(&got[..], b"hello");
+        });
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        run_all(5, |ep| {
+            let mine = Bytes::from(vec![ep.rank() as u8]);
+            let res = gather(&ep, 0, mine).unwrap();
+            if ep.rank() == 0 {
+                let all = res.unwrap();
+                for (i, b) in all.iter().enumerate() {
+                    assert_eq!(b[0] as usize, i);
+                }
+            } else {
+                assert!(res.is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn scatter_distributes_parts() {
+        run_all(3, |ep| {
+            let parts = (ep.rank() == 2).then(|| {
+                (0..3u8)
+                    .map(|i| Bytes::from(vec![i * 10]))
+                    .collect::<Vec<_>>()
+            });
+            let got = scatter(&ep, 2, parts).unwrap();
+            assert_eq!(got[0] as usize, ep.rank() * 10);
+        });
+    }
+
+    #[test]
+    fn broadcast_then_gather_roundtrip() {
+        run_all(4, |ep| {
+            let payload = (ep.rank() == 0).then(|| Bytes::from_static(b"work"));
+            let work = broadcast(&ep, 0, payload).unwrap();
+            let response = Bytes::from(format!("{}:{}", ep.rank(), work.len()));
+            let all = gather(&ep, 0, response).unwrap();
+            if let Some(all) = all {
+                assert_eq!(all.len(), 4);
+                assert_eq!(&all[3][..], b"3:4");
+            }
+        });
+    }
+}

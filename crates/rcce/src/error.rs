@@ -1,0 +1,38 @@
+//! Error type for the RCCE-style communicator.
+
+use std::fmt;
+
+/// Errors surfaced by communicator operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RcceError {
+    /// Rank out of range or messaging yourself.
+    InvalidRank { rank: usize, size: usize },
+    /// Peer endpoint was dropped.
+    Disconnected { rank: usize },
+}
+
+impl fmt::Display for RcceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RcceError::InvalidRank { rank, size } => {
+                write!(f, "invalid rank {rank} for communicator of size {size}")
+            }
+            RcceError::Disconnected { rank } => write!(f, "rank {rank} disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RcceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = RcceError::InvalidRank { rank: 9, size: 4 };
+        assert!(e.to_string().contains("rank 9"));
+        let d = RcceError::Disconnected { rank: 2 };
+        assert!(d.to_string().contains("disconnected"));
+    }
+}

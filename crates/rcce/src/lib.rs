@@ -1,0 +1,34 @@
+//! # scc-rcce — RCCE-style message passing
+//!
+//! The paper programs the SCC with Intel's RCCE library ("similar to the
+//! familiar MPI libraries", §VI). This crate reproduces its programming
+//! model for the native (real threads) execution path of the macro
+//! pipeline:
+//!
+//! * [`comm`] — ranked endpoints with blocking, source-matched
+//!   `send`/`recv`, bounded windows for MPB backpressure, barriers, and
+//!   per-endpoint wait-time instrumentation (feeding the Figure 15
+//!   idle-time measurements);
+//! * [`onesided`] — RCCE's actual core layer: one-sided `put`/`get`
+//!   into MPB windows with flag handshakes, plus the chunked two-sided
+//!   protocol built on them (the origin of the per-chunk costs in
+//!   [`mpb`]);
+//! * [`collective`] — broadcast / gather / scatter built over send/recv;
+//! * [`mpb`] — the Message Passing Buffer chunking model shared with the
+//!   simulator's timing path.
+//!
+//! The *simulated* timing of SCC messaging (payload landing in the
+//! receiver's DRAM partition) lives in `scc-sim::platform`; this crate is
+//! the functional/parallel counterpart.
+
+pub mod collective;
+pub mod comm;
+pub mod error;
+pub mod mpb;
+pub mod onesided;
+
+pub use collective::{broadcast, gather, scatter};
+pub use comm::{communicator, CommStats, Endpoint};
+pub use error::RcceError;
+pub use mpb::MpbConfig;
+pub use onesided::{one_sided, recv_via_get, send_via_put, OneSided};

@@ -1,0 +1,141 @@
+//! Property-based tests of the RCCE-style communicator: ordering,
+//! payload integrity and collective correctness under random traffic.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use scc_rcce::{broadcast, communicator, gather, scatter, MpbConfig};
+use std::thread;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn point_to_point_preserves_order_and_payload(
+        msgs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..40)
+    ) {
+        let mut eps = communicator(2, 4, MpbConfig::default());
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let expect = msgs.clone();
+        let sender = thread::spawn(move || {
+            for m in msgs {
+                a.send(1, Bytes::from(m)).unwrap();
+            }
+        });
+        for e in &expect {
+            let got = b.recv(0).unwrap();
+            prop_assert_eq!(&got[..], &e[..]);
+        }
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn interleaved_sources_stay_independent(
+        from_a in prop::collection::vec(any::<u8>(), 1..30),
+        from_b in prop::collection::vec(any::<u8>(), 1..30),
+    ) {
+        let mut eps = communicator(3, 4, MpbConfig::default());
+        let c = eps.pop().unwrap();
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let (ea, eb) = (from_a.clone(), from_b.clone());
+        let ta = thread::spawn(move || {
+            for &x in &ea {
+                a.send(2, Bytes::from(vec![x])).unwrap();
+            }
+        });
+        let tb = thread::spawn(move || {
+            for &x in &eb {
+                b.send(2, Bytes::from(vec![x])).unwrap();
+            }
+        });
+        // Receive from each source in its own order, interleaved.
+        let (mut ia, mut ib) = (0, 0);
+        while ia < from_a.len() || ib < from_b.len() {
+            if ia < from_a.len() {
+                let got = c.recv(0).unwrap();
+                prop_assert_eq!(got[0], from_a[ia]);
+                ia += 1;
+            }
+            if ib < from_b.len() {
+                let got = c.recv(1).unwrap();
+                prop_assert_eq!(got[0], from_b[ib]);
+                ib += 1;
+            }
+        }
+        ta.join().unwrap();
+        tb.join().unwrap();
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip(
+        n in 2usize..6,
+        payload_len in 1usize..32,
+        seed in any::<u8>(),
+    ) {
+        // Root scatters distinct parts; every rank transforms its part;
+        // root gathers and checks.
+        let eps = communicator(n, n, MpbConfig::default());
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|ep| {
+                thread::spawn(move || -> Option<Vec<Bytes>> {
+                    let parts = (ep.rank() == 0).then(|| {
+                        (0..ep.size())
+                            .map(|i| Bytes::from(vec![i as u8 ^ seed; payload_len]))
+                            .collect::<Vec<_>>()
+                    });
+                    let mine = scatter(&ep, 0, parts).unwrap();
+                    // Transform: increment every byte.
+                    let transformed: Vec<u8> = mine.iter().map(|b| b.wrapping_add(1)).collect();
+                    gather(&ep, 0, Bytes::from(transformed)).unwrap()
+                })
+            })
+            .collect();
+        let mut root_result = None;
+        for h in handles {
+            if let Some(r) = h.join().unwrap() {
+                root_result = Some(r);
+            }
+        }
+        let all = root_result.expect("root gathered");
+        for (i, part) in all.iter().enumerate() {
+            let expect = vec![(i as u8 ^ seed).wrapping_add(1); payload_len];
+            prop_assert_eq!(&part[..], &expect[..]);
+        }
+    }
+
+    #[test]
+    fn broadcast_delivers_identical_payload(
+        n in 2usize..6,
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+        root_pick in any::<u8>(),
+    ) {
+        let root = root_pick as usize % n;
+        let eps = communicator(n, n, MpbConfig::default());
+        let expect = payload.clone();
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|ep| {
+                let payload = payload.clone();
+                thread::spawn(move || {
+                    let arg = (ep.rank() == root).then(|| Bytes::from(payload));
+                    broadcast(&ep, root, arg).unwrap().to_vec()
+                })
+            })
+            .collect();
+        for h in handles {
+            prop_assert_eq!(h.join().unwrap(), expect.clone());
+        }
+    }
+
+    #[test]
+    fn mpb_chunks_monotone_in_payload(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let mpb = MpbConfig::default();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(mpb.chunks(lo) <= mpb.chunks(hi));
+        prop_assert!(mpb.wire_bytes(hi) >= hi);
+        // Chunk maths consistent with capacity.
+        prop_assert!(mpb.chunks(hi) * mpb.payload_per_chunk() >= hi);
+    }
+}

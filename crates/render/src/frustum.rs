@@ -1,0 +1,215 @@
+//! View frustum extraction and AABB culling tests.
+//!
+//! The render stage "determines the objects placed within the horizontal
+//! strip by performing a frustum culling" (§IV). Planes are extracted from
+//! the combined view-projection matrix (Gribb–Hartmann), so the same code
+//! handles both the full-screen frustum and the per-strip asymmetric band
+//! frusta of the sort-first configuration.
+
+use crate::math::{Mat4, Vec3, Vec4};
+use crate::mesh::Aabb;
+
+/// A plane in `ax + by + cz + d = 0` form; inside is the positive side.
+#[derive(Debug, Clone, Copy)]
+pub struct Plane {
+    pub n: Vec3,
+    pub d: f32,
+}
+
+impl Plane {
+    fn from_vec4(v: Vec4) -> Plane {
+        Plane {
+            n: v.truncate(),
+            d: v.w,
+        }
+    }
+
+    /// Signed distance (unnormalised) of a point.
+    pub fn signed(&self, p: Vec3) -> f32 {
+        self.n.dot(p) + self.d
+    }
+}
+
+/// Result of a frustum/AABB test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Containment {
+    Outside,
+    Intersecting,
+    Inside,
+}
+
+/// Six planes: left, right, bottom, top, near, far.
+#[derive(Debug, Clone, Copy)]
+pub struct Frustum {
+    pub planes: [Plane; 6],
+}
+
+impl Frustum {
+    /// Extract from a combined `proj * view` matrix.
+    pub fn from_matrix(m: &Mat4) -> Frustum {
+        let r0 = m.row(0);
+        let r1 = m.row(1);
+        let r2 = m.row(2);
+        let r3 = m.row(3);
+        let add = |a: Vec4, b: Vec4| Vec4 {
+            x: a.x + b.x,
+            y: a.y + b.y,
+            z: a.z + b.z,
+            w: a.w + b.w,
+        };
+        let sub = |a: Vec4, b: Vec4| Vec4 {
+            x: a.x - b.x,
+            y: a.y - b.y,
+            z: a.z - b.z,
+            w: a.w - b.w,
+        };
+        Frustum {
+            planes: [
+                Plane::from_vec4(add(r3, r0)), // left
+                Plane::from_vec4(sub(r3, r0)), // right
+                Plane::from_vec4(add(r3, r1)), // bottom
+                Plane::from_vec4(sub(r3, r1)), // top
+                Plane::from_vec4(add(r3, r2)), // near
+                Plane::from_vec4(sub(r3, r2)), // far
+            ],
+        }
+    }
+
+    /// Point containment (all planes' positive side).
+    pub fn contains_point(&self, p: Vec3) -> bool {
+        self.planes.iter().all(|pl| pl.signed(p) >= 0.0)
+    }
+
+    /// Conservative AABB classification using the p/n-vertex trick.
+    pub fn test_aabb(&self, b: &Aabb) -> Containment {
+        let mut inside_all = true;
+        for pl in &self.planes {
+            // The corner most aligned with the plane normal.
+            let pvert = Vec3 {
+                x: if pl.n.x >= 0.0 { b.max.x } else { b.min.x },
+                y: if pl.n.y >= 0.0 { b.max.y } else { b.min.y },
+                z: if pl.n.z >= 0.0 { b.max.z } else { b.min.z },
+            };
+            if pl.signed(pvert) < 0.0 {
+                return Containment::Outside;
+            }
+            let nvert = Vec3 {
+                x: if pl.n.x >= 0.0 { b.min.x } else { b.max.x },
+                y: if pl.n.y >= 0.0 { b.min.y } else { b.max.y },
+                z: if pl.n.z >= 0.0 { b.min.z } else { b.max.z },
+            };
+            if pl.signed(nvert) < 0.0 {
+                inside_all = false;
+            }
+        }
+        if inside_all {
+            Containment::Inside
+        } else {
+            Containment::Intersecting
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::vec3;
+
+    fn standard_frustum() -> Frustum {
+        // Camera at origin looking down -z, 90° fov, square aspect.
+        let view = Mat4::look_at(Vec3::ZERO, vec3(0.0, 0.0, -1.0), Vec3::Y);
+        let proj = Mat4::perspective(std::f32::consts::FRAC_PI_2, 1.0, 0.1, 100.0);
+        Frustum::from_matrix(&proj.mul_mat(&view))
+    }
+
+    #[test]
+    fn points_ahead_are_inside() {
+        let f = standard_frustum();
+        assert!(f.contains_point(vec3(0.0, 0.0, -10.0)));
+        assert!(f.contains_point(vec3(5.0, 5.0, -10.0))); // on the 45° edge
+        assert!(!f.contains_point(vec3(0.0, 0.0, 10.0)), "behind the camera");
+        assert!(
+            !f.contains_point(vec3(20.0, 0.0, -10.0)),
+            "right of the cone"
+        );
+        assert!(
+            !f.contains_point(vec3(0.0, 0.0, -200.0)),
+            "beyond far plane"
+        );
+        assert!(
+            !f.contains_point(vec3(0.0, 0.0, -0.05)),
+            "before near plane"
+        );
+    }
+
+    #[test]
+    fn aabb_classification() {
+        let f = standard_frustum();
+        let inside = Aabb::new(vec3(-1.0, -1.0, -11.0), vec3(1.0, 1.0, -9.0));
+        assert_eq!(f.test_aabb(&inside), Containment::Inside);
+        let outside = Aabb::new(vec3(50.0, 50.0, -10.0), vec3(60.0, 60.0, -5.0));
+        assert_eq!(f.test_aabb(&outside), Containment::Outside);
+        let straddling = Aabb::new(vec3(-1.0, -1.0, -1.0), vec3(1.0, 1.0, 1.0));
+        assert_eq!(f.test_aabb(&straddling), Containment::Intersecting);
+    }
+
+    #[test]
+    fn aabb_test_is_conservative_vs_corners() {
+        // If any corner is inside, the box must not classify Outside.
+        let f = standard_frustum();
+        let boxes = [
+            Aabb::new(vec3(-2.0, -2.0, -5.0), vec3(2.0, 2.0, -3.0)),
+            Aabb::new(vec3(9.0, 0.0, -10.5), vec3(12.0, 1.0, -9.5)),
+            Aabb::new(vec3(-0.5, -0.5, -99.0), vec3(0.5, 0.5, -98.0)),
+        ];
+        for b in &boxes {
+            let any_corner_in = b.corners().iter().any(|&c| f.contains_point(c));
+            if any_corner_in {
+                assert_ne!(f.test_aabb(b), Containment::Outside);
+            }
+        }
+    }
+
+    #[test]
+    fn band_frustum_excludes_other_band() {
+        // Split the screen horizontally: the top-half band frustum must
+        // reject geometry only visible in the bottom half.
+        let view = Mat4::look_at(Vec3::ZERO, vec3(0.0, 0.0, -1.0), Vec3::Y);
+        let top_band =
+            Mat4::perspective_band(std::f32::consts::FRAC_PI_2, 1.0, 0.1, 100.0, 0.0, 1.0);
+        let f = Frustum::from_matrix(&top_band.mul_mat(&view));
+        // y=+5 at z=-10 projects to NDC y=0.5 -> visible in top half.
+        assert!(f.contains_point(vec3(0.0, 5.0, -10.0)));
+        // y=-5 -> NDC y=-0.5 -> bottom half only.
+        assert!(!f.contains_point(vec3(0.0, -5.0, -10.0)));
+    }
+
+    #[test]
+    fn bands_cover_the_full_frustum() {
+        let view = Mat4::look_at(vec3(1.0, 2.0, 3.0), vec3(0.0, 0.0, -5.0), Vec3::Y);
+        let fovy = 1.1f32;
+        let full = Frustum::from_matrix(&Mat4::perspective(fovy, 1.3, 0.2, 60.0).mul_mat(&view));
+        let bands: Vec<Frustum> = (0..4)
+            .map(|i| {
+                let y_lo = -1.0 + 0.5 * i as f32;
+                let m = Mat4::perspective_band(fovy, 1.3, 0.2, 60.0, y_lo, y_lo + 0.5);
+                Frustum::from_matrix(&m.mul_mat(&view))
+            })
+            .collect();
+        // Sample points inside the full frustum: each must be in ≥1 band.
+        for i in 0..200 {
+            let t = i as f32 / 200.0;
+            let p = vec3(
+                (t * 13.7).sin() * 3.0,
+                (t * 7.3).cos() * 3.0,
+                -1.0 - t * 40.0,
+            );
+            if full.contains_point(p) {
+                assert!(
+                    bands.iter().any(|b| b.contains_point(p)),
+                    "point {p:?} in full frustum but no band"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Minimal 3D linear algebra for the software renderer: `Vec3`, `Vec4`
+//! and column-major `Mat4` with the usual graphics constructions
+//! (look-at, perspective, viewport-friendly transforms).
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    pub x: f32,
+    pub y: f32,
+    pub z: f32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec4 {
+    pub x: f32,
+    pub y: f32,
+    pub z: f32,
+    pub w: f32,
+}
+
+pub const fn vec3(x: f32, y: f32, z: f32) -> Vec3 {
+    Vec3 { x, y, z }
+}
+
+pub const fn vec4(x: f32, y: f32, z: f32, w: f32) -> Vec4 {
+    Vec4 { x, y, z, w }
+}
+
+impl Vec3 {
+    pub const ZERO: Vec3 = vec3(0.0, 0.0, 0.0);
+    pub const X: Vec3 = vec3(1.0, 0.0, 0.0);
+    pub const Y: Vec3 = vec3(0.0, 1.0, 0.0);
+    pub const Z: Vec3 = vec3(0.0, 0.0, 1.0);
+
+    pub fn dot(self, o: Vec3) -> f32 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        vec3(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    pub fn length(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    pub fn normalized(self) -> Vec3 {
+        let l = self.length();
+        debug_assert!(l > 0.0, "normalizing zero vector");
+        self / l
+    }
+
+    pub fn min(self, o: Vec3) -> Vec3 {
+        vec3(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    pub fn max(self, o: Vec3) -> Vec3 {
+        vec3(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    pub fn extend(self, w: f32) -> Vec4 {
+        vec4(self.x, self.y, self.z, w)
+    }
+}
+
+impl Vec4 {
+    pub fn truncate(self) -> Vec3 {
+        vec3(self.x, self.y, self.z)
+    }
+
+    /// Perspective division.
+    pub fn project(self) -> Vec3 {
+        debug_assert!(self.w != 0.0, "projecting w=0");
+        vec3(self.x / self.w, self.y / self.w, self.z / self.w)
+    }
+
+    pub fn dot(self, o: Vec4) -> f32 {
+        self.x * o.x + self.y * o.y + self.z * o.z + self.w * o.w
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        vec3(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        vec3(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f32> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f32) -> Vec3 {
+        vec3(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Div<f32> for Vec3 {
+    type Output = Vec3;
+    fn div(self, s: f32) -> Vec3 {
+        vec3(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        vec3(-self.x, -self.y, -self.z)
+    }
+}
+
+/// Column-major 4×4 matrix: `cols[c]` is column `c`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat4 {
+    pub cols: [Vec4; 4],
+}
+
+impl Mat4 {
+    pub const IDENTITY: Mat4 = Mat4 {
+        cols: [
+            vec4(1.0, 0.0, 0.0, 0.0),
+            vec4(0.0, 1.0, 0.0, 0.0),
+            vec4(0.0, 0.0, 1.0, 0.0),
+            vec4(0.0, 0.0, 0.0, 1.0),
+        ],
+    };
+
+    /// Row `r` as a Vec4 (useful for frustum plane extraction).
+    pub fn row(&self, r: usize) -> Vec4 {
+        match r {
+            0 => vec4(
+                self.cols[0].x,
+                self.cols[1].x,
+                self.cols[2].x,
+                self.cols[3].x,
+            ),
+            1 => vec4(
+                self.cols[0].y,
+                self.cols[1].y,
+                self.cols[2].y,
+                self.cols[3].y,
+            ),
+            2 => vec4(
+                self.cols[0].z,
+                self.cols[1].z,
+                self.cols[2].z,
+                self.cols[3].z,
+            ),
+            3 => vec4(
+                self.cols[0].w,
+                self.cols[1].w,
+                self.cols[2].w,
+                self.cols[3].w,
+            ),
+            _ => panic!("row index {r} out of range"),
+        }
+    }
+
+    pub fn mul_vec4(&self, v: Vec4) -> Vec4 {
+        vec4(
+            self.row(0).dot(v),
+            self.row(1).dot(v),
+            self.row(2).dot(v),
+            self.row(3).dot(v),
+        )
+    }
+
+    /// Transform a point (w = 1) and return the homogeneous result.
+    pub fn transform_point(&self, p: Vec3) -> Vec4 {
+        self.mul_vec4(p.extend(1.0))
+    }
+
+    pub fn mul_mat(&self, o: &Mat4) -> Mat4 {
+        Mat4 {
+            cols: [
+                self.mul_vec4(o.cols[0]),
+                self.mul_vec4(o.cols[1]),
+                self.mul_vec4(o.cols[2]),
+                self.mul_vec4(o.cols[3]),
+            ],
+        }
+    }
+
+    pub fn translation(t: Vec3) -> Mat4 {
+        let mut m = Mat4::IDENTITY;
+        m.cols[3] = t.extend(1.0);
+        m
+    }
+
+    pub fn scale(s: Vec3) -> Mat4 {
+        let mut m = Mat4::IDENTITY;
+        m.cols[0].x = s.x;
+        m.cols[1].y = s.y;
+        m.cols[2].z = s.z;
+        m
+    }
+
+    /// Right-handed look-at view matrix.
+    pub fn look_at(eye: Vec3, target: Vec3, up: Vec3) -> Mat4 {
+        let f = (target - eye).normalized();
+        let s = f.cross(up).normalized();
+        let u = s.cross(f);
+        Mat4 {
+            cols: [
+                vec4(s.x, u.x, -f.x, 0.0),
+                vec4(s.y, u.y, -f.y, 0.0),
+                vec4(s.z, u.z, -f.z, 0.0),
+                vec4(-s.dot(eye), -u.dot(eye), f.dot(eye), 1.0),
+            ],
+        }
+    }
+
+    /// Right-handed perspective projection (OpenGL-style, z in [-1, 1]).
+    pub fn perspective(fovy_rad: f32, aspect: f32, near: f32, far: f32) -> Mat4 {
+        assert!(near > 0.0 && far > near, "bad clip planes");
+        let f = 1.0 / (fovy_rad / 2.0).tan();
+        let mut m = Mat4 {
+            cols: [Vec4::default(); 4],
+        };
+        m.cols[0].x = f / aspect;
+        m.cols[1].y = f;
+        m.cols[2].z = (far + near) / (near - far);
+        m.cols[2].w = -1.0;
+        m.cols[3].z = 2.0 * far * near / (near - far);
+        m
+    }
+
+    /// Asymmetric perspective frustum for a sub-rectangle of the image
+    /// plane — the "additional computation to adjust the viewing frustum"
+    /// each per-strip renderer performs (§V). The sub-rectangle is given
+    /// in NDC: `y_lo`/`y_hi` ∈ [-1, 1] select the vertical band.
+    pub fn perspective_band(
+        fovy_rad: f32,
+        aspect: f32,
+        near: f32,
+        far: f32,
+        y_lo: f32,
+        y_hi: f32,
+    ) -> Mat4 {
+        assert!(y_lo < y_hi, "empty band");
+        let f = 1.0 / (fovy_rad / 2.0).tan();
+        let top = near / f;
+        let right = top * aspect;
+        // Band limits on the near plane.
+        let b = top * y_lo;
+        let t = top * y_hi;
+        Mat4::frustum(-right, right, b, t, near, far)
+    }
+
+    /// General glFrustum-style asymmetric projection.
+    pub fn frustum(l: f32, r: f32, b: f32, t: f32, near: f32, far: f32) -> Mat4 {
+        let mut m = Mat4 {
+            cols: [Vec4::default(); 4],
+        };
+        m.cols[0].x = 2.0 * near / (r - l);
+        m.cols[1].y = 2.0 * near / (t - b);
+        m.cols[2].x = (r + l) / (r - l);
+        m.cols[2].y = (t + b) / (t - b);
+        m.cols[2].z = (far + near) / (near - far);
+        m.cols[2].w = -1.0;
+        m.cols[3].z = 2.0 * far * near / (near - far);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    fn vclose(a: Vec3, b: Vec3) -> bool {
+        close(a.x, b.x) && close(a.y, b.y) && close(a.z, b.z)
+    }
+
+    #[test]
+    fn vector_basics() {
+        let a = vec3(1.0, 2.0, 3.0);
+        let b = vec3(4.0, 5.0, 6.0);
+        assert_eq!(a.dot(b), 32.0);
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+        assert!(close(vec3(3.0, 4.0, 0.0).length(), 5.0));
+        assert!(vclose(vec3(10.0, 0.0, 0.0).normalized(), Vec3::X));
+        assert!(vclose(a + b, vec3(5.0, 7.0, 9.0)));
+        assert!(vclose(b - a, vec3(3.0, 3.0, 3.0)));
+        assert!(vclose(a * 2.0, vec3(2.0, 4.0, 6.0)));
+        assert!(vclose(-a, vec3(-1.0, -2.0, -3.0)));
+        assert!(vclose(a.min(b), a));
+        assert!(vclose(a.max(b), b));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let p = vec3(3.0, -2.0, 7.0);
+        assert!(vclose(Mat4::IDENTITY.transform_point(p).project(), p));
+        let m = Mat4::translation(vec3(1.0, 2.0, 3.0));
+        assert_eq!(Mat4::IDENTITY.mul_mat(&m), m);
+        assert_eq!(m.mul_mat(&Mat4::IDENTITY), m);
+    }
+
+    #[test]
+    fn translation_and_scale() {
+        let t = Mat4::translation(vec3(1.0, 2.0, 3.0));
+        assert!(vclose(
+            t.transform_point(Vec3::ZERO).project(),
+            vec3(1.0, 2.0, 3.0)
+        ));
+        let s = Mat4::scale(vec3(2.0, 3.0, 4.0));
+        assert!(vclose(
+            s.transform_point(vec3(1.0, 1.0, 1.0)).project(),
+            vec3(2.0, 3.0, 4.0)
+        ));
+        // Composition order: T * S scales first.
+        let ts = t.mul_mat(&s);
+        assert!(vclose(
+            ts.transform_point(vec3(1.0, 1.0, 1.0)).project(),
+            vec3(3.0, 5.0, 7.0)
+        ));
+    }
+
+    #[test]
+    fn look_at_maps_eye_to_origin_and_target_to_minus_z() {
+        let eye = vec3(0.0, 0.0, 5.0);
+        let view = Mat4::look_at(eye, Vec3::ZERO, Vec3::Y);
+        assert!(vclose(view.transform_point(eye).project(), Vec3::ZERO));
+        let t = view.transform_point(Vec3::ZERO).project();
+        assert!(close(t.x, 0.0) && close(t.y, 0.0) && t.z < 0.0);
+    }
+
+    #[test]
+    fn perspective_maps_clip_planes() {
+        let proj = Mat4::perspective(std::f32::consts::FRAC_PI_2, 1.0, 1.0, 100.0);
+        // A point on the near plane straight ahead -> z = -1 NDC.
+        let near = proj.transform_point(vec3(0.0, 0.0, -1.0)).project();
+        assert!(close(near.z, -1.0));
+        let far = proj.transform_point(vec3(0.0, 0.0, -100.0)).project();
+        assert!(close(far.z, 1.0));
+        // 90° fov: x = |z| lands on the NDC edge.
+        let edge = proj.transform_point(vec3(-5.0, 0.0, -5.0)).project();
+        assert!(close(edge.x, -1.0));
+    }
+
+    #[test]
+    fn band_projection_covers_its_slice() {
+        let fovy = std::f32::consts::FRAC_PI_2;
+        let full = Mat4::perspective(fovy, 1.0, 1.0, 100.0);
+        let band = Mat4::perspective_band(fovy, 1.0, 1.0, 100.0, 0.0, 1.0); // top half
+                                                                            // A point that projects to y=0.5 in the full frustum should map to
+                                                                            // y=0 in the top-half band (the band's centre).
+        let p = vec3(0.0, 2.5, -5.0);
+        let yf = full.transform_point(p).project().y;
+        assert!(close(yf, 0.5));
+        let yb = band.transform_point(p).project().y;
+        assert!(close(yb, 0.0));
+        // And the band's edges land on ±1.
+        let top = vec3(0.0, 5.0, -5.0);
+        assert!(close(band.transform_point(top).project().y, 1.0));
+        let mid = vec3(0.0, 0.0, -5.0);
+        assert!(close(band.transform_point(mid).project().y, -1.0));
+    }
+
+    #[test]
+    fn band_union_equals_full_projection_x() {
+        // x and z behaviour must be identical between full and band.
+        let fovy = 1.0f32;
+        let full = Mat4::perspective(fovy, 2.0, 0.5, 50.0);
+        let band = Mat4::perspective_band(fovy, 2.0, 0.5, 50.0, -1.0, 1.0);
+        let p = vec3(1.3, 0.7, -3.0);
+        let a = full.transform_point(p).project();
+        let b = band.transform_point(p).project();
+        assert!(close(a.x, b.x));
+        assert!(close(a.y, b.y));
+        assert!(close(a.z, b.z));
+    }
+
+    #[test]
+    fn row_extraction_matches_columns() {
+        let m = Mat4::perspective(1.0, 1.5, 0.1, 10.0);
+        for r in 0..4 {
+            let row = m.row(r);
+            let v = vec4(1.0, 2.0, 3.0, 4.0);
+            let full = m.mul_vec4(v);
+            let manual = row.dot(v);
+            let got = match r {
+                0 => full.x,
+                1 => full.y,
+                2 => full.z,
+                _ => full.w,
+            };
+            assert!(close(manual, got));
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Octree over the scene's triangles.
+//!
+//! The render stage "loads the scene and organizes the different objects in
+//! a hierarchical data structure known as an octree. … By doing this the
+//! octree is traversed, causing significant memory accesses" (§IV). The
+//! traversal statistics ([`CullStats`]) feed the render-stage cost model:
+//! pointer-chasing through tree nodes is the irregular access pattern that
+//! makes rendering expensive on a chip without local memory.
+
+use crate::frustum::{Containment, Frustum};
+use crate::mesh::{Aabb, Triangle};
+
+/// Build parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct OctreeConfig {
+    /// Stop splitting below this many triangles.
+    pub leaf_size: usize,
+    /// Maximum tree depth.
+    pub max_depth: u32,
+}
+
+impl Default for OctreeConfig {
+    fn default() -> Self {
+        OctreeConfig {
+            leaf_size: 32,
+            max_depth: 8,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Node {
+    bounds: Aabb,
+    /// Indices into the triangle array (leaf) — internal nodes keep the
+    /// triangles that straddle their centre split.
+    tris: Vec<u32>,
+    /// Child node indices; `u32::MAX` = absent.
+    children: [u32; 8],
+    is_leaf: bool,
+}
+
+/// Counters produced by one culling query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CullStats {
+    /// Octree nodes visited (each is a dependent memory access).
+    pub nodes_visited: u64,
+    /// Triangles returned.
+    pub triangles_out: u64,
+    /// Subtrees accepted wholesale because fully inside the frustum.
+    pub subtrees_accepted: u64,
+}
+
+/// An immutable octree over a triangle soup.
+#[derive(Debug)]
+pub struct Octree {
+    nodes: Vec<Node>,
+    /// Number of indexed triangles.
+    len: usize,
+}
+
+const NO_CHILD: u32 = u32::MAX;
+
+impl Octree {
+    /// Build over `tris` (kept external; the tree stores indices).
+    pub fn build(tris: &[Triangle], cfg: OctreeConfig) -> Octree {
+        assert!(cfg.leaf_size >= 1);
+        let mut bounds = Aabb::EMPTY;
+        for t in tris {
+            bounds = bounds.union(&t.aabb());
+        }
+        let mut tree = Octree {
+            nodes: Vec::new(),
+            len: tris.len(),
+        };
+        if tris.is_empty() {
+            return tree;
+        }
+        let all: Vec<u32> = (0..tris.len() as u32).collect();
+        tree.build_node(tris, bounds, all, 0, &cfg);
+        tree
+    }
+
+    fn build_node(
+        &mut self,
+        tris: &[Triangle],
+        bounds: Aabb,
+        idx: Vec<u32>,
+        depth: u32,
+        cfg: &OctreeConfig,
+    ) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            bounds,
+            tris: Vec::new(),
+            children: [NO_CHILD; 8],
+            is_leaf: true,
+        });
+        if idx.len() <= cfg.leaf_size || depth >= cfg.max_depth {
+            self.nodes[id as usize].tris = idx;
+            return id;
+        }
+        // Partition by octant of the triangle centroid; triangles whose
+        // box crosses an octant boundary stay at this node.
+        let mut per_octant: [Vec<u32>; 8] = Default::default();
+        let mut stay = Vec::new();
+        for i in idx {
+            let tb = tris[i as usize].aabb();
+            let mut placed = false;
+            for (o, bin) in per_octant.iter_mut().enumerate() {
+                if bounds.octant(o).contains_box(&tb) {
+                    bin.push(i);
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                stay.push(i);
+            }
+        }
+        // If splitting doesn't help (all straddle), keep as leaf.
+        if per_octant.iter().all(|v| v.is_empty()) {
+            self.nodes[id as usize].tris = stay;
+            return id;
+        }
+        self.nodes[id as usize].is_leaf = false;
+        self.nodes[id as usize].tris = stay;
+        for (o, sub) in per_octant.into_iter().enumerate() {
+            if sub.is_empty() {
+                continue;
+            }
+            let child_bounds = bounds.octant(o);
+            let child = self.build_node(tris, child_bounds, sub, depth + 1, cfg);
+            self.nodes[id as usize].children[o] = child;
+        }
+        id
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn triangle_count(&self) -> usize {
+        self.len
+    }
+
+    pub fn bounds(&self) -> Option<Aabb> {
+        self.nodes.first().map(|n| n.bounds)
+    }
+
+    /// Frustum culling: collect indices of every triangle whose containing
+    /// node intersects `frustum`, with traversal statistics.
+    pub fn cull(&self, frustum: &Frustum, out: &mut Vec<u32>) -> CullStats {
+        let mut stats = CullStats::default();
+        if self.nodes.is_empty() {
+            return stats;
+        }
+        self.cull_node(0, frustum, out, &mut stats);
+        stats.triangles_out = out.len() as u64;
+        stats
+    }
+
+    fn cull_node(&self, id: u32, frustum: &Frustum, out: &mut Vec<u32>, stats: &mut CullStats) {
+        let node = &self.nodes[id as usize];
+        stats.nodes_visited += 1;
+        match frustum.test_aabb(&node.bounds) {
+            Containment::Outside => {}
+            Containment::Inside => {
+                stats.subtrees_accepted += 1;
+                self.collect_all(id, out, stats);
+            }
+            Containment::Intersecting => {
+                out.extend_from_slice(&node.tris);
+                for &c in &node.children {
+                    if c != NO_CHILD {
+                        self.cull_node(c, frustum, out, stats);
+                    }
+                }
+            }
+        }
+    }
+
+    fn collect_all(&self, id: u32, out: &mut Vec<u32>, stats: &mut CullStats) {
+        let node = &self.nodes[id as usize];
+        out.extend_from_slice(&node.tris);
+        for &c in &node.children {
+            if c != NO_CHILD {
+                stats.nodes_visited += 1;
+                self.collect_all(c, out, stats);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::{vec3, Mat4, Vec3};
+
+    fn tri_at(x: f32, y: f32, z: f32) -> Triangle {
+        Triangle::new(
+            vec3(x, y, z),
+            vec3(x + 0.5, y, z),
+            vec3(x, y + 0.5, z),
+            [100, 100, 100],
+        )
+    }
+
+    fn grid_scene(n: i32) -> Vec<Triangle> {
+        let mut tris = Vec::new();
+        for i in -n..n {
+            for j in -n..n {
+                tris.push(tri_at(i as f32 * 2.0, j as f32 * 2.0, -10.0));
+                tris.push(tri_at(i as f32 * 2.0, j as f32 * 2.0, -30.0));
+            }
+        }
+        tris
+    }
+
+    fn frustum_at_origin() -> Frustum {
+        let view = Mat4::look_at(Vec3::ZERO, vec3(0.0, 0.0, -1.0), Vec3::Y);
+        let proj = Mat4::perspective(std::f32::consts::FRAC_PI_2, 1.0, 0.1, 20.0);
+        Frustum::from_matrix(&proj.mul_mat(&view))
+    }
+
+    #[test]
+    fn build_empty() {
+        let tree = Octree::build(&[], OctreeConfig::default());
+        assert_eq!(tree.node_count(), 0);
+        let mut out = Vec::new();
+        let stats = tree.cull(&frustum_at_origin(), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(stats.nodes_visited, 0);
+    }
+
+    #[test]
+    fn tree_splits_large_scenes() {
+        let tris = grid_scene(8);
+        let tree = Octree::build(&tris, OctreeConfig::default());
+        assert!(tree.node_count() > 1, "256+ triangles should split");
+        assert_eq!(tree.triangle_count(), tris.len());
+        assert!(tree.bounds().unwrap().contains(vec3(0.0, 0.0, -10.0)));
+    }
+
+    #[test]
+    fn cull_superset_of_brute_force() {
+        // Culling must never drop a triangle whose AABB intersects the
+        // frustum (conservative containment of the brute-force result).
+        let tris = grid_scene(6);
+        let tree = Octree::build(
+            &tris,
+            OctreeConfig {
+                leaf_size: 4,
+                max_depth: 6,
+            },
+        );
+        let f = frustum_at_origin();
+        let mut out = Vec::new();
+        tree.cull(&f, &mut out);
+        let out_set: std::collections::HashSet<u32> = out.iter().copied().collect();
+        for (i, t) in tris.iter().enumerate() {
+            if f.test_aabb(&t.aabb()) != Containment::Outside {
+                assert!(
+                    out_set.contains(&(i as u32)),
+                    "triangle {i} visible but culled"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cull_actually_culls() {
+        // Far-plane at 20: the z=-30 layer must be culled; the culled
+        // output should be well below the full count.
+        let tris = grid_scene(6);
+        let tree = Octree::build(
+            &tris,
+            OctreeConfig {
+                leaf_size: 4,
+                max_depth: 6,
+            },
+        );
+        let mut out = Vec::new();
+        let stats = tree.cull(&frustum_at_origin(), &mut out);
+        assert!(out.len() < tris.len(), "nothing was culled");
+        assert!(stats.nodes_visited < tree.node_count() as u64 * 2);
+        assert_eq!(stats.triangles_out, out.len() as u64);
+    }
+
+    #[test]
+    fn no_duplicate_indices() {
+        let tris = grid_scene(5);
+        let tree = Octree::build(
+            &tris,
+            OctreeConfig {
+                leaf_size: 2,
+                max_depth: 8,
+            },
+        );
+        let mut out = Vec::new();
+        tree.cull(&frustum_at_origin(), &mut out);
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), out.len(), "duplicate triangle indices");
+    }
+
+    #[test]
+    fn narrow_frustum_visits_fewer_nodes() {
+        let tris = grid_scene(8);
+        let tree = Octree::build(
+            &tris,
+            OctreeConfig {
+                leaf_size: 4,
+                max_depth: 8,
+            },
+        );
+        let wide = frustum_at_origin();
+        let view = Mat4::look_at(Vec3::ZERO, vec3(0.0, 0.0, -1.0), Vec3::Y);
+        let narrow_proj = Mat4::perspective(0.1, 1.0, 0.1, 20.0);
+        let narrow = Frustum::from_matrix(&narrow_proj.mul_mat(&view));
+        let mut out_w = Vec::new();
+        let mut out_n = Vec::new();
+        let sw = tree.cull(&wide, &mut out_w);
+        let sn = tree.cull(&narrow, &mut out_n);
+        assert!(out_n.len() <= out_w.len());
+        assert!(sn.nodes_visited <= sw.nodes_visited);
+    }
+
+    #[test]
+    fn leaf_size_one_still_terminates() {
+        // Coincident triangles can't be separated — must not recurse
+        // forever.
+        let tris = vec![tri_at(0.0, 0.0, -5.0); 64];
+        let tree = Octree::build(
+            &tris,
+            OctreeConfig {
+                leaf_size: 1,
+                max_depth: 32,
+            },
+        );
+        let mut out = Vec::new();
+        tree.cull(&frustum_at_origin(), &mut out);
+        assert_eq!(out.len(), 64);
+    }
+}

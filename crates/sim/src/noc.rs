@@ -1,0 +1,244 @@
+//! Mesh network-on-chip timing model.
+//!
+//! Every directed link between adjacent routers is a bandwidth-limited
+//! resource; a message serialises over each link of its XY route in turn
+//! (virtual cut-through with whole-message serialisation, which is the
+//! right granularity for the multi-kilobyte strip payloads the macro
+//! pipeline moves around). Contention is resolved with time-bucketed
+//! booking ([`crate::bucket`]): messages queue only when they genuinely
+//! overlap in virtual time on a link, irrespective of the order the
+//! simulator discovers them in.
+
+use crate::bucket::BucketedResource;
+use crate::time::SimTime;
+use crate::topology::{xy_route, Link, TileId};
+use serde::Serialize;
+
+/// NoC timing parameters.
+#[derive(Debug, Clone, Serialize)]
+pub struct NocConfig {
+    /// Per-hop router traversal latency (4 cycles at mesh clock on the SCC).
+    pub hop_latency: SimTime,
+    /// Usable bandwidth of one mesh link, bytes/second. The SCC mesh moves
+    /// 16 bytes per cycle at 800 MHz per link in theory; sustained payload
+    /// bandwidth seen by RCCE-style transfers is far lower.
+    pub link_bandwidth: u64,
+    /// Fixed software+protocol overhead charged once per message
+    /// (marshalling, flag handling in an RCCE-style library).
+    pub message_overhead: SimTime,
+    /// Contention-resolution granularity.
+    pub bucket: SimTime,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        NocConfig {
+            // 4 mesh cycles at 800 MHz = 5 ns per hop.
+            hop_latency: SimTime::from_ns(5),
+            // Sustained per-link payload bandwidth ~ 1.6 GB/s.
+            link_bandwidth: 1_600_000_000,
+            // ~8 us per message of library/software overhead.
+            message_overhead: SimTime::from_us(8),
+            bucket: SimTime::from_ms(1),
+        }
+    }
+}
+
+/// Per-link accounting.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct LinkStats {
+    pub messages: u64,
+    pub bytes: u64,
+    /// Accumulated time this link spent transmitting.
+    pub busy_ps: u64,
+    /// Accumulated time messages waited for this link.
+    pub wait_ps: u64,
+}
+
+/// The mesh interconnect state.
+#[derive(Debug)]
+pub struct Noc {
+    cfg: NocConfig,
+    links: Vec<BucketedResource>,
+    stats: Vec<LinkStats>,
+    total_messages: u64,
+    total_bytes: u64,
+}
+
+impl Noc {
+    pub fn new(cfg: NocConfig) -> Self {
+        Noc {
+            links: (0..Link::DENSE_COUNT)
+                .map(|_| BucketedResource::new(cfg.bucket))
+                .collect(),
+            stats: vec![LinkStats::default(); Link::DENSE_COUNT],
+            total_messages: 0,
+            total_bytes: 0,
+            cfg,
+        }
+    }
+
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// Move `bytes` from router `from` to router `to` starting no earlier
+    /// than `now`. Returns the arrival time at `to`, after any queueing.
+    ///
+    /// A zero-hop transfer (same tile) still pays the message overhead and
+    /// one serialisation: even a tile-local RCCE transfer runs library
+    /// code and crosses the router once.
+    pub fn transfer(&mut self, now: SimTime, from: TileId, to: TileId, bytes: u64) -> SimTime {
+        self.total_messages += 1;
+        self.total_bytes += bytes;
+        let serialise = SimTime::from_bytes_at(bytes.max(1), self.cfg.link_bandwidth);
+        let mut t = now + self.cfg.message_overhead;
+        for link in xy_route(from, to) {
+            let idx = link.dense_index();
+            let booking = self.links[idx].book(t, serialise);
+            let s = &mut self.stats[idx];
+            s.messages += 1;
+            s.bytes += bytes;
+            s.busy_ps += serialise.as_ps();
+            s.wait_ps += booking.wait.as_ps();
+            t = booking.completion + self.cfg.hop_latency;
+        }
+        if from == to {
+            t += serialise;
+        }
+        t
+    }
+
+    /// Pure estimate of an uncontended transfer's latency.
+    pub fn uncontended_latency(&self, from: TileId, to: TileId, bytes: u64) -> SimTime {
+        let hops = from.hops_to(to) as u64;
+        let serialise = SimTime::from_bytes_at(bytes.max(1), self.cfg.link_bandwidth);
+        let per_hop = serialise + self.cfg.hop_latency;
+        self.cfg.message_overhead + per_hop * hops.max(1)
+    }
+
+    pub fn stats(&self, link: Link) -> LinkStats {
+        self.stats[link.dense_index()]
+    }
+
+    pub fn total_messages(&self) -> u64 {
+        self.total_messages
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Sum of queueing delay across all links — a congestion indicator.
+    pub fn total_wait(&self) -> SimTime {
+        SimTime::from_ps(self.stats.iter().map(|s| s.wait_ps).sum())
+    }
+
+    /// The most heavily loaded link by bytes, if any traffic has flowed.
+    pub fn hottest_link_bytes(&self) -> u64 {
+        self.stats.iter().map(|s| s.bytes).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Direction;
+
+    fn cfg() -> NocConfig {
+        NocConfig {
+            hop_latency: SimTime::from_ns(10),
+            link_bandwidth: 1_000_000_000, // 1 GB/s -> 1 ns per byte
+            message_overhead: SimTime::from_us(1),
+            bucket: SimTime::from_ms(1),
+        }
+    }
+
+    #[test]
+    fn uncontended_transfer_cost_scales_with_hops() {
+        let mut noc = Noc::new(cfg());
+        let a = TileId::from_xy(0, 0);
+        let b = TileId::from_xy(3, 0); // 3 hops
+        let t = noc.transfer(SimTime::ZERO, a, b, 1000);
+        // overhead + 3 * (serialise 1us + hop 10ns)
+        let expect = SimTime::from_us(1) + (SimTime::from_us(1) + SimTime::from_ns(10)) * 3;
+        assert_eq!(t, expect);
+        assert_eq!(t, noc.uncontended_latency(a, b, 1000));
+    }
+
+    #[test]
+    fn contention_delays_second_message() {
+        let mut noc = Noc::new(cfg());
+        let a = TileId::from_xy(0, 0);
+        let b = TileId::from_xy(1, 0);
+        let t1 = noc.transfer(SimTime::ZERO, a, b, 100_000); // 100 us serialise
+        let t2 = noc.transfer(SimTime::ZERO, a, b, 100_000);
+        assert!(t2 > t1, "second message must queue behind the first");
+        let link = Link {
+            from: a,
+            dir: Direction::East,
+        };
+        assert!(noc.stats(link).wait_ps > 0);
+        assert_eq!(noc.stats(link).messages, 2);
+    }
+
+    #[test]
+    fn disjoint_routes_do_not_interact() {
+        let mut noc = Noc::new(cfg());
+        let t1 = noc.transfer(
+            SimTime::ZERO,
+            TileId::from_xy(0, 0),
+            TileId::from_xy(1, 0),
+            50_000,
+        );
+        let t2 = noc.transfer(
+            SimTime::ZERO,
+            TileId::from_xy(0, 3),
+            TileId::from_xy(1, 3),
+            50_000,
+        );
+        assert_eq!(t1, t2);
+        assert_eq!(noc.total_wait(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn out_of_order_issue_does_not_create_phantom_queueing() {
+        let mut noc = Noc::new(cfg());
+        let a = TileId::from_xy(2, 1);
+        let b = TileId::from_xy(3, 1);
+        noc.transfer(SimTime::from_secs(3), a, b, 100_000);
+        let early = noc.transfer(SimTime::from_ms(1), a, b, 1000);
+        assert_eq!(
+            early,
+            SimTime::from_ms(1) + noc.uncontended_latency(a, b, 1000)
+        );
+    }
+
+    #[test]
+    fn local_transfer_pays_overhead_and_serialisation() {
+        let mut noc = Noc::new(cfg());
+        let t = TileId::from_xy(2, 2);
+        let done = noc.transfer(SimTime::ZERO, t, t, 1000);
+        assert_eq!(done, SimTime::from_us(1) + SimTime::from_us(1));
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut noc = Noc::new(cfg());
+        noc.transfer(
+            SimTime::ZERO,
+            TileId::from_xy(0, 0),
+            TileId::from_xy(5, 3),
+            123,
+        );
+        noc.transfer(
+            SimTime::ZERO,
+            TileId::from_xy(5, 3),
+            TileId::from_xy(0, 0),
+            77,
+        );
+        assert_eq!(noc.total_messages(), 2);
+        assert_eq!(noc.total_bytes(), 200);
+        assert!(noc.hottest_link_bytes() >= 123);
+    }
+}

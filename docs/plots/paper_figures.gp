@@ -1,0 +1,59 @@
+# Regenerate the paper's figure plots from the simulator's CSV series.
+#
+#   cargo run --release -p scc-bench --bin experiments csv target/csv
+#   gnuplot -e "csvdir='target/csv'" docs/plots/paper_figures.gp
+#
+# Produces fig09.png ... fig17.png next to the CSVs, in the style of the
+# paper's gnuplot figures.
+
+if (!exists("csvdir")) csvdir = "target/csv"
+set datafile separator ","
+set terminal pngcairo size 720,480
+set key top right
+set grid
+
+set xlabel "number of pipelines"
+set ylabel "time in sec"
+
+set output csvdir."/fig09.png"
+set title "Rendering time with 1 Renderer"
+plot csvdir."/fig09.csv" skip 1  using 1:2 with linespoints title "Unordered", \
+     "" skip 1  using 1:3 with linespoints title "Ordered", \
+     "" skip 1  using 1:4 with linespoints title "Flipped"
+
+set output csvdir."/fig10.png"
+set title "Rendering time with n Renderer"
+plot csvdir."/fig10.csv" skip 1  using 1:2 with linespoints title "Unordered", \
+     "" skip 1  using 1:3 with linespoints title "Ordered", \
+     "" skip 1  using 1:4 with linespoints title "Flipped"
+
+set output csvdir."/fig11.png"
+set title "Rendering time with MCPC for rendering"
+plot csvdir."/fig11.csv" skip 1  using 1:2 with linespoints title "Unordered", \
+     "" skip 1  using 1:3 with linespoints title "Ordered", \
+     "" skip 1  using 1:4 with linespoints title "Flipped"
+
+set output csvdir."/fig12.png"
+set title "Rendering time with increasing image sizes"
+set xlabel "image side length (px)"
+plot csvdir."/fig12.csv" skip 1  using 1:3 with linespoints title "Time"
+
+set output csvdir."/fig15.png"
+set title "Idle times with MCPC renderer and seven pipelines"
+set style data histogram
+set style fill solid 0.5
+set xlabel "stage"
+set ylabel "idle time in ms"
+plot csvdir."/fig15.csv" skip 1  using 3:xtic(1) title "Median", \
+     "" skip 1  using 2 title "Q1", \
+     "" skip 1  using 4 title "Q3"
+
+set output csvdir."/fig17.png"
+set title "SCC power consumption with fast blur stage"
+set style data lines
+set xlabel "time in sec"
+set ylabel "power in watt"
+set yrange [35:50]
+plot csvdir."/fig17.csv" skip 1  using 2:(strcol(1) eq "all stages 533MHz" ? $3 : 1/0) with lines title "all stages 533MHz", \
+     "" skip 1  using 2:(strcol(1) eq "blur stage 800MHz" ? $3 : 1/0) with lines title "blur stage 800MHz", \
+     "" skip 1  using 2:(strcol(1) eq "533MHz, 800MHz, 400MHz" ? $3 : 1/0) with lines title "533/800/400MHz"

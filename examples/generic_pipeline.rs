@@ -1,0 +1,96 @@
+//! Macro pipelining beyond rendering: the paper's §I claim ("the ideas
+//! ... should easily translate to other problem domains") exercised on a
+//! stream-processing workload — parse → compress → encrypt → checksum —
+//! using the generic pipeline API on the simulated SCC.
+//!
+//! ```sh
+//! cargo run --release -p scc-core --example generic_pipeline
+//! ```
+
+use scc_core::generic::{run_generic_chain, FnStage, MacroStage, StageWork};
+use scc_core::Arrangement;
+use scc_sim::{SccConfig, SccPlatform};
+
+fn chain() -> Vec<Box<dyn MacroStage>> {
+    // Per-item costs in P54C cycles per input byte, loosely modelled on
+    // real software: parsing ~12 c/B, LZ-style compression ~90 c/B (the
+    // bottleneck, like blur in the paper), a 3x reduction in payload,
+    // encryption ~25 c/B, checksum ~4 c/B.
+    vec![
+        Box::new(FnStage {
+            label: "parse".into(),
+            f: |_, inb| StageWork {
+                cycles: 12.0 * inb as f64,
+                read_bytes: 0,
+                write_bytes: 0,
+                out_bytes: inb,
+            },
+        }),
+        Box::new(FnStage {
+            label: "compress".into(),
+            f: |_, inb| StageWork {
+                cycles: 90.0 * inb as f64,
+                read_bytes: inb, // dictionary lookbacks
+                write_bytes: 0,
+                out_bytes: inb / 3,
+            },
+        }),
+        Box::new(FnStage {
+            label: "encrypt".into(),
+            f: |_, inb| StageWork {
+                cycles: 25.0 * inb as f64,
+                read_bytes: 0,
+                write_bytes: 0,
+                out_bytes: inb,
+            },
+        }),
+        Box::new(FnStage {
+            label: "checksum".into(),
+            f: |_, inb| StageWork {
+                cycles: 4.0 * inb as f64,
+                read_bytes: 0,
+                write_bytes: 0,
+                out_bytes: inb + 8,
+            },
+        }),
+    ]
+}
+
+fn main() {
+    let items = 400u64;
+    let block = 256 * 1024u64;
+    println!(
+        "stream pipeline: 400 blocks of 256 KiB through parse -> compress -> encrypt -> checksum\n"
+    );
+
+    let mut stages = chain();
+    let report = run_generic_chain(
+        SccPlatform::new(SccConfig::default()),
+        &mut stages,
+        Arrangement::Ordered,
+        items,
+        block,
+    );
+
+    println!(
+        "total {:.1} virtual seconds, throughput {:.1} blocks/s ({:.1} MB/s in), {:.1} W mean",
+        report.total_secs,
+        report.throughput(),
+        report.throughput() * block as f64 / 1e6,
+        report.mean_power
+    );
+    println!("\nper-stage (same structure as the paper's Figure 15):");
+    for s in &report.stages {
+        let idle = s.idle_ms.map(|q| q.median).unwrap_or(0.0);
+        println!(
+            "  {:<9} core {:>2}  utilisation {:>4.0}%  median wait {:>7.2} ms",
+            s.name,
+            s.core_id,
+            s.utilisation * 100.0,
+            idle
+        );
+    }
+    println!("\nAs in the rendering case study, throughput locks to the most");
+    println!("expensive stage (compress), every other stage spends its time");
+    println!("waiting, and the shape is independent of core placement.");
+}
