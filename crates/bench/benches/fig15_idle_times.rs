@@ -18,6 +18,7 @@ fn bench(c: &mut Criterion) {
             frames: 40,
             fidelity: Fidelity::TimingOnly,
             trace: false,
+            fault: None,
             ..RunConfig::default()
         };
         b.iter(|| {

@@ -31,6 +31,7 @@ fn bench_native_scaling(c: &mut Criterion) {
                     seed: 3,
                     fidelity: Fidelity::Full,
                     trace: false,
+                    fault: None,
                 };
                 b.iter(|| black_box(run_native(&cfg, Arc::clone(&scene))))
             },

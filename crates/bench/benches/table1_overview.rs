@@ -18,6 +18,7 @@ fn bench(c: &mut Criterion) {
         frames: 40,
         fidelity: Fidelity::TimingOnly,
         trace: false,
+        fault: None,
         ..RunConfig::default()
     };
     for (label, mode, p) in [

@@ -45,11 +45,11 @@ pub use baseline::{run_baseline, BaselineReport};
 pub use cost::CostModel;
 pub use frame::Frame;
 pub use generic::{run_generic_chain, FnStage, GenericReport, MacroStage, StageWork};
-pub use metrics::{StageReport, WalkthroughReport};
+pub use metrics::{DegradationEvent, StageReport, WalkthroughReport};
 pub use placement::{place, place_dvfs_single_pipeline, Placement};
 pub use runner::des::{run_des, DesReport};
 pub use runner::native::{run_native, NativeReport};
 pub use runner::sim::{DvfsPlan, SimRunner};
-pub use spec::{Arrangement, Fidelity, RendererMode, RunConfig, StageKind};
+pub use spec::{Arrangement, FaultSpec, Fidelity, RendererMode, RunConfig, StageKind, StallSpec};
 pub use trace::{Phase, TraceEvent, TraceLog};
 pub use viz::{VizClient, VizReport};

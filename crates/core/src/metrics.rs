@@ -23,6 +23,22 @@ pub struct StageReport {
     pub frames: u64,
 }
 
+/// One graceful-degradation decision: a pipeline exceeded its retry
+/// budget and its strip was re-assigned to a surviving neighbour.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DegradationEvent {
+    /// Frame being processed when the failure was detected.
+    pub frame: u64,
+    /// The pipeline declared failed.
+    pub pipeline: u32,
+    /// The surviving pipeline that adopted its strip.
+    pub reassigned_to: u32,
+    /// Virtual time of the decision, seconds.
+    pub at_secs: f64,
+    /// Human-readable cause (e.g. which stage stalled).
+    pub reason: String,
+}
+
 /// Everything measured in one walkthrough run.
 #[derive(Serialize)]
 pub struct WalkthroughReport {
@@ -40,6 +56,9 @@ pub struct WalkthroughReport {
     /// Seconds the MCPC spent rendering (0 unless MCPC mode).
     pub mcpc_busy_secs: f64,
     pub platform: PlatformStats,
+    /// Graceful-degradation events (empty unless faults were injected
+    /// and a pipeline actually failed).
+    pub degradations: Vec<DegradationEvent>,
     /// Final assembled frames (full fidelity only).
     #[serde(skip)]
     pub outputs: Option<Vec<Image>>,
@@ -53,6 +72,82 @@ impl WalkthroughReport {
     /// baseline's 382 s, or a one-pipeline run).
     pub fn speedup_vs(&self, reference_secs: f64) -> f64 {
         reference_secs / self.total_secs
+    }
+
+    /// Canonical text rendering of everything deterministic in the report.
+    /// Two runs of the same configuration (fault seed included) must
+    /// produce byte-identical fingerprints; floats are rendered via their
+    /// bit patterns so no formatting ambiguity can creep in.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "run {} {} p{} {}x{} f{} seed={:#x}",
+            self.config.renderer.name(),
+            self.config.arrangement.name(),
+            self.config.pipelines,
+            self.config.width,
+            self.config.height,
+            self.config.frames,
+            self.config.seed,
+        );
+        if let Some(fault) = &self.config.fault {
+            let _ = writeln!(
+                out,
+                "fault seed={:#x} drop={:016x} corrupt={:016x} delay={:016x} links={} budget={}",
+                fault.seed,
+                fault.drop_rate.to_bits(),
+                fault.corrupt_rate.to_bits(),
+                fault.delay_rate.to_bits(),
+                fault.degraded_links,
+                fault.retry_budget,
+            );
+        }
+        let _ = writeln!(out, "total={:016x}", self.total_secs.to_bits());
+        for s in &self.stage_reports {
+            let _ = writeln!(
+                out,
+                "stage {} p{:?} core={} busy={:016x} idle={:016x} frames={}",
+                s.kind.name(),
+                s.pipeline,
+                s.core_id,
+                s.busy_secs.to_bits(),
+                s.idle_total_secs.to_bits(),
+                s.frames,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "platform msgs={} bytes={} wait={:016x} mem={} memwait={:016x}",
+            self.platform.noc_messages,
+            self.platform.noc_bytes,
+            self.platform.noc_wait_secs.to_bits(),
+            self.platform.mem_bytes,
+            self.platform.mem_wait_secs.to_bits(),
+        );
+        let _ = writeln!(out, "energy={:016x}", self.scc_energy_joules.to_bits());
+        for d in &self.degradations {
+            let _ = writeln!(
+                out,
+                "degrade frame={} pipeline={} to={} at={:016x} reason={}",
+                d.frame,
+                d.pipeline,
+                d.reassigned_to,
+                d.at_secs.to_bits(),
+                d.reason,
+            );
+        }
+        if let Some(outputs) = &self.outputs {
+            for (i, img) in outputs.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "frame {i} crc={:016x}",
+                    crate::viz::frame_checksum(img)
+                );
+            }
+        }
+        out
     }
 
     /// Mean measured SCC power while running, watts.
@@ -123,6 +218,13 @@ mod tests {
                 mem_imbalance: 0.0,
                 host_link: Default::default(),
             },
+            degradations: vec![DegradationEvent {
+                frame: 17,
+                pipeline: 1,
+                reassigned_to: 2,
+                at_secs: 4.2,
+                reason: "blur stalled".into(),
+            }],
             outputs: None,
             trace: None,
         }
@@ -152,5 +254,17 @@ mod tests {
         assert!(r.stage(StageKind::Blur, Some(0)).is_some());
         assert!(r.stage(StageKind::Sepia, Some(0)).is_none());
         assert_eq!(r.utilisation(StageKind::Blur, Some(0)), Some(0.9));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_covers_degradations() {
+        let a = report();
+        let b = report();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert!(a.fingerprint().contains("degrade frame=17 pipeline=1 to=2"));
+        // Any drift in a float shows up (bit-pattern rendering).
+        let mut c = report();
+        c.total_secs += 1e-12;
+        assert_ne!(a.fingerprint(), c.fingerprint());
     }
 }

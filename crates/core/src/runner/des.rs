@@ -18,7 +18,7 @@
 
 use crate::cost::{CostModel, RenderWork};
 use crate::placement::{place, Placement};
-use crate::spec::{RendererMode, RunConfig, StageKind};
+use crate::spec::{Fidelity, RendererMode, RunConfig, StageKind};
 use scc_filters::{Blur, Flicker, Image, ImageFilter, Scratch, Sepia, VSwap};
 use scc_render::{Renderer, Scene, Walkthrough};
 use scc_sim::platform::MemOp;
@@ -49,6 +49,10 @@ struct Facts {
 #[derive(Debug, Clone)]
 pub struct DesReport {
     pub total_secs: f64,
+    /// Assembled output frames (full fidelity only) — lets the
+    /// differential suite compare the DES data path bit-for-bit against
+    /// the other runners.
+    pub frames: Option<Vec<Image>>,
 }
 
 /// Execute `cfg` (must be `SingleRenderer`) event-wise.
@@ -77,6 +81,10 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
     let bounds = Image::strip_bounds(cfg.height, cfg.pipelines);
     let full_px = cfg.width as u64 * cfg.height as u64;
     let full_bytes = cfg.frame_bytes();
+    // Full fidelity carries real pixels alongside the timing facts.
+    let full_fidelity = cfg.fidelity == Fidelity::Full;
+    let mut strip_images: HashMap<(usize, u64), Image> = HashMap::new();
+    let mut outputs: HashMap<u64, Image> = HashMap::new();
 
     // Dependency counts per node; a node becomes schedulable at 0.
     let mut pending: HashMap<Node, u32> = HashMap::new();
@@ -206,6 +214,12 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
                 t = platform.compute(core, t, cycles as u64);
                 t = platform.mem_stream(core, t, MemOp::Write, full_bytes);
                 platform.record_busy(core, t0, t);
+                if full_fidelity {
+                    let (img, _) = renderer.render_full(&cam, cfg.width, cfg.height);
+                    for (info, strip) in img.split_strips(cfg.pipelines) {
+                        strip_images.insert((info.index as usize, f), strip);
+                    }
+                }
                 for (i, (_, h)) in bounds.iter().enumerate() {
                     let bytes = cfg.width as u64 * *h as u64 * 4;
                     let dst = placement.pipelines[i][0];
@@ -243,6 +257,10 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
                     full_width: cfg.width,
                 };
                 let cycles = cost.filter_cycles(impls[j].as_ref(), &proxy, &ctx);
+                if full_fidelity {
+                    let img = strip_images.get_mut(&(i, f)).expect("strip rendered");
+                    impls[j].apply(img, &ctx);
+                }
                 t = platform.compute(core, t, cycles as u64);
                 let traffic = cost.stage_traffic(kind, bytes);
                 t = platform.mem_stream(core, t, MemOp::Read, traffic.read_bytes);
@@ -300,6 +318,24 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
                 t = platform.mem_stream(core, t, MemOp::Write, full_bytes);
                 let t_out = platform.chip_to_host(core, t, full_bytes);
                 platform.record_busy(core, cycle_start, t_out);
+                if full_fidelity {
+                    let strips: Vec<(scc_filters::StripInfo, Image)> = (0..p)
+                        .map(|i| {
+                            let info = scc_filters::StripInfo {
+                                index: i as u32,
+                                count: cfg.pipelines,
+                                y0: bounds[i].0,
+                                height: bounds[i].1,
+                                full_height: cfg.height,
+                            };
+                            (
+                                scc_filters::vswap::mirrored_info(info),
+                                strip_images.remove(&(i, f)).expect("strip processed"),
+                            )
+                        })
+                        .collect();
+                    outputs.insert(f, Image::assemble(&strips));
+                }
                 facts.insert(
                     node,
                     Facts {
@@ -329,8 +365,14 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
     }
     assert_eq!(executed, all_nodes.len(), "deadlock: unexecuted nodes");
 
+    let ordered = full_fidelity.then(|| {
+        (0..frames)
+            .map(|f| outputs.remove(&f).expect("frame assembled"))
+            .collect()
+    });
     DesReport {
         total_secs: finish.as_secs_f64(),
+        frames: ordered,
     }
 }
 
@@ -360,6 +402,7 @@ mod tests {
             seed: 5,
             fidelity: Fidelity::TimingOnly,
             trace: false,
+            fault: None,
         }
     }
 
@@ -385,6 +428,17 @@ mod tests {
                 dev * 100.0
             );
         }
+    }
+
+    #[test]
+    fn des_full_fidelity_matches_reference_data_path() {
+        let mut c = cfg(2, 3);
+        c.width = 64;
+        c.height = 64;
+        c.fidelity = Fidelity::Full;
+        let des = run_des(&c, scene());
+        let reference = crate::reference::reference_frames(&c, scene());
+        assert_eq!(des.frames.expect("full fidelity keeps frames"), reference);
     }
 
     #[test]

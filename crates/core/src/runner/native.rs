@@ -12,9 +12,11 @@ use crate::frame::Frame;
 use crate::spec::{RendererMode, RunConfig, StageKind};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use scc_filters::{standard_chain, vswap, Image, StripInfo};
-use scc_rcce::{communicator, Endpoint, MpbConfig};
+use scc_rcce::{communicator, crc32, Endpoint, MpbConfig, RcceError, Reliability};
 use scc_render::{Renderer, Scene, Walkthrough};
+use scc_sim::fault::{FaultConfig, FaultPlan};
 use scc_sim::stats::Quartiles;
+use scc_sim::SimTime;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -31,24 +33,41 @@ pub struct NativeReport {
     pub idle_ms: Vec<(StageKind, u32, Option<Quartiles>)>,
 }
 
-/// Wire format: frame header + RGBA payload.
+/// Wire format: `crc32(rest) || header || RGBA payload`. The checksum
+/// covers everything after itself, so a flipped bit anywhere — header or
+/// pixels — is detected (a flip inside the CRC field itself simply makes
+/// the stored value wrong).
 pub fn encode_frame(frame: &Frame) -> Bytes {
     let img = frame.image.as_ref().expect("native frames carry pixels");
-    let mut buf = BytesMut::with_capacity(36 + img.as_bytes().len());
-    buf.put_u64(frame.id);
-    buf.put_u32(frame.strip.index);
-    buf.put_u32(frame.strip.count);
-    buf.put_u32(frame.strip.y0);
-    buf.put_u32(frame.strip.height);
-    buf.put_u32(frame.strip.full_height);
-    buf.put_u32(frame.full_width);
-    buf.put_slice(img.as_bytes());
+    let mut content = BytesMut::with_capacity(32 + img.as_bytes().len());
+    content.put_u64(frame.id);
+    content.put_u32(frame.strip.index);
+    content.put_u32(frame.strip.count);
+    content.put_u32(frame.strip.y0);
+    content.put_u32(frame.strip.height);
+    content.put_u32(frame.strip.full_height);
+    content.put_u32(frame.full_width);
+    content.put_slice(img.as_bytes());
+    let mut buf = BytesMut::with_capacity(4 + content.len());
+    buf.put_u32(crc32(&content));
+    buf.put_slice(&content);
     buf.freeze()
 }
 
-/// Inverse of [`encode_frame`].
-pub fn decode_frame(mut b: Bytes) -> Frame {
-    assert!(b.len() >= 32, "truncated frame header");
+enum DecodeFailure {
+    Truncated,
+    SizeMismatch,
+    Crc,
+}
+
+fn try_decode(mut b: Bytes) -> Result<Frame, DecodeFailure> {
+    if b.len() < 36 {
+        return Err(DecodeFailure::Truncated);
+    }
+    let crc = b.get_u32();
+    if crc32(&b) != crc {
+        return Err(DecodeFailure::Crc);
+    }
     let id = b.get_u64();
     let index = b.get_u32();
     let count = b.get_u32();
@@ -64,12 +83,47 @@ pub fn decode_frame(mut b: Bytes) -> Frame {
         full_height,
     };
     let expect = full_width as usize * height as usize * 4;
-    assert_eq!(b.len(), expect, "payload size mismatch");
-    Frame {
+    if b.len() != expect {
+        return Err(DecodeFailure::SizeMismatch);
+    }
+    Ok(Frame {
         id,
         strip,
         full_width,
         image: Some(Image::from_raw(full_width, height, b.to_vec())),
+    })
+}
+
+/// Inverse of [`encode_frame`]; panics on malformed input.
+pub fn decode_frame(b: Bytes) -> Frame {
+    match try_decode(b) {
+        Ok(frame) => frame,
+        Err(DecodeFailure::Truncated) => panic!("truncated frame header"),
+        Err(DecodeFailure::SizeMismatch) => panic!("payload size mismatch"),
+        Err(DecodeFailure::Crc) => panic!("frame payload CRC mismatch"),
+    }
+}
+
+/// Non-panicking decode for transports that may hand over damaged bytes:
+/// any malformation — truncation, a size lie, or a CRC mismatch — comes
+/// back as [`RcceError::Corrupt`] attributed to `src`.
+pub fn decode_frame_checked(b: Bytes, src: usize) -> Result<Frame, RcceError> {
+    try_decode(b).map_err(|_| RcceError::Corrupt { rank: src })
+}
+
+fn send_bytes(ep: &Endpoint, reliable: bool, dst: usize, payload: Bytes) {
+    if reliable {
+        ep.send_reliable(dst, payload).expect("reliable send");
+    } else {
+        ep.send(dst, payload).expect("send");
+    }
+}
+
+fn recv_bytes(ep: &Endpoint, reliable: bool, src: usize) -> Bytes {
+    if reliable {
+        ep.recv_reliable(src).expect("reliable recv")
+    } else {
+        ep.recv(src).expect("recv")
     }
 }
 
@@ -112,6 +166,33 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
     // Window of 2 in-flight frames per channel: enough to pipeline,
     // small enough to exert RCCE-like backpressure.
     let mut endpoints = communicator(layout.total, 2, MpbConfig::default());
+    // Fault injection switches every hop to the reliable (CRC + ack +
+    // retry) protocol; the schedule itself is deterministic in the spec's
+    // seed. Core stalls and link degradation are simulator-only notions —
+    // the native threads see the message-level faults.
+    let reliable = cfg.fault.is_some();
+    if let Some(spec) = &cfg.fault {
+        let plan = Arc::new(FaultPlan::new(FaultConfig {
+            seed: spec.seed,
+            drop_rate: spec.drop_rate,
+            corrupt_rate: spec.corrupt_rate,
+            delay_rate: spec.delay_rate,
+            max_delay: SimTime::from_us(spec.max_delay_us),
+            degraded_links: 0,
+            degrade_factor: 1.0,
+            stalls: Vec::new(),
+        }));
+        // Real threads on a loaded host need a wider ack window than the
+        // simulator's virtual-time default.
+        let policy = Reliability {
+            timeout: Duration::from_micros(spec.timeout_us).max(Duration::from_millis(50)),
+            retries: spec.retry_budget,
+        };
+        for ep in endpoints.iter_mut() {
+            ep.set_fault_plan(Arc::clone(&plan));
+            ep.set_reliability(policy);
+        }
+    }
     let mut eps: Vec<Option<Endpoint>> = endpoints.drain(..).map(Some).collect();
 
     let renderer = Arc::new(Renderer::new(scene));
@@ -145,7 +226,7 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
                             full_width: cfg.width,
                             image: Some(strip),
                         };
-                        ep.send(filters0[i], encode_frame(&frame)).expect("send");
+                        send_bytes(&ep, reliable, filters0[i], encode_frame(&frame));
                     }
                 }
             }));
@@ -175,7 +256,7 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
                             full_width: cfg.width,
                             image: Some(strip),
                         };
-                        ep.send(dst, encode_frame(&frame)).expect("send");
+                        send_bytes(&ep, reliable, dst, encode_frame(&frame));
                     }
                 }));
             }
@@ -209,10 +290,12 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
                     let chain = standard_chain();
                     let filter = &chain[j];
                     for _ in 0..cfg.frames {
-                        let mut frame = decode_frame(ep.recv(src).expect("recv"));
+                        let raw = recv_bytes(&ep, reliable, src);
+                        let mut frame =
+                            decode_frame_checked(raw, src).expect("frame survived transport");
                         let ctx = frame.ctx(cfg.seed);
                         filter.apply(frame.image.as_mut().expect("pixels"), &ctx);
-                        ep.send(dst, encode_frame(&frame)).expect("send");
+                        send_bytes(&ep, reliable, dst, encode_frame(&frame));
                     }
                     (ep.take_wait_samples(), None)
                 }),
@@ -233,7 +316,8 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
                 for _ in 0..cfg.frames {
                     let mut strips = Vec::with_capacity(swap_ranks.len());
                     for &r in &swap_ranks {
-                        let frame = decode_frame(ep.recv(r).expect("recv"));
+                        let frame = decode_frame_checked(recv_bytes(&ep, reliable, r), r)
+                            .expect("frame survived transport");
                         strips.push((
                             vswap::mirrored_info(frame.strip),
                             frame.image.expect("pixels"),
@@ -293,6 +377,7 @@ mod tests {
             seed: 77,
             fidelity: Fidelity::Full,
             trace: false,
+            fault: None,
         }
     }
 
@@ -321,13 +406,68 @@ mod tests {
     #[test]
     #[should_panic(expected = "payload size mismatch")]
     fn codec_rejects_bad_payload() {
-        let mut b = BytesMut::new();
-        b.put_u64(0);
+        // A correctly-checksummed message whose payload length lies about
+        // the geometry: the CRC passes, the size check must still fire.
+        let mut content = BytesMut::new();
+        content.put_u64(0);
+        // index, count, y0, height, full_height, full_width.
         for v in [0u32, 1, 0, 4, 4, 8] {
-            b.put_u32(v);
+            content.put_u32(v);
         }
-        b.put_slice(&[0u8; 3]);
+        content.put_slice(&[0u8; 3]);
+        let mut b = BytesMut::new();
+        b.put_u32(crc32(&content));
+        b.put_slice(&content);
         decode_frame(b.freeze());
+    }
+
+    #[test]
+    #[should_panic(expected = "frame payload CRC mismatch")]
+    fn codec_rejects_flipped_pixel_bit() {
+        let frame = Frame {
+            id: 1,
+            strip: StripInfo {
+                index: 0,
+                count: 1,
+                y0: 0,
+                height: 2,
+                full_height: 2,
+            },
+            full_width: 2,
+            image: Some(Image::new(2, 2)),
+        };
+        let mut raw = encode_frame(&frame).to_vec();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x40;
+        decode_frame(Bytes::from(raw));
+    }
+
+    #[test]
+    fn checked_decode_reports_corruption_instead_of_panicking() {
+        let frame = Frame {
+            id: 9,
+            strip: StripInfo {
+                index: 0,
+                count: 1,
+                y0: 0,
+                height: 1,
+                full_height: 1,
+            },
+            full_width: 4,
+            image: Some(Image::new(4, 1)),
+        };
+        let good = encode_frame(&frame);
+        assert!(decode_frame_checked(good.clone(), 3).is_ok());
+        let mut bad = good.to_vec();
+        bad[20] ^= 1; // somewhere in the header
+        assert!(matches!(
+            decode_frame_checked(Bytes::from(bad), 3),
+            Err(RcceError::Corrupt { rank: 3 })
+        ));
+        assert!(matches!(
+            decode_frame_checked(Bytes::from(vec![1u8; 10]), 5),
+            Err(RcceError::Corrupt { rank: 5 })
+        ));
     }
 
     #[test]
@@ -378,5 +518,27 @@ mod tests {
         let a = run_native(&c, scene());
         let b = run_native(&c, scene());
         assert_eq!(a.frames, b.frames);
+    }
+
+    #[test]
+    fn native_run_survives_drops_and_corruption() {
+        use crate::spec::FaultSpec;
+        let mut c = cfg(RendererMode::SingleRenderer, 2, 3);
+        c.fault = Some(FaultSpec {
+            seed: 0xC1A05,
+            drop_rate: 0.05,
+            corrupt_rate: 0.05,
+            timeout_us: 100_000, // generous for a loaded 1-CPU host
+            retry_budget: 5,
+            ..FaultSpec::default()
+        });
+        let native = run_native(&c, scene());
+        let mut clean = c.clone();
+        clean.fault = None;
+        let reference = reference_frames(&clean, scene());
+        assert_eq!(
+            native.frames, reference,
+            "retry protocol must hide injected message faults"
+        );
     }
 }

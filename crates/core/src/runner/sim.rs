@@ -18,14 +18,16 @@
 
 use crate::cost::{CostModel, RenderWork};
 use crate::frame::Frame;
-use crate::metrics::{StageReport, WalkthroughReport};
+use crate::metrics::{DegradationEvent, StageReport, WalkthroughReport};
 use crate::placement::{place, Placement};
-use crate::spec::{Fidelity, RendererMode, RunConfig, StageKind};
+use crate::spec::{FaultSpec, Fidelity, RendererMode, RunConfig, StageKind};
 use crate::trace::{Phase, TraceLog};
 use scc_filters::{Blur, Flicker, Image, ImageFilter, Scratch, Sepia, StripInfo, VSwap};
 use scc_render::{Renderer, Scene, Walkthrough};
+use scc_sim::fault::{CoreStall, FaultConfig, FaultPlan, MessageOutcome};
 use scc_sim::platform::MemOp;
 use scc_sim::{CoreId, FreqMHz, SccConfig, SccPlatform, SimTime};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Per-stage runtime state.
@@ -78,6 +80,64 @@ pub struct DvfsPlan {
     pub settings: Vec<(CoreId, FreqMHz)>,
 }
 
+/// Resolved fault-injection context for a run: the schedule plus the
+/// retry protocol's virtual-time parameters.
+#[derive(Clone)]
+struct FaultCtx {
+    plan: Arc<FaultPlan>,
+    /// First-attempt acknowledgement window; attempt `n` waits `2^n` times
+    /// as long.
+    timeout: SimTime,
+    /// Retransmissions after the first attempt.
+    budget: u32,
+}
+
+impl FaultCtx {
+    /// Worst-case wait across every attempt starting from `attempt`:
+    /// `timeout * (2^(budget+1) - 2^attempt)`.
+    fn patience_from(&self, attempt: u32) -> SimTime {
+        self.timeout * ((1u64 << (self.budget + 1)) - (1u64 << attempt))
+    }
+
+    /// Total patience of the full retry schedule — beyond this, a silent
+    /// peer is declared dead.
+    fn horizon(&self) -> SimTime {
+        self.patience_from(0)
+    }
+
+    /// Build the simulator-facing plan from a [`FaultSpec`], resolving the
+    /// stall's (pipeline, stage) address to a physical core.
+    fn from_spec(spec: &FaultSpec, placement: &Placement) -> FaultCtx {
+        let stalls = spec
+            .stall
+            .iter()
+            .map(|s| CoreStall {
+                core: placement.pipelines[s.pipeline as usize][s.stage as usize].raw(),
+                at: SimTime::from_ms(s.at_ms),
+                duration: if s.for_ms == u64::MAX {
+                    SimTime::MAX
+                } else {
+                    SimTime::from_ms(s.for_ms)
+                },
+            })
+            .collect();
+        FaultCtx {
+            plan: Arc::new(FaultPlan::new(FaultConfig {
+                seed: spec.seed,
+                drop_rate: spec.drop_rate,
+                corrupt_rate: spec.corrupt_rate,
+                delay_rate: spec.delay_rate,
+                max_delay: SimTime::from_us(spec.max_delay_us),
+                degraded_links: spec.degraded_links,
+                degrade_factor: spec.degrade_factor,
+                stalls,
+            })),
+            timeout: SimTime::from_us(spec.timeout_us),
+            budget: spec.retry_budget,
+        }
+    }
+}
+
 /// The simulated-SCC pipeline runner.
 pub struct SimRunner {
     cfg: RunConfig,
@@ -87,6 +147,7 @@ pub struct SimRunner {
     renderer: Arc<Renderer>,
     walkthrough: Walkthrough,
     dvfs: DvfsPlan,
+    fault: Option<FaultCtx>,
 }
 
 impl SimRunner {
@@ -116,6 +177,14 @@ impl SimRunner {
     ) -> SimRunner {
         cfg.validate().expect("invalid run configuration");
         let walkthrough = Walkthrough::standard(cfg.width as f32 / cfg.height as f32);
+        let fault = cfg
+            .fault
+            .as_ref()
+            .map(|s| FaultCtx::from_spec(s, &placement));
+        let mut platform = platform;
+        if let Some(ctx) = &fault {
+            platform.set_fault_plan(Arc::clone(&ctx.plan));
+        }
         SimRunner {
             renderer: Arc::new(Renderer::new(scene)),
             cfg,
@@ -124,6 +193,7 @@ impl SimRunner {
             platform,
             walkthrough,
             dvfs,
+            fault,
         }
     }
 
@@ -191,6 +261,15 @@ impl SimRunner {
         let mut outputs: Vec<Image> = Vec::new();
         let mut finish = SimTime::ZERO;
 
+        // Graceful-degradation state (only exercised under injected
+        // faults): which lanes have been declared dead, which lane owns
+        // each strip, and the stop-and-wait sequence counters per
+        // (sender, receiver) core pair.
+        let mut failed: Vec<bool> = vec![false; p];
+        let mut owner: Vec<usize> = (0..p).collect();
+        let mut degradations: Vec<DegradationEvent> = Vec::new();
+        let mut send_seqs: HashMap<(u8, u8), u64> = HashMap::new();
+
         for f in 0..self.cfg.frames {
             let cam = self.walkthrough.camera(f);
 
@@ -199,6 +278,8 @@ impl SimRunner {
             // sepia core's partition, plus (optionally) the pixels.
             let mut strip_arrivals: Vec<SimTime> = vec![SimTime::ZERO; p];
             let mut strip_frames: Vec<Frame> = Vec::with_capacity(p);
+            // Who produced each strip — the failover path re-sends from here.
+            let mut strip_sources: Vec<CoreId> = Vec::with_capacity(p);
 
             match self.cfg.renderer {
                 RendererMode::SingleRenderer => {
@@ -239,14 +320,25 @@ impl SimRunner {
 
                     // Fan the strips out, serialised on the render core.
                     for (i, frame) in strips.into_iter().enumerate() {
-                        let dst = filters[i][0].core;
-                        let start = t.max(filters[i][0].free);
-                        let resident =
-                            self.platform
-                                .send_to_partition(r.core, dst, start, frame.byte_len());
+                        let (start, resident) = send_strip(
+                            &mut self.platform,
+                            self.fault.as_ref(),
+                            &mut send_seqs,
+                            &filters,
+                            &mut failed,
+                            &mut owner,
+                            &mut degradations,
+                            &mut trace,
+                            i,
+                            f,
+                            r.core,
+                            t,
+                            frame.byte_len(),
+                        );
                         self.platform.record_busy(r.core, start, resident);
                         strip_arrivals[i] = resident;
                         strip_frames.push(frame);
+                        strip_sources.push(r.core);
                         t = resident;
                     }
                     r.busy += t - r.free;
@@ -310,14 +402,25 @@ impl SimRunner {
                             image,
                         };
 
-                        let dst = filters[i][0].core;
-                        let start = t.max(filters[i][0].free);
-                        let resident =
-                            self.platform
-                                .send_to_partition(r.core, dst, start, frame.byte_len());
+                        let (start, resident) = send_strip(
+                            &mut self.platform,
+                            self.fault.as_ref(),
+                            &mut send_seqs,
+                            &filters,
+                            &mut failed,
+                            &mut owner,
+                            &mut degradations,
+                            &mut trace,
+                            i,
+                            f,
+                            r.core,
+                            t,
+                            frame.byte_len(),
+                        );
                         self.platform.record_busy(r.core, start, resident);
                         strip_arrivals[i] = resident;
                         strip_frames.push(frame);
+                        strip_sources.push(r.core);
                         r.busy += resident - r.free;
                         r.free = resident;
                         r.frames += 1;
@@ -376,17 +479,25 @@ impl SimRunner {
                     });
                     let strips = make_strips(f, &strip_bounds, self.cfg.width, image);
                     for (i, frame) in strips.into_iter().enumerate() {
-                        let dst = filters[i][0].core;
-                        let start = t.max(filters[i][0].free);
-                        let resident = self.platform.send_to_partition(
+                        let (send_at, resident) = send_strip(
+                            &mut self.platform,
+                            self.fault.as_ref(),
+                            &mut send_seqs,
+                            &filters,
+                            &mut failed,
+                            &mut owner,
+                            &mut degradations,
+                            &mut trace,
+                            i,
+                            f,
                             conn.core,
-                            dst,
-                            start,
+                            t,
                             frame.byte_len(),
                         );
-                        self.platform.record_busy(conn.core, start, resident);
+                        self.platform.record_busy(conn.core, send_at, resident);
                         strip_arrivals[i] = resident;
                         strip_frames.push(frame);
+                        strip_sources.push(conn.core);
                         t = resident;
                     }
                     conn.busy += t - start;
@@ -400,118 +511,75 @@ impl SimRunner {
             for i in 0..p {
                 let mut avail = strip_arrivals[i];
                 let frame = &mut strip_frames[i];
-                let ctx = frame.ctx(self.cfg.seed);
-                let bytes = frame.byte_len();
-                for j in 0..5 {
-                    let (stage_core, stage_free, stage_kind) = {
-                        let stage = &mut filters[i][j];
-                        let idle = avail.saturating_sub(stage.free);
-                        stage.idle_samples.push(idle);
-                        (stage.core, stage.free, stage.kind)
-                    };
-                    let start = avail.max(stage_free);
-                    // Fetch the strip out of this core's DRAM partition.
-                    let t_fetch = self.platform.fetch_from_partition(stage_core, start, bytes);
-                    if let Some(log) = trace.as_mut() {
-                        log.span(
-                            stage_core,
-                            stage_kind,
-                            Some(i as u32),
-                            f,
-                            Phase::Wait,
-                            stage_free,
-                            start,
-                        );
-                        log.span(
-                            stage_core,
-                            stage_kind,
-                            Some(i as u32),
-                            f,
-                            Phase::Fetch,
-                            start,
-                            t_fetch,
-                        );
-                    }
-                    let mut t = t_fetch;
-                    // Apply (really, in full fidelity) and charge compute.
-                    let cycles = match &frame.image {
-                        Some(img) => {
-                            let c = self.cost.filter_cycles(impls[j].as_ref(), img, &ctx);
-                            // Mutate the pixels.
-                            impls[j].apply(frame.image.as_mut().expect("image present"), &ctx);
-                            c
+                // Under faults, keep a pristine copy so an adopted strip is
+                // re-processed from scratch on the surviving lane (the
+                // filters are deterministic in the strip's identity, so the
+                // pixels come out bit-identical).
+                let pristine = self.fault.is_some().then(|| frame.clone());
+                loop {
+                    let lane = owner[i];
+                    match run_strip_on_lane(
+                        &mut self.platform,
+                        &self.cost,
+                        &impls,
+                        &mut filters[lane],
+                        lane as u32,
+                        transfer.core,
+                        transfer.free,
+                        &mut trace,
+                        self.cfg.seed,
+                        self.cfg.width,
+                        f,
+                        frame,
+                        avail,
+                        self.fault.as_ref(),
+                        &mut send_seqs,
+                    ) {
+                        Ok(done) => {
+                            swap_arrivals[i] = done;
+                            break;
                         }
-                        None => {
-                            // Timing-only: identical cost from a synthetic
-                            // image descriptor of the same geometry.
-                            let proxy = Image::new(self.cfg.width, frame.strip.height);
-                            self.cost.filter_cycles(impls[j].as_ref(), &proxy, &ctx)
+                        Err((j, at)) => {
+                            let culprit = if j < 5 {
+                                StageKind::PIPELINE_FILTERS[j].name()
+                            } else {
+                                StageKind::Transfer.name()
+                            };
+                            let adopter = mark_failed(
+                                &mut failed,
+                                &mut degradations,
+                                &mut trace,
+                                &filters,
+                                lane,
+                                f,
+                                at,
+                                format!("{culprit} unresponsive beyond retry budget"),
+                            );
+                            owner[i] = adopter;
+                            // The source re-sends the pristine strip to the
+                            // adopting lane and processing restarts there.
+                            if let Some(original) = &pristine {
+                                *frame = original.clone();
+                            }
+                            let (_, resident) = send_strip(
+                                &mut self.platform,
+                                self.fault.as_ref(),
+                                &mut send_seqs,
+                                &filters,
+                                &mut failed,
+                                &mut owner,
+                                &mut degradations,
+                                &mut trace,
+                                i,
+                                f,
+                                strip_sources[i],
+                                at,
+                                frame.byte_len(),
+                            );
+                            avail = resident;
                         }
-                    };
-                    t = self.platform.compute(stage_core, t, cycles as u64);
-                    if let Some(log) = trace.as_mut() {
-                        log.span(
-                            stage_core,
-                            stage_kind,
-                            Some(i as u32),
-                            f,
-                            Phase::Compute,
-                            t_fetch,
-                            t,
-                        );
                     }
-                    let t_compute = t;
-                    // Stage-specific extra traffic through the cache model.
-                    let traffic = self.cost.stage_traffic(stage_kind, bytes);
-                    t = self
-                        .platform
-                        .mem_stream(stage_core, t, MemOp::Read, traffic.read_bytes);
-                    t = self
-                        .platform
-                        .mem_stream(stage_core, t, MemOp::Write, traffic.write_bytes);
-                    self.platform.record_busy(stage_core, start, t);
-                    if let Some(log) = trace.as_mut() {
-                        log.span(
-                            stage_core,
-                            stage_kind,
-                            Some(i as u32),
-                            f,
-                            Phase::Memory,
-                            t_compute,
-                            t,
-                        );
-                    }
-
-                    // Hand over to the next stage (or the transfer stage),
-                    // rendezvous-paced.
-                    let (next_core, next_free) = if j + 1 < 5 {
-                        (filters[i][j + 1].core, filters[i][j + 1].free)
-                    } else {
-                        (transfer.core, transfer.free)
-                    };
-                    let send_start = t.max(next_free);
-                    let resident = self
-                        .platform
-                        .send_to_partition(stage_core, next_core, send_start, bytes);
-                    self.platform.record_busy(stage_core, send_start, resident);
-                    if let Some(log) = trace.as_mut() {
-                        log.span(
-                            stage_core,
-                            stage_kind,
-                            Some(i as u32),
-                            f,
-                            Phase::Send,
-                            t,
-                            resident,
-                        );
-                    }
-                    let stage = &mut filters[i][j];
-                    stage.busy += resident - start;
-                    stage.free = resident;
-                    stage.frames += 1;
-                    avail = resident;
                 }
-                swap_arrivals[i] = avail;
             }
 
             // ---- transfer: collect strips, assemble, ship to the client ----
@@ -608,10 +676,307 @@ impl SimRunner {
             scc_idle_power: self.platform.idle_power(),
             mcpc_busy_secs: mcpc_busy.as_secs_f64(),
             platform: self.platform.stats(),
+            degradations,
             outputs: (fidelity == Fidelity::Full).then_some(outputs),
             trace,
         }
     }
+}
+
+/// One virtual-time reliable send: each attempt rolls its own fate from
+/// the fault plan; lost or corrupted attempts burn an exponentially
+/// growing ack window before the retransmission. Fails (returning the
+/// detection time) when the receiver is stalled beyond everything the
+/// sender is still willing to wait, or when every attempt is lost.
+fn faulted_send(
+    platform: &mut SccPlatform,
+    ctx: &FaultCtx,
+    seqs: &mut HashMap<(u8, u8), u64>,
+    from: CoreId,
+    to: CoreId,
+    start: SimTime,
+    bytes: u64,
+) -> Result<SimTime, SimTime> {
+    let seq = {
+        let counter = seqs.entry((from.raw(), to.raw())).or_insert(0);
+        let s = *counter;
+        *counter += 1;
+        s
+    };
+    let mut t = start;
+    for attempt in 0..=ctx.budget {
+        if ctx.plan.stall_remaining(to.raw(), t) > ctx.patience_from(attempt) {
+            // The receiver cannot wake before the last retry window
+            // closes; no ack will ever arrive.
+            return Err(t + ctx.patience_from(attempt));
+        }
+        match ctx
+            .plan
+            .message_outcome(from.raw() as u64, to.raw() as u64, seq, attempt)
+        {
+            MessageOutcome::Deliver => {
+                return Ok(platform.send_to_partition(from, to, t, bytes));
+            }
+            MessageOutcome::Delay(d) => {
+                return Ok(platform.send_to_partition(from, to, t + d, bytes));
+            }
+            MessageOutcome::Drop | MessageOutcome::Corrupt { .. } => {
+                // Lost outright, or delivered mangled and rejected by the
+                // receiver's CRC check: either way no ack arrives and the
+                // sender backs off.
+                t += ctx.timeout * (1u64 << attempt);
+            }
+        }
+    }
+    Err(t)
+}
+
+/// The next pipeline after `from` (wrapping) that has not failed.
+/// Panics when none survives: with every lane dead the walkthrough
+/// genuinely cannot be delivered.
+fn next_healthy(failed: &[bool], from: usize) -> usize {
+    let p = failed.len();
+    (1..p)
+        .map(|k| (from + k) % p)
+        .find(|&k| !failed[k])
+        .expect("no surviving pipeline to adopt the strip")
+}
+
+/// Declare `lane` failed, record the degradation decision, and return the
+/// adopting lane.
+#[allow(clippy::too_many_arguments)]
+fn mark_failed(
+    failed: &mut [bool],
+    degradations: &mut Vec<DegradationEvent>,
+    trace: &mut Option<TraceLog>,
+    filters: &[[StageState; 5]],
+    lane: usize,
+    frame: u64,
+    at: SimTime,
+    reason: String,
+) -> usize {
+    failed[lane] = true;
+    let adopter = next_healthy(failed, lane);
+    degradations.push(DegradationEvent {
+        frame,
+        pipeline: lane as u32,
+        reassigned_to: adopter as u32,
+        at_secs: at.as_secs_f64(),
+        reason,
+    });
+    if let Some(log) = trace.as_mut() {
+        log.span(
+            filters[lane][0].core,
+            StageKind::PIPELINE_FILTERS[0],
+            Some(lane as u32),
+            frame,
+            Phase::Degrade,
+            at,
+            at + SimTime::from_us(1),
+        );
+    }
+    adopter
+}
+
+/// Route strip `strip` of frame `f` from `src` into its owner lane's
+/// first filter stage, failing over to the next surviving lane whenever
+/// the reliable send gives up on the current owner. Returns the send's
+/// (start, resident-in-partition) times.
+#[allow(clippy::too_many_arguments)]
+fn send_strip(
+    platform: &mut SccPlatform,
+    fault: Option<&FaultCtx>,
+    seqs: &mut HashMap<(u8, u8), u64>,
+    filters: &[[StageState; 5]],
+    failed: &mut [bool],
+    owner: &mut [usize],
+    degradations: &mut Vec<DegradationEvent>,
+    trace: &mut Option<TraceLog>,
+    strip: usize,
+    f: u64,
+    src: CoreId,
+    t: SimTime,
+    bytes: u64,
+) -> (SimTime, SimTime) {
+    let Some(fc) = fault else {
+        let start = t.max(filters[strip][0].free);
+        let resident = platform.send_to_partition(src, filters[strip][0].core, start, bytes);
+        return (start, resident);
+    };
+    let mut t = t;
+    loop {
+        let lane = owner[strip];
+        let start = t.max(filters[lane][0].free);
+        match faulted_send(platform, fc, seqs, src, filters[lane][0].core, start, bytes) {
+            Ok(resident) => return (start, resident),
+            Err(at) => {
+                let adopter = mark_failed(
+                    failed,
+                    degradations,
+                    trace,
+                    filters,
+                    lane,
+                    f,
+                    at,
+                    format!(
+                        "{} unresponsive beyond retry budget",
+                        StageKind::PIPELINE_FILTERS[0].name()
+                    ),
+                );
+                owner[strip] = adopter;
+                t = at;
+            }
+        }
+    }
+}
+
+/// Run one strip through the five filter stages of `lane_states`,
+/// charging virtual time exactly like the healthy inline path. Under
+/// faults, sends use the retry protocol and a stage stalled beyond the
+/// full retry horizon aborts with `Err((stage index, detection time))`
+/// so the caller can fail the lane over.
+#[allow(clippy::too_many_arguments)]
+fn run_strip_on_lane(
+    platform: &mut SccPlatform,
+    cost: &CostModel,
+    impls: &[Box<dyn ImageFilter>; 5],
+    lane_states: &mut [StageState; 5],
+    lane: u32,
+    transfer_core: CoreId,
+    transfer_free: SimTime,
+    trace: &mut Option<TraceLog>,
+    run_seed: u64,
+    width: u32,
+    f: u64,
+    frame: &mut Frame,
+    avail_in: SimTime,
+    fault: Option<&FaultCtx>,
+    seqs: &mut HashMap<(u8, u8), u64>,
+) -> Result<SimTime, (usize, SimTime)> {
+    let ctx = frame.ctx(run_seed);
+    let bytes = frame.byte_len();
+    let mut avail = avail_in;
+    for j in 0..5 {
+        let (stage_core, stage_free, stage_kind) = {
+            let stage = &mut lane_states[j];
+            let idle = avail.saturating_sub(stage.free);
+            stage.idle_samples.push(idle);
+            (stage.core, stage.free, stage.kind)
+        };
+        let start = avail.max(stage_free);
+        if let Some(fc) = fault {
+            // The upstream sender's retransmissions go unanswered while
+            // this core is stalled; past the full horizon it is declared
+            // dead before any more virtual time is sunk into it.
+            if fc.plan.stall_remaining(stage_core.raw(), start) > fc.horizon() {
+                return Err((j, start + fc.horizon()));
+            }
+        }
+        // Fetch the strip out of this core's DRAM partition.
+        let t_fetch = platform.fetch_from_partition(stage_core, start, bytes);
+        if let Some(log) = trace.as_mut() {
+            log.span(
+                stage_core,
+                stage_kind,
+                Some(lane),
+                f,
+                Phase::Wait,
+                stage_free,
+                start,
+            );
+            log.span(
+                stage_core,
+                stage_kind,
+                Some(lane),
+                f,
+                Phase::Fetch,
+                start,
+                t_fetch,
+            );
+        }
+        let mut t = t_fetch;
+        // Apply (really, in full fidelity) and charge compute.
+        let cycles = match &frame.image {
+            Some(img) => {
+                let c = cost.filter_cycles(impls[j].as_ref(), img, &ctx);
+                // Mutate the pixels.
+                impls[j].apply(frame.image.as_mut().expect("image present"), &ctx);
+                c
+            }
+            None => {
+                // Timing-only: identical cost from a synthetic image
+                // descriptor of the same geometry.
+                let proxy = Image::new(width, frame.strip.height);
+                cost.filter_cycles(impls[j].as_ref(), &proxy, &ctx)
+            }
+        };
+        t = platform.compute(stage_core, t, cycles as u64);
+        if let Some(log) = trace.as_mut() {
+            log.span(
+                stage_core,
+                stage_kind,
+                Some(lane),
+                f,
+                Phase::Compute,
+                t_fetch,
+                t,
+            );
+        }
+        let t_compute = t;
+        // Stage-specific extra traffic through the cache model.
+        let traffic = cost.stage_traffic(stage_kind, bytes);
+        t = platform.mem_stream(stage_core, t, MemOp::Read, traffic.read_bytes);
+        t = platform.mem_stream(stage_core, t, MemOp::Write, traffic.write_bytes);
+        platform.record_busy(stage_core, start, t);
+        if let Some(log) = trace.as_mut() {
+            log.span(
+                stage_core,
+                stage_kind,
+                Some(lane),
+                f,
+                Phase::Memory,
+                t_compute,
+                t,
+            );
+        }
+
+        // Hand over to the next stage (or the transfer stage),
+        // rendezvous-paced.
+        let (next_core, next_free) = if j + 1 < 5 {
+            (lane_states[j + 1].core, lane_states[j + 1].free)
+        } else {
+            (transfer_core, transfer_free)
+        };
+        let send_start = t.max(next_free);
+        let resident = match fault {
+            Some(fc) => {
+                match faulted_send(platform, fc, seqs, stage_core, next_core, send_start, bytes) {
+                    Ok(r) => r,
+                    // Blame the receiving stage: it is the one not acking.
+                    Err(at) => return Err((j + 1, at)),
+                }
+            }
+            None => platform.send_to_partition(stage_core, next_core, send_start, bytes),
+        };
+        platform.record_busy(stage_core, send_start, resident);
+        if let Some(log) = trace.as_mut() {
+            log.span(
+                stage_core,
+                stage_kind,
+                Some(lane),
+                f,
+                Phase::Send,
+                t,
+                resident,
+            );
+        }
+        let stage = &mut lane_states[j];
+        stage.busy += resident - start;
+        stage.free = resident;
+        stage.frames += 1;
+        avail = resident;
+    }
+    Ok(avail)
 }
 
 fn strip_info(i: usize, bounds: &[(u32, u32)], full_height: u32) -> StripInfo {
@@ -680,6 +1045,7 @@ mod tests {
             seed: 42,
             fidelity: Fidelity::TimingOnly,
             trace: false,
+            fault: None,
         }
     }
 
@@ -812,6 +1178,99 @@ mod tests {
     }
 
     #[test]
+    fn quiet_fault_plan_changes_nothing() {
+        // An installed fault plan with all rates at zero and no stall must
+        // be a perfect identity on the virtual timeline.
+        let scene = tiny_scene();
+        let base = SimRunner::new(
+            quick_cfg(RendererMode::SingleRenderer, 2),
+            Arc::clone(&scene),
+        )
+        .run();
+        let mut cfg = quick_cfg(RendererMode::SingleRenderer, 2);
+        cfg.fault = Some(crate::spec::FaultSpec::default());
+        let quiet = SimRunner::new(cfg, scene).run();
+        assert_eq!(base.total_secs, quiet.total_secs);
+        assert_eq!(base.scc_energy_joules, quiet.scc_energy_joules);
+        assert_eq!(base.platform.noc_messages, quiet.platform.noc_messages);
+        assert!(quiet.degradations.is_empty());
+    }
+
+    #[test]
+    fn chaos_run_delivers_every_frame_bit_identical() {
+        // The headline acceptance scenario: 1% flit loss plus one filter
+        // core stalled forever. The walkthrough must still deliver every
+        // frame, pixel-for-pixel equal to the clean run, with the failover
+        // recorded.
+        use crate::spec::StallSpec;
+        let scene = tiny_scene();
+        let mut clean = quick_cfg(RendererMode::SingleRenderer, 3);
+        clean.fidelity = Fidelity::Full;
+        clean.frames = 4;
+        let reference = SimRunner::new(clean.clone(), Arc::clone(&scene)).run();
+
+        let mut chaos = clean.clone();
+        chaos.fault = Some(FaultSpec {
+            drop_rate: 0.01,
+            stall: Some(StallSpec {
+                pipeline: 1,
+                stage: 2,
+                at_ms: 0,
+                for_ms: u64::MAX,
+            }),
+            ..FaultSpec::default()
+        });
+        let report = SimRunner::new(chaos, scene).run();
+
+        assert!(
+            !report.degradations.is_empty(),
+            "the stalled scratch core must trigger a failover"
+        );
+        assert_eq!(report.degradations[0].pipeline, 1);
+        assert_ne!(report.degradations[0].reassigned_to, 1);
+        let want = reference.outputs.expect("clean frames");
+        let got = report.outputs.expect("chaos frames");
+        assert_eq!(got.len(), want.len(), "a frame was lost under faults");
+        for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(
+                crate::viz::frame_checksum(a),
+                crate::viz::frame_checksum(b),
+                "frame {i} differs from the clean run"
+            );
+        }
+        // Degradation costs time: the chaos run cannot be faster.
+        assert!(report.total_secs >= reference.total_secs);
+    }
+
+    #[test]
+    fn same_fault_seed_means_identical_fingerprints() {
+        use crate::spec::StallSpec;
+        let scene = tiny_scene();
+        let mut cfg = quick_cfg(RendererMode::PerPipelineRenderer, 3);
+        cfg.fidelity = Fidelity::Full;
+        cfg.frames = 3;
+        cfg.fault = Some(FaultSpec {
+            drop_rate: 0.05,
+            corrupt_rate: 0.02,
+            delay_rate: 0.1,
+            degraded_links: 3,
+            degrade_factor: 0.5,
+            stall: Some(StallSpec {
+                pipeline: 0,
+                stage: 1,
+                at_ms: 1,
+                for_ms: u64::MAX,
+            }),
+            ..FaultSpec::default()
+        });
+        let a = SimRunner::new(cfg.clone(), Arc::clone(&scene)).run();
+        let b = SimRunner::new(cfg, scene).run();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert!(!a.degradations.is_empty());
+        assert_eq!(a.degradations, b.degradations);
+    }
+
+    #[test]
     fn power_trace_spans_run() {
         let report = SimRunner::new(quick_cfg(RendererMode::SingleRenderer, 2), tiny_scene()).run();
         assert!(!report.power_trace.is_empty());
@@ -842,6 +1301,7 @@ mod trace_tests {
             seed: 1,
             fidelity: Fidelity::TimingOnly,
             trace: true,
+            fault: None,
         };
         let scene = Arc::new(Scene::city(CityConfig {
             side: 8,

@@ -129,6 +129,100 @@ pub enum Fidelity {
     TimingOnly,
 }
 
+/// A core stall injected into the simulated run, addressed by pipeline
+/// position rather than raw core id so it survives placement changes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct StallSpec {
+    /// Which pipeline's stage stalls (0-based).
+    pub pipeline: u32,
+    /// Which of the five filter stages stalls (0-based, sepia..swap).
+    pub stage: u32,
+    /// Start of the stall window, milliseconds of virtual time.
+    pub at_ms: u64,
+    /// Stall length, milliseconds; `u64::MAX` = never recovers.
+    pub for_ms: u64,
+}
+
+/// Fault-injection knobs for a run. All rates are per transmission
+/// attempt; the same seed always produces the same fault schedule.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultSpec {
+    /// Seed of the deterministic fault schedule.
+    pub seed: u64,
+    /// Probability a message transmission attempt is lost.
+    pub drop_rate: f64,
+    /// Probability a message transmission attempt arrives corrupted.
+    pub corrupt_rate: f64,
+    /// Probability a NoC message / transmission attempt is delayed.
+    pub delay_rate: f64,
+    /// Upper bound of an injected delay, microseconds.
+    pub max_delay_us: u64,
+    /// Number of mesh links running at `degrade_factor` bandwidth.
+    pub degraded_links: u32,
+    /// Bandwidth multiplier of a degraded link (0 < f ≤ 1).
+    pub degrade_factor: f64,
+    /// Optional core stall.
+    pub stall: Option<StallSpec>,
+    /// Per-attempt acknowledgement timeout, microseconds of virtual time
+    /// (wall-clock milliseconds on the native runner).
+    pub timeout_us: u64,
+    /// Retransmissions allowed after the first attempt.
+    pub retry_budget: u32,
+}
+
+impl Default for FaultSpec {
+    /// A seeded but quiet plan: retry machinery armed, no faults injected.
+    fn default() -> Self {
+        FaultSpec {
+            seed: 0xFA_017,
+            drop_rate: 0.0,
+            corrupt_rate: 0.0,
+            delay_rate: 0.0,
+            max_delay_us: 200,
+            degraded_links: 0,
+            degrade_factor: 1.0,
+            stall: None,
+            timeout_us: 5_000,
+            retry_budget: 3,
+        }
+    }
+}
+
+impl FaultSpec {
+    pub fn validate(&self, pipelines: u32) -> Result<(), String> {
+        for (name, rate) in [
+            ("drop_rate", self.drop_rate),
+            ("corrupt_rate", self.corrupt_rate),
+            ("delay_rate", self.delay_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("{name} {rate} outside [0, 1]"));
+            }
+        }
+        if self.drop_rate + self.corrupt_rate + self.delay_rate > 1.0 {
+            return Err("fault rates sum beyond 1".into());
+        }
+        if !(self.degrade_factor > 0.0 && self.degrade_factor <= 1.0) {
+            return Err(format!(
+                "degrade_factor {} outside (0, 1]",
+                self.degrade_factor
+            ));
+        }
+        if let Some(stall) = &self.stall {
+            if stall.pipeline >= pipelines {
+                return Err(format!(
+                    "stall targets pipeline {} of {pipelines}",
+                    stall.pipeline
+                ));
+            }
+            if stall.stage >= StageKind::PIPELINE_FILTERS.len() as u32 {
+                return Err(format!("stall targets stage {} of 5", stall.stage));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A complete experiment description.
 #[derive(Debug, Clone, Serialize)]
 pub struct RunConfig {
@@ -146,6 +240,8 @@ pub struct RunConfig {
     pub fidelity: Fidelity,
     /// Record per-stage phase spans (exportable to Chrome trace JSON).
     pub trace: bool,
+    /// Fault injection; `None` runs the healthy fast path unchanged.
+    pub fault: Option<FaultSpec>,
 }
 
 impl Default for RunConfig {
@@ -163,6 +259,7 @@ impl Default for RunConfig {
             seed: 0x51CC_F11F,
             fidelity: Fidelity::TimingOnly,
             trace: false,
+            fault: None,
         }
     }
 }
@@ -185,6 +282,9 @@ impl RunConfig {
         }
         if self.width == 0 || self.height == 0 || self.frames == 0 {
             return Err("degenerate geometry".into());
+        }
+        if let Some(fault) = &self.fault {
+            fault.validate(self.pipelines)?;
         }
         Ok(())
     }
@@ -248,6 +348,61 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn fault_spec_validation() {
+        let mut cfg = RunConfig {
+            fault: Some(FaultSpec::default()),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_ok(), "quiet fault spec is valid");
+
+        cfg.fault = Some(FaultSpec {
+            drop_rate: 1.5,
+            ..FaultSpec::default()
+        });
+        assert!(cfg.validate().is_err(), "rate beyond 1 rejected");
+
+        cfg.fault = Some(FaultSpec {
+            drop_rate: 0.5,
+            corrupt_rate: 0.4,
+            delay_rate: 0.3,
+            ..FaultSpec::default()
+        });
+        assert!(cfg.validate().is_err(), "rates summing beyond 1 rejected");
+
+        cfg.fault = Some(FaultSpec {
+            degrade_factor: 0.0,
+            ..FaultSpec::default()
+        });
+        assert!(cfg.validate().is_err(), "zero-bandwidth link rejected");
+
+        cfg.fault = Some(FaultSpec {
+            stall: Some(StallSpec {
+                pipeline: 5,
+                stage: 0,
+                at_ms: 0,
+                for_ms: 1,
+            }),
+            ..FaultSpec::default()
+        });
+        assert!(
+            cfg.validate().is_err(),
+            "stall beyond pipeline count rejected"
+        );
+
+        cfg.pipelines = 2;
+        cfg.fault = Some(FaultSpec {
+            stall: Some(StallSpec {
+                pipeline: 1,
+                stage: 4,
+                at_ms: 10,
+                for_ms: 50,
+            }),
+            ..FaultSpec::default()
+        });
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub enum Phase {
     Memory,
     /// Pushing the frame into the next stage's partition.
     Send,
+    /// A failed pipeline's strip being adopted by a surviving neighbour
+    /// (fault-injection runs only).
+    Degrade,
 }
 
 impl Phase {
@@ -35,6 +38,7 @@ impl Phase {
             Phase::Compute => "compute",
             Phase::Memory => "memory",
             Phase::Send => "send",
+            Phase::Degrade => "degrade",
         }
     }
 }

@@ -10,11 +10,13 @@
 //! `recv` — the native runner's equivalent of the paper's per-stage idle
 //! times (Figure 15).
 
+use crate::crc::crc32;
 use crate::error::RcceError;
 use crate::mpb::MpbConfig;
-use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use bytes::{BufMut, Bytes, BytesMut};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
+use scc_sim::fault::{FaultPlan, MessageOutcome};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -30,6 +32,12 @@ pub struct CommStats {
     pub recv_wait_ns: AtomicU64,
     /// Nanoseconds spent blocked in `send` backpressure.
     pub send_wait_ns: AtomicU64,
+    /// Transmission attempts beyond the first (reliable path).
+    pub retransmissions: AtomicU64,
+    /// Payloads discarded on arrival because their CRC failed.
+    pub corrupt_drops: AtomicU64,
+    /// Reliable operations that gave up (timeout or retry exhaustion).
+    pub timeouts: AtomicU64,
 }
 
 impl CommStats {
@@ -42,6 +50,38 @@ impl CommStats {
     }
 }
 
+/// Retry/timeout policy for the reliable (`send_reliable`/`recv_reliable`)
+/// protocol: a stop-and-wait ARQ with exponential backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reliability {
+    /// Acknowledgement window for the first attempt; attempt `n` waits
+    /// `timeout << n`.
+    pub timeout: Duration,
+    /// Retransmissions allowed after the first attempt.
+    pub retries: u32,
+}
+
+impl Default for Reliability {
+    fn default() -> Self {
+        Reliability {
+            timeout: Duration::from_millis(200),
+            retries: 3,
+        }
+    }
+}
+
+impl Reliability {
+    /// Total worst-case patience of a receiver: the sum of every backoff
+    /// window the slowest compliant sender could still be inside.
+    fn receiver_patience(&self) -> Duration {
+        // sum_{n=0..=retries} timeout * 2^n = timeout * (2^(retries+1) - 1)
+        self.timeout
+            * (2u32.saturating_pow(self.retries + 1))
+                .saturating_sub(1)
+                .max(1)
+    }
+}
+
 /// One rank's endpoint of the communicator.
 pub struct Endpoint {
     rank: usize,
@@ -50,9 +90,20 @@ pub struct Endpoint {
     outs: Vec<Option<Sender<Bytes>>>,
     /// `ins[s]` receives from rank s.
     ins: Vec<Option<Receiver<Bytes>>>,
+    /// `ack_outs[s]` acknowledges data received from rank s.
+    ack_outs: Vec<Option<Sender<u64>>>,
+    /// `ack_ins[d]` carries acknowledgements from rank d for our sends.
+    ack_ins: Vec<Option<Receiver<u64>>>,
+    /// Next sequence number for reliable sends to each destination.
+    send_seq: Vec<AtomicU64>,
+    /// Next expected sequence number from each source.
+    recv_seq: Vec<AtomicU64>,
     barrier: Arc<Barrier>,
     mpb: MpbConfig,
     stats: Arc<CommStats>,
+    reliability: Reliability,
+    /// Deterministic fault schedule applied to reliable sends.
+    fault: Option<Arc<FaultPlan>>,
     /// Per-source wait samples, for idle-time quartiles.
     wait_samples: Mutex<Vec<Duration>>,
 }
@@ -71,6 +122,16 @@ pub fn communicator(size: usize, window_msgs: usize, mpb: MpbConfig) -> Vec<Endp
     let mut receivers: Vec<Vec<Option<Receiver<Bytes>>>> = (0..size)
         .map(|_| (0..size).map(|_| None).collect())
         .collect();
+    // ack_senders[receiver][sender]: the ack path for data flowing
+    // sender -> receiver. Sized generously so a receiver's ack never
+    // blocks (a full ack channel is treated as a lost ack; the protocol
+    // recovers via retransmission either way).
+    let mut ack_senders: Vec<Vec<Option<Sender<u64>>>> = (0..size)
+        .map(|_| (0..size).map(|_| None).collect())
+        .collect();
+    let mut ack_receivers: Vec<Vec<Option<Receiver<u64>>>> = (0..size)
+        .map(|_| (0..size).map(|_| None).collect())
+        .collect();
     for s in 0..size {
         for d in 0..size {
             if s == d {
@@ -79,20 +140,30 @@ pub fn communicator(size: usize, window_msgs: usize, mpb: MpbConfig) -> Vec<Endp
             let (tx, rx) = bounded(window_msgs);
             senders[s][d] = Some(tx);
             receivers[d][s] = Some(rx);
+            let (ack_tx, ack_rx) = bounded(window_msgs * 4 + 4);
+            ack_senders[d][s] = Some(ack_tx);
+            ack_receivers[s][d] = Some(ack_rx);
         }
     }
     senders
         .into_iter()
         .zip(receivers)
+        .zip(ack_senders.into_iter().zip(ack_receivers))
         .enumerate()
-        .map(|(rank, (outs, ins))| Endpoint {
+        .map(|(rank, ((outs, ins), (ack_outs, ack_ins)))| Endpoint {
             rank,
             size,
             outs,
             ins,
+            ack_outs,
+            ack_ins,
+            send_seq: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            recv_seq: (0..size).map(|_| AtomicU64::new(0)).collect(),
             barrier: Arc::clone(&barrier),
             mpb,
             stats: Arc::new(CommStats::default()),
+            reliability: Reliability::default(),
+            fault: None,
             wait_samples: Mutex::new(Vec::new()),
         })
         .collect()
@@ -186,6 +257,183 @@ impl Endpoint {
         }
     }
 
+    /// Install a deterministic fault schedule on this endpoint's reliable
+    /// send path (call before moving the endpoint into its thread). The
+    /// plan perturbs transmissions; the protocol is what recovers.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.fault = Some(plan);
+    }
+
+    /// Configure the retry/timeout policy (call before moving the
+    /// endpoint into its thread).
+    pub fn set_reliability(&mut self, reliability: Reliability) {
+        self.reliability = reliability;
+    }
+
+    pub fn reliability(&self) -> Reliability {
+        self.reliability
+    }
+
+    /// Reliable blocking send: CRC-framed stop-and-wait with bounded
+    /// retransmission and exponential backoff. Pairs with
+    /// [`Endpoint::recv_reliable`] on the destination rank.
+    pub fn send_reliable(&self, dst: usize, payload: Bytes) -> Result<(), RcceError> {
+        if dst >= self.size || dst == self.rank {
+            return Err(RcceError::InvalidRank {
+                rank: dst,
+                size: self.size,
+            });
+        }
+        let tx = self.outs[dst].as_ref().expect("channel matrix hole");
+        let ack_rx = self.ack_ins[dst].as_ref().expect("ack matrix hole");
+        let seq = self.send_seq[dst].fetch_add(1, Ordering::Relaxed);
+        let envelope = encode_envelope(seq, &payload);
+        let attempts = self.reliability.retries + 1;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.stats.retransmissions.fetch_add(1, Ordering::Relaxed);
+            }
+            let outcome = match &self.fault {
+                Some(plan) => plan.message_outcome(self.rank as u64, dst as u64, seq, attempt),
+                None => MessageOutcome::Deliver,
+            };
+            let transmitted = match outcome {
+                MessageOutcome::Drop => false,
+                MessageOutcome::Corrupt { offset, xor } => {
+                    let t0 = Instant::now();
+                    tx.send(corrupt_envelope(&envelope, offset, xor))
+                        .map_err(|_| RcceError::Disconnected { rank: dst })?;
+                    self.stats
+                        .send_wait_ns
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    true
+                }
+                MessageOutcome::Delay(d) => {
+                    // Bound the injected latency so a hostile plan cannot
+                    // freeze the thread past its own ack window.
+                    let sleep =
+                        Duration::from_nanos(d.as_ps() / 1000).min(self.reliability.timeout / 2);
+                    std::thread::sleep(sleep);
+                    let t0 = Instant::now();
+                    tx.send(envelope.clone())
+                        .map_err(|_| RcceError::Disconnected { rank: dst })?;
+                    self.stats
+                        .send_wait_ns
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    true
+                }
+                MessageOutcome::Deliver => {
+                    let t0 = Instant::now();
+                    tx.send(envelope.clone())
+                        .map_err(|_| RcceError::Disconnected { rank: dst })?;
+                    self.stats
+                        .send_wait_ns
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    true
+                }
+            };
+            let _ = transmitted; // a dropped attempt still burns its window
+            let window = self
+                .reliability
+                .timeout
+                .checked_mul(1 << attempt.min(16))
+                .unwrap_or(Duration::MAX);
+            let deadline = Instant::now() + window;
+            loop {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                match ack_rx.recv_timeout(remaining) {
+                    Ok(acked) if acked == seq => {
+                        self.stats.sent_messages.fetch_add(1, Ordering::Relaxed);
+                        self.stats
+                            .sent_bytes
+                            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                        return Ok(());
+                    }
+                    // A stale ack from an earlier message; keep waiting.
+                    Ok(_) => continue,
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(RcceError::Disconnected { rank: dst });
+                    }
+                }
+            }
+        }
+        self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+        Err(RcceError::RetriesExhausted {
+            rank: dst,
+            attempts,
+        })
+    }
+
+    /// Reliable blocking receive from `src`: verifies the CRC, discards
+    /// corrupt or duplicate deliveries (re-acknowledging duplicates so the
+    /// sender can make progress), and acknowledges the first intact copy.
+    pub fn recv_reliable(&self, src: usize) -> Result<Bytes, RcceError> {
+        if src >= self.size || src == self.rank {
+            return Err(RcceError::InvalidRank {
+                rank: src,
+                size: self.size,
+            });
+        }
+        let rx = self.ins[src].as_ref().expect("channel matrix hole");
+        let ack_tx = self.ack_outs[src].as_ref().expect("ack matrix hole");
+        let expected = self.recv_seq[src].load(Ordering::Relaxed);
+        let t0 = Instant::now();
+        let deadline = t0 + self.reliability.receiver_patience();
+        let mut saw_corrupt = false;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                return Err(if saw_corrupt {
+                    RcceError::Corrupt { rank: src }
+                } else {
+                    RcceError::Timeout { rank: src }
+                });
+            }
+            let envelope = match rx.recv_timeout(remaining) {
+                Ok(e) => e,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(RcceError::Disconnected { rank: src });
+                }
+            };
+            let (seq, payload) = match decode_envelope(&envelope) {
+                Some(ok) => ok,
+                None => {
+                    // Corrupt in flight: no ack, the sender will retry.
+                    self.stats.corrupt_drops.fetch_add(1, Ordering::Relaxed);
+                    saw_corrupt = true;
+                    continue;
+                }
+            };
+            if seq < expected {
+                // Duplicate of an already-delivered message (our ack was
+                // lost or late); re-acknowledge and keep waiting.
+                let _ = ack_tx.try_send(seq);
+                continue;
+            }
+            // Stop-and-wait over a FIFO channel cannot reorder, so an
+            // intact envelope at this point is the expected one.
+            debug_assert_eq!(seq, expected, "reliable stream reordered");
+            let _ = ack_tx.try_send(seq);
+            self.recv_seq[src].store(seq + 1, Ordering::Relaxed);
+            let waited = t0.elapsed();
+            self.stats
+                .recv_wait_ns
+                .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+            self.wait_samples.lock().push(waited);
+            self.stats.recv_messages.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .recv_bytes
+                .fetch_add(payload.len() as u64, Ordering::Relaxed);
+            return Ok(payload);
+        }
+    }
+
     /// Synchronise all ranks (RCCE_barrier).
     pub fn barrier(&self) {
         self.barrier.wait();
@@ -200,6 +448,47 @@ impl Endpoint {
     pub fn chunks_for(&self, bytes: u64) -> u64 {
         self.mpb.chunks(bytes)
     }
+}
+
+/// Reliable-path wire format: `[seq: u64][crc32(payload): u32][payload]`,
+/// big-endian. The CRC covers only the payload; a corrupted header makes
+/// `decode_envelope` fail closed (seq/crc mismatch against the payload).
+const ENVELOPE_HEADER: usize = 12;
+
+fn encode_envelope(seq: u64, payload: &Bytes) -> Bytes {
+    let mut buf = BytesMut::with_capacity(ENVELOPE_HEADER + payload.len());
+    buf.put_u64(seq);
+    buf.put_u32(crc32(payload));
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+fn decode_envelope(envelope: &Bytes) -> Option<(u64, Bytes)> {
+    let raw: &[u8] = envelope;
+    if raw.len() < ENVELOPE_HEADER {
+        return None;
+    }
+    let seq = u64::from_be_bytes(raw[0..8].try_into().expect("sized slice"));
+    let crc = u32::from_be_bytes(raw[8..12].try_into().expect("sized slice"));
+    let payload = &raw[ENVELOPE_HEADER..];
+    if crc32(payload) != crc {
+        return None;
+    }
+    Some((seq, Bytes::copy_from_slice(payload)))
+}
+
+/// Apply an injected single-byte corruption to a copy of `envelope`.
+/// Payload bytes are preferred (exercising the CRC); an empty payload
+/// corrupts the CRC field itself, which fails the check just the same.
+fn corrupt_envelope(envelope: &Bytes, offset: u64, xor: u8) -> Bytes {
+    let mut raw: Vec<u8> = envelope.to_vec();
+    let idx = if raw.len() > ENVELOPE_HEADER {
+        ENVELOPE_HEADER + (offset as usize % (raw.len() - ENVELOPE_HEADER))
+    } else {
+        8 + (offset as usize % 4)
+    };
+    raw[idx] ^= xor;
+    Bytes::from(raw)
 }
 
 #[cfg(test)]
@@ -338,6 +627,128 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    fn fast_reliability() -> Reliability {
+        Reliability {
+            timeout: Duration::from_millis(40),
+            retries: 3,
+        }
+    }
+
+    fn lossy_plan(seed: u64, drop: f64, corrupt: f64) -> Arc<scc_sim::FaultPlan> {
+        Arc::new(scc_sim::FaultPlan::new(scc_sim::FaultConfig {
+            seed,
+            drop_rate: drop,
+            corrupt_rate: corrupt,
+            ..scc_sim::FaultConfig::default()
+        }))
+    }
+
+    #[test]
+    fn envelope_roundtrip_and_corruption_detection() {
+        let payload = Bytes::copy_from_slice(&[7u8; 1000]);
+        let env = encode_envelope(42, &payload);
+        let (seq, out) = decode_envelope(&env).expect("intact envelope decodes");
+        assert_eq!(seq, 42);
+        assert_eq!(&out[..], &payload[..]);
+        for offset in [0u64, 13, 999, 5000] {
+            assert!(
+                decode_envelope(&corrupt_envelope(&env, offset, 0x40)).is_none(),
+                "corruption at offset {offset} must fail the CRC"
+            );
+        }
+        // Empty payload: corruption hits the header and still fails closed.
+        let empty = encode_envelope(1, &Bytes::new());
+        assert!(decode_envelope(&corrupt_envelope(&empty, 0, 1)).is_none());
+    }
+
+    #[test]
+    fn reliable_roundtrip_without_faults() {
+        let mut eps = comm(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let t = thread::spawn(move || {
+            let m = b.recv_reliable(0).unwrap();
+            assert_eq!(&m[..], b"ping");
+            b.send_reliable(0, Bytes::from_static(b"pong")).unwrap();
+        });
+        a.send_reliable(1, Bytes::from_static(b"ping")).unwrap();
+        assert_eq!(&a.recv_reliable(1).unwrap()[..], b"pong");
+        t.join().unwrap();
+        assert_eq!(a.stats().retransmissions.load(Ordering::Relaxed), 0);
+        assert_eq!(a.stats().sent_messages.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn reliable_stream_survives_drops_and_corruption() {
+        let mut eps = comm(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        // 25% drops + 25% corruption: roughly half of all attempts fail,
+        // yet a retry budget of 3 recovers every message.
+        a.set_fault_plan(lossy_plan(77, 0.25, 0.25));
+        a.set_reliability(fast_reliability());
+        b.set_reliability(fast_reliability());
+        let t = thread::spawn(move || {
+            for i in 0u8..30 {
+                a.send_reliable(1, Bytes::copy_from_slice(&[i; 64]))
+                    .unwrap();
+            }
+            a.stats().retransmissions.load(Ordering::Relaxed)
+        });
+        for i in 0u8..30 {
+            let m = b.recv_reliable(0).unwrap();
+            assert_eq!(&m[..], &[i; 64][..], "message {i} intact and in order");
+        }
+        let retransmissions = t.join().unwrap();
+        assert!(
+            retransmissions > 0,
+            "a 50% fault rate must force at least one retransmission"
+        );
+        assert!(
+            b.stats().corrupt_drops.load(Ordering::Relaxed) > 0,
+            "some corrupted deliveries should have been caught by CRC"
+        );
+    }
+
+    #[test]
+    fn certain_drop_exhausts_retries() {
+        let mut eps = comm(2);
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.set_fault_plan(lossy_plan(5, 1.0, 0.0));
+        a.set_reliability(Reliability {
+            timeout: Duration::from_millis(5),
+            retries: 2,
+        });
+        let err = a
+            .send_reliable(1, Bytes::from_static(b"doomed"))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RcceError::RetriesExhausted {
+                rank: 1,
+                attempts: 3
+            }
+        );
+        assert_eq!(a.stats().timeouts.load(Ordering::Relaxed), 1);
+        drop(b);
+    }
+
+    #[test]
+    fn silent_peer_times_out_receiver() {
+        let mut eps = comm(2);
+        let mut b = eps.pop().unwrap();
+        let _a = eps.pop().unwrap();
+        b.set_reliability(Reliability {
+            timeout: Duration::from_millis(2),
+            retries: 1,
+        });
+        assert_eq!(
+            b.recv_reliable(0).unwrap_err(),
+            RcceError::Timeout { rank: 0 }
+        );
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! CRC-32 (IEEE 802.3) payload checksums.
+//!
+//! The real RCCE moves payloads through MPB windows and DRAM partitions
+//! with no end-to-end integrity check; the fault-tolerant protocol in
+//! [`crate::comm`] adds one so injected corruption (see
+//! `scc_sim::fault`) is detected rather than silently propagated into
+//! frames. Table-driven, reflected polynomial `0xEDB88320`, byte-at-a-time
+//! — plenty for kilobyte strips at native-runner rates.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32/ISO-HDLC of `data` (the common "crc32" with init and final
+/// XOR of `0xFFFFFFFF`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        let idx = ((crc ^ byte as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[idx];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let data = vec![0xA5u8; 4096];
+        let base = crc32(&data);
+        for byte in [0usize, 1, 100, 4095] {
+            for bit in 0..8 {
+                let mut mutated = data.clone();
+                mutated[byte] ^= 1 << bit;
+                assert_ne!(crc32(&mutated), base, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

@@ -9,6 +9,15 @@ pub enum RcceError {
     InvalidRank { rank: usize, size: usize },
     /// Peer endpoint was dropped.
     Disconnected { rank: usize },
+    /// No intact message arrived from `rank` within the reliability
+    /// window (reliable receive path only).
+    Timeout { rank: usize },
+    /// A payload from `rank` arrived but failed its CRC check and no
+    /// intact retransmission followed.
+    Corrupt { rank: usize },
+    /// A reliable send to `rank` exhausted its retry budget without an
+    /// acknowledgement.
+    RetriesExhausted { rank: usize, attempts: u32 },
 }
 
 impl fmt::Display for RcceError {
@@ -18,6 +27,18 @@ impl fmt::Display for RcceError {
                 write!(f, "invalid rank {rank} for communicator of size {size}")
             }
             RcceError::Disconnected { rank } => write!(f, "rank {rank} disconnected"),
+            RcceError::Timeout { rank } => {
+                write!(f, "timed out waiting for a message from rank {rank}")
+            }
+            RcceError::Corrupt { rank } => {
+                write!(f, "message from rank {rank} failed its CRC check")
+            }
+            RcceError::RetriesExhausted { rank, attempts } => {
+                write!(
+                    f,
+                    "send to rank {rank} unacknowledged after {attempts} attempts"
+                )
+            }
         }
     }
 }
@@ -34,5 +55,14 @@ mod tests {
         assert!(e.to_string().contains("rank 9"));
         let d = RcceError::Disconnected { rank: 2 };
         assert!(d.to_string().contains("disconnected"));
+        let t = RcceError::Timeout { rank: 3 };
+        assert!(t.to_string().contains("timed out"));
+        let c = RcceError::Corrupt { rank: 1 };
+        assert!(c.to_string().contains("CRC"));
+        let r = RcceError::RetriesExhausted {
+            rank: 0,
+            attempts: 4,
+        };
+        assert!(r.to_string().contains("4 attempts"));
     }
 }

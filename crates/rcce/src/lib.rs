@@ -23,12 +23,14 @@
 
 pub mod collective;
 pub mod comm;
+pub mod crc;
 pub mod error;
 pub mod mpb;
 pub mod onesided;
 
 pub use collective::{broadcast, gather, scatter};
-pub use comm::{communicator, CommStats, Endpoint};
+pub use comm::{communicator, CommStats, Endpoint, Reliability};
+pub use crc::crc32;
 pub use error::RcceError;
 pub use mpb::MpbConfig;
 pub use onesided::{one_sided, recv_via_get, send_via_put, OneSided};

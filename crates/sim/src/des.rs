@@ -5,9 +5,11 @@
 //! same program always pop events in the same order regardless of the
 //! payload type or host.
 
+use crate::fault::FaultPlan;
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// An event scheduled at a point in virtual time.
 #[derive(Debug, Clone)]
@@ -47,6 +49,7 @@ pub struct EventQueue<E> {
     next_seq: u64,
     now: SimTime,
     popped: u64,
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -62,7 +65,15 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             now: SimTime::ZERO,
             popped: 0,
+            fault: None,
         }
+    }
+
+    /// Inject deterministic scheduling jitter: each event's timestamp may
+    /// be pushed late by `FaultPlan::event_jitter(seq)`. With a quiet plan
+    /// (the default), behaviour is identical to an unfaulted queue.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.fault = Some(plan);
     }
 
     /// Current virtual time: the timestamp of the most recently popped event.
@@ -98,9 +109,12 @@ impl<E> EventQueue<E> {
             "event scheduled in the past: {at:?} < now {:?}",
             self.now
         );
-        let time = at.max(self.now);
+        let mut time = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
+        if let Some(plan) = &self.fault {
+            time += plan.event_jitter(seq);
+        }
         self.heap.push(Scheduled { time, seq, payload });
     }
 
@@ -180,6 +194,34 @@ mod tests {
         q.schedule_in(SimTime::from_ms(5), 1u32);
         let (t, _) = q.pop().unwrap();
         assert_eq!(t, SimTime::from_ms(15));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_quiet_plan_is_identity() {
+        use crate::fault::{FaultConfig, FaultPlan};
+
+        let jittery = FaultConfig {
+            seed: 13,
+            delay_rate: 0.5,
+            max_delay: SimTime::from_ms(2),
+            ..FaultConfig::default()
+        };
+        let mut a = EventQueue::new();
+        a.set_fault_plan(Arc::new(FaultPlan::new(jittery.clone())));
+        let mut b = EventQueue::new();
+        b.set_fault_plan(Arc::new(FaultPlan::new(jittery)));
+        let mut quiet = EventQueue::new();
+        quiet.set_fault_plan(Arc::new(FaultPlan::default()));
+        let mut plain = EventQueue::new();
+        for i in 0..50u32 {
+            let t = SimTime::from_ms(u64::from(i % 7));
+            a.schedule(t, i);
+            b.schedule(t, i);
+            quiet.schedule(t, i);
+            plain.schedule(t, i);
+        }
+        assert_eq!(a.drain_ordered(), b.drain_ordered());
+        assert_eq!(quiet.drain_ordered(), plain.drain_ordered());
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod bucket;
 pub mod cache;
 pub mod des;
 pub mod dvfs;
+pub mod fault;
 pub mod hostlink;
 pub mod memctrl;
 pub mod noc;
@@ -36,6 +37,7 @@ pub mod topology;
 
 pub use des::EventQueue;
 pub use dvfs::{DvfsState, FreqMHz, IslandId};
+pub use fault::{CoreStall, FaultConfig, FaultPlan, MessageOutcome};
 pub use platform::{MemOp, SccConfig, SccPlatform};
 pub use power::{PowerConfig, PowerMeter, PowerSample};
 pub use time::SimTime;

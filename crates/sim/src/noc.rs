@@ -10,9 +10,11 @@
 //! simulator discovers them in.
 
 use crate::bucket::BucketedResource;
+use crate::fault::FaultPlan;
 use crate::time::SimTime;
 use crate::topology::{xy_route, Link, TileId};
 use serde::Serialize;
+use std::sync::Arc;
 
 /// NoC timing parameters.
 #[derive(Debug, Clone, Serialize)]
@@ -63,6 +65,7 @@ pub struct Noc {
     stats: Vec<LinkStats>,
     total_messages: u64,
     total_bytes: u64,
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl Noc {
@@ -74,12 +77,19 @@ impl Noc {
             stats: vec![LinkStats::default(); Link::DENSE_COUNT],
             total_messages: 0,
             total_bytes: 0,
+            fault: None,
             cfg,
         }
     }
 
     pub fn config(&self) -> &NocConfig {
         &self.cfg
+    }
+
+    /// Inject a deterministic fault schedule: degraded links slow their
+    /// serialisation, and individually delayed messages start late.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.fault = Some(plan);
     }
 
     /// Move `bytes` from router `from` to router `to` starting no earlier
@@ -89,17 +99,30 @@ impl Noc {
     /// one serialisation: even a tile-local RCCE transfer runs library
     /// code and crosses the router once.
     pub fn transfer(&mut self, now: SimTime, from: TileId, to: TileId, bytes: u64) -> SimTime {
+        let msg_idx = self.total_messages;
         self.total_messages += 1;
         self.total_bytes += bytes;
         let serialise = SimTime::from_bytes_at(bytes.max(1), self.cfg.link_bandwidth);
         let mut t = now + self.cfg.message_overhead;
+        if let Some(plan) = &self.fault {
+            t += plan.flit_delay(msg_idx);
+        }
         for link in xy_route(from, to) {
             let idx = link.dense_index();
-            let booking = self.links[idx].book(t, serialise);
+            // A degraded link transmits at a fraction of nominal bandwidth,
+            // so the same payload occupies it proportionally longer.
+            let link_serialise = match &self.fault {
+                Some(plan) if plan.link_factor(idx) < 1.0 => SimTime::from_bytes_at(
+                    bytes.max(1),
+                    ((self.cfg.link_bandwidth as f64 * plan.link_factor(idx)) as u64).max(1),
+                ),
+                _ => serialise,
+            };
+            let booking = self.links[idx].book(t, link_serialise);
             let s = &mut self.stats[idx];
             s.messages += 1;
             s.bytes += bytes;
-            s.busy_ps += serialise.as_ps();
+            s.busy_ps += link_serialise.as_ps();
             s.wait_ps += booking.wait.as_ps();
             t = booking.completion + self.cfg.hop_latency;
         }
@@ -220,6 +243,45 @@ mod tests {
         let t = TileId::from_xy(2, 2);
         let done = noc.transfer(SimTime::ZERO, t, t, 1000);
         assert_eq!(done, SimTime::from_us(1) + SimTime::from_us(1));
+    }
+
+    #[test]
+    fn degraded_link_slows_transfer_and_delay_shifts_start() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        use std::sync::Arc;
+
+        let a = TileId::from_xy(0, 0);
+        let b = TileId::from_xy(1, 0);
+
+        let mut healthy = Noc::new(cfg());
+        let base = healthy.transfer(SimTime::ZERO, a, b, 100_000);
+
+        // Degrade every link to half bandwidth: serialisation doubles.
+        let mut slow = Noc::new(cfg());
+        slow.set_fault_plan(Arc::new(FaultPlan::new(FaultConfig {
+            seed: 1,
+            degraded_links: Link::DENSE_COUNT as u32,
+            degrade_factor: 0.5,
+            ..FaultConfig::default()
+        })));
+        let degraded = slow.transfer(SimTime::ZERO, a, b, 100_000);
+        assert!(degraded > base, "degraded link must be slower");
+
+        // Delay every message by up to max_delay: arrival shifts late and
+        // the same seed shifts it identically on a replay.
+        let delayed_cfg = FaultConfig {
+            seed: 7,
+            delay_rate: 1.0,
+            max_delay: SimTime::from_us(50),
+            ..FaultConfig::default()
+        };
+        let mut d1 = Noc::new(cfg());
+        d1.set_fault_plan(Arc::new(FaultPlan::new(delayed_cfg.clone())));
+        let mut d2 = Noc::new(cfg());
+        d2.set_fault_plan(Arc::new(FaultPlan::new(delayed_cfg)));
+        let t1 = d1.transfer(SimTime::ZERO, a, b, 100_000);
+        assert_eq!(t1, d2.transfer(SimTime::ZERO, a, b, 100_000));
+        assert!(t1 >= base);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::cache::{CacheGeometry, StreamModel};
 use crate::dvfs::{DvfsState, FreqMHz};
+use crate::fault::FaultPlan;
 use crate::hostlink::{HostLink, HostLinkConfig, HostLinkStats};
 use crate::memctrl::{MemConfig, MemorySystem};
 use crate::noc::{Noc, NocConfig};
@@ -18,6 +19,7 @@ use crate::power::{PowerConfig, PowerMeter, PowerSample};
 use crate::time::SimTime;
 use crate::topology::{CoreId, McId, TileId};
 use serde::Serialize;
+use std::sync::Arc;
 
 /// Full platform configuration.
 #[derive(Debug, Clone, Serialize)]
@@ -104,6 +106,7 @@ pub struct SccPlatform {
     meter: PowerMeter,
     stream: StreamModel,
     host_link: HostLink,
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl SccPlatform {
@@ -115,12 +118,34 @@ impl SccPlatform {
             meter: PowerMeter::new(),
             stream: StreamModel::new(cfg.l2.geometry),
             host_link: HostLink::new(cfg.host_link.clone()),
+            fault: None,
             cfg,
         }
     }
 
     pub fn config(&self) -> &SccConfig {
         &self.cfg
+    }
+
+    /// Inject a deterministic fault schedule. Forwards the plan to the
+    /// NoC (link degradation, flit delay); core stalls are applied here —
+    /// a stalled core issues no compute, memory or message operation
+    /// until its stall window closes.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.noc.set_fault_plan(Arc::clone(&plan));
+        self.fault = Some(plan);
+    }
+
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault.as_ref()
+    }
+
+    /// Earliest time at or after `now` at which `core` can issue work.
+    fn stall_adjust(&self, core: CoreId, now: SimTime) -> SimTime {
+        match &self.fault {
+            Some(plan) => plan.stall_adjusted(core.raw(), now),
+            None => now,
+        }
     }
 
     pub fn dvfs(&self) -> &DvfsState {
@@ -144,9 +169,10 @@ impl SccPlatform {
     /// Execute `cycles` of computation on `core` starting at `now`.
     /// Records the busy span for power accounting and returns completion.
     pub fn compute(&mut self, core: CoreId, now: SimTime, cycles: u64) -> SimTime {
+        let start = self.stall_adjust(core, now);
         let dur = SimTime::from_cycles(cycles, self.core_freq_hz(core));
-        let done = now + dur;
-        self.meter.record(core, now, done);
+        let done = start + dur;
+        self.meter.record(core, start, done);
         done
     }
 
@@ -177,6 +203,7 @@ impl SccPlatform {
     /// Move `bytes` between `core` and its quadrant memory controller,
     /// bypassing the cache model (used for explicit DMA-like transfers).
     pub fn mem_raw(&mut self, core: CoreId, now: SimTime, op: MemOp, bytes: u64) -> SimTime {
+        let now = self.stall_adjust(core, now);
         let tile = core.tile();
         let mc = tile.memory_controller();
         let done = match op {
@@ -213,6 +240,7 @@ impl SccPlatform {
         now: SimTime,
         bytes: u64,
     ) -> SimTime {
+        let now = self.stall_adjust(from, now);
         if bytes <= self.cfg.local_memory_bytes {
             // What-if: the payload travels straight into the receiver's
             // local bank, like a Cell SPE-to-SPE DMA — no DRAM round-trip
@@ -240,6 +268,7 @@ impl SccPlatform {
     /// core with local memory (e.g. a Cell SPE) would not need — the paper's
     /// central architectural critique.
     pub fn fetch_from_partition(&mut self, core: CoreId, now: SimTime, bytes: u64) -> SimTime {
+        let now = self.stall_adjust(core, now);
         if bytes <= self.cfg.local_memory_bytes.max(self.cfg.mpb_window_bytes) {
             // Already resident on-die (local bank or MPB window).
             return now;
@@ -272,6 +301,7 @@ impl SccPlatform {
 
     /// Transfer `bytes` from the chip to the host (visualization client).
     pub fn chip_to_host(&mut self, from: CoreId, now: SimTime, bytes: u64) -> SimTime {
+        let now = self.stall_adjust(from, now);
         // Data leaves the sender's partition, crosses the mesh to the
         // system interface (modelled at the bottom-right corner), then the
         // host link.
@@ -427,6 +457,33 @@ mod tests {
             "serialisation should spread completions"
         );
         assert!(p.stats().mem_wait_secs > 0.0);
+    }
+
+    #[test]
+    fn stalled_core_issues_nothing_during_its_window() {
+        use crate::fault::{CoreStall, FaultConfig, FaultPlan};
+        use std::sync::Arc;
+
+        let mut p = platform();
+        p.set_fault_plan(Arc::new(FaultPlan::new(FaultConfig {
+            seed: 1,
+            stalls: vec![CoreStall {
+                core: 3,
+                at: SimTime::from_ms(1),
+                duration: SimTime::from_ms(4),
+            }],
+            ..FaultConfig::default()
+        })));
+        let stalled = CoreId::new(3);
+        // Work issued inside the window starts only when it closes.
+        let done = p.compute(stalled, SimTime::from_ms(2), 533_000);
+        assert_eq!(done, SimTime::from_ms(5) + SimTime::from_ms(1));
+        // The sibling core is unaffected.
+        let other = p.compute(CoreId::new(4), SimTime::from_ms(2), 533_000);
+        assert_eq!(other, SimTime::from_ms(3));
+        // Messages from the stalled core wait out the window too.
+        let sent = p.send_to_partition(stalled, CoreId::new(9), SimTime::from_ms(2), 64);
+        assert!(sent >= SimTime::from_ms(5));
     }
 
     #[test]

@@ -23,6 +23,7 @@ fn main() {
         seed: 7,
         fidelity: Fidelity::TimingOnly,
         trace: false,
+        fault: None,
     };
     let scene = Arc::new(Scene::city(CityConfig::default()));
     println!(

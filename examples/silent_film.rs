@@ -38,6 +38,7 @@ fn main() {
         seed: 1913, // a properly vintage year
         fidelity: Fidelity::Full,
         trace: false,
+        fault: None,
     };
     let scene = Arc::new(Scene::city(CityConfig::default()));
     println!(

@@ -59,6 +59,7 @@ proptest! {
             seed,
             fidelity: Fidelity::Full,
         trace: false,
+        fault: None,
     };
         let report = SimRunner::new(cfg.clone(), scene(scene_seed)).run();
         // The per-pipeline-renderer reference renders strips with band
@@ -87,6 +88,7 @@ proptest! {
             seed: 9,
             fidelity: Fidelity::TimingOnly,
         trace: false,
+        fault: None,
     };
         let t1 = SimRunner::new(cfg.clone(), scene(1)).run().total_secs;
         cfg.fidelity = Fidelity::Full;
@@ -114,6 +116,7 @@ proptest! {
             seed: 3,
             fidelity: Fidelity::TimingOnly,
         trace: false,
+        fault: None,
     };
         let one = SimRunner::new(mk(1), scene(2)).run();
         let many = SimRunner::new(mk(pipelines), scene(2)).run();
@@ -151,6 +154,7 @@ proptest! {
             seed: 3,
             fidelity: Fidelity::TimingOnly,
         trace: false,
+        fault: None,
     };
         let t2 = SimRunner::new(mk(2), scene(0)).run().total_secs;
         let t4 = SimRunner::new(mk(4), scene(0)).run().total_secs;

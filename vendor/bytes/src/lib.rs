@@ -1,0 +1,281 @@
+//! Offline stand-in for the `bytes` crate API surface this workspace uses.
+//!
+//! [`Bytes`] is a cheaply clonable shared byte buffer with an internal read
+//! cursor: the [`Buf`] getters consume from the front (big-endian, like the
+//! real crate) and `len()`/`Deref` always reflect the *remaining* bytes.
+//! [`BytesMut`] is an append-only builder that `freeze()`s into `Bytes`.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Read cursor over a byte source, mirroring `bytes::Buf`.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+}
+
+/// Write cursor over a growable byte sink, mirroring `bytes::BufMut`.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// A shared, cheaply clonable byte buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    /// Read cursor: everything before `start` has been consumed.
+    start: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Bytes {
+        Bytes::from(Vec::new())
+    }
+
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes::from(bytes.to_vec())
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes {
+            data: Arc::new(data),
+            start: 0,
+        }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(bytes: &'static [u8]) -> Bytes {
+        Bytes::from_static(bytes)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            dst.len() <= self.len(),
+            "advance past end of buffer ({} > {})",
+            dst.len(),
+            self.len()
+        );
+        dst.copy_from_slice(&self.data[self.start..self.start + dst.len()]);
+        self.start += dst.len();
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// An append-only byte builder.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_big_endian() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u64(0x0102_0304_0506_0708);
+        m.put_u32(0x0A0B_0C0D);
+        m.put_slice(b"xyz");
+        let mut b = m.freeze();
+        assert_eq!(b.len(), 15);
+        assert_eq!(b.get_u64(), 0x0102_0304_0506_0708);
+        assert_eq!(b.get_u32(), 0x0A0B_0C0D);
+        assert_eq!(&b[..], b"xyz");
+        assert_eq!(b.to_vec(), b"xyz".to_vec());
+    }
+
+    #[test]
+    fn clones_share_storage_but_not_cursor() {
+        let mut a = Bytes::from(vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        let b = a.clone();
+        let _ = a.get_u32();
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn overread_panics() {
+        let mut b = Bytes::from(vec![0u8; 3]);
+        let _ = b.get_u32();
+    }
+
+    #[test]
+    fn equality_ignores_consumed_prefix() {
+        let mut a = Bytes::from(vec![9, 1, 2]);
+        let _ = a.get_u8();
+        assert_eq!(a, Bytes::from(vec![1, 2]));
+        assert_eq!(a, [1u8, 2][..]);
+    }
+
+    #[test]
+    fn constructors() {
+        assert!(Bytes::new().is_empty());
+        assert_eq!(&Bytes::from_static(b"hi")[..], b"hi");
+        assert_eq!(&Bytes::copy_from_slice(&[3, 4])[..], &[3, 4]);
+        assert_eq!(&Bytes::from(String::from("ok"))[..], b"ok");
+    }
+}

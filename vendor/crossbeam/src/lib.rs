@@ -1,0 +1,159 @@
+//! Offline stand-in for the `crossbeam::channel` API surface this workspace
+//! uses: bounded MPSC channels with blocking send/recv, non-blocking
+//! `try_recv`, and `recv_timeout`. Backed by `std::sync::mpsc::sync_channel`,
+//! which has the same backpressure semantics (capacity 0 = rendezvous).
+//!
+//! Unlike `std::sync::mpsc::Receiver`, crossbeam receivers are `Sync`; the
+//! shim restores that by guarding the receiver with a mutex, which is
+//! uncontended in this workspace (one consumer per channel).
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    /// Create a bounded channel with capacity `cap` (0 = rendezvous).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(Mutex::new(rx)))
+    }
+
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocking send; errors only when the receiver was dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+
+        /// Non-blocking send; errors when the channel is full or the
+        /// receiver was dropped.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(msg).map_err(|e| match e {
+                mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+                mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+            })
+        }
+    }
+
+    pub struct Receiver<T>(Mutex<mpsc::Receiver<T>>);
+
+    impl<T> Receiver<T> {
+        /// Blocking receive; errors only when every sender was dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.lock().recv().map_err(|_| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.lock().try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.lock().recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            // A poisoned lock means a consumer panicked mid-recv; the
+            // channel state itself is still coherent.
+            self.0.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    /// The message could not be delivered because the channel disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        Full(T),
+        Disconnected(T),
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, RecvTimeoutError, TryRecvError};
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = bounded(2);
+        tx.send(41).unwrap();
+        tx.send(42).unwrap();
+        assert_eq!(rx.recv().unwrap(), 41);
+        assert_eq!(rx.recv().unwrap(), 42);
+    }
+
+    #[test]
+    fn try_recv_reports_empty_then_disconnected() {
+        let (tx, rx) = bounded::<u8>(1);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn bounded_send_applies_backpressure() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u8).unwrap();
+        let t = thread::spawn(move || {
+            tx.send(2).unwrap(); // blocks until rx drains one
+        });
+        thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn try_send_reports_full_then_disconnected() {
+        use super::channel::TrySendError;
+        let (tx, rx) = bounded(1);
+        tx.try_send(1u8).unwrap();
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(TrySendError::Disconnected(3)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (tx, rx) = bounded::<u8>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

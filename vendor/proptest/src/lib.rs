@@ -1,0 +1,578 @@
+//! Offline stand-in for the `proptest` property-testing harness.
+//!
+//! Reproduces the API surface this workspace uses — the `proptest!` macro
+//! with optional `#![proptest_config(..)]`, range/tuple/`Just`/`any`
+//! strategies, `prop::collection::vec`, `prop_map`/`prop_flat_map`,
+//! `prop_oneof!` and the `prop_assert*` macros — on a deterministic runner:
+//!
+//! * The case stream derives from `PROPTEST_RNG_SEED` (env, default fixed)
+//!   XOR a hash of the test's full path, so every test draws an independent
+//!   but fully reproducible sequence and CI runs are byte-stable.
+//! * `PROPTEST_CASES` (env) overrides the per-test case count.
+//! * Before generating novel cases the runner replays seeds recorded in the
+//!   sibling `<test-file>.proptest-regressions` file (`cc <hex>` lines, the
+//!   real crate's on-disk convention); a failing case prints the `cc` line
+//!   to append there.
+//!
+//! Shrinking is intentionally not implemented: a failure reports its seed
+//! and the raw panic, which is sufficient for a deterministic suite.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng as _;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike the real crate there is no `ValueTree`/shrinking layer: a
+    /// strategy maps an RNG state straight to a value.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between same-typed alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Types with a canonical "anything goes" strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_via_standard {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    arbitrary_via_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+    pub struct Any<T>(PhantomData<T>);
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    // Blanket over `SampleUniform` (rather than one impl per numeric type)
+    // so type inference can unify a range's element type with the generated
+    // value's type, exactly as in the `rand` shim.
+    impl<T: rand::SampleUniform + Clone> Strategy for Range<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: rand::SampleUniform + Clone> Strategy for RangeInclusive<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(S0.0);
+    tuple_strategy!(S0.0, S1.1);
+    tuple_strategy!(S0.0, S1.1, S2.2);
+    tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
+    tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
+    tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+    tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6);
+    tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7);
+    tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7, S8.8);
+    tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7, S8.8, S9.9);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng as _;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty collection size range");
+            SizeRange { lo, hi }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, len)` — a vector whose length is
+    /// drawn from `len` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::path::{Path, PathBuf};
+
+    /// The RNG handed to strategies.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Base seed when `PROPTEST_RNG_SEED` is unset. CI pins the env var;
+    /// local runs get the same stream by default anyway.
+    const DEFAULT_BASE_SEED: u64 = 0x5CC0_DE5E_ED15_BA5E;
+
+    /// Per-test case count when neither the config nor `PROPTEST_CASES`
+    /// says otherwise. Deliberately below the real crate's 256: the suite
+    /// runs unoptimised on small CI machines.
+    const DEFAULT_CASES: u32 = 32;
+
+    /// Mirror of `proptest::test_runner::Config` (the fields used here).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of novel cases to run (regression seeds run in addition).
+        pub cases: u32,
+        /// Accepted for source compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(DEFAULT_CASES);
+            ProptestConfig {
+                cases,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    fn base_seed() -> u64 {
+        match std::env::var("PROPTEST_RNG_SEED") {
+            Ok(v) => parse_seed(&v).unwrap_or(DEFAULT_BASE_SEED),
+            Err(_) => DEFAULT_BASE_SEED,
+        }
+    }
+
+    fn parse_seed(v: &str) -> Option<u64> {
+        let v = v.trim();
+        if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            v.parse().ok()
+        }
+    }
+
+    /// FNV-1a over the test path: stable across runs and platforms.
+    fn hash_name(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    fn mix(a: u64, b: u64) -> u64 {
+        let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Where the regression seeds for `source_file` live: a sibling file
+    /// with the `.proptest-regressions` extension (real-crate convention).
+    fn regressions_path(source_file: &str) -> PathBuf {
+        Path::new(source_file).with_extension("proptest-regressions")
+    }
+
+    /// `file!()` paths are relative to wherever the crate was compiled
+    /// from; try the likely roots (cwd of a test binary is the package
+    /// manifest dir, which may sit below the workspace root).
+    fn locate(rel: &Path) -> Option<PathBuf> {
+        if rel.is_absolute() {
+            return rel.exists().then(|| rel.to_path_buf());
+        }
+        let mut candidates = vec![rel.to_path_buf()];
+        if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+            let base = PathBuf::from(dir);
+            candidates.push(base.join(rel));
+            candidates.push(base.join("..").join(rel));
+            candidates.push(base.join("..").join("..").join(rel));
+        }
+        candidates.into_iter().find(|c| c.exists())
+    }
+
+    /// Fold a `cc` entry's hex blob (any length) into one u64 seed.
+    fn fold_hex(hex: &str) -> Option<u64> {
+        let digits: String = hex.chars().filter(|c| c.is_ascii_hexdigit()).collect();
+        if digits.is_empty() {
+            return None;
+        }
+        let mut acc = 0u64;
+        let bytes = digits.as_bytes();
+        for chunk in bytes.chunks(16) {
+            let s = std::str::from_utf8(chunk).ok()?;
+            acc ^= u64::from_str_radix(s, 16).ok()?;
+        }
+        Some(acc)
+    }
+
+    fn regression_seeds(source_file: &str) -> Vec<u64> {
+        let rel = regressions_path(source_file);
+        let Some(path) = locate(&rel) else {
+            return Vec::new();
+        };
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return Vec::new();
+        };
+        let mut seeds = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("cc ") {
+                let token = rest.split_whitespace().next().unwrap_or("");
+                if let Some(seed) = fold_hex(token) {
+                    seeds.push(seed);
+                }
+            }
+        }
+        seeds
+    }
+
+    /// Execute one property: replay recorded regression seeds, then run
+    /// `config.cases` novel cases off the deterministic stream.
+    pub fn run<F>(config: &ProptestConfig, name: &str, source_file: &str, body: F)
+    where
+        F: Fn(&mut TestRng),
+    {
+        use rand::SeedableRng;
+
+        let base = mix(base_seed(), hash_name(name));
+        let regressions = regression_seeds(source_file);
+        let novel = (0..config.cases as u64).map(|i| mix(base, i));
+        for (replayed, seed) in regressions
+            .into_iter()
+            .map(|s| (true, s))
+            .chain(novel.map(|s| (false, s)))
+        {
+            let mut rng = TestRng::seed_from_u64(seed);
+            let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
+            if let Err(payload) = outcome {
+                let kind = if replayed { "regression" } else { "novel" };
+                eprintln!("proptest: {name} failed on {kind} case with seed 0x{seed:016x}");
+                if !replayed {
+                    eprintln!(
+                        "proptest: to replay first, append `cc {seed:016x}` to {}",
+                        regressions_path(source_file).display()
+                    );
+                }
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace mirror so `prop::collection::vec(..)` resolves.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let __strategies = ($($strat,)+);
+            $crate::test_runner::run(
+                &__config,
+                concat!(module_path!(), "::", stringify!($name)),
+                file!(),
+                |__rng: &mut $crate::test_runner::TestRng| {
+                    let ($($arg,)+) =
+                        $crate::strategy::Strategy::generate(&__strategies, __rng);
+                    $body
+                },
+            );
+        }
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)+) => { assert!($($args)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)+) => { assert_eq!($($args)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)+) => { assert_ne!($($args)+) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    enum Mode {
+        A,
+        B,
+        C,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in -1.0f32..=1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(
+            v in prop::collection::vec(any::<u8>(), 2..9),
+            fixed in prop::collection::vec(any::<bool>(), 5),
+        ) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert_eq!(fixed.len(), 5);
+        }
+
+        #[test]
+        fn oneof_maps_and_flat_maps_compose(
+            m in prop_oneof![Just(Mode::A), Just(Mode::B), Just(Mode::C)],
+            pair in (1u32..5, 1u32..5).prop_map(|(a, b)| (a, a + b)),
+            sized in (1usize..4).prop_flat_map(|n| prop::collection::vec(0u8..10, n)),
+        ) {
+            prop_assert!(matches!(m, Mode::A | Mode::B | Mode::C));
+            prop_assert!(pair.1 > pair.0);
+            prop_assert!(!sized.is_empty() && sized.len() < 4);
+        }
+    }
+
+    #[test]
+    fn same_name_same_stream() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::{run, ProptestConfig};
+        let cfg = ProptestConfig {
+            cases: 8,
+            ..ProptestConfig::default()
+        };
+        let collect = |out: &std::sync::Mutex<Vec<u64>>| {
+            run(&cfg, "stream_test", file!(), |rng| {
+                out.lock().unwrap().push((0u64..1_000_000).generate(rng));
+            });
+        };
+        let a = std::sync::Mutex::new(Vec::new());
+        let b = std::sync::Mutex::new(Vec::new());
+        collect(&a);
+        collect(&b);
+        assert_eq!(*a.lock().unwrap(), *b.lock().unwrap());
+    }
+}

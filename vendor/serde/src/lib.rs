@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace uses serde purely as schema annotation (`#[derive(Serialize)]`
+//! on report/config structs); nothing serialises through serde at runtime —
+//! JSON/CSV emission is hand-rolled in `scc-bench::report`. This crate keeps
+//! the annotations compiling without the registry: the traits are empty
+//! markers with blanket impls, and the derives are no-ops re-exported from
+//! the sibling `serde_derive` stub.
+
+/// Marker trait mirroring `serde::Serialize` (no methods; blanket impl).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods; blanket impl).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+// Same-name derive macros, as in real serde (macro namespace is distinct
+// from the trait namespace).
+pub use serde_derive::{Deserialize, Serialize};

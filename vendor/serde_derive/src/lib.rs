@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The repository never serialises through serde at runtime — the derives
+//! are annotations only (report structs documenting their schema). This
+//! proc-macro crate accepts the same derive syntax, including `#[serde]`
+//! helper attributes, and emits an empty (no-op) trait-impl token stream so
+//! the workspace builds in a registry-less environment.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]` attributes; emits
+/// nothing (the [`serde::Serialize`] marker trait has a blanket impl).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]` attributes; emits
+/// nothing (the [`serde::Deserialize`] marker trait has a blanket impl).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
