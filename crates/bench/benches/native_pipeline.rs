@@ -32,6 +32,7 @@ fn bench_native_scaling(c: &mut Criterion) {
                     fidelity: Fidelity::Full,
                     trace: false,
                     fault: None,
+                    tuning: scc_core::NativeTuning::default(),
                 };
                 b.iter(|| black_box(run_native(&cfg, Arc::clone(&scene))))
             },

@@ -1,0 +1,81 @@
+//! Wall-clock benchmark runner: measures host-native pipeline throughput
+//! and writes `BENCH_native_pipeline.json` so every PR has a perf
+//! trajectory to compare against.
+//!
+//! Usage:
+//!   bench [--smoke] [--out PATH] [--frames N] [--size WxH]
+//!         [--pipelines P] [--threads 1,2,4,8]
+//!
+//! `--smoke` shrinks everything to a seconds-long configuration for CI;
+//! the defaults measure the paper's 400×400 silent-film geometry.
+
+use scc_bench::native_throughput::measure_native_throughput;
+use scc_bench::standard_scene;
+use scc_core::{Arrangement, Fidelity, NativeTuning, RendererMode, RunConfig};
+
+fn parse_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path =
+        parse_flag(&args, "--out").unwrap_or_else(|| "BENCH_native_pipeline.json".into());
+
+    let (mut width, mut height) = if smoke { (64, 64) } else { (400, 400) };
+    if let Some(size) = parse_flag(&args, "--size") {
+        let (w, h) = size.split_once('x').expect("--size WxH");
+        width = w.parse().expect("width");
+        height = h.parse().expect("height");
+    }
+    let frames: u64 = parse_flag(&args, "--frames")
+        .map(|v| v.parse().expect("--frames N"))
+        .unwrap_or(if smoke { 4 } else { 48 });
+    let pipelines: u32 = parse_flag(&args, "--pipelines")
+        .map(|v| v.parse().expect("--pipelines P"))
+        .unwrap_or(2);
+    let threads: Vec<u32> = parse_flag(&args, "--threads")
+        .map(|v| {
+            v.split(',')
+                .map(|t| t.trim().parse().expect("--threads a,b,c"))
+                .collect()
+        })
+        .unwrap_or_else(|| if smoke { vec![1, 2] } else { vec![1, 2, 4] });
+
+    let cfg = RunConfig {
+        renderer: RendererMode::SingleRenderer,
+        arrangement: Arrangement::Ordered,
+        pipelines,
+        width,
+        height,
+        frames,
+        seed: 0x51CC_F11F,
+        fidelity: Fidelity::Full,
+        trace: false,
+        fault: None,
+        tuning: NativeTuning::default(),
+    };
+    cfg.validate().expect("bench configuration");
+
+    eprintln!(
+        "measuring native throughput: {}x{} f={} p={} threads={threads:?}{}",
+        width,
+        height,
+        frames,
+        pipelines,
+        if smoke { " (smoke)" } else { "" },
+    );
+    let scene = standard_scene();
+    let report = measure_native_throughput(&cfg, &scene, &threads);
+    print!("{}", report.render_text());
+
+    std::fs::write(&out_path, report.to_json()).expect("write bench json");
+    println!("wrote {out_path}");
+    if !report.output_consistent {
+        eprintln!("FATAL: tuning variants produced different pixels");
+        std::process::exit(1);
+    }
+}

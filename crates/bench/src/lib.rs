@@ -6,6 +6,7 @@
 //! the same entry points.
 
 pub mod experiments;
+pub mod native_throughput;
 pub mod report;
 
 pub use experiments::*;

@@ -22,7 +22,9 @@
 //!   runners bit-exactly;
 //! * [`metrics`] — walkthrough reports: times, speed-ups, per-stage idle
 //!   quartiles (Figure 15), power traces and energy (Figures 14/17,
-//!   §VI-B);
+//!   §VI-B), host wall-clock throughput;
+//! * [`pool`] — the recycled frame/strip buffer pool both runners draw
+//!   from (no per-frame heap churn);
 //! * [`generic`] — user-defined macro pipelines on the same substrate
 //!   (the §I claim that the results translate to other domains);
 //! * [`trace`] — per-stage phase spans with a Chrome-trace exporter;
@@ -35,6 +37,7 @@ pub mod frame;
 pub mod generic;
 pub mod metrics;
 pub mod placement;
+pub mod pool;
 pub mod reference;
 pub mod runner;
 pub mod spec;
@@ -45,11 +48,14 @@ pub use baseline::{run_baseline, BaselineReport};
 pub use cost::CostModel;
 pub use frame::Frame;
 pub use generic::{run_generic_chain, FnStage, GenericReport, MacroStage, StageWork};
-pub use metrics::{DegradationEvent, StageReport, WalkthroughReport};
+pub use metrics::{DegradationEvent, HostTiming, StageReport, WalkthroughReport};
 pub use placement::{place, place_dvfs_single_pipeline, Placement};
+pub use pool::{BufferPool, PoolStats};
 pub use runner::des::{run_des, DesReport};
 pub use runner::native::{run_native, NativeReport};
 pub use runner::sim::{DvfsPlan, SimRunner};
-pub use spec::{Arrangement, FaultSpec, Fidelity, RendererMode, RunConfig, StageKind, StallSpec};
+pub use spec::{
+    Arrangement, FaultSpec, Fidelity, NativeTuning, RendererMode, RunConfig, StageKind, StallSpec,
+};
 pub use trace::{Phase, TraceEvent, TraceLog};
 pub use viz::{VizClient, VizReport};

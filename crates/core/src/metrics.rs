@@ -23,6 +23,48 @@ pub struct StageReport {
     pub frames: u64,
 }
 
+/// Wall-clock throughput of a host-native run — the quantity the bench
+/// trajectory tracks (`BENCH_native_pipeline.json`). Virtual-time reports
+/// measure the *simulated* SCC; this measures the host that ran it.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct HostTiming {
+    /// Wall-clock seconds for the whole walkthrough.
+    pub wall_secs: f64,
+    /// Frames delivered to the visualisation client.
+    pub frames: u64,
+    /// Delivered frames per wall-clock second.
+    pub frames_per_sec: f64,
+    /// Megapixels filtered per wall-clock second (frames × w × h / wall).
+    pub mpixels_per_sec: f64,
+}
+
+impl HostTiming {
+    /// Derive the rates from a measured wall time.
+    pub fn from_wall(wall_secs: f64, frames: u64, width: u32, height: u32) -> HostTiming {
+        let fps = if wall_secs > 0.0 {
+            frames as f64 / wall_secs
+        } else {
+            0.0
+        };
+        HostTiming {
+            wall_secs,
+            frames,
+            frames_per_sec: fps,
+            mpixels_per_sec: fps * width as f64 * height as f64 / 1e6,
+        }
+    }
+
+    /// Throughput ratio of this timing over a baseline (speedup when the
+    /// baseline is the 1-thread run).
+    pub fn speedup_over(&self, baseline: &HostTiming) -> f64 {
+        if baseline.frames_per_sec > 0.0 {
+            self.frames_per_sec / baseline.frames_per_sec
+        } else {
+            0.0
+        }
+    }
+}
+
 /// One graceful-degradation decision: a pipeline exceeded its retry
 /// budget and its strip was re-assigned to a surviving neighbour.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -235,6 +277,18 @@ mod tests {
         let r = report();
         assert_eq!(r.speedup_vs(382.0), 7.64);
         assert_eq!(r.mean_power(), 50.0);
+    }
+
+    #[test]
+    fn host_timing_rates() {
+        let t = HostTiming::from_wall(2.0, 100, 400, 400);
+        assert_eq!(t.frames_per_sec, 50.0);
+        assert_eq!(t.mpixels_per_sec, 8.0);
+        let base = HostTiming::from_wall(8.0, 100, 400, 400);
+        assert_eq!(t.speedup_over(&base), 4.0);
+        let degenerate = HostTiming::from_wall(0.0, 10, 4, 4);
+        assert_eq!(degenerate.frames_per_sec, 0.0);
+        assert_eq!(t.speedup_over(&degenerate), 0.0);
     }
 
     #[test]

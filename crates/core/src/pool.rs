@@ -1,0 +1,237 @@
+//! Recycled frame/strip buffer pool.
+//!
+//! Every hop of the native pipeline used to allocate a fresh RGBA buffer
+//! (decode, filter output, assembly), and the sim runner's timing-only
+//! path allocated a proxy image per stage per frame — hundreds of
+//! megabytes of churn per walkthrough. The pool keeps released buffers on
+//! a bounded free list and hands their allocations back out, independent
+//! of geometry (a `Vec` is re-sized to whatever the next acquire needs).
+//!
+//! Invariants (property-tested in `tests/pool_props.rs`):
+//!
+//! * **No aliasing** — an acquired [`Image`] owns its buffer exclusively;
+//!   the pool never hands the same live allocation to two callers.
+//! * **No stale pixels** — [`BufferPool::acquire`] returns an image
+//!   byte-identical to a fresh [`Image::new`] (black, fully opaque), and
+//!   [`BufferPool::acquire_filled`] overwrites every byte from the given
+//!   payload. Pooled and unpooled runs therefore produce identical output.
+//! * **Bounded** — at most `max_free` buffers are retained; extra
+//!   releases simply drop their allocation.
+
+use parking_lot::Mutex;
+use scc_filters::{Image, BYTES_PER_PIXEL};
+use std::sync::Arc;
+
+/// Counters describing how much reuse a pool achieved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquires served from the free list.
+    pub recycled: u64,
+    /// Acquires that had to allocate.
+    pub fresh: u64,
+    /// Buffers returned to the free list.
+    pub returned: u64,
+    /// Buffers dropped because the free list was full (or the pool
+    /// disabled).
+    pub dropped: u64,
+}
+
+struct Inner {
+    free: Vec<Vec<u8>>,
+    max_free: usize,
+    stats: PoolStats,
+}
+
+/// A shared, thread-safe pool of recycled image allocations. Cloning is
+/// cheap and shares the free list; a disabled pool (the `buffer_pool:
+/// false` knob) allocates fresh on every acquire and drops every release,
+/// so both modes run the exact same calling code.
+#[derive(Clone)]
+pub struct BufferPool {
+    inner: Option<Arc<Mutex<Inner>>>,
+}
+
+impl BufferPool {
+    /// Default free-list bound: comfortably covers every in-flight buffer
+    /// of a 9-pipeline run (p strips × window 2 per hop) without letting
+    /// an unbalanced producer hoard memory.
+    pub const DEFAULT_MAX_FREE: usize = 64;
+
+    /// A pool retaining at most `max_free` released buffers.
+    pub fn new(max_free: usize) -> BufferPool {
+        BufferPool {
+            inner: Some(Arc::new(Mutex::new(Inner {
+                free: Vec::new(),
+                max_free,
+                stats: PoolStats::default(),
+            }))),
+        }
+    }
+
+    /// A pass-through pool: every acquire allocates, every release drops.
+    pub fn disabled() -> BufferPool {
+        BufferPool { inner: None }
+    }
+
+    /// Build from the spec knob.
+    pub fn from_enabled(enabled: bool) -> BufferPool {
+        if enabled {
+            BufferPool::new(Self::DEFAULT_MAX_FREE)
+        } else {
+            BufferPool::disabled()
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn take_buffer(&self, len: usize) -> Vec<u8> {
+        if let Some(inner) = &self.inner {
+            let mut inner = inner.lock();
+            if let Some(mut buf) = inner.free.pop() {
+                inner.stats.recycled += 1;
+                buf.clear();
+                buf.resize(len, 0);
+                return buf;
+            }
+            inner.stats.fresh += 1;
+        }
+        vec![0u8; len]
+    }
+
+    /// An image byte-identical to `Image::new(width, height)` — black,
+    /// fully opaque — reusing a pooled allocation when one is free.
+    pub fn acquire(&self, width: u32, height: u32) -> Image {
+        let len = width as usize * height as usize * BYTES_PER_PIXEL;
+        let mut data = self.take_buffer(len);
+        for px in data.chunks_exact_mut(BYTES_PER_PIXEL) {
+            px[3] = 255;
+        }
+        Image::from_raw(width, height, data)
+    }
+
+    /// An image whose every byte comes from `payload` (which must match
+    /// the geometry), reusing a pooled allocation when one is free.
+    pub fn acquire_filled(&self, width: u32, height: u32, payload: &[u8]) -> Image {
+        let len = width as usize * height as usize * BYTES_PER_PIXEL;
+        assert_eq!(payload.len(), len, "payload size mismatch");
+        let mut data = self.take_buffer(len);
+        data.copy_from_slice(payload);
+        Image::from_raw(width, height, data)
+    }
+
+    /// Return an image's allocation to the free list (dropped if the list
+    /// is full or the pool disabled).
+    pub fn release(&self, img: Image) {
+        let buf = img.into_raw();
+        if let Some(inner) = &self.inner {
+            let mut inner = inner.lock();
+            if inner.free.len() < inner.max_free {
+                inner.stats.returned += 1;
+                inner.free.push(buf);
+                return;
+            }
+            inner.stats.dropped += 1;
+        }
+    }
+
+    /// Snapshot of the reuse counters (all zero for a disabled pool).
+    pub fn stats(&self) -> PoolStats {
+        match &self.inner {
+            Some(inner) => inner.lock().stats,
+            None => PoolStats::default(),
+        }
+    }
+
+    /// Buffers currently sitting on the free list.
+    pub fn free_len(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner.lock().free.len(),
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_matches_fresh_image_exactly() {
+        let pool = BufferPool::new(8);
+        for (w, h) in [(1u32, 1u32), (7, 3), (64, 64)] {
+            assert_eq!(pool.acquire(w, h), Image::new(w, h), "{w}x{h}");
+        }
+    }
+
+    #[test]
+    fn recycled_buffer_is_scrubbed() {
+        let pool = BufferPool::new(8);
+        let mut img = pool.acquire(4, 4);
+        img.fill([200, 100, 50, 25]);
+        pool.release(img);
+        // Same geometry: must come back black-opaque, not with the old art.
+        let again = pool.acquire(4, 4);
+        assert_eq!(again, Image::new(4, 4));
+        assert_eq!(pool.stats().recycled, 1);
+    }
+
+    #[test]
+    fn recycling_works_across_geometries() {
+        let pool = BufferPool::new(8);
+        let big = pool.acquire(16, 16);
+        pool.release(big);
+        let small = pool.acquire(2, 3);
+        assert_eq!(small, Image::new(2, 3));
+        let large = pool.acquire(20, 20);
+        assert_eq!(large, Image::new(20, 20));
+    }
+
+    #[test]
+    fn acquire_filled_copies_payload() {
+        let pool = BufferPool::new(4);
+        let mut stale = pool.acquire(2, 2);
+        stale.fill([9, 9, 9, 9]);
+        pool.release(stale);
+        let payload: Vec<u8> = (0u8..16).collect();
+        let img = pool.acquire_filled(2, 2, &payload);
+        assert_eq!(img.as_bytes(), &payload[..]);
+        assert_eq!(pool.stats().recycled, 1);
+    }
+
+    #[test]
+    fn free_list_is_bounded() {
+        let pool = BufferPool::new(2);
+        for _ in 0..5 {
+            pool.release(Image::new(4, 4));
+        }
+        assert_eq!(pool.free_len(), 2);
+        let s = pool.stats();
+        assert_eq!(s.returned, 2);
+        assert_eq!(s.dropped, 3);
+    }
+
+    #[test]
+    fn disabled_pool_is_transparent() {
+        let pool = BufferPool::disabled();
+        assert!(!pool.is_enabled());
+        let img = pool.acquire(3, 3);
+        assert_eq!(img, Image::new(3, 3));
+        pool.release(img);
+        assert_eq!(pool.free_len(), 0);
+        assert_eq!(pool.stats(), PoolStats::default());
+        assert!(BufferPool::from_enabled(true).is_enabled());
+        assert!(!BufferPool::from_enabled(false).is_enabled());
+    }
+
+    #[test]
+    fn clones_share_the_free_list() {
+        let a = BufferPool::new(8);
+        let b = a.clone();
+        b.release(Image::new(4, 4));
+        assert_eq!(a.free_len(), 1);
+        let _ = a.acquire(4, 4);
+        assert_eq!(b.stats().recycled, 1);
+    }
+}

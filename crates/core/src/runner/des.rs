@@ -403,6 +403,7 @@ mod tests {
             fidelity: Fidelity::TimingOnly,
             trace: false,
             fault: None,
+            tuning: crate::spec::NativeTuning::default(),
         }
     }
 

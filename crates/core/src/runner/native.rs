@@ -9,6 +9,8 @@
 //! statistics mirror the paper's Figure 15 measurement methodology.
 
 use crate::frame::Frame;
+use crate::metrics::HostTiming;
+use crate::pool::{BufferPool, PoolStats};
 use crate::spec::{RendererMode, RunConfig, StageKind};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use scc_filters::{standard_chain, vswap, Image, StripInfo};
@@ -31,6 +33,10 @@ pub struct NativeReport {
     /// Per-stage receive-wait quartiles in milliseconds, keyed by
     /// (stage, pipeline).
     pub idle_ms: Vec<(StageKind, u32, Option<Quartiles>)>,
+    /// Host wall-clock throughput (the bench trajectory's quantity).
+    pub host: HostTiming,
+    /// Buffer-pool reuse counters (all zero when pooling is off).
+    pub pool_stats: PoolStats,
 }
 
 /// Wire format: `crc32(rest) || header || RGBA payload`. The checksum
@@ -60,7 +66,7 @@ enum DecodeFailure {
     Crc,
 }
 
-fn try_decode(mut b: Bytes) -> Result<Frame, DecodeFailure> {
+fn try_decode_pooled(mut b: Bytes, pool: &BufferPool) -> Result<Frame, DecodeFailure> {
     if b.len() < 36 {
         return Err(DecodeFailure::Truncated);
     }
@@ -90,8 +96,12 @@ fn try_decode(mut b: Bytes) -> Result<Frame, DecodeFailure> {
         id,
         strip,
         full_width,
-        image: Some(Image::from_raw(full_width, height, b.to_vec())),
+        image: Some(pool.acquire_filled(full_width, height, &b)),
     })
+}
+
+fn try_decode(b: Bytes) -> Result<Frame, DecodeFailure> {
+    try_decode_pooled(b, &BufferPool::disabled())
 }
 
 /// Inverse of [`encode_frame`]; panics on malformed input.
@@ -109,6 +119,12 @@ pub fn decode_frame(b: Bytes) -> Frame {
 /// back as [`RcceError::Corrupt`] attributed to `src`.
 pub fn decode_frame_checked(b: Bytes, src: usize) -> Result<Frame, RcceError> {
     try_decode(b).map_err(|_| RcceError::Corrupt { rank: src })
+}
+
+/// [`decode_frame_checked`] drawing the frame's pixel buffer from a
+/// [`BufferPool`] instead of the allocator.
+pub fn decode_frame_pooled(b: Bytes, src: usize, pool: &BufferPool) -> Result<Frame, RcceError> {
+    try_decode_pooled(b, pool).map_err(|_| RcceError::Corrupt { rank: src })
 }
 
 fn send_bytes(ep: &Endpoint, reliable: bool, dst: usize, payload: Bytes) {
@@ -197,6 +213,10 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
 
     let renderer = Arc::new(Renderer::new(scene));
     let bounds = Image::strip_bounds(cfg.height, cfg.pipelines);
+    // One shared pool: a stage releasing its sent frame feeds the next
+    // stage's decode, so steady state runs with a fixed set of buffers.
+    let pool = BufferPool::from_enabled(cfg.tuning.buffer_pool);
+    let kernel_threads = cfg.tuning.kernel_threads as usize;
     let start = Instant::now();
     let mut handles = Vec::new();
     type StageResult = (Vec<Duration>, Option<Vec<Image>>);
@@ -211,6 +231,7 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
             let ep = eps[layout.sources[0]].take().unwrap();
             let renderer = Arc::clone(&renderer);
             let cfg = cfg.clone();
+            let pool = pool.clone();
             let filters0: Vec<usize> = layout.filters.iter().map(|f| f[0]).collect();
             handles.push(thread::spawn(move || {
                 let walkthrough = Walkthrough::standard(cfg.width as f32 / cfg.height as f32);
@@ -227,7 +248,9 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
                             image: Some(strip),
                         };
                         send_bytes(&ep, reliable, filters0[i], encode_frame(&frame));
+                        pool.release(frame.image.expect("strip pixels"));
                     }
+                    pool.release(img);
                 }
             }));
         }
@@ -239,6 +262,7 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
                 let (y0, h) = bounds[i];
                 let dst = layout.filters[i][0];
                 let count = cfg.pipelines;
+                let pool = pool.clone();
                 handles.push(thread::spawn(move || {
                     let walkthrough = Walkthrough::standard(cfg.width as f32 / cfg.height as f32);
                     for f in 0..cfg.frames {
@@ -257,6 +281,7 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
                             image: Some(strip),
                         };
                         send_bytes(&ep, reliable, dst, encode_frame(&frame));
+                        pool.release(frame.image.expect("strip pixels"));
                     }
                 }));
             }
@@ -283,6 +308,7 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
                 layout.transfer
             };
             let kind = StageKind::PIPELINE_FILTERS[j];
+            let pool = pool.clone();
             stage_handles.push((
                 kind,
                 i as u32,
@@ -292,10 +318,15 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
                     for _ in 0..cfg.frames {
                         let raw = recv_bytes(&ep, reliable, src);
                         let mut frame =
-                            decode_frame_checked(raw, src).expect("frame survived transport");
+                            decode_frame_pooled(raw, src, &pool).expect("frame survived transport");
                         let ctx = frame.ctx(cfg.seed);
-                        filter.apply(frame.image.as_mut().expect("pixels"), &ctx);
+                        filter.apply_chunked(
+                            frame.image.as_mut().expect("pixels"),
+                            &ctx,
+                            kernel_threads,
+                        );
                         send_bytes(&ep, reliable, dst, encode_frame(&frame));
+                        pool.release(frame.image.expect("pixels"));
                     }
                     (ep.take_wait_samples(), None)
                 }),
@@ -307,6 +338,7 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
     {
         let ep = eps[layout.transfer].take().unwrap();
         let cfg = cfg.clone();
+        let pool = pool.clone();
         let swap_ranks: Vec<usize> = layout.filters.iter().map(|f| f[4]).collect();
         stage_handles.push((
             StageKind::Transfer,
@@ -316,14 +348,19 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
                 for _ in 0..cfg.frames {
                     let mut strips = Vec::with_capacity(swap_ranks.len());
                     for &r in &swap_ranks {
-                        let frame = decode_frame_checked(recv_bytes(&ep, reliable, r), r)
+                        let frame = decode_frame_pooled(recv_bytes(&ep, reliable, r), r, &pool)
                             .expect("frame survived transport");
                         strips.push((
                             vswap::mirrored_info(frame.strip),
                             frame.image.expect("pixels"),
                         ));
                     }
+                    // The assembled frame leaves with the report, so it
+                    // cannot be pooled — but the strips can.
                     out.push(Image::assemble(&strips));
+                    for (_, strip) in strips {
+                        pool.release(strip);
+                    }
                 }
                 (ep.take_wait_samples(), Some(out))
             }),
@@ -344,10 +381,19 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
         idle_ms.push((kind, pl, Quartiles::from_samples(&ms)));
     }
 
+    let wall = start.elapsed();
+    let host = HostTiming::from_wall(
+        wall.as_secs_f64(),
+        frames.len() as u64,
+        cfg.width,
+        cfg.height,
+    );
     NativeReport {
-        wall: start.elapsed(),
+        wall,
         frames,
         idle_ms,
+        host,
+        pool_stats: pool.stats(),
     }
 }
 
@@ -355,7 +401,7 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
 mod tests {
     use super::*;
     use crate::reference::reference_frames;
-    use crate::spec::{Arrangement, Fidelity};
+    use crate::spec::{Arrangement, Fidelity, NativeTuning};
     use scc_render::CityConfig;
 
     fn scene() -> Arc<Scene> {
@@ -378,6 +424,7 @@ mod tests {
             fidelity: Fidelity::Full,
             trace: false,
             fault: None,
+            tuning: NativeTuning::default(),
         }
     }
 
@@ -510,6 +557,41 @@ mod tests {
             assert!(q.median >= 0.0);
         }
         assert!(report.wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn kernel_threads_and_pooling_do_not_change_output() {
+        let base = cfg(RendererMode::SingleRenderer, 2, 3);
+        let reference = reference_frames(&base, scene());
+        for (threads, pooled) in [(1u32, false), (4, true), (4, false), (2, true)] {
+            let mut c = base.clone();
+            c.tuning = NativeTuning {
+                kernel_threads: threads,
+                buffer_pool: pooled,
+            };
+            let report = run_native(&c, scene());
+            assert_eq!(
+                report.frames, reference,
+                "threads={threads} pooled={pooled} diverged from reference"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_recycles_and_host_timing_is_populated() {
+        let c = cfg(RendererMode::SingleRenderer, 2, 5);
+        let report = run_native(&c, scene());
+        let s = report.pool_stats;
+        assert!(s.recycled > 0, "steady state must reuse buffers: {s:?}");
+        assert!(s.returned > 0);
+        assert_eq!(report.host.frames, 5);
+        assert!(report.host.frames_per_sec > 0.0);
+        assert!(report.host.wall_secs > 0.0);
+
+        let mut unpooled = c.clone();
+        unpooled.tuning.buffer_pool = false;
+        let report = run_native(&unpooled, scene());
+        assert_eq!(report.pool_stats, PoolStats::default());
     }
 
     #[test]

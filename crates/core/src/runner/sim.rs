@@ -255,6 +255,9 @@ impl SimRunner {
         let full_px = self.cfg.width as u64 * self.cfg.height as u64;
         let full_bytes = self.cfg.frame_bytes();
         let fidelity = self.cfg.fidelity;
+        // Recycles the timing-only proxy allocations (one per stage per
+        // frame); virtual-time accounting is oblivious to it.
+        let pool = crate::pool::BufferPool::from_enabled(self.cfg.tuning.buffer_pool);
 
         let mut mcpc_free = SimTime::ZERO;
         let mut mcpc_busy = SimTime::ZERO;
@@ -534,6 +537,7 @@ impl SimRunner {
                         avail,
                         self.fault.as_ref(),
                         &mut send_seqs,
+                        &pool,
                     ) {
                         Ok(done) => {
                             swap_arrivals[i] = done;
@@ -852,6 +856,7 @@ fn run_strip_on_lane(
     avail_in: SimTime,
     fault: Option<&FaultCtx>,
     seqs: &mut HashMap<(u8, u8), u64>,
+    pool: &crate::pool::BufferPool,
 ) -> Result<SimTime, (usize, SimTime)> {
     let ctx = frame.ctx(run_seed);
     let bytes = frame.byte_len();
@@ -905,9 +910,12 @@ fn run_strip_on_lane(
             }
             None => {
                 // Timing-only: identical cost from a synthetic image
-                // descriptor of the same geometry.
-                let proxy = Image::new(width, frame.strip.height);
-                cost.filter_cycles(impls[j].as_ref(), &proxy, &ctx)
+                // descriptor of the same geometry, drawn from (and
+                // immediately returned to) the buffer pool.
+                let proxy = pool.acquire(width, frame.strip.height);
+                let c = cost.filter_cycles(impls[j].as_ref(), &proxy, &ctx);
+                pool.release(proxy);
+                c
             }
         };
         t = platform.compute(stage_core, t, cycles as u64);
@@ -1046,6 +1054,7 @@ mod tests {
             fidelity: Fidelity::TimingOnly,
             trace: false,
             fault: None,
+            tuning: crate::spec::NativeTuning::default(),
         }
     }
 
@@ -1302,6 +1311,7 @@ mod trace_tests {
             fidelity: Fidelity::TimingOnly,
             trace: true,
             fault: None,
+            tuning: crate::spec::NativeTuning::default(),
         };
         let scene = Arc::new(Scene::city(CityConfig {
             side: 8,

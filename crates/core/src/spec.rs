@@ -223,6 +223,40 @@ impl FaultSpec {
     }
 }
 
+/// Host-execution tuning for the native runner (and the runners' buffer
+/// management). These knobs affect performance only: output is guaranteed
+/// bit-identical across every setting, which `tests/parallel_equivalence.rs`
+/// enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct NativeTuning {
+    /// Worker threads one filter stage may spread its row-chunked kernel
+    /// over (1 = plain sequential kernels). This is data parallelism
+    /// *inside* a stage, on top of the one-thread-per-stage macro
+    /// pipelining.
+    pub kernel_threads: u32,
+    /// Recycle frame/strip allocations through `scc-core`'s buffer pool
+    /// instead of hitting the allocator every hop.
+    pub buffer_pool: bool,
+}
+
+impl Default for NativeTuning {
+    fn default() -> Self {
+        NativeTuning {
+            kernel_threads: 1,
+            buffer_pool: true,
+        }
+    }
+}
+
+impl NativeTuning {
+    pub fn validate(&self) -> Result<(), String> {
+        if self.kernel_threads == 0 {
+            return Err("kernel_threads must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
 /// A complete experiment description.
 #[derive(Debug, Clone, Serialize)]
 pub struct RunConfig {
@@ -242,6 +276,9 @@ pub struct RunConfig {
     pub trace: bool,
     /// Fault injection; `None` runs the healthy fast path unchanged.
     pub fault: Option<FaultSpec>,
+    /// Host-execution tuning (kernel threads, buffer pooling). Never
+    /// changes output, only how fast the host produces it.
+    pub tuning: NativeTuning,
 }
 
 impl Default for RunConfig {
@@ -260,6 +297,7 @@ impl Default for RunConfig {
             fidelity: Fidelity::TimingOnly,
             trace: false,
             fault: None,
+            tuning: NativeTuning::default(),
         }
     }
 }
@@ -286,6 +324,7 @@ impl RunConfig {
         if let Some(fault) = &self.fault {
             fault.validate(self.pipelines)?;
         }
+        self.tuning.validate()?;
         Ok(())
     }
 
@@ -402,6 +441,19 @@ mod tests {
             }),
             ..FaultSpec::default()
         });
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn tuning_validation() {
+        let mut cfg = RunConfig::default();
+        assert_eq!(cfg.tuning, NativeTuning::default());
+        cfg.tuning.kernel_threads = 0;
+        assert!(cfg.validate().is_err(), "zero kernel threads rejected");
+        cfg.tuning = NativeTuning {
+            kernel_threads: 8,
+            buffer_pool: false,
+        };
         assert!(cfg.validate().is_ok());
     }
 

@@ -6,8 +6,9 @@
 //! expensive filter stage in the paper's measurements — the 3×3 (or
 //! larger) gather makes it both compute- and memory-heavy.
 
+use crate::chunk::par_row_chunks;
 use crate::filter::{FrameCtx, ImageFilter, Traffic};
-use crate::image::Image;
+use crate::image::{Image, BYTES_PER_PIXEL};
 
 /// Box blur with configurable radius (radius 1 = 3×3 window).
 #[derive(Debug, Clone, Copy)]
@@ -33,49 +34,60 @@ impl Blur {
     }
 }
 
+/// The shared kernel: average the window around every pixel of row `y`,
+/// reading the pristine `src` buffer and writing `out_row` (that row's
+/// bytes of the destination). Blur is a pure function of (src, y), so the
+/// sequential path and any row chunk of the parallel one run the exact
+/// same integer arithmetic.
+fn blur_row(src: &Image, y: u32, out_row: &mut [u8], r: i64) {
+    let w = src.width();
+    let h = src.height();
+    for x in 0..w {
+        let mut acc = [0u32; 3];
+        let mut n = 0u32;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let sx = x as i64 + dx;
+                let sy = y as i64 + dy;
+                if sx < 0 || sy < 0 || sx >= w as i64 || sy >= h as i64 {
+                    continue;
+                }
+                let p = src.get(sx as u32, sy as u32);
+                acc[0] += p[0] as u32;
+                acc[1] += p[1] as u32;
+                acc[2] += p[2] as u32;
+                n += 1;
+            }
+        }
+        let o = x as usize * BYTES_PER_PIXEL;
+        out_row[o] = (acc[0] / n) as u8;
+        out_row[o + 1] = (acc[1] / n) as u8;
+        out_row[o + 2] = (acc[2] / n) as u8;
+        // Alpha stays whatever the destination row held (the source value).
+    }
+}
+
 impl ImageFilter for Blur {
     fn name(&self) -> &'static str {
         "blur"
     }
 
-    fn apply(&self, img: &mut Image, _ctx: &FrameCtx) {
-        let w = img.width();
-        let h = img.height();
+    fn apply(&self, img: &mut Image, ctx: &FrameCtx) {
+        self.apply_chunked(img, ctx, 1);
+    }
+
+    fn apply_chunked(&self, img: &mut Image, _ctx: &FrameCtx, workers: usize) {
         let r = self.radius as i64;
+        let row_bytes = img.width() as usize * BYTES_PER_PIXEL;
         // The second buffer the paper describes: blur must read original
-        // values, not partially blurred ones.
+        // values, not partially blurred ones — and it is what makes the
+        // row decomposition race-free (workers share `src` read-only).
         let src = img.clone();
-        for y in 0..h {
-            for x in 0..w {
-                let mut acc = [0u32; 3];
-                let mut n = 0u32;
-                for dy in -r..=r {
-                    for dx in -r..=r {
-                        let sx = x as i64 + dx;
-                        let sy = y as i64 + dy;
-                        if sx < 0 || sy < 0 || sx >= w as i64 || sy >= h as i64 {
-                            continue;
-                        }
-                        let p = src.get(sx as u32, sy as u32);
-                        acc[0] += p[0] as u32;
-                        acc[1] += p[1] as u32;
-                        acc[2] += p[2] as u32;
-                        n += 1;
-                    }
-                }
-                let a = img.get(x, y)[3];
-                img.set(
-                    x,
-                    y,
-                    [
-                        (acc[0] / n) as u8,
-                        (acc[1] / n) as u8,
-                        (acc[2] / n) as u8,
-                        a,
-                    ],
-                );
+        par_row_chunks(img, workers, |y0, rows| {
+            for (dy, row) in rows.chunks_exact_mut(row_bytes).enumerate() {
+                blur_row(&src, y0 + dy as u32, row, r);
             }
-        }
+        });
     }
 
     fn work_units(&self, img: &Image, _ctx: &FrameCtx) -> f64 {

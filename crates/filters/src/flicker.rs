@@ -7,9 +7,10 @@
 //! strip of a frame must shift by the same amount, so it comes from the
 //! deterministic per-frame RNG.
 
+use crate::chunk::par_row_chunks;
 use crate::filter::{FrameCtx, ImageFilter};
 use crate::frame_rng::frame_rng;
-use crate::image::{from_unit, to_unit, Image};
+use crate::image::{from_unit, to_unit, Image, BYTES_PER_PIXEL};
 use rand::Rng;
 
 /// Flicker filter parameters.
@@ -33,6 +34,15 @@ impl Flicker {
     }
 }
 
+/// The shared kernel: add the frame's brightness offset to every RGB byte.
+fn shift_bytes(bytes: &mut [u8], d: f32) {
+    for px in bytes.chunks_exact_mut(BYTES_PER_PIXEL) {
+        for c in px.iter_mut().take(3) {
+            *c = from_unit(to_unit(*c) + d);
+        }
+    }
+}
+
 impl ImageFilter for Flicker {
     fn name(&self) -> &'static str {
         "flicker"
@@ -40,11 +50,15 @@ impl ImageFilter for Flicker {
 
     fn apply(&self, img: &mut Image, ctx: &FrameCtx) {
         let d = self.offset(ctx);
-        for px in img.as_bytes_mut().chunks_exact_mut(4) {
-            for c in px.iter_mut().take(3) {
-                *c = from_unit(to_unit(*c) + d);
-            }
-        }
+        shift_bytes(img.as_bytes_mut(), d);
+    }
+
+    fn apply_chunked(&self, img: &mut Image, ctx: &FrameCtx, workers: usize) {
+        // The single RNG draw happens once, before the fan-out: the offset
+        // is a frame property, so every worker shifts by the same amount
+        // regardless of how rows are distributed (chunk-rule 2).
+        let d = self.offset(ctx);
+        par_row_chunks(img, workers, |_, rows| shift_bytes(rows, d));
     }
 
     fn work_units(&self, img: &Image, _ctx: &FrameCtx) -> f64 {

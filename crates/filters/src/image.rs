@@ -98,6 +98,12 @@ impl Image {
         Bytes::copy_from_slice(&self.data)
     }
 
+    /// Consume the image and recover its raw RGBA buffer (for allocation
+    /// recycling — see `scc-core`'s buffer pool).
+    pub fn into_raw(self) -> Vec<u8> {
+        self.data
+    }
+
     #[inline]
     fn offset(&self, x: u32, y: u32) -> usize {
         debug_assert!(x < self.width && y < self.height);
@@ -186,11 +192,22 @@ impl Image {
     /// Reassemble strips produced by [`Image::split_strips`] (any order).
     pub fn assemble(strips: &[(StripInfo, Image)]) -> Image {
         assert!(!strips.is_empty(), "no strips to assemble");
+        let mut out = Image::new(strips[0].1.width(), strips[0].0.full_height);
+        Image::assemble_into(strips, &mut out);
+        out
+    }
+
+    /// Reassemble strips into a caller-provided full-frame image (the
+    /// pool-friendly variant of [`Image::assemble`]): `out` must already
+    /// have the full-frame geometry, and every pixel of it is overwritten.
+    pub fn assemble_into(strips: &[(StripInfo, Image)], out: &mut Image) {
+        assert!(!strips.is_empty(), "no strips to assemble");
         let full_height = strips[0].0.full_height;
         let width = strips[0].1.width();
         let count = strips[0].0.count;
         assert_eq!(strips.len() as u32, count, "missing strips");
-        let mut out = Image::new(width, full_height);
+        assert_eq!(out.width, width, "output width mismatch");
+        assert_eq!(out.height, full_height, "output height mismatch");
         let mut covered = 0;
         for (info, img) in strips {
             assert_eq!(info.full_height, full_height, "inconsistent strip set");
@@ -201,7 +218,6 @@ impl Image {
             covered += info.height;
         }
         assert_eq!(covered, full_height, "strips do not tile the frame");
-        out
     }
 }
 
@@ -327,6 +343,34 @@ mod tests {
         strips[0].0.count = 1;
         strips[0].0.full_height = 8;
         Image::assemble(&strips);
+    }
+
+    #[test]
+    fn into_raw_roundtrips_through_from_raw() {
+        let img = gradient(6, 5);
+        let copy = img.clone();
+        let raw = img.into_raw();
+        assert_eq!(raw.len(), 6 * 5 * BYTES_PER_PIXEL);
+        assert_eq!(Image::from_raw(6, 5, raw), copy);
+    }
+
+    #[test]
+    fn assemble_into_overwrites_stale_pixels() {
+        let img = gradient(9, 11);
+        let strips = img.split_strips(3);
+        let mut out = Image::new(9, 11);
+        out.fill([123, 45, 67, 89]); // stale garbage, as a recycled buffer would hold
+        Image::assemble_into(&strips, &mut out);
+        assert_eq!(out, img);
+    }
+
+    #[test]
+    #[should_panic(expected = "output height mismatch")]
+    fn assemble_into_rejects_wrong_geometry() {
+        let img = gradient(4, 8);
+        let strips = img.split_strips(2);
+        let mut out = Image::new(4, 7);
+        Image::assemble_into(&strips, &mut out);
     }
 
     #[test]

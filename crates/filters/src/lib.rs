@@ -12,10 +12,13 @@
 //! * [`vswap::VSwap`] — vertical mirror via row swaps.
 //!
 //! Plus the [`image::Image`] RGBA8 buffer, its sort-first horizontal
-//! strip decomposition, and the deterministic per-frame RNG that keeps
-//! independently processed strips consistent with a single-pipeline run.
+//! strip decomposition, the deterministic per-frame RNG that keeps
+//! independently processed strips consistent with a single-pipeline run,
+//! and the [`chunk`] row-chunk decomposition that lets a single stage
+//! spread its kernel over spare cores without changing a pixel.
 
 pub mod blur;
+pub mod chunk;
 pub mod filter;
 pub mod flicker;
 pub mod frame_rng;
@@ -26,6 +29,7 @@ pub mod sepia;
 pub mod vswap;
 
 pub use blur::Blur;
+pub use chunk::{chunk_rows, par_row_chunks};
 pub use filter::{FrameCtx, ImageFilter, Traffic};
 pub use flicker::Flicker;
 pub use image::{Image, StripInfo, BYTES_PER_PIXEL};
@@ -99,5 +103,36 @@ mod tests {
             }
         }
         assert_eq!(Image::assemble(&strips), whole);
+    }
+
+    #[test]
+    fn chunked_kernels_match_sequential_bit_exactly() {
+        // The tentpole invariant: every filter of the standard chain must
+        // produce byte-identical output from `apply` and `apply_chunked`
+        // at any worker count — including the RNG-bearing stages, whose
+        // draws are keyed per frame, never per draw-order.
+        let mut img = Image::new(37, 29);
+        for y in 0..29 {
+            for x in 0..37 {
+                img.set(x, y, [(x * 7) as u8, (y * 13) as u8, (x ^ y) as u8, 255]);
+            }
+        }
+        for frame in [0u64, 5, 41] {
+            let ctx = FrameCtx::whole_frame(frame, 99, 37, 29);
+            for f in standard_chain() {
+                let mut seq = img.clone();
+                f.apply(&mut seq, &ctx);
+                for workers in [1usize, 2, 3, 4, 8] {
+                    let mut par = img.clone();
+                    f.apply_chunked(&mut par, &ctx, workers);
+                    assert_eq!(
+                        par,
+                        seq,
+                        "{} diverged at workers={workers} frame={frame}",
+                        f.name()
+                    );
+                }
+            }
+        }
     }
 }

@@ -9,8 +9,9 @@
 //! rgb_new = clamp(S1·(1 − mix) + S2·mix)
 //! ```
 
+use crate::chunk::par_row_chunks;
 use crate::filter::{FrameCtx, ImageFilter};
-use crate::image::{from_unit, to_unit, Image};
+use crate::image::{from_unit, to_unit, Image, BYTES_PER_PIXEL};
 
 /// The darkest sepia tone.
 pub const S1: [f32; 3] = [0.2, 0.05, 0.0];
@@ -35,18 +36,28 @@ pub fn sepia_pixel(r: f32, g: f32, b: f32) -> [f32; 3] {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Sepia;
 
+/// The shared kernel: sepia is strictly per-pixel, so the same byte loop
+/// serves the sequential path and any row chunk of the parallel one.
+fn sepia_bytes(bytes: &mut [u8]) {
+    for px in bytes.chunks_exact_mut(BYTES_PER_PIXEL) {
+        let [r, g, b] = sepia_pixel(to_unit(px[0]), to_unit(px[1]), to_unit(px[2]));
+        px[0] = from_unit(r);
+        px[1] = from_unit(g);
+        px[2] = from_unit(b);
+    }
+}
+
 impl ImageFilter for Sepia {
     fn name(&self) -> &'static str {
         "sepia"
     }
 
     fn apply(&self, img: &mut Image, _ctx: &FrameCtx) {
-        for px in img.as_bytes_mut().chunks_exact_mut(4) {
-            let [r, g, b] = sepia_pixel(to_unit(px[0]), to_unit(px[1]), to_unit(px[2]));
-            px[0] = from_unit(r);
-            px[1] = from_unit(g);
-            px[2] = from_unit(b);
-        }
+        sepia_bytes(img.as_bytes_mut());
+    }
+
+    fn apply_chunked(&self, img: &mut Image, _ctx: &FrameCtx, workers: usize) {
+        par_row_chunks(img, workers, |_, rows| sepia_bytes(rows));
     }
 
     fn work_units(&self, img: &Image, _ctx: &FrameCtx) -> f64 {

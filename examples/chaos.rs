@@ -23,6 +23,7 @@ fn main() {
         fidelity: Fidelity::Full,
         trace: false,
         fault: None,
+        tuning: scc_core::NativeTuning::default(),
     };
     let mut chaotic = clean.clone();
     chaotic.fault = Some(FaultSpec {

@@ -24,6 +24,7 @@ fn main() {
         fidelity: Fidelity::TimingOnly,
         trace: false,
         fault: None,
+        tuning: scc_core::NativeTuning::default(),
     };
     let scene = Arc::new(Scene::city(CityConfig::default()));
     println!(

@@ -39,6 +39,7 @@ fn main() {
         fidelity: Fidelity::Full,
         trace: false,
         fault: None,
+        tuning: scc_core::NativeTuning::default(),
     };
     let scene = Arc::new(Scene::city(CityConfig::default()));
     println!(

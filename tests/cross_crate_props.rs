@@ -60,6 +60,7 @@ proptest! {
             fidelity: Fidelity::Full,
         trace: false,
         fault: None,
+        tuning: scc_core::NativeTuning::default(),
     };
         let report = SimRunner::new(cfg.clone(), scene(scene_seed)).run();
         // The per-pipeline-renderer reference renders strips with band
@@ -89,6 +90,7 @@ proptest! {
             fidelity: Fidelity::TimingOnly,
         trace: false,
         fault: None,
+        tuning: scc_core::NativeTuning::default(),
     };
         let t1 = SimRunner::new(cfg.clone(), scene(1)).run().total_secs;
         cfg.fidelity = Fidelity::Full;
@@ -117,6 +119,7 @@ proptest! {
             fidelity: Fidelity::TimingOnly,
         trace: false,
         fault: None,
+        tuning: scc_core::NativeTuning::default(),
     };
         let one = SimRunner::new(mk(1), scene(2)).run();
         let many = SimRunner::new(mk(pipelines), scene(2)).run();
@@ -155,6 +158,7 @@ proptest! {
             fidelity: Fidelity::TimingOnly,
         trace: false,
         fault: None,
+        tuning: scc_core::NativeTuning::default(),
     };
         let t2 = SimRunner::new(mk(2), scene(0)).run().total_secs;
         let t4 = SimRunner::new(mk(4), scene(0)).run().total_secs;

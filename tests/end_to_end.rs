@@ -29,6 +29,7 @@ fn cfg(mode: RendererMode, pipelines: u32) -> RunConfig {
         fidelity: Fidelity::Full,
         trace: false,
         fault: None,
+        tuning: scc_core::NativeTuning::default(),
     }
 }
 

@@ -11,8 +11,8 @@ use scc_core::runner::native::{decode_frame_checked, encode_frame};
 use scc_core::viz::frame_checksum;
 use scc_core::Frame;
 use scc_core::{
-    reference::reference_frames, Arrangement, FaultSpec, Fidelity, RendererMode, RunConfig,
-    SimRunner, StallSpec,
+    reference::reference_frames, run_native, Arrangement, FaultSpec, Fidelity, NativeTuning,
+    RendererMode, RunConfig, SimRunner, StallSpec,
 };
 use scc_filters::{Image, StripInfo};
 use scc_render::{CityConfig, Scene};
@@ -152,6 +152,7 @@ proptest! {
                 }),
                 ..FaultSpec::default()
             }),
+            tuning: scc_core::NativeTuning::default(),
         };
         let mut clean = cfg.clone();
         clean.fault = None;
@@ -177,5 +178,47 @@ proptest! {
             );
             prop_assert_eq!(report.degradations[0].pipeline, victim_pipeline);
         }
+    }
+
+    /// The native runner under message faults, with arbitrary host tuning
+    /// (chunked kernels, buffer pool on/off): retransmission recovers
+    /// every frame and the tuning stays invisible in the pixels. No
+    /// wall-clock assumptions — only delivered bytes are asserted.
+    #[test]
+    fn native_faults_with_any_tuning_never_lose_a_frame(
+        kernel_threads in 1u32..5,
+        buffer_pool in any::<bool>(),
+        drop_pct in 0u32..4,
+        frames in 1u64..3,
+        seed in 0u64..1000,
+    ) {
+        let cfg = RunConfig {
+            renderer: RendererMode::SingleRenderer,
+            arrangement: Arrangement::Ordered,
+            pipelines: 2,
+            width: 40,
+            height: 40,
+            frames,
+            seed,
+            fidelity: Fidelity::Full,
+            trace: false,
+            fault: Some(FaultSpec {
+                drop_rate: drop_pct as f64 / 100.0,
+                corrupt_rate: 0.01,
+                timeout_us: 100_000,
+                retry_budget: 5,
+                ..FaultSpec::default()
+            }),
+            tuning: NativeTuning { kernel_threads, buffer_pool },
+        };
+        let mut clean = cfg.clone();
+        clean.fault = None;
+        let want: Vec<u64> = reference_frames(&clean, scene())
+            .iter()
+            .map(frame_checksum)
+            .collect();
+        let report = run_native(&cfg, scene());
+        let got: Vec<u64> = report.frames.iter().map(frame_checksum).collect();
+        prop_assert_eq!(got, want, "native lost or damaged a frame");
     }
 }

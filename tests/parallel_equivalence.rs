@@ -1,0 +1,157 @@
+//! Differential suite for the native runner's host tuning knobs: for
+//! every renderer mode, `kernel_threads = 1` vs `N` and pooled vs
+//! unpooled buffers must deliver byte-identical final frames, identical
+//! frame counts, and still match the sequential reference. A tuning knob
+//! that changes a pixel is a correctness bug dressed up as a speedup.
+
+use scc_core::{
+    reference::reference_frames, run_native, Arrangement, Fidelity, NativeTuning, RendererMode,
+    RunConfig,
+};
+use scc_filters::Image;
+use scc_render::{CityConfig, Scene};
+use std::sync::Arc;
+
+fn scene() -> Arc<Scene> {
+    Arc::new(Scene::city(CityConfig {
+        side: 7,
+        spacing: 8.0,
+        seed: 29,
+    }))
+}
+
+fn cfg(mode: RendererMode, tuning: NativeTuning) -> RunConfig {
+    RunConfig {
+        renderer: mode,
+        arrangement: Arrangement::Ordered,
+        pipelines: 2,
+        width: 52,
+        height: 44,
+        frames: 4,
+        seed: 0xCAFE_D00D,
+        fidelity: Fidelity::Full,
+        trace: false,
+        fault: None,
+        tuning,
+    }
+}
+
+const MODES: [RendererMode; 3] = [
+    RendererMode::SingleRenderer,
+    RendererMode::PerPipelineRenderer,
+    RendererMode::McpcRenderer,
+];
+
+/// Every (kernel_threads, buffer_pool) point we sweep against baseline.
+const TUNINGS: [NativeTuning; 5] = [
+    NativeTuning {
+        kernel_threads: 1,
+        buffer_pool: false,
+    },
+    NativeTuning {
+        kernel_threads: 2,
+        buffer_pool: true,
+    },
+    NativeTuning {
+        kernel_threads: 4,
+        buffer_pool: true,
+    },
+    NativeTuning {
+        kernel_threads: 4,
+        buffer_pool: false,
+    },
+    NativeTuning {
+        kernel_threads: 7,
+        buffer_pool: true,
+    },
+];
+
+fn baseline() -> NativeTuning {
+    NativeTuning {
+        kernel_threads: 1,
+        buffer_pool: true,
+    }
+}
+
+fn raw_frames(frames: &[Image]) -> Vec<&[u8]> {
+    frames.iter().map(|f| f.as_bytes()).collect()
+}
+
+#[test]
+fn tuning_is_invisible_in_every_renderer_mode() {
+    for mode in MODES {
+        let base = run_native(&cfg(mode, baseline()), scene());
+        assert_eq!(base.frames.len(), 4, "{mode:?}: baseline frame count");
+        for tuning in TUNINGS {
+            let variant = run_native(&cfg(mode, tuning), scene());
+            assert_eq!(
+                variant.frames.len(),
+                base.frames.len(),
+                "{mode:?}/{tuning:?}: frame count changed"
+            );
+            assert_eq!(
+                raw_frames(&variant.frames),
+                raw_frames(&base.frames),
+                "{mode:?}/{tuning:?}: pixels diverged from 1-thread pooled baseline"
+            );
+        }
+    }
+}
+
+#[test]
+fn threaded_pooled_native_matches_sequential_reference() {
+    // Not just self-consistent: the most aggressive tuning still equals
+    // the single-threaded sequential oracle, byte for byte.
+    for mode in MODES {
+        let c = cfg(
+            mode,
+            NativeTuning {
+                kernel_threads: 4,
+                buffer_pool: true,
+            },
+        );
+        let mut ref_cfg = c.clone();
+        if mode == RendererMode::McpcRenderer {
+            ref_cfg.renderer = RendererMode::SingleRenderer;
+        }
+        let want = reference_frames(&ref_cfg, scene());
+        let native = run_native(&c, scene());
+        assert_eq!(
+            raw_frames(&native.frames),
+            raw_frames(&want),
+            "{mode:?}: threaded+pooled native diverged from reference"
+        );
+    }
+}
+
+#[test]
+fn pool_stats_reflect_the_knob() {
+    let pooled = run_native(&cfg(RendererMode::SingleRenderer, baseline()), scene());
+    assert!(
+        pooled.pool_stats.recycled + pooled.pool_stats.fresh > 0,
+        "pooled run recorded no acquisitions"
+    );
+    assert!(
+        pooled.pool_stats.recycled > 0,
+        "pooled run never recycled a buffer"
+    );
+
+    let unpooled = run_native(
+        &cfg(
+            RendererMode::SingleRenderer,
+            NativeTuning {
+                kernel_threads: 1,
+                buffer_pool: false,
+            },
+        ),
+        scene(),
+    );
+    assert_eq!(
+        unpooled.pool_stats.recycled, 0,
+        "disabled pool must not recycle"
+    );
+    assert_eq!(
+        unpooled.pool_stats.returned, 0,
+        "disabled pool must not retain buffers"
+    );
+}

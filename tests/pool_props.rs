@@ -1,0 +1,152 @@
+//! Property tests for the buffer pool and the row-chunk decomposition —
+//! the two pieces of host machinery that must be *invisible* to the
+//! pipeline's output. The pool may never hand out an aliased live buffer
+//! or leak a stale pixel; `chunk_rows` must tile any strip exactly.
+
+use proptest::prelude::*;
+use scc_core::pool::BufferPool;
+use scc_filters::{chunk_rows, Image, BYTES_PER_PIXEL};
+use std::collections::HashSet;
+
+fn arb_geometry() -> impl Strategy<Value = (u32, u32)> {
+    (1u32..20, 1u32..20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    /// Live buffers never alias: however acquires and releases interleave,
+    /// every image currently held owns a distinct allocation.
+    #[test]
+    fn live_buffers_never_alias(
+        geoms in prop::collection::vec(arb_geometry(), 2..10),
+        release_every in 2usize..5,
+        max_free in 1usize..8,
+    ) {
+        let pool = BufferPool::new(max_free);
+        let mut live: Vec<Image> = Vec::new();
+        for (i, &(w, h)) in geoms.iter().enumerate() {
+            live.push(pool.acquire(w, h));
+            if i % release_every == release_every - 1 {
+                let img = live.remove(0);
+                pool.release(img);
+            }
+            let ptrs: HashSet<*const u8> =
+                live.iter().map(|img| img.as_bytes().as_ptr()).collect();
+            prop_assert_eq!(
+                ptrs.len(),
+                live.len(),
+                "two live images share an allocation"
+            );
+        }
+    }
+
+    /// A recycled buffer is fully overwritten: whatever junk the previous
+    /// holder left behind, `acquire` equals a fresh `Image::new` and
+    /// `acquire_filled` equals its payload — byte for byte.
+    #[test]
+    fn recycled_buffers_leak_no_stale_pixels(
+        junk_geom in arb_geometry(),
+        geom in arb_geometry(),
+        junk in any::<u32>(),
+        payload_seed in any::<u8>(),
+    ) {
+        let (jw, jh) = junk_geom;
+        let (w, h) = geom;
+        let pool = BufferPool::new(4);
+        let mut dirty = pool.acquire(jw, jh);
+        dirty.fill(junk.to_le_bytes());
+        pool.release(dirty);
+
+        let clean = pool.acquire(w, h);
+        prop_assert_eq!(&clean, &Image::new(w, h), "stale pixels leaked into acquire");
+        pool.release(clean);
+
+        let len = w as usize * h as usize * BYTES_PER_PIXEL;
+        let payload: Vec<u8> = (0..len)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(payload_seed))
+            .collect();
+        let filled = pool.acquire_filled(w, h, &payload);
+        prop_assert_eq!(
+            filled.as_bytes(),
+            &payload[..],
+            "stale pixels leaked into acquire_filled"
+        );
+    }
+
+    /// Stats accounting holds for any interleaving: every acquire is
+    /// recycled or fresh, every release is returned or dropped, and the
+    /// free list never exceeds its bound.
+    #[test]
+    fn pool_accounting_is_conservative(
+        geoms in prop::collection::vec(arb_geometry(), 1..16),
+        max_free in 0usize..6,
+    ) {
+        let pool = BufferPool::new(max_free);
+        let mut acquires = 0u64;
+        let mut releases = 0u64;
+        for &(w, h) in &geoms {
+            let a = pool.acquire(w, h);
+            let b = pool.acquire(w, h);
+            acquires += 2;
+            pool.release(a);
+            releases += 1;
+            prop_assert!(pool.free_len() <= max_free, "free list over bound");
+            pool.release(b);
+            releases += 1;
+            prop_assert!(pool.free_len() <= max_free, "free list over bound");
+        }
+        let s = pool.stats();
+        prop_assert_eq!(s.recycled + s.fresh, acquires);
+        prop_assert_eq!(s.returned + s.dropped, releases);
+        prop_assert_eq!(s.returned as usize - pool.free_len(), s.recycled as usize,
+            "returned buffers either sit free or were recycled");
+    }
+
+    /// A disabled pool is transparent for any usage pattern.
+    #[test]
+    fn disabled_pool_is_always_transparent(
+        geoms in prop::collection::vec(arb_geometry(), 1..8),
+    ) {
+        let pool = BufferPool::disabled();
+        for &(w, h) in &geoms {
+            let img = pool.acquire(w, h);
+            prop_assert_eq!(&img, &Image::new(w, h));
+            pool.release(img);
+            prop_assert_eq!(pool.free_len(), 0);
+        }
+        prop_assert_eq!(pool.stats(), scc_core::PoolStats::default());
+    }
+
+    /// `chunk_rows` tiles `0..rows` exactly for any (rows, workers):
+    /// contiguous, non-empty, near-equal chunks, never more than
+    /// `workers` of them.
+    #[test]
+    fn chunk_rows_tiles_any_strip(rows in 0u32..500, workers in 0usize..24) {
+        let chunks = chunk_rows(rows, workers);
+        if rows == 0 {
+            prop_assert!(chunks.is_empty());
+        } else {
+            prop_assert_eq!(
+                chunks.len() as u32,
+                (workers.max(1) as u32).min(rows),
+                "chunk count"
+            );
+            let mut y = 0u32;
+            let mut min_h = u32::MAX;
+            let mut max_h = 0u32;
+            for &(y0, h) in &chunks {
+                prop_assert_eq!(y0, y, "chunks out of order or overlapping");
+                prop_assert!(h > 0, "empty chunk");
+                min_h = min_h.min(h);
+                max_h = max_h.max(h);
+                y += h;
+            }
+            prop_assert_eq!(y, rows, "chunks do not cover the strip");
+            prop_assert!(max_h - min_h <= 1, "chunks not near-equal");
+        }
+    }
+}

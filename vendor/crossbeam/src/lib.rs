@@ -1,73 +1,214 @@
-//! Offline stand-in for the `crossbeam::channel` API surface this workspace
-//! uses: bounded MPSC channels with blocking send/recv, non-blocking
-//! `try_recv`, and `recv_timeout`. Backed by `std::sync::mpsc::sync_channel`,
-//! which has the same backpressure semantics (capacity 0 = rendezvous).
+//! Offline stand-in for the `crossbeam` API surface this workspace uses:
+//! bounded MPMC channels with blocking send/recv, non-blocking `try_recv`
+//! / `try_send`, `recv_timeout`, and scoped threads.
 //!
-//! Unlike `std::sync::mpsc::Receiver`, crossbeam receivers are `Sync`; the
-//! shim restores that by guarding the receiver with a mutex, which is
-//! uncontended in this workspace (one consumer per channel).
+//! The channel is a real condvar-paced ring buffer (not a wrapper over
+//! `std::sync::mpsc`): senders block while the ring is full, receivers
+//! block while it is empty, and both `Sender` and `Receiver` are `Sync`
+//! and cloneable — the same semantics `crossbeam::channel::bounded` gives
+//! the pipeline runner, including capacity-0 rendezvous channels.
 
 pub mod channel {
-    use std::sync::mpsc;
-    use std::sync::Mutex;
-    use std::time::Duration;
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
-    /// Create a bounded channel with capacity `cap` (0 = rendezvous).
-    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender(tx), Receiver(Mutex::new(rx)))
+    struct Ring<T> {
+        queue: VecDeque<T>,
+        /// Receivers currently blocked in `recv`/`recv_timeout`; a
+        /// capacity-0 rendezvous send needs one to be waiting.
+        rendezvous_waiting: usize,
+        senders: usize,
+        receivers: usize,
     }
 
-    pub struct Sender<T>(mpsc::SyncSender<T>);
+    struct Shared<T> {
+        cap: usize,
+        ring: Mutex<Ring<T>>,
+        /// Signalled when an item is pushed (wakes receivers).
+        not_empty: Condvar,
+        /// Signalled when an item is popped or a receiver arrives
+        /// (wakes senders).
+        not_full: Condvar,
+    }
+
+    /// Create a bounded channel with capacity `cap` (0 = rendezvous: a
+    /// send blocks until a receiver is actively waiting).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            cap,
+            ring: Mutex::new(Ring {
+                queue: VecDeque::with_capacity(cap.max(1)),
+                rendezvous_waiting: 0,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    pub struct Sender<T>(Arc<Shared<T>>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            self.0.ring.lock().unwrap().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut ring = self.0.ring.lock().unwrap();
+            ring.senders -= 1;
+            if ring.senders == 0 {
+                drop(ring);
+                self.0.not_empty.notify_all();
+            }
         }
     }
 
     impl<T> Sender<T> {
-        /// Blocking send; errors only when the receiver was dropped.
-        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        /// Effective room in the ring: a rendezvous channel has one slot
+        /// per actively waiting receiver.
+        fn room(shared: &Shared<T>, ring: &Ring<T>) -> bool {
+            if shared.cap == 0 {
+                ring.queue.len() < ring.rendezvous_waiting
+            } else {
+                ring.queue.len() < shared.cap
+            }
         }
 
-        /// Non-blocking send; errors when the channel is full or the
+        /// Blocking send; errors only when every receiver was dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut ring = self.0.ring.lock().unwrap();
+            loop {
+                if ring.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                if Self::room(&self.0, &ring) {
+                    ring.queue.push_back(msg);
+                    drop(ring);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                ring = self.0.not_full.wait(ring).unwrap();
+            }
+        }
+
+        /// Non-blocking send; errors when the channel is full or every
         /// receiver was dropped.
         pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
-            self.0.try_send(msg).map_err(|e| match e {
-                mpsc::TrySendError::Full(m) => TrySendError::Full(m),
-                mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
-            })
+            let mut ring = self.0.ring.lock().unwrap();
+            if ring.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if Self::room(&self.0, &ring) {
+                ring.queue.push_back(msg);
+                drop(ring);
+                self.0.not_empty.notify_one();
+                Ok(())
+            } else {
+                Err(TrySendError::Full(msg))
+            }
         }
     }
 
-    pub struct Receiver<T>(Mutex<mpsc::Receiver<T>>);
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.ring.lock().unwrap().receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut ring = self.0.ring.lock().unwrap();
+            ring.receivers -= 1;
+            if ring.receivers == 0 {
+                drop(ring);
+                self.0.not_full.notify_all();
+            }
+        }
+    }
 
     impl<T> Receiver<T> {
-        /// Blocking receive; errors only when every sender was dropped.
+        /// Blocking receive; errors only when the channel is empty and
+        /// every sender was dropped.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.lock().recv().map_err(|_| RecvError)
+            let mut ring = self.0.ring.lock().unwrap();
+            ring.rendezvous_waiting += 1;
+            if self.0.cap == 0 {
+                self.0.not_full.notify_one();
+            }
+            loop {
+                if let Some(msg) = ring.queue.pop_front() {
+                    ring.rendezvous_waiting -= 1;
+                    drop(ring);
+                    self.0.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if ring.senders == 0 {
+                    ring.rendezvous_waiting -= 1;
+                    return Err(RecvError);
+                }
+                ring = self.0.not_empty.wait(ring).unwrap();
+            }
         }
 
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.lock().try_recv().map_err(|e| match e {
-                mpsc::TryRecvError::Empty => TryRecvError::Empty,
-                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-            })
+            let mut ring = self.0.ring.lock().unwrap();
+            if let Some(msg) = ring.queue.pop_front() {
+                drop(ring);
+                self.0.not_full.notify_one();
+                return Ok(msg);
+            }
+            if ring.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
         }
 
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            self.lock().recv_timeout(timeout).map_err(|e| match e {
-                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
-                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
-            })
+            let deadline = Instant::now() + timeout;
+            let mut ring = self.0.ring.lock().unwrap();
+            ring.rendezvous_waiting += 1;
+            if self.0.cap == 0 {
+                self.0.not_full.notify_one();
+            }
+            loop {
+                if let Some(msg) = ring.queue.pop_front() {
+                    ring.rendezvous_waiting -= 1;
+                    drop(ring);
+                    self.0.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if ring.senders == 0 {
+                    ring.rendezvous_waiting -= 1;
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    ring.rendezvous_waiting -= 1;
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timed_out) =
+                    self.0.not_empty.wait_timeout(ring, deadline - now).unwrap();
+                ring = guard;
+            }
         }
 
-        fn lock(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
-            // A poisoned lock means a consumer panicked mid-recv; the
-            // channel state itself is still coherent.
-            self.0.lock().unwrap_or_else(|e| e.into_inner())
+        /// Messages currently buffered in the ring.
+        pub fn len(&self) -> usize {
+            self.0.ring.lock().unwrap().queue.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -95,6 +236,14 @@ pub mod channel {
         Timeout,
         Disconnected,
     }
+}
+
+pub mod thread {
+    //! Scoped threads, standing in for `crossbeam::thread`: spawned
+    //! workers may borrow from the enclosing stack frame and are joined
+    //! when the scope closes. Delegates to the standard library's scope
+    //! (stable since 1.63), which provides the same guarantee.
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
 }
 
 #[cfg(test)]
@@ -134,6 +283,17 @@ mod tests {
     }
 
     #[test]
+    fn rendezvous_channel_delivers() {
+        let (tx, rx) = bounded(0);
+        let t = thread::spawn(move || {
+            tx.send(7u8).unwrap();
+        });
+        thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv().unwrap(), 7);
+        t.join().unwrap();
+    }
+
+    #[test]
     fn try_send_reports_full_then_disconnected() {
         use super::channel::TrySendError;
         let (tx, rx) = bounded(1);
@@ -155,5 +315,58 @@ mod tests {
             rx.recv_timeout(Duration::from_millis(5)),
             Err(RecvTimeoutError::Disconnected)
         );
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_late_send() {
+        let (tx, rx) = bounded(1);
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            tx.send(9u8).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(9));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn cloned_receivers_share_the_stream() {
+        let (tx, rx1) = bounded(8);
+        let rx2 = rx1.clone();
+        for i in 0..8u8 {
+            tx.send(i).unwrap();
+        }
+        let mut got = Vec::new();
+        for _ in 0..4 {
+            got.push(rx1.recv().unwrap());
+            got.push(rx2.recv().unwrap());
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fifo_order_preserved_under_load() {
+        let (tx, rx) = bounded(4);
+        let producer = thread::spawn(move || {
+            for i in 0..1000u32 {
+                tx.send(i).unwrap();
+            }
+        });
+        for i in 0..1000u32 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        super::thread::scope(|s| {
+            for (chunk, v) in out.chunks_mut(1).zip(&data) {
+                s.spawn(move || chunk[0] = v * 10);
+            }
+        });
+        assert_eq!(out, vec![10, 20, 30, 40]);
     }
 }
