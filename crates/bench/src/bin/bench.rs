@@ -1,15 +1,20 @@
 //! Wall-clock benchmark runner: measures host-native pipeline throughput
 //! and writes `BENCH_native_pipeline.json` so every PR has a perf
-//! trajectory to compare against.
+//! trajectory to compare against. The `recovery` mode instead sweeps the
+//! supervised fail-stop scenario (kill time × arrangement, virtual time)
+//! and writes `BENCH_recovery.json`.
 //!
 //! Usage:
 //!   bench [--smoke] [--out PATH] [--frames N] [--size WxH]
 //!         [--pipelines P] [--threads 1,2,4,8]
+//!   bench recovery [--smoke] [--out PATH] [--frames N] [--size WxH]
+//!                  [--pipelines P] [--kills 10,50,150]
 //!
 //! `--smoke` shrinks everything to a seconds-long configuration for CI;
 //! the defaults measure the paper's 400×400 silent-film geometry.
 
 use scc_bench::native_throughput::measure_native_throughput;
+use scc_bench::recovery::measure_recovery;
 use scc_bench::standard_scene;
 use scc_core::{Arrangement, Fidelity, NativeTuning, RendererMode, RunConfig};
 
@@ -20,10 +25,19 @@ fn parse_flag(args: &[String], name: &str) -> Option<String> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let recovery_mode = args.first().map(|a| a == "recovery").unwrap_or(false);
+    if recovery_mode {
+        args.remove(0);
+    }
     let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path =
-        parse_flag(&args, "--out").unwrap_or_else(|| "BENCH_native_pipeline.json".into());
+    let out_path = parse_flag(&args, "--out").unwrap_or_else(|| {
+        if recovery_mode {
+            "BENCH_recovery.json".into()
+        } else {
+            "BENCH_native_pipeline.json".into()
+        }
+    });
 
     let (mut width, mut height) = if smoke { (64, 64) } else { (400, 400) };
     if let Some(size) = parse_flag(&args, "--size") {
@@ -36,7 +50,7 @@ fn main() {
         .unwrap_or(if smoke { 4 } else { 48 });
     let pipelines: u32 = parse_flag(&args, "--pipelines")
         .map(|v| v.parse().expect("--pipelines P"))
-        .unwrap_or(2);
+        .unwrap_or(if recovery_mode { 3 } else { 2 });
     let threads: Vec<u32> = parse_flag(&args, "--threads")
         .map(|v| {
             v.split(',')
@@ -59,6 +73,34 @@ fn main() {
         tuning: NativeTuning::default(),
     };
     cfg.validate().expect("bench configuration");
+
+    if recovery_mode {
+        let kills: Vec<u64> = parse_flag(&args, "--kills")
+            .map(|v| {
+                v.split(',')
+                    .map(|t| t.trim().parse().expect("--kills a,b,c"))
+                    .collect()
+            })
+            .unwrap_or_else(|| if smoke { vec![1, 5] } else { vec![10, 50, 150] });
+        eprintln!(
+            "measuring supervised recovery: {}x{} f={} p={} kills={kills:?} ms{}",
+            width,
+            height,
+            frames,
+            pipelines,
+            if smoke { " (smoke)" } else { "" },
+        );
+        let scene = standard_scene();
+        let report = measure_recovery(&cfg, &scene, &kills);
+        print!("{}", report.render_text());
+        std::fs::write(&out_path, report.to_json()).expect("write bench json");
+        println!("wrote {out_path}");
+        if report.points.iter().any(|p| !p.bit_identical) {
+            eprintln!("FATAL: recovery damaged a frame");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     eprintln!(
         "measuring native throughput: {}x{} f={} p={} threads={threads:?}{}",

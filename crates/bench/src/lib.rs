@@ -7,6 +7,7 @@
 
 pub mod experiments;
 pub mod native_throughput;
+pub mod recovery;
 pub mod report;
 
 pub use experiments::*;

@@ -27,6 +27,8 @@
 //!   from (no per-frame heap churn);
 //! * [`generic`] — user-defined macro pipelines on the same substrate
 //!   (the §I claim that the results translate to other domains);
+//! * [`supervise`] — the MCPC supervision control plane: heartbeat-based
+//!   failure detection, spare-core migration, checkpointed frame replay;
 //! * [`trace`] — per-stage phase spans with a Chrome-trace exporter;
 //! * [`viz`] — the visualisation-client endpoint: checksums, the flicker
 //!   series, scratch detection, delivery statistics.
@@ -41,6 +43,7 @@ pub mod pool;
 pub mod reference;
 pub mod runner;
 pub mod spec;
+pub mod supervise;
 pub mod trace;
 pub mod viz;
 
@@ -48,14 +51,16 @@ pub use baseline::{run_baseline, BaselineReport};
 pub use cost::CostModel;
 pub use frame::Frame;
 pub use generic::{run_generic_chain, FnStage, GenericReport, MacroStage, StageWork};
-pub use metrics::{DegradationEvent, HostTiming, StageReport, WalkthroughReport};
+pub use metrics::{DegradationEvent, HostTiming, RecoveryEvent, StageReport, WalkthroughReport};
 pub use placement::{place, place_dvfs_single_pipeline, Placement};
 pub use pool::{BufferPool, PoolStats};
 pub use runner::des::{run_des, DesReport};
 pub use runner::native::{run_native, NativeReport};
 pub use runner::sim::{DvfsPlan, SimRunner};
 pub use spec::{
-    Arrangement, FaultSpec, Fidelity, NativeTuning, RendererMode, RunConfig, StageKind, StallSpec,
+    Arrangement, FaultSpec, Fidelity, KillSpec, NativeTuning, RendererMode, RunConfig, StageKind,
+    StallSpec,
 };
+pub use supervise::{resolve_kills, CheckpointRing, Supervisor, STAGE_PROVISION_BYTES};
 pub use trace::{Phase, TraceEvent, TraceLog};
 pub use viz::{VizClient, VizReport};

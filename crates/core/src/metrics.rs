@@ -81,6 +81,36 @@ pub struct DegradationEvent {
     pub reason: String,
 }
 
+/// One completed self-healing episode: a core was declared dead, its
+/// stage migrated to a spare, and the in-flight work replayed from the
+/// checkpoint. The timeline (kill → detect → resume) is the MTTR the
+/// recovery benchmark sweeps.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RecoveryEvent {
+    /// Frame being processed when the failure surfaced.
+    pub frame: u64,
+    /// Pipeline owning the failed stage.
+    pub pipeline: u32,
+    /// The migrated stage.
+    pub stage: StageKind,
+    /// Core that fail-stopped.
+    pub failed_core: u8,
+    /// Spare core the stage now runs on.
+    pub migration_target: u8,
+    /// Virtual time of the fail-stop, seconds.
+    pub killed_at_secs: f64,
+    /// Virtual time the phi detector declared the core dead, seconds
+    /// (mesh- and arrangement-dependent: heartbeats travel the real
+    /// host path).
+    pub detected_at_secs: f64,
+    /// Virtual time the migrated stage resumed useful work, seconds.
+    pub resumed_at_secs: f64,
+    /// Checkpointed frames replayed through the migrated stage.
+    pub frames_replayed: u32,
+    /// Mean time to repair: `resumed_at_secs - killed_at_secs`.
+    pub mttr_secs: f64,
+}
+
 /// Everything measured in one walkthrough run.
 #[derive(Serialize)]
 pub struct WalkthroughReport {
@@ -101,6 +131,9 @@ pub struct WalkthroughReport {
     /// Graceful-degradation events (empty unless faults were injected
     /// and a pipeline actually failed).
     pub degradations: Vec<DegradationEvent>,
+    /// Self-healing episodes: detected kills migrated to spare cores
+    /// (empty unless kills were injected and a spare was available).
+    pub recoveries: Vec<RecoveryEvent>,
     /// Final assembled frames (full fidelity only).
     #[serde(skip)]
     pub outputs: Option<Vec<Image>>,
@@ -145,6 +178,19 @@ impl WalkthroughReport {
                 fault.degraded_links,
                 fault.retry_budget,
             );
+            for k in &fault.kills {
+                let _ = writeln!(out, "kill p{} s{} at_ms={}", k.pipeline, k.stage, k.at_ms);
+            }
+            if fault.supervised() {
+                let _ = writeln!(
+                    out,
+                    "supervise hb_us={} phi={:016x} depth={} spares={}",
+                    fault.heartbeat_period_us,
+                    fault.phi_dead.to_bits(),
+                    fault.checkpoint_depth,
+                    fault.max_spares,
+                );
+            }
         }
         let _ = writeln!(out, "total={:016x}", self.total_secs.to_bits());
         for s in &self.stage_reports {
@@ -178,6 +224,23 @@ impl WalkthroughReport {
                 d.reassigned_to,
                 d.at_secs.to_bits(),
                 d.reason,
+            );
+        }
+        for r in &self.recoveries {
+            let _ = writeln!(
+                out,
+                "recover frame={} pipeline={} stage={} core={}->{} killed={:016x} \
+                 detected={:016x} resumed={:016x} replayed={} mttr={:016x}",
+                r.frame,
+                r.pipeline,
+                r.stage.name(),
+                r.failed_core,
+                r.migration_target,
+                r.killed_at_secs.to_bits(),
+                r.detected_at_secs.to_bits(),
+                r.resumed_at_secs.to_bits(),
+                r.frames_replayed,
+                r.mttr_secs.to_bits(),
             );
         }
         if let Some(outputs) = &self.outputs {
@@ -267,6 +330,18 @@ mod tests {
                 at_secs: 4.2,
                 reason: "blur stalled".into(),
             }],
+            recoveries: vec![RecoveryEvent {
+                frame: 9,
+                pipeline: 0,
+                stage: StageKind::Blur,
+                failed_core: 3,
+                migration_target: 40,
+                killed_at_secs: 2.0,
+                detected_at_secs: 2.2,
+                resumed_at_secs: 2.5,
+                frames_replayed: 1,
+                mttr_secs: 0.5,
+            }],
             outputs: None,
             trace: None,
         }
@@ -316,6 +391,9 @@ mod tests {
         let b = report();
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert!(a.fingerprint().contains("degrade frame=17 pipeline=1 to=2"));
+        assert!(a
+            .fingerprint()
+            .contains("recover frame=9 pipeline=0 stage=blur core=3->40"));
         // Any drift in a float shows up (bit-pattern rendering).
         let mut c = report();
         c.total_secs += 1e-12;

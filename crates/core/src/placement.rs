@@ -41,6 +41,16 @@ impl Placement {
         v
     }
 
+    /// The deterministic spare-core pool: every core the placement left
+    /// unused, in SCC core-id order. The paper's 48-core mesh rarely has
+    /// every core enlisted; the supervisor migrates a failed stage onto
+    /// the first spare. Deliberately *not* part of [`Self::all_cores`] —
+    /// spares idle (no spin-wait power, no heartbeats) until enlisted.
+    pub fn spare_pool(&self) -> Vec<CoreId> {
+        let used: HashSet<CoreId> = self.all_cores().into_iter().collect();
+        CoreId::all().filter(|c| !used.contains(c)).collect()
+    }
+
     /// The stage living on `core`, if any.
     pub fn stage_at(&self, core: CoreId) -> Option<(StageKind, Option<u32>)> {
         if self.renderers.contains(&core) {
@@ -378,6 +388,31 @@ mod tests {
         let used: HashSet<_> = pl.all_cores().into_iter().collect();
         let free = CoreId::all().find(|c| !used.contains(c)).unwrap();
         assert_eq!(pl.stage_at(free), None);
+    }
+
+    #[test]
+    fn spare_pool_is_the_unused_complement_in_id_order() {
+        for mode in [
+            RendererMode::SingleRenderer,
+            RendererMode::PerPipelineRenderer,
+            RendererMode::McpcRenderer,
+        ] {
+            for arr in Arrangement::all() {
+                let pl = place(mode, arr, 3);
+                let spares = pl.spare_pool();
+                assert_eq!(
+                    spares.len() as u32,
+                    48 - mode.cores_needed(3),
+                    "{mode:?}/{arr:?}"
+                );
+                // Disjoint from the placement, sorted by core id.
+                let used: HashSet<_> = pl.all_cores().into_iter().collect();
+                assert!(spares.iter().all(|c| !used.contains(c)));
+                assert!(spares.windows(2).all(|w| w[0].raw() < w[1].raw()));
+                // Deterministic.
+                assert_eq!(spares, place(mode, arr, 3).spare_pool());
+            }
+        }
     }
 
     #[test]

@@ -17,12 +17,15 @@
 //! rendezvous pattern: fan-out, chains, fan-in.)
 
 use crate::cost::{CostModel, RenderWork};
+use crate::metrics::RecoveryEvent;
 use crate::placement::{place, Placement};
 use crate::spec::{Fidelity, RendererMode, RunConfig, StageKind};
+use crate::supervise::{resolve_kills, Supervisor, STAGE_PROVISION_BYTES};
 use scc_filters::{Blur, Flicker, Image, ImageFilter, Scratch, Sepia, VSwap};
 use scc_render::{Renderer, Scene, Walkthrough};
+use scc_sim::fault::{CoreKill, FaultConfig, FaultPlan};
 use scc_sim::platform::MemOp;
-use scc_sim::{EventQueue, SccConfig, SccPlatform, SimTime};
+use scc_sim::{CoreId, EventQueue, SccConfig, SccPlatform, SimTime, HEARTBEAT_BYTES};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -53,6 +56,15 @@ pub struct DesReport {
     /// differential suite compare the DES data path bit-for-bit against
     /// the other runners.
     pub frames: Option<Vec<Image>>,
+    /// Supervised kill recoveries, in detection order — the DES
+    /// counterpart of [`crate::metrics::WalkthroughReport::recoveries`],
+    /// so the differential suite can cross-check the migration timeline.
+    pub recoveries: Vec<RecoveryEvent>,
+}
+
+/// The kill schedule entry for `core`, if any.
+fn kill_time(kills: &[CoreKill], core: CoreId) -> Option<SimTime> {
+    kills.iter().find(|k| k.core == core.raw()).map(|k| k.at)
 }
 
 /// Execute `cfg` (must be `SingleRenderer`) event-wise.
@@ -66,7 +78,35 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
     let cost = CostModel::default();
     let mut platform = SccPlatform::new(SccConfig::default());
     let placement: Placement = place(cfg.renderer, cfg.arrangement, cfg.pipelines);
-    platform.set_spinning(placement.all_cores());
+    let mut spinning = placement.all_cores();
+    platform.set_spinning(spinning.clone());
+    // Supervision: the DES validator models *supervised fail-stop kills*
+    // only — message-level faults, stalls, and the spare-exhausted
+    // degradation fallback are the frame-major executor's domain.
+    let kills: Vec<CoreKill> = cfg
+        .fault
+        .as_ref()
+        .map(|s| {
+            assert!(
+                s.stall.is_none()
+                    && s.drop_rate == 0.0
+                    && s.corrupt_rate == 0.0
+                    && s.delay_rate == 0.0
+                    && s.degraded_links == 0,
+                "the DES validator models supervised fail-stop kills only"
+            );
+            resolve_kills(s, &placement)
+        })
+        .unwrap_or_default();
+    let mut supervisor = cfg
+        .fault
+        .as_ref()
+        .filter(|s| s.supervised())
+        .map(|s| Supervisor::new(&placement, s));
+    // Stage-to-core mapping, mutable so a migration can re-home a stage
+    // onto a spare; every node indexes this instead of the placement.
+    let mut pipe_cores: Vec<[CoreId; 5]> = placement.pipelines.clone();
+    let mut recoveries: Vec<RecoveryEvent> = Vec::new();
     let renderer = Renderer::new(scene);
     let walkthrough = Walkthrough::standard(cfg.width as f32 / cfg.height as f32);
     let impls: [Box<dyn ImageFilter>; 5] = [
@@ -222,7 +262,7 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
                 }
                 for (i, (_, h)) in bounds.iter().enumerate() {
                     let bytes = cfg.width as u64 * *h as u64 * 4;
-                    let dst = placement.pipelines[i][0];
+                    let dst = pipe_cores[i][0];
                     let recv_free = if f == 0 {
                         SimTime::ZERO
                     } else {
@@ -237,11 +277,51 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
                 facts.insert(node, Facts { free: t, _done: t });
             }
             Node::Filter(i, j, f) => {
-                let core = placement.pipelines[i][j];
+                let mut core = pipe_cores[i][j];
                 let kind = StageKind::PIPELINE_FILTERS[j];
                 let (_, h) = bounds[i];
                 let bytes = cfg.width as u64 * h as u64 * 4;
-                let start = start_of(node, &facts, &arrivals);
+                let mut start = start_of(node, &facts, &arrivals);
+                if let Some(kill_at) = kill_time(&kills, core).filter(|&k| k <= start) {
+                    // Fail-stop observed with the strip already resident:
+                    // detect via the heartbeat path, provision the next
+                    // spare over the host link, and replay the upstream's
+                    // unacknowledged strip — the same detect → migrate →
+                    // replay timeline as the frame-major executor.
+                    let sup = supervisor
+                        .as_mut()
+                        .expect("a DES kill run must arm the supervisor");
+                    let spare = sup
+                        .take_spare()
+                        .expect("the DES validator requires a spare for every kill");
+                    let hb_latency = platform.host_path_latency(core, HEARTBEAT_BYTES);
+                    let detected = sup.detect_time(kill_at, hb_latency);
+                    let ready = platform.host_to_chip(spare, detected, STAGE_PROVISION_BYTES);
+                    let upstream = if j == 0 {
+                        placement.renderers[0]
+                    } else {
+                        pipe_cores[i][j - 1]
+                    };
+                    let resend_at = ready.max(start);
+                    let resident = platform.send_to_partition(upstream, spare, resend_at, bytes);
+                    pipe_cores[i][j] = spare;
+                    spinning.push(spare);
+                    platform.set_spinning(spinning.clone());
+                    recoveries.push(RecoveryEvent {
+                        frame: f,
+                        pipeline: i as u32,
+                        stage: kind,
+                        failed_core: core.raw(),
+                        migration_target: spare.raw(),
+                        killed_at_secs: kill_at.as_secs_f64(),
+                        detected_at_secs: detected.as_secs_f64(),
+                        resumed_at_secs: resident.as_secs_f64(),
+                        frames_replayed: 1,
+                        mttr_secs: resident.saturating_sub(kill_at).as_secs_f64(),
+                    });
+                    core = spare;
+                    start = resident;
+                }
                 let mut t = platform.fetch_from_partition(core, start, bytes);
                 let proxy = Image::new(cfg.width, h);
                 let ctx = scc_filters::FrameCtx {
@@ -268,7 +348,7 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
                 platform.record_busy(core, start, t);
                 let (next_core, next_free) = if j + 1 < 5 {
                     (
-                        placement.pipelines[i][j + 1],
+                        pipe_cores[i][j + 1],
                         if f == 0 {
                             SimTime::ZERO
                         } else {
@@ -365,6 +445,23 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
     }
     assert_eq!(executed, all_nodes.len(), "deadlock: unexecuted nodes");
 
+    // Book the heartbeat traffic every placed core emitted while alive —
+    // real mesh + host-link messages, charged after the timeline so the
+    // computed stage times match the frame-major executor's.
+    if let Some(spec) = cfg.fault.as_ref().filter(|s| s.supervised()) {
+        let plan = FaultPlan::new(FaultConfig {
+            kills: kills.clone(),
+            ..FaultConfig::default()
+        });
+        crate::supervise::book_heartbeats(
+            &mut platform,
+            &placement,
+            &plan,
+            SimTime::from_us(spec.heartbeat_period_us),
+            finish,
+        );
+    }
+
     let ordered = full_fidelity.then(|| {
         (0..frames)
             .map(|f| outputs.remove(&f).expect("frame assembled"))
@@ -373,6 +470,7 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
     DesReport {
         total_secs: finish.as_secs_f64(),
         frames: ordered,
+        recoveries,
     }
 }
 
@@ -439,6 +537,38 @@ mod tests {
         c.fidelity = Fidelity::Full;
         let des = run_des(&c, scene());
         let reference = crate::reference::reference_frames(&c, scene());
+        assert_eq!(des.frames.expect("full fidelity keeps frames"), reference);
+    }
+
+    #[test]
+    fn des_kill_migrates_and_keeps_the_data_path_intact() {
+        use crate::spec::{FaultSpec, KillSpec};
+        let mut c = cfg(2, 4);
+        c.width = 64;
+        c.height = 64;
+        c.fidelity = Fidelity::Full;
+        c.fault = Some(FaultSpec {
+            kills: vec![KillSpec {
+                pipeline: 0,
+                stage: 1,
+                at_ms: 1,
+            }],
+            heartbeat_period_us: 2_000,
+            phi_dead: 2.0,
+            ..FaultSpec::default()
+        });
+        let des = run_des(&c, scene());
+        assert_eq!(des.recoveries.len(), 1, "exactly one migration");
+        let r = &des.recoveries[0];
+        assert_eq!(r.pipeline, 0);
+        assert_eq!(r.stage, StageKind::Blur);
+        assert!(r.mttr_secs.is_finite() && r.mttr_secs > 0.0);
+        assert!(r.killed_at_secs < r.detected_at_secs);
+        assert!(r.detected_at_secs < r.resumed_at_secs);
+        // The migrated run still delivers the reference film bit-for-bit.
+        let mut clean = c.clone();
+        clean.fault = None;
+        let reference = crate::reference::reference_frames(&clean, scene());
         assert_eq!(des.frames.expect("full fidelity keeps frames"), reference);
     }
 

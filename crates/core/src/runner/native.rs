@@ -197,6 +197,7 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
             degraded_links: 0,
             degrade_factor: 1.0,
             stalls: Vec::new(),
+            kills: Vec::new(),
         }));
         // Real threads on a loaded host need a wider ack window than the
         // simulator's virtual-time default.

@@ -18,15 +18,16 @@
 
 use crate::cost::{CostModel, RenderWork};
 use crate::frame::Frame;
-use crate::metrics::{DegradationEvent, StageReport, WalkthroughReport};
+use crate::metrics::{DegradationEvent, RecoveryEvent, StageReport, WalkthroughReport};
 use crate::placement::{place, Placement};
 use crate::spec::{FaultSpec, Fidelity, RendererMode, RunConfig, StageKind};
+use crate::supervise::{resolve_kills, CheckpointRing, Supervisor, STAGE_PROVISION_BYTES};
 use crate::trace::{Phase, TraceLog};
 use scc_filters::{Blur, Flicker, Image, ImageFilter, Scratch, Sepia, StripInfo, VSwap};
 use scc_render::{Renderer, Scene, Walkthrough};
 use scc_sim::fault::{CoreStall, FaultConfig, FaultPlan, MessageOutcome};
 use scc_sim::platform::MemOp;
-use scc_sim::{CoreId, FreqMHz, SccConfig, SccPlatform, SimTime};
+use scc_sim::{CoreId, FreqMHz, SccConfig, SccPlatform, SimTime, HEARTBEAT_BYTES};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -131,6 +132,7 @@ impl FaultCtx {
                 degraded_links: spec.degraded_links,
                 degrade_factor: spec.degrade_factor,
                 stalls,
+                kills: resolve_kills(spec, placement),
             })),
             timeout: SimTime::from_us(spec.timeout_us),
             budget: spec.retry_budget,
@@ -273,6 +275,30 @@ impl SimRunner {
         let mut degradations: Vec<DegradationEvent> = Vec::new();
         let mut send_seqs: HashMap<(u8, u8), u64> = HashMap::new();
 
+        // Self-healing state: the MCPC supervisor with its spare pool
+        // (armed only when the fault spec schedules kills), the recovery
+        // log, the spin-wait roster (migrations enroll the spare), and a
+        // bounded ARQ checkpoint ring per strip for replay/restore.
+        let mut recoveries: Vec<RecoveryEvent> = Vec::new();
+        let mut spinning: Vec<CoreId> = self.placement.all_cores();
+        let mut supervisor = self
+            .cfg
+            .fault
+            .as_ref()
+            .filter(|s| s.supervised())
+            .map(|s| Supervisor::new(&self.placement, s));
+        let mut healer = supervisor.as_mut().map(|sup| Healer {
+            sup,
+            recoveries: &mut recoveries,
+            spinning: &mut spinning,
+        });
+        let mut checkpoints: Vec<CheckpointRing> = match &self.cfg.fault {
+            Some(spec) => (0..p)
+                .map(|_| CheckpointRing::new(spec.checkpoint_depth))
+                .collect(),
+            None => Vec::new(),
+        };
+
         for f in 0..self.cfg.frames {
             let cam = self.walkthrough.camera(f);
 
@@ -323,20 +349,26 @@ impl SimRunner {
 
                     // Fan the strips out, serialised on the render core.
                     for (i, frame) in strips.into_iter().enumerate() {
+                        if let Some(ring) = checkpoints.get_mut(i) {
+                            ring.push(f, frame.clone());
+                        }
+                        let in_flight = checkpoints.get(i).map_or(1, |r| r.unacked() as u32);
                         let (start, resident) = send_strip(
                             &mut self.platform,
                             self.fault.as_ref(),
                             &mut send_seqs,
-                            &filters,
+                            &mut filters,
                             &mut failed,
                             &mut owner,
                             &mut degradations,
+                            &mut healer,
                             &mut trace,
                             i,
                             f,
                             r.core,
                             t,
                             frame.byte_len(),
+                            in_flight,
                         );
                         self.platform.record_busy(r.core, start, resident);
                         strip_arrivals[i] = resident;
@@ -405,20 +437,26 @@ impl SimRunner {
                             image,
                         };
 
+                        if let Some(ring) = checkpoints.get_mut(i) {
+                            ring.push(f, frame.clone());
+                        }
+                        let in_flight = checkpoints.get(i).map_or(1, |r| r.unacked() as u32);
                         let (start, resident) = send_strip(
                             &mut self.platform,
                             self.fault.as_ref(),
                             &mut send_seqs,
-                            &filters,
+                            &mut filters,
                             &mut failed,
                             &mut owner,
                             &mut degradations,
+                            &mut healer,
                             &mut trace,
                             i,
                             f,
                             r.core,
                             t,
                             frame.byte_len(),
+                            in_flight,
                         );
                         self.platform.record_busy(r.core, start, resident);
                         strip_arrivals[i] = resident;
@@ -482,20 +520,26 @@ impl SimRunner {
                     });
                     let strips = make_strips(f, &strip_bounds, self.cfg.width, image);
                     for (i, frame) in strips.into_iter().enumerate() {
+                        if let Some(ring) = checkpoints.get_mut(i) {
+                            ring.push(f, frame.clone());
+                        }
+                        let in_flight = checkpoints.get(i).map_or(1, |r| r.unacked() as u32);
                         let (send_at, resident) = send_strip(
                             &mut self.platform,
                             self.fault.as_ref(),
                             &mut send_seqs,
-                            &filters,
+                            &mut filters,
                             &mut failed,
                             &mut owner,
                             &mut degradations,
+                            &mut healer,
                             &mut trace,
                             i,
                             f,
                             conn.core,
                             t,
                             frame.byte_len(),
+                            in_flight,
                         );
                         self.platform.record_busy(conn.core, send_at, resident);
                         strip_arrivals[i] = resident;
@@ -514,11 +558,7 @@ impl SimRunner {
             for i in 0..p {
                 let mut avail = strip_arrivals[i];
                 let frame = &mut strip_frames[i];
-                // Under faults, keep a pristine copy so an adopted strip is
-                // re-processed from scratch on the surviving lane (the
-                // filters are deterministic in the strip's identity, so the
-                // pixels come out bit-identical).
-                let pristine = self.fault.is_some().then(|| frame.clone());
+                let in_flight = checkpoints.get(i).map_or(1, |r| r.unacked() as u32);
                 loop {
                     let lane = owner[i];
                     match run_strip_on_lane(
@@ -527,6 +567,7 @@ impl SimRunner {
                         &impls,
                         &mut filters[lane],
                         lane as u32,
+                        strip_sources[i],
                         transfer.core,
                         transfer.free,
                         &mut trace,
@@ -537,6 +578,8 @@ impl SimRunner {
                         avail,
                         self.fault.as_ref(),
                         &mut send_seqs,
+                        &mut healer,
+                        in_flight,
                         &pool,
                     ) {
                         Ok(done) => {
@@ -560,25 +603,31 @@ impl SimRunner {
                                 format!("{culprit} unresponsive beyond retry budget"),
                             );
                             owner[i] = adopter;
-                            // The source re-sends the pristine strip to the
-                            // adopting lane and processing restarts there.
-                            if let Some(original) = &pristine {
-                                *frame = original.clone();
-                            }
+                            // The source re-sends the checkpointed strip
+                            // to the adopting lane and processing restarts
+                            // there from scratch (the filters are
+                            // deterministic in the strip's identity, so
+                            // the pixels come out bit-identical).
+                            *frame = checkpoints[i]
+                                .get(f)
+                                .expect("in-flight strip still checkpointed")
+                                .clone();
                             let (_, resident) = send_strip(
                                 &mut self.platform,
                                 self.fault.as_ref(),
                                 &mut send_seqs,
-                                &filters,
+                                &mut filters,
                                 &mut failed,
                                 &mut owner,
                                 &mut degradations,
+                                &mut healer,
                                 &mut trace,
                                 i,
                                 f,
                                 strip_sources[i],
                                 at,
                                 frame.byte_len(),
+                                in_flight,
                             );
                             avail = resident;
                         }
@@ -652,6 +701,33 @@ impl SimRunner {
                     outputs.push(Image::assemble(&strips));
                 }
             }
+
+            // Frame f delivered end-to-end: release its checkpoints.
+            for ring in &mut checkpoints {
+                ring.ack(f);
+            }
+        }
+        // Release the healer's borrows on the supervision state before
+        // the report is assembled.
+        let _ = healer.take();
+
+        // The supervised run's liveness traffic: every placed core
+        // heartbeats the MCPC once per period for the whole walkthrough
+        // (killed cores go silent at their fail-stop). Booked after the
+        // frame loop so the charges appear in the ledgers as real NoC and
+        // host-link messages without re-timing completed stage work.
+        if let Some(spec) = self.cfg.fault.as_ref().filter(|s| s.supervised()) {
+            let fc = self
+                .fault
+                .as_ref()
+                .expect("fault ctx exists when spec does");
+            crate::supervise::book_heartbeats(
+                &mut self.platform,
+                &self.placement,
+                &fc.plan,
+                SimTime::from_us(spec.heartbeat_period_us),
+                finish,
+            );
         }
 
         // ---- reports ----
@@ -681,6 +757,7 @@ impl SimRunner {
             mcpc_busy_secs: mcpc_busy.as_secs_f64(),
             platform: self.platform.stats(),
             degradations,
+            recoveries,
             outputs: (fidelity == Fidelity::Full).then_some(outputs),
             trace,
         }
@@ -709,6 +786,12 @@ fn faulted_send(
     };
     let mut t = start;
     for attempt in 0..=ctx.budget {
+        if ctx.plan.dead_at(to.raw(), t) {
+            // Fail-stop: a killed receiver acknowledges nothing, ever —
+            // timing-wise indistinguishable from a permanent stall (the
+            // sender burns the same retry schedule before giving up).
+            return Err(t + ctx.patience_from(attempt));
+        }
         if ctx.plan.stall_remaining(to.raw(), t) > ctx.patience_from(attempt) {
             // The receiver cannot wake before the last retry window
             // closes; no ack will ever arrive.
@@ -733,6 +816,88 @@ fn faulted_send(
         }
     }
     Err(t)
+}
+
+/// Mutable supervision state threaded through the executor: the spare
+/// pool, the recovery log, and the spin-wait roster (a migration enrolls
+/// the spare core in it).
+struct Healer<'a> {
+    sup: &'a mut Supervisor,
+    recoveries: &'a mut Vec<RecoveryEvent>,
+    spinning: &'a mut Vec<CoreId>,
+}
+
+/// One supervised recovery episode for stage `j` of `lane`, whose core
+/// fail-stopped at `kill_at` and tripped the data path at `observed`:
+///
+/// 1. *detect* — the phi detector fires once the core's heartbeat stream
+///    (which travels the real mesh + host-link path) has been silent for
+///    `phi_dead` periods;
+/// 2. *migrate* — the MCPC provisions the next spare core over the host
+///    link, concurrently with whatever the pipeline is doing;
+/// 3. *replay* — `upstream` re-sends its unacknowledged strip from the
+///    ARQ checkpoint once the spare is ready.
+///
+/// Returns the replayed strip's residency time on the migrated core, or
+/// `None` when no supervisor is armed, the spare pool is exhausted, or
+/// the replay itself dies — the caller then falls back to PR-1 graceful
+/// degradation with its exact timing.
+#[allow(clippy::too_many_arguments)]
+fn try_recover(
+    platform: &mut SccPlatform,
+    fc: &FaultCtx,
+    seqs: &mut HashMap<(u8, u8), u64>,
+    healer: &mut Option<Healer>,
+    lane_states: &mut [StageState; 5],
+    lane: u32,
+    j: usize,
+    upstream: CoreId,
+    kill_at: SimTime,
+    observed: SimTime,
+    f: u64,
+    bytes: u64,
+    in_flight: u32,
+    trace: &mut Option<TraceLog>,
+) -> Option<SimTime> {
+    let h = healer.as_mut()?;
+    let spare = h.sup.take_spare()?;
+    let failed_core = lane_states[j].core;
+    let hb_latency = platform.host_path_latency(failed_core, HEARTBEAT_BYTES);
+    let detected = h.sup.detect_time(kill_at, hb_latency);
+    let ready = platform.host_to_chip(spare, detected, STAGE_PROVISION_BYTES);
+    // Replay cannot start before the spare is provisioned *and* the data
+    // path has actually hit the dead core (the frame-major executor
+    // observes the kill at `observed`).
+    let resend_at = ready.max(observed);
+    let resident = faulted_send(platform, fc, seqs, upstream, spare, resend_at, bytes).ok()?;
+    lane_states[j].core = spare;
+    lane_states[j].free = ready;
+    h.spinning.push(spare);
+    platform.set_spinning(h.spinning.clone());
+    h.recoveries.push(RecoveryEvent {
+        frame: f,
+        pipeline: lane,
+        stage: lane_states[j].kind,
+        failed_core: failed_core.raw(),
+        migration_target: spare.raw(),
+        killed_at_secs: kill_at.as_secs_f64(),
+        detected_at_secs: detected.as_secs_f64(),
+        resumed_at_secs: resident.as_secs_f64(),
+        frames_replayed: in_flight,
+        mttr_secs: resident.saturating_sub(kill_at).as_secs_f64(),
+    });
+    if let Some(log) = trace.as_mut() {
+        log.span(
+            spare,
+            lane_states[j].kind,
+            Some(lane),
+            f,
+            Phase::Migrate,
+            detected,
+            resident,
+        );
+    }
+    Some(resident)
 }
 
 /// The next pipeline after `from` (wrapping) that has not failed.
@@ -783,24 +948,28 @@ fn mark_failed(
 }
 
 /// Route strip `strip` of frame `f` from `src` into its owner lane's
-/// first filter stage, failing over to the next surviving lane whenever
-/// the reliable send gives up on the current owner. Returns the send's
-/// (start, resident-in-partition) times.
+/// first filter stage. A send that gives up on a fail-stopped receiver
+/// first tries a supervised recovery (migrate the stage to a spare and
+/// replay); only when that is impossible does the strip fail over to the
+/// next surviving lane. Returns the send's (start, resident-in-partition)
+/// times.
 #[allow(clippy::too_many_arguments)]
 fn send_strip(
     platform: &mut SccPlatform,
     fault: Option<&FaultCtx>,
     seqs: &mut HashMap<(u8, u8), u64>,
-    filters: &[[StageState; 5]],
+    filters: &mut [[StageState; 5]],
     failed: &mut [bool],
     owner: &mut [usize],
     degradations: &mut Vec<DegradationEvent>,
+    healer: &mut Option<Healer>,
     trace: &mut Option<TraceLog>,
     strip: usize,
     f: u64,
     src: CoreId,
     t: SimTime,
     bytes: u64,
+    in_flight: u32,
 ) -> (SimTime, SimTime) {
     let Some(fc) = fault else {
         let start = t.max(filters[strip][0].free);
@@ -814,6 +983,34 @@ fn send_strip(
         match faulted_send(platform, fc, seqs, src, filters[lane][0].core, start, bytes) {
             Ok(resident) => return (start, resident),
             Err(at) => {
+                if let Some(kill_at) = fc
+                    .plan
+                    .kill_time(filters[lane][0].core.raw())
+                    .filter(|&k| k <= at)
+                {
+                    // The supervisor's redirect pre-empts the sender's
+                    // remaining retry patience: the replay is gated on
+                    // detection + provisioning, not on ARQ exhaustion —
+                    // so the observation point is the send's start.
+                    if let Some(resident) = try_recover(
+                        platform,
+                        fc,
+                        seqs,
+                        healer,
+                        &mut filters[lane],
+                        lane as u32,
+                        0,
+                        src,
+                        kill_at,
+                        start,
+                        f,
+                        bytes,
+                        in_flight,
+                        trace,
+                    ) {
+                        return (start, resident);
+                    }
+                }
                 let adopter = mark_failed(
                     failed,
                     degradations,
@@ -836,9 +1033,13 @@ fn send_strip(
 
 /// Run one strip through the five filter stages of `lane_states`,
 /// charging virtual time exactly like the healthy inline path. Under
-/// faults, sends use the retry protocol and a stage stalled beyond the
-/// full retry horizon aborts with `Err((stage index, detection time))`
-/// so the caller can fail the lane over.
+/// faults, sends use the retry protocol; a fail-stopped stage triggers a
+/// supervised in-place migration to a spare core (the loop re-enters the
+/// same stage on its new core), while a stage stalled beyond the full
+/// retry horizon — or a kill with the spare pool exhausted — aborts with
+/// `Err((stage index, detection time))` so the caller can fail the lane
+/// over. `source` is the strip's producer, the replay upstream for a
+/// stage-0 migration.
 #[allow(clippy::too_many_arguments)]
 fn run_strip_on_lane(
     platform: &mut SccPlatform,
@@ -846,6 +1047,7 @@ fn run_strip_on_lane(
     impls: &[Box<dyn ImageFilter>; 5],
     lane_states: &mut [StageState; 5],
     lane: u32,
+    source: CoreId,
     transfer_core: CoreId,
     transfer_free: SimTime,
     trace: &mut Option<TraceLog>,
@@ -856,20 +1058,53 @@ fn run_strip_on_lane(
     avail_in: SimTime,
     fault: Option<&FaultCtx>,
     seqs: &mut HashMap<(u8, u8), u64>,
+    healer: &mut Option<Healer>,
+    in_flight: u32,
     pool: &crate::pool::BufferPool,
 ) -> Result<SimTime, (usize, SimTime)> {
     let ctx = frame.ctx(run_seed);
     let bytes = frame.byte_len();
     let mut avail = avail_in;
-    for j in 0..5 {
-        let (stage_core, stage_free, stage_kind) = {
-            let stage = &mut lane_states[j];
-            let idle = avail.saturating_sub(stage.free);
-            stage.idle_samples.push(idle);
-            (stage.core, stage.free, stage.kind)
-        };
+    let mut j = 0;
+    while j < 5 {
+        let (stage_core, stage_free, stage_kind) = (
+            lane_states[j].core,
+            lane_states[j].free,
+            lane_states[j].kind,
+        );
         let start = avail.max(stage_free);
         if let Some(fc) = fault {
+            // A fail-stopped stage with a strip already resident: migrate
+            // and re-enter this stage index on the spare core.
+            if let Some(kill_at) = fc.plan.kill_time(stage_core.raw()).filter(|&k| k <= start) {
+                let upstream = if j == 0 {
+                    source
+                } else {
+                    lane_states[j - 1].core
+                };
+                match try_recover(
+                    platform,
+                    fc,
+                    seqs,
+                    healer,
+                    lane_states,
+                    lane,
+                    j,
+                    upstream,
+                    kill_at,
+                    start,
+                    f,
+                    bytes,
+                    in_flight,
+                    trace,
+                ) {
+                    Some(resident) => {
+                        avail = resident;
+                        continue;
+                    }
+                    None => return Err((j, start + fc.horizon())),
+                }
+            }
             // The upstream sender's retransmissions go unanswered while
             // this core is stalled; past the full horizon it is declared
             // dead before any more virtual time is sunk into it.
@@ -877,6 +1112,9 @@ fn run_strip_on_lane(
                 return Err((j, start + fc.horizon()));
             }
         }
+        lane_states[j]
+            .idle_samples
+            .push(avail.saturating_sub(stage_free));
         // Fetch the strip out of this core's DRAM partition.
         let t_fetch = platform.fetch_from_partition(stage_core, start, bytes);
         if let Some(log) = trace.as_mut() {
@@ -960,8 +1198,46 @@ fn run_strip_on_lane(
             Some(fc) => {
                 match faulted_send(platform, fc, seqs, stage_core, next_core, send_start, bytes) {
                     Ok(r) => r,
-                    // Blame the receiving stage: it is the one not acking.
-                    Err(at) => return Err((j + 1, at)),
+                    Err(at) => {
+                        // A fail-stopped downstream filter stage: migrate
+                        // it and land the replayed strip on the spare.
+                        // (The transfer stage, j+1 == 5, is never a kill
+                        // target.) Otherwise blame the receiving stage —
+                        // it is the one not acking.
+                        let killed = j + 1 < 5
+                            && fc
+                                .plan
+                                .kill_time(next_core.raw())
+                                .filter(|&k| k <= at)
+                                .is_some();
+                        if killed {
+                            let kill_at = fc.plan.kill_time(next_core.raw()).unwrap();
+                            // As in `send_strip`: the redirect pre-empts
+                            // the remaining ARQ patience, so the replay is
+                            // observed from the send's start.
+                            match try_recover(
+                                platform,
+                                fc,
+                                seqs,
+                                healer,
+                                lane_states,
+                                lane,
+                                j + 1,
+                                stage_core,
+                                kill_at,
+                                send_start,
+                                f,
+                                bytes,
+                                in_flight,
+                                trace,
+                            ) {
+                                Some(r) => r,
+                                None => return Err((j + 1, at)),
+                            }
+                        } else {
+                            return Err((j + 1, at));
+                        }
+                    }
                 }
             }
             None => platform.send_to_partition(stage_core, next_core, send_start, bytes),
@@ -983,6 +1259,7 @@ fn run_strip_on_lane(
         stage.free = resident;
         stage.frames += 1;
         avail = resident;
+        j += 1;
     }
     Ok(avail)
 }
@@ -1277,6 +1554,126 @@ mod tests {
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert!(!a.degradations.is_empty());
         assert_eq!(a.degradations, b.degradations);
+    }
+
+    #[test]
+    fn killed_stage_recovers_on_spare_bit_identical() {
+        // The tentpole acceptance scenario: a mid-pipeline core
+        // fail-stops, the supervisor detects it via the heartbeat stream,
+        // migrates the stage to a spare core, replays the in-flight strip
+        // — and the delivered film is bit-identical to the fault-free run
+        // with no graceful-degradation fallback.
+        use crate::spec::KillSpec;
+        let scene = tiny_scene();
+        let mut clean = quick_cfg(RendererMode::SingleRenderer, 2);
+        clean.fidelity = Fidelity::Full;
+        clean.frames = 4;
+        let reference = SimRunner::new(clean.clone(), Arc::clone(&scene)).run();
+
+        let mut cfg = clean.clone();
+        cfg.fault = Some(FaultSpec {
+            kills: vec![KillSpec {
+                pipeline: 0,
+                stage: 1,
+                at_ms: 1,
+            }],
+            heartbeat_period_us: 2_000,
+            phi_dead: 2.0,
+            ..FaultSpec::default()
+        });
+        let report = SimRunner::new(cfg.clone(), scene).run();
+
+        assert_eq!(report.recoveries.len(), 1, "exactly one recovery episode");
+        assert!(report.degradations.is_empty(), "no fallback needed");
+        let ev = &report.recoveries[0];
+        let placement = place(cfg.renderer, cfg.arrangement, cfg.pipelines);
+        assert_eq!(ev.pipeline, 0);
+        assert_eq!(ev.stage, StageKind::Blur);
+        assert_eq!(ev.failed_core, placement.pipelines[0][1].raw());
+        assert_eq!(
+            ev.migration_target,
+            placement.spare_pool()[0].raw(),
+            "first spare in id order"
+        );
+        assert!(ev.killed_at_secs <= ev.detected_at_secs);
+        assert!(ev.detected_at_secs <= ev.resumed_at_secs);
+        assert!(ev.mttr_secs > 0.0 && ev.mttr_secs.is_finite());
+        assert_eq!(ev.frames_replayed, 1);
+
+        // The migrated stage finishes the walkthrough on the spare core
+        // and still processes every frame.
+        let blur = report.stage(StageKind::Blur, Some(0)).unwrap();
+        assert_eq!(blur.core_id, ev.migration_target);
+        assert_eq!(blur.frames, 4);
+
+        let want = reference.outputs.expect("clean frames");
+        let got = report.outputs.as_ref().expect("recovered frames");
+        assert_eq!(got.len(), want.len());
+        for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(
+                crate::viz::frame_checksum(a),
+                crate::viz::frame_checksum(b),
+                "frame {i} differs after recovery"
+            );
+        }
+        // The repair itself takes real virtual time (the walkthrough may
+        // still end up faster or slower overall — the spare's mesh
+        // position differs from the dead core's), and the fingerprint is
+        // reproducible.
+        assert!(ev.resumed_at_secs > ev.killed_at_secs);
+        let again = SimRunner::new(cfg, tiny_scene()).run();
+        assert_eq!(report.fingerprint(), again.fingerprint());
+    }
+
+    #[test]
+    fn kill_without_spares_degrades_exactly_like_a_permanent_stall() {
+        // With the spare pool exhausted (max_spares = 0), a fail-stopped
+        // core must fall back to PR-1 graceful degradation with *exactly*
+        // the timing of a permanent stall at the same instant: same
+        // walkthrough time, same degradation log, same pixels. (Platform
+        // ledgers differ: the supervised run carries heartbeat traffic.)
+        use crate::spec::{KillSpec, StallSpec};
+        let scene = tiny_scene();
+        let mut base = quick_cfg(RendererMode::SingleRenderer, 3);
+        base.fidelity = Fidelity::Full;
+        base.frames = 4;
+
+        let mut killed = base.clone();
+        killed.fault = Some(FaultSpec {
+            kills: vec![KillSpec {
+                pipeline: 1,
+                stage: 2,
+                at_ms: 0,
+            }],
+            max_spares: 0,
+            ..FaultSpec::default()
+        });
+        let mut stalled = base;
+        stalled.fault = Some(FaultSpec {
+            stall: Some(StallSpec {
+                pipeline: 1,
+                stage: 2,
+                at_ms: 0,
+                for_ms: u64::MAX,
+            }),
+            ..FaultSpec::default()
+        });
+
+        let k = SimRunner::new(killed, Arc::clone(&scene)).run();
+        let s = SimRunner::new(stalled, scene).run();
+
+        assert!(k.recoveries.is_empty(), "no spares means no migration");
+        assert!(!k.degradations.is_empty(), "fallback must engage");
+        assert_eq!(k.total_secs, s.total_secs, "kill != stall(forever) timing");
+        assert_eq!(k.degradations, s.degradations);
+        let ka = k.outputs.expect("frames");
+        let sa = s.outputs.expect("frames");
+        assert_eq!(ka.len(), sa.len());
+        for (a, b) in ka.iter().zip(&sa) {
+            assert_eq!(crate::viz::frame_checksum(a), crate::viz::frame_checksum(b));
+        }
+        // The supervised run's heartbeats are real ledger traffic.
+        assert!(k.platform.noc_messages > s.platform.noc_messages);
     }
 
     #[test]

@@ -143,6 +143,20 @@ pub struct StallSpec {
     pub for_ms: u64,
 }
 
+/// A permanent fail-stop core kill, addressed like [`StallSpec`] by
+/// pipeline position. Unlike a stall the core never comes back; with a
+/// spare core available the supervisor *migrates* the stage instead of
+/// failing the whole lane over.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct KillSpec {
+    /// Which pipeline's stage dies (0-based).
+    pub pipeline: u32,
+    /// Which of the five filter stages dies (0-based, sepia..swap).
+    pub stage: u32,
+    /// Instant of the fail-stop, milliseconds of virtual time.
+    pub at_ms: u64,
+}
+
 /// Fault-injection knobs for a run. All rates are per transmission
 /// attempt; the same seed always produces the same fault schedule.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -168,6 +182,23 @@ pub struct FaultSpec {
     pub timeout_us: u64,
     /// Retransmissions allowed after the first attempt.
     pub retry_budget: u32,
+    /// Permanent core kills. Non-empty kills arm the MCPC supervisor:
+    /// placed cores emit heartbeats and a dead stage is migrated to a
+    /// spare core (when one is available) instead of degrading the lane.
+    pub kills: Vec<KillSpec>,
+    /// Heartbeat emission period, microseconds of virtual time.
+    pub heartbeat_period_us: u64,
+    /// Phi-style suspicion threshold: a core is declared dead once no
+    /// heartbeat has arrived for `phi_dead` periods (beyond the mesh
+    /// latency of the freshest possible heartbeat). Must be ≥ 2, which
+    /// also keeps detection latency monotone in the heartbeat period.
+    pub phi_dead: f64,
+    /// Bound of the per-strip checkpoint ring the replay path restores
+    /// from (frames retained until acknowledged by the transfer stage).
+    pub checkpoint_depth: u32,
+    /// Spare cores the supervisor may enlist before falling back to
+    /// graceful degradation (0 forces the PR-1 failover path).
+    pub max_spares: u32,
 }
 
 impl Default for FaultSpec {
@@ -184,6 +215,11 @@ impl Default for FaultSpec {
             stall: None,
             timeout_us: 5_000,
             retry_budget: 3,
+            kills: Vec::new(),
+            heartbeat_period_us: 50_000,
+            phi_dead: 4.0,
+            checkpoint_depth: 4,
+            max_spares: u32::MAX,
         }
     }
 }
@@ -219,7 +255,37 @@ impl FaultSpec {
                 return Err(format!("stall targets stage {} of 5", stall.stage));
             }
         }
+        for kill in &self.kills {
+            if kill.pipeline >= pipelines {
+                return Err(format!(
+                    "kill targets pipeline {} of {pipelines}",
+                    kill.pipeline
+                ));
+            }
+            if kill.stage >= StageKind::PIPELINE_FILTERS.len() as u32 {
+                return Err(format!("kill targets stage {} of 5", kill.stage));
+            }
+        }
+        if !self.kills.is_empty() {
+            if self.heartbeat_period_us < 1_000 {
+                return Err(format!(
+                    "heartbeat period {}us below the 1ms floor",
+                    self.heartbeat_period_us
+                ));
+            }
+            if !(self.phi_dead >= 2.0 && self.phi_dead.is_finite()) {
+                return Err(format!("phi_dead {} below 2", self.phi_dead));
+            }
+            if self.checkpoint_depth == 0 {
+                return Err("checkpoint_depth must be at least 1".into());
+            }
+        }
         Ok(())
+    }
+
+    /// Does this spec arm the MCPC supervisor (heartbeats, migration)?
+    pub fn supervised(&self) -> bool {
+        !self.kills.is_empty()
     }
 }
 
@@ -441,6 +507,66 @@ mod tests {
             }),
             ..FaultSpec::default()
         });
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn kill_spec_validation() {
+        let mut cfg = RunConfig {
+            pipelines: 2,
+            ..Default::default()
+        };
+        let kill = |pipeline, stage| KillSpec {
+            pipeline,
+            stage,
+            at_ms: 5,
+        };
+        cfg.fault = Some(FaultSpec {
+            kills: vec![kill(1, 3)],
+            ..FaultSpec::default()
+        });
+        assert!(cfg.validate().is_ok(), "in-range kill accepted");
+        assert!(cfg.fault.as_ref().unwrap().supervised());
+
+        cfg.fault = Some(FaultSpec {
+            kills: vec![kill(2, 0)],
+            ..FaultSpec::default()
+        });
+        assert!(cfg.validate().is_err(), "kill beyond pipeline count");
+
+        cfg.fault = Some(FaultSpec {
+            kills: vec![kill(0, 5)],
+            ..FaultSpec::default()
+        });
+        assert!(cfg.validate().is_err(), "kill beyond stage count");
+
+        cfg.fault = Some(FaultSpec {
+            kills: vec![kill(0, 0)],
+            heartbeat_period_us: 10,
+            ..FaultSpec::default()
+        });
+        assert!(cfg.validate().is_err(), "sub-millisecond heartbeat period");
+
+        cfg.fault = Some(FaultSpec {
+            kills: vec![kill(0, 0)],
+            phi_dead: 1.5,
+            ..FaultSpec::default()
+        });
+        assert!(cfg.validate().is_err(), "phi threshold below 2");
+
+        cfg.fault = Some(FaultSpec {
+            kills: vec![kill(0, 0)],
+            checkpoint_depth: 0,
+            ..FaultSpec::default()
+        });
+        assert!(cfg.validate().is_err(), "zero checkpoint depth");
+
+        // Supervision knobs are not policed while supervision is unarmed.
+        cfg.fault = Some(FaultSpec {
+            phi_dead: 0.0,
+            ..FaultSpec::default()
+        });
+        assert!(!cfg.fault.as_ref().unwrap().supervised());
         assert!(cfg.validate().is_ok());
     }
 

@@ -1,0 +1,309 @@
+//! MCPC-hosted supervision: failure detection, spare-core migration and
+//! checkpointed replay.
+//!
+//! The paper's SCC is babysat by a Management Control PC; this module
+//! models that console as a *control plane* for the simulated runners.
+//! Every placed core emits periodic heartbeats over the real message path
+//! (mesh hops to the system-interface tile, then the host link), so the
+//! supervisor's view of a core is as stale as that core's distance from
+//! the interface — detection latency is mesh- and arrangement-dependent,
+//! exactly like the data traffic the paper measures. A phi-style
+//! suspicion threshold separates *slow* (late heartbeats within
+//! `phi_dead` periods — tolerated) from *dead* (silence beyond it —
+//! migrated).
+//!
+//! Everything here is a pure function of the fault schedule and the
+//! placement: the frame-major [`crate::runner::sim::SimRunner`] and the
+//! event-driven [`crate::runner::des`] executor share these helpers so
+//! both reach identical detection instants and migration targets, which
+//! is what lets the differential suite compare them under kills.
+
+use crate::frame::Frame;
+use crate::placement::Placement;
+use crate::spec::FaultSpec;
+use scc_sim::fault::{CoreKill, FaultPlan};
+use scc_sim::{CoreId, SccPlatform, SimTime};
+use std::collections::VecDeque;
+
+/// Bytes shipped to provision a migrated stage on its spare core: the
+/// stage binary plus filter state, pushed from the MCPC over the host
+/// link (the same path RCCE programs are loaded over).
+pub const STAGE_PROVISION_BYTES: u64 = 64 * 1024;
+
+/// Resolve a spec's (pipeline, stage)-addressed kills to physical cores
+/// under `placement` — shared by every runner so the same spec kills the
+/// same silicon everywhere.
+pub fn resolve_kills(spec: &FaultSpec, placement: &Placement) -> Vec<CoreKill> {
+    spec.kills
+        .iter()
+        .map(|k| CoreKill {
+            core: placement.pipelines[k.pipeline as usize][k.stage as usize].raw(),
+            at: SimTime::from_ms(k.at_ms),
+        })
+        .collect()
+}
+
+/// The MCPC's supervisor state for one run: failure-detector parameters
+/// plus the spare-core pool (unused cores of the placement, enlisted in
+/// deterministic id order).
+pub struct Supervisor {
+    heartbeat_period: SimTime,
+    phi_dead: f64,
+    spares: Vec<CoreId>,
+    enlisted: usize,
+}
+
+impl Supervisor {
+    pub fn new(placement: &Placement, spec: &FaultSpec) -> Supervisor {
+        let mut spares = placement.spare_pool();
+        spares.truncate(spec.max_spares as usize);
+        Supervisor {
+            heartbeat_period: SimTime::from_us(spec.heartbeat_period_us),
+            phi_dead: spec.phi_dead,
+            spares,
+            enlisted: 0,
+        }
+    }
+
+    pub fn heartbeat_period(&self) -> SimTime {
+        self.heartbeat_period
+    }
+
+    /// Spare cores still available for migration.
+    pub fn spares_left(&self) -> usize {
+        self.spares.len() - self.enlisted
+    }
+
+    /// Enlist the next spare core (deterministic: id order).
+    pub fn take_spare(&mut self) -> Option<CoreId> {
+        let c = self.spares.get(self.enlisted).copied();
+        if c.is_some() {
+            self.enlisted += 1;
+        }
+        c
+    }
+
+    /// Virtual time at which the phi detector declares a core dead, given
+    /// it fail-stopped at `kill_at` and its heartbeats reach the MCPC
+    /// after `hb_latency` (see [`SccPlatform::host_path_latency`]). The
+    /// last heartbeat leaves at the last period boundary at or before the
+    /// kill; suspicion crosses `phi_dead` once that many periods pass
+    /// beyond its arrival. With `phi_dead >= 2` (enforced by validation)
+    /// this is monotone in the heartbeat period under period doubling.
+    pub fn detect_time(&self, kill_at: SimTime, hb_latency: SimTime) -> SimTime {
+        let period = self.heartbeat_period.as_ps();
+        let last_sent = SimTime::from_ps((kill_at.as_ps() / period) * period);
+        let last_arrival = last_sent + hb_latency;
+        last_arrival + SimTime::from_ps((self.phi_dead * period as f64) as u64)
+    }
+}
+
+/// Book the run's heartbeat traffic onto the platform ledgers: every
+/// placed core sends one datagram per period from t=0 until `until` (or
+/// until its kill instant — a dead core goes silent). Called after the
+/// frame loop so the charges land as real NoC/host-link messages in the
+/// stats without perturbing stage timelines; only supervised runs (armed
+/// kills) carry this traffic, keeping the quiet-plan identity intact.
+pub fn book_heartbeats(
+    platform: &mut SccPlatform,
+    placement: &Placement,
+    plan: &FaultPlan,
+    period: SimTime,
+    until: SimTime,
+) {
+    for core in placement.all_cores() {
+        let silent_from = plan.kill_time(core.raw()).unwrap_or(SimTime::MAX);
+        let mut t = SimTime::ZERO;
+        while t < until && t < silent_from {
+            platform.heartbeat(core, t);
+            t += period;
+        }
+    }
+}
+
+/// Bounded per-strip checkpoint ring: pristine strip frames keyed by
+/// frame id, retained until the transfer stage acknowledges delivery.
+/// The replay path restores from here, so delivered film stays
+/// bit-identical to the fault-free run; the bound keeps checkpoint
+/// memory O(depth) per strip no matter how long the walkthrough is.
+pub struct CheckpointRing {
+    capacity: usize,
+    entries: VecDeque<(u64, Frame)>,
+}
+
+impl CheckpointRing {
+    pub fn new(depth: u32) -> CheckpointRing {
+        assert!(depth >= 1, "checkpoint ring needs at least one slot");
+        CheckpointRing {
+            capacity: depth as usize,
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// Checkpoint `frame` under `seq`, evicting the oldest entry when the
+    /// ring is full (an evicted frame can no longer be replayed — the
+    /// runners never let in-flight depth exceed the bound).
+    pub fn push(&mut self, seq: u64, frame: Frame) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((seq, frame));
+    }
+
+    /// The checkpointed frame for `seq`, if still retained.
+    pub fn get(&self, seq: u64) -> Option<&Frame> {
+        self.entries.iter().find(|(s, _)| *s == seq).map(|(_, f)| f)
+    }
+
+    /// Acknowledge delivery of everything up to and including `seq`.
+    pub fn ack(&mut self, seq: u64) {
+        self.entries.retain(|(s, _)| *s > seq);
+    }
+
+    /// Frames checkpointed but not yet acknowledged — what a recovery
+    /// episode must replay.
+    pub fn unacked(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::place;
+    use crate::spec::{Arrangement, KillSpec, RendererMode};
+    use scc_filters::StripInfo;
+
+    fn spec(period_us: u64, phi: f64, max_spares: u32) -> FaultSpec {
+        FaultSpec {
+            kills: vec![KillSpec {
+                pipeline: 0,
+                stage: 1,
+                at_ms: 7,
+            }],
+            heartbeat_period_us: period_us,
+            phi_dead: phi,
+            max_spares,
+            ..FaultSpec::default()
+        }
+    }
+
+    #[test]
+    fn kills_resolve_to_placement_cores() {
+        let pl = place(RendererMode::SingleRenderer, Arrangement::Ordered, 2);
+        let kills = resolve_kills(&spec(50_000, 4.0, 8), &pl);
+        assert_eq!(kills.len(), 1);
+        assert_eq!(kills[0].core, pl.pipelines[0][1].raw());
+        assert_eq!(kills[0].at, SimTime::from_ms(7));
+    }
+
+    #[test]
+    fn spare_enlistment_is_deterministic_and_bounded() {
+        let pl = place(RendererMode::SingleRenderer, Arrangement::Ordered, 2);
+        let pool = pl.spare_pool();
+        let mut sup = Supervisor::new(&pl, &spec(50_000, 4.0, 2));
+        assert_eq!(sup.spares_left(), 2);
+        assert_eq!(sup.take_spare(), Some(pool[0]));
+        assert_eq!(sup.take_spare(), Some(pool[1]));
+        assert_eq!(sup.take_spare(), None, "pool exhausted at max_spares");
+        assert_eq!(sup.spares_left(), 0);
+
+        let mut none = Supervisor::new(&pl, &spec(50_000, 4.0, 0));
+        assert_eq!(none.take_spare(), None, "max_spares=0 forces degradation");
+    }
+
+    #[test]
+    fn detection_is_finite_phi_scaled_and_period_monotone() {
+        let pl = place(RendererMode::SingleRenderer, Arrangement::Ordered, 2);
+        let lat = SimTime::from_us(40);
+        for kill_ms in [0u64, 3, 7, 99] {
+            let kill = SimTime::from_ms(kill_ms);
+            for period in [10_000u64, 25_000, 50_000] {
+                let d1 = Supervisor::new(&pl, &spec(period, 2.0, 8)).detect_time(kill, lat);
+                let d2 = Supervisor::new(&pl, &spec(2 * period, 2.0, 8)).detect_time(kill, lat);
+                assert!(d1 > kill, "detection precedes the kill");
+                assert!(d2 >= d1, "doubling the period sped up detection");
+                // Higher phi waits longer.
+                let strict = Supervisor::new(&pl, &spec(period, 6.0, 8)).detect_time(kill, lat);
+                assert!(strict > d1);
+            }
+        }
+    }
+
+    #[test]
+    fn detect_time_matches_the_rcce_phi_detector() {
+        // The closed form must agree with scc-rcce's incremental detector:
+        // feed it the last heartbeat arrival, then suspicion crosses the
+        // threshold exactly at (never before) the computed instant.
+        let pl = place(RendererMode::SingleRenderer, Arrangement::Ordered, 2);
+        let sup = Supervisor::new(&pl, &spec(50_000, 4.0, 8));
+        let lat = SimTime::from_us(25);
+        let kill = SimTime::from_ms(123);
+        let detect = sup.detect_time(kill, lat);
+
+        let period_ns = 50_000_000u64; // 50 ms
+        let last_arrival_ns = (kill.as_ps() / (period_ns * 1000)) * period_ns + lat.as_ps() / 1000;
+        let mut phi = scc_rcce::health::PhiDetector::new(period_ns, 4.0, 0);
+        phi.observe(last_arrival_ns, 1);
+        let just_before = detect.as_ps() / 1000 - 1;
+        assert!(!phi.is_dead(just_before), "declared dead early");
+        assert!(
+            phi.is_dead(detect.as_ps() / 1000 + 1),
+            "missed the deadline"
+        );
+    }
+
+    #[test]
+    fn checkpoint_ring_retains_acks_and_bounds() {
+        let mk = |id: u64| Frame {
+            id,
+            strip: StripInfo {
+                index: 0,
+                count: 1,
+                y0: 0,
+                height: 4,
+                full_height: 4,
+            },
+            full_width: 4,
+            image: None,
+        };
+        let mut ring = CheckpointRing::new(2);
+        ring.push(0, mk(0));
+        assert_eq!(ring.unacked(), 1);
+        assert_eq!(ring.get(0).map(|f| f.id), Some(0));
+        ring.ack(0);
+        assert_eq!(ring.unacked(), 0);
+        assert!(ring.get(0).is_none(), "acked frames are released");
+
+        // Bounded: pushing past capacity evicts the oldest.
+        ring.push(1, mk(1));
+        ring.push(2, mk(2));
+        ring.push(3, mk(3));
+        assert_eq!(ring.unacked(), 2);
+        assert!(ring.get(1).is_none(), "evicted by the bound");
+        assert!(ring.get(2).is_some() && ring.get(3).is_some());
+        ring.ack(3);
+        assert_eq!(ring.unacked(), 0);
+    }
+
+    #[test]
+    fn heartbeat_booking_charges_real_messages_until_kill() {
+        use scc_sim::fault::FaultConfig;
+        use scc_sim::SccConfig;
+        let pl = place(RendererMode::SingleRenderer, Arrangement::Ordered, 1);
+        let plan = FaultPlan::new(FaultConfig {
+            kills: resolve_kills(&spec(50_000, 4.0, 8), &pl),
+            ..FaultConfig::default()
+        });
+        let mut platform = SccPlatform::new(SccConfig::default());
+        let before = platform.stats().noc_messages;
+        let period = SimTime::from_ms(50);
+        book_heartbeats(&mut platform, &pl, &plan, period, SimTime::from_ms(500));
+        let sent = platform.stats().noc_messages - before;
+        // 8 placed cores (1 renderer + 5 filters + transfer = 7... plus
+        // none else) beat 10 times each, except the killed blur core which
+        // goes silent after 7 ms (1 beat, at t=0).
+        let placed = pl.all_cores().len() as u64;
+        assert_eq!(sent, (placed - 1) * 10 + 1);
+    }
+}

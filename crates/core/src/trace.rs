@@ -28,6 +28,9 @@ pub enum Phase {
     /// A failed pipeline's strip being adopted by a surviving neighbour
     /// (fault-injection runs only).
     Degrade,
+    /// A killed stage being detected, provisioned on a spare core, and
+    /// its checkpointed frames replayed (supervised runs only).
+    Migrate,
 }
 
 impl Phase {
@@ -39,6 +42,7 @@ impl Phase {
             Phase::Memory => "memory",
             Phase::Send => "send",
             Phase::Degrade => "degrade",
+            Phase::Migrate => "migrate",
         }
     }
 }

@@ -1,0 +1,257 @@
+//! Heartbeat datagrams and phi-style failure suspicion.
+//!
+//! The supervision control plane (scc-core's `supervise` module) needs a
+//! liveness signal that travels the *same* network as data traffic — on
+//! the real SCC the MCPC can only learn a core died by noticing its
+//! messages stopped. This module supplies both halves:
+//!
+//! * a fixed 16-byte heartbeat datagram (magic, sender rank, sequence
+//!   number) sent over ordinary [`Endpoint`] channels, so heartbeats
+//!   contend, corrupt, and drop exactly like frames do;
+//! * an accrual-style [`PhiDetector`] that converts heartbeat arrival
+//!   times into a dimensionless suspicion level (elapsed silence in
+//!   heartbeat periods). A core is *slow* while suspicion is below the
+//!   `phi_dead` threshold and *dead* once it crosses — the distinction
+//!   the ISSUE's supervisor needs to avoid migrating a stage that was
+//!   merely stalled.
+//!
+//! The detector is deterministic: suspicion is a pure function of the
+//! last observed arrival and the queried clock, so the simulated runners
+//! can evaluate it in virtual time while native runs feed it wall-clock
+//! nanoseconds.
+
+use crate::comm::Endpoint;
+use crate::error::RcceError;
+use bytes::Bytes;
+use std::time::{Duration, Instant};
+
+/// Wire size of one heartbeat datagram. Mirrored by the simulator's
+/// ledger charge (`scc_sim::HEARTBEAT_BYTES`) so both execution paths
+/// pay the same traffic for liveness.
+pub const HEARTBEAT_WIRE_BYTES: usize = 16;
+
+/// Magic prefix distinguishing heartbeats from frame payloads ("HBT1").
+const HEARTBEAT_MAGIC: u32 = 0x4842_5431;
+
+/// One liveness datagram: who is alive, and how recent the claim is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// Sender's communicator rank.
+    pub rank: u32,
+    /// Monotonically increasing per-sender sequence number (starts at 1).
+    pub seq: u64,
+}
+
+/// Serialise a heartbeat to its 16-byte wire form.
+pub fn encode_heartbeat(hb: Heartbeat) -> Bytes {
+    let mut raw = Vec::with_capacity(HEARTBEAT_WIRE_BYTES);
+    raw.extend_from_slice(&HEARTBEAT_MAGIC.to_le_bytes());
+    raw.extend_from_slice(&hb.rank.to_le_bytes());
+    raw.extend_from_slice(&hb.seq.to_le_bytes());
+    Bytes::from(raw)
+}
+
+/// Parse a wire payload as a heartbeat; `None` if it is anything else
+/// (wrong length or magic).
+pub fn decode_heartbeat(raw: &[u8]) -> Option<Heartbeat> {
+    if raw.len() != HEARTBEAT_WIRE_BYTES {
+        return None;
+    }
+    let magic = u32::from_le_bytes(raw[0..4].try_into().unwrap());
+    if magic != HEARTBEAT_MAGIC {
+        return None;
+    }
+    Some(Heartbeat {
+        rank: u32::from_le_bytes(raw[4..8].try_into().unwrap()),
+        seq: u64::from_le_bytes(raw[8..16].try_into().unwrap()),
+    })
+}
+
+/// Send one heartbeat from `ep` to the supervisor at rank `dst`.
+pub fn send_heartbeat(ep: &Endpoint, dst: usize, seq: u64) -> Result<(), RcceError> {
+    ep.send(
+        dst,
+        encode_heartbeat(Heartbeat {
+            rank: ep.rank() as u32,
+            seq,
+        }),
+    )
+}
+
+/// Non-blocking poll for a heartbeat from `src`. `Ok(None)` when nothing
+/// has arrived; a payload that is not a well-formed heartbeat surfaces as
+/// [`RcceError::Corrupt`] — on the health channel, garbage is indis-
+/// tinguishable from corruption.
+pub fn poll_heartbeat(ep: &Endpoint, src: usize) -> Result<Option<Heartbeat>, RcceError> {
+    match ep.try_recv(src)? {
+        None => Ok(None),
+        Some(raw) => decode_heartbeat(&raw)
+            .map(Some)
+            .ok_or(RcceError::Corrupt { rank: src }),
+    }
+}
+
+/// Block until a heartbeat arrives from `src`, or fail with
+/// [`RcceError::Timeout`] after `timeout` of silence. This is the
+/// native-path analogue of the simulated supervisor's detection deadline.
+pub fn await_heartbeat(
+    ep: &Endpoint,
+    src: usize,
+    timeout: Duration,
+) -> Result<Heartbeat, RcceError> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(hb) = poll_heartbeat(ep, src)? {
+            return Ok(hb);
+        }
+        if Instant::now() >= deadline {
+            return Err(RcceError::Timeout { rank: src });
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// Accrual failure detector over one peer's heartbeat stream.
+///
+/// Suspicion is the silence since the last accepted heartbeat, measured
+/// in heartbeat periods; the peer is declared dead once suspicion reaches
+/// `phi_dead`. Stale or duplicate sequence numbers are ignored so
+/// reordered health traffic can only ever *advance* the liveness
+/// evidence, never rewind it.
+#[derive(Debug, Clone)]
+pub struct PhiDetector {
+    period_ns: u64,
+    phi_dead: f64,
+    last_arrival_ns: u64,
+    last_seq: Option<u64>,
+}
+
+impl PhiDetector {
+    /// A detector armed at `now_ns`: the peer gets a full grace window
+    /// from arming before any suspicion accrues.
+    pub fn new(period_ns: u64, phi_dead: f64, now_ns: u64) -> PhiDetector {
+        assert!(period_ns > 0, "heartbeat period must be positive");
+        assert!(
+            phi_dead.is_finite() && phi_dead >= 1.0,
+            "phi_dead must be a finite threshold >= 1"
+        );
+        PhiDetector {
+            period_ns,
+            phi_dead,
+            last_arrival_ns: now_ns,
+            last_seq: None,
+        }
+    }
+
+    /// Record a heartbeat with sequence `seq` arriving at `now_ns`.
+    /// Returns whether it advanced the detector (false for stale or
+    /// duplicate sequence numbers).
+    pub fn observe(&mut self, now_ns: u64, seq: u64) -> bool {
+        if self.last_seq.is_some_and(|s| seq <= s) {
+            return false;
+        }
+        self.last_seq = Some(seq);
+        self.last_arrival_ns = self.last_arrival_ns.max(now_ns);
+        true
+    }
+
+    /// Silence since the last accepted heartbeat, in periods.
+    pub fn suspicion(&self, now_ns: u64) -> f64 {
+        now_ns.saturating_sub(self.last_arrival_ns) as f64 / self.period_ns as f64
+    }
+
+    /// True once suspicion has reached the death threshold.
+    pub fn is_dead(&self, now_ns: u64) -> bool {
+        self.suspicion(now_ns) >= self.phi_dead
+    }
+
+    /// Highest sequence number accepted so far.
+    pub fn last_seq(&self) -> Option<u64> {
+        self.last_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::communicator;
+    use crate::mpb::MpbConfig;
+    use std::thread;
+
+    #[test]
+    fn codec_round_trips_and_rejects_garbage() {
+        let hb = Heartbeat { rank: 17, seq: 42 };
+        let wire = encode_heartbeat(hb);
+        assert_eq!(wire.len(), HEARTBEAT_WIRE_BYTES);
+        assert_eq!(decode_heartbeat(&wire), Some(hb));
+        assert_eq!(decode_heartbeat(&wire[..15]), None, "short payload");
+        let mut bad = wire.to_vec();
+        bad[0] ^= 0xFF;
+        assert_eq!(decode_heartbeat(&bad), None, "wrong magic");
+    }
+
+    #[test]
+    fn heartbeats_flow_over_a_real_channel() {
+        let mut eps = communicator(2, 4, MpbConfig::default());
+        let supervisor = eps.remove(1);
+        let worker = eps.remove(0);
+        let t = thread::spawn(move || {
+            for seq in 1..=3u64 {
+                send_heartbeat(&worker, 1, seq).unwrap();
+            }
+        });
+        for seq in 1..=3u64 {
+            let hb = await_heartbeat(&supervisor, 0, Duration::from_secs(5)).unwrap();
+            assert_eq!(hb, Heartbeat { rank: 0, seq });
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn silence_times_out_and_garbage_is_corrupt() {
+        let mut eps = communicator(2, 4, MpbConfig::default());
+        let supervisor = eps.remove(1);
+        let worker = eps.remove(0);
+        assert_eq!(
+            await_heartbeat(&supervisor, 0, Duration::from_millis(20)),
+            Err(RcceError::Timeout { rank: 0 })
+        );
+        // A frame-sized payload on the health channel is corruption.
+        worker
+            .send(1, Bytes::from_static(b"not a heartbeat"))
+            .unwrap();
+        assert_eq!(
+            poll_heartbeat(&supervisor, 0),
+            Err(RcceError::Corrupt { rank: 0 })
+        );
+    }
+
+    #[test]
+    fn suspicion_accrues_linearly_and_crosses_at_phi() {
+        let mut phi = PhiDetector::new(1_000, 4.0, 0);
+        phi.observe(500, 1);
+        assert_eq!(phi.suspicion(500), 0.0);
+        assert_eq!(phi.suspicion(2_500), 2.0);
+        assert!(!phi.is_dead(500 + 3_999));
+        assert!(phi.is_dead(500 + 4_000), "threshold is inclusive");
+    }
+
+    #[test]
+    fn stale_and_duplicate_sequences_do_not_rewind_liveness() {
+        let mut phi = PhiDetector::new(1_000, 2.0, 0);
+        assert!(phi.observe(1_000, 5));
+        assert!(!phi.observe(9_000, 5), "duplicate seq ignored");
+        assert!(!phi.observe(9_000, 3), "stale seq ignored");
+        assert_eq!(phi.last_seq(), Some(5));
+        assert!(phi.is_dead(1_000 + 2_000));
+        assert!(phi.observe(4_000, 6), "fresh seq accepted");
+        assert!(!phi.is_dead(4_500));
+    }
+
+    #[test]
+    fn grace_window_before_first_heartbeat() {
+        let phi = PhiDetector::new(1_000, 3.0, 10_000);
+        assert!(!phi.is_dead(12_999), "armed detector grants a grace window");
+        assert!(phi.is_dead(13_000), "grace expires like any other silence");
+    }
+}

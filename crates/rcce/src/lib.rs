@@ -14,6 +14,8 @@
 //!   protocol built on them (the origin of the per-chunk costs in
 //!   [`mpb`]);
 //! * [`collective`] — broadcast / gather / scatter built over send/recv;
+//! * [`health`] — heartbeat datagrams and the phi-style accrual failure
+//!   detector feeding the supervision control plane;
 //! * [`mpb`] — the Message Passing Buffer chunking model shared with the
 //!   simulator's timing path.
 //!
@@ -25,6 +27,7 @@ pub mod collective;
 pub mod comm;
 pub mod crc;
 pub mod error;
+pub mod health;
 pub mod mpb;
 pub mod onesided;
 
@@ -32,5 +35,9 @@ pub use collective::{broadcast, gather, scatter};
 pub use comm::{communicator, CommStats, Endpoint, Reliability};
 pub use crc::crc32;
 pub use error::RcceError;
+pub use health::{
+    await_heartbeat, decode_heartbeat, encode_heartbeat, poll_heartbeat, send_heartbeat, Heartbeat,
+    PhiDetector, HEARTBEAT_WIRE_BYTES,
+};
 pub use mpb::MpbConfig;
 pub use onesided::{one_sided, recv_via_get, send_via_put, OneSided};

@@ -1,0 +1,158 @@
+//! Integration tests for the communicator's failure surfaces: every way a
+//! reliable operation can give up must end in the *right* [`RcceError`]
+//! variant, in bounded time — the ARQ never spins forever, a corrupted
+//! stream is distinguishable from a silent one, and heartbeat monitoring
+//! reports silence and garbage distinctly. The self-healing supervisor
+//! builds on exactly these guarantees.
+
+use bytes::Bytes;
+use scc_rcce::{
+    await_heartbeat, communicator, poll_heartbeat, send_heartbeat, MpbConfig, RcceError,
+    Reliability,
+};
+use scc_sim::{FaultConfig, FaultPlan};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+fn fast() -> Reliability {
+    Reliability {
+        timeout: Duration::from_millis(10),
+        retries: 2,
+    }
+}
+
+fn plan(seed: u64, drop: f64, corrupt: f64) -> Arc<FaultPlan> {
+    Arc::new(FaultPlan::new(FaultConfig {
+        seed,
+        drop_rate: drop,
+        corrupt_rate: corrupt,
+        ..FaultConfig::default()
+    }))
+}
+
+/// A stream whose every envelope is mangled in flight: the receiver sees
+/// traffic but never an intact CRC, so it must report `Corrupt` (not
+/// `Timeout`), while the sender — acknowledged by nobody — exhausts its
+/// retry budget.
+#[test]
+fn corrupted_stream_surfaces_corrupt_on_both_ends() {
+    let mut eps = communicator(2, 4, MpbConfig::default());
+    let mut b = eps.pop().unwrap();
+    let mut a = eps.pop().unwrap();
+    a.set_reliability(fast());
+    b.set_reliability(fast());
+    a.set_fault_plan(plan(11, 0.0, 1.0));
+    let sender = thread::spawn(move || a.send_reliable(1, Bytes::from_static(&[0xAB; 256])));
+    assert_eq!(b.recv_reliable(0), Err(RcceError::Corrupt { rank: 0 }));
+    assert_eq!(
+        sender.join().expect("sender thread"),
+        Err(RcceError::RetriesExhausted {
+            rank: 1,
+            attempts: 3
+        })
+    );
+}
+
+/// A stream whose every envelope is dropped outright: the receiver sees
+/// nothing at all and must report `Timeout`, not `Corrupt`.
+#[test]
+fn dropped_stream_surfaces_timeout_at_the_receiver() {
+    let mut eps = communicator(2, 4, MpbConfig::default());
+    let mut b = eps.pop().unwrap();
+    let mut a = eps.pop().unwrap();
+    a.set_reliability(fast());
+    b.set_reliability(fast());
+    a.set_fault_plan(plan(23, 1.0, 0.0));
+    let sender = thread::spawn(move || a.send_reliable(1, Bytes::from_static(b"gone")));
+    assert_eq!(b.recv_reliable(0), Err(RcceError::Timeout { rank: 0 }));
+    assert_eq!(
+        sender.join().expect("sender thread"),
+        Err(RcceError::RetriesExhausted {
+            rank: 1,
+            attempts: 3
+        })
+    );
+}
+
+/// An unacknowledged send gives up after its exponential-backoff budget
+/// rather than retrying forever: the error carries the attempt count and
+/// the call returns within a small multiple of the worst-case patience
+/// (sum of all backoff windows).
+#[test]
+fn unacknowledged_send_gives_up_in_bounded_time() {
+    let mut eps = communicator(2, 4, MpbConfig::default());
+    let _b = eps.pop().unwrap(); // alive but never receiving: no acks.
+    let mut a = eps.pop().unwrap();
+    a.set_reliability(fast());
+    let t0 = Instant::now();
+    let got = a.send_reliable(1, Bytes::from_static(&[1; 64]));
+    let elapsed = t0.elapsed();
+    assert_eq!(
+        got,
+        Err(RcceError::RetriesExhausted {
+            rank: 1,
+            attempts: 3
+        })
+    );
+    // Windows: 10 + 20 + 40 = 70 ms of patience; anything wildly past
+    // that means the ARQ looped instead of giving up.
+    assert!(
+        elapsed < Duration::from_millis(700),
+        "ARQ did not give up promptly: {elapsed:?}"
+    );
+}
+
+/// A monitored peer that never beats: `await_heartbeat` reports `Timeout`
+/// against that rank within (roughly) the requested window.
+#[test]
+fn heartbeat_silence_surfaces_timeout() {
+    let mut eps = communicator(2, 4, MpbConfig::default());
+    let b = eps.pop().unwrap();
+    let _a = eps.pop().unwrap(); // silent.
+    let t0 = Instant::now();
+    assert_eq!(
+        await_heartbeat(&b, 0, Duration::from_millis(30)),
+        Err(RcceError::Timeout { rank: 0 })
+    );
+    assert!(t0.elapsed() >= Duration::from_millis(30));
+}
+
+/// Garbage on the heartbeat channel — wrong length or wrong magic — is
+/// reported as `Corrupt`, never silently decoded into a bogus liveness
+/// signal.
+#[test]
+fn undecodable_heartbeat_surfaces_corrupt() {
+    let mut eps = communicator(2, 4, MpbConfig::default());
+    let b = eps.pop().unwrap();
+    let a = eps.pop().unwrap();
+    a.send(1, Bytes::from_static(b"not a heartbeat")).unwrap();
+    assert_eq!(poll_heartbeat(&b, 0), Err(RcceError::Corrupt { rank: 0 }));
+    // An intact beat right after still flows — the error is per-message.
+    send_heartbeat(&a, 1, 7).unwrap();
+    let hb = await_heartbeat(&b, 0, Duration::from_millis(500)).expect("intact beat decodes");
+    assert_eq!((hb.rank, hb.seq), (0, 7));
+}
+
+/// Addressing errors fail fast on every reliable entry point.
+#[test]
+fn invalid_ranks_are_rejected_up_front() {
+    let mut eps = communicator(2, 4, MpbConfig::default());
+    let _b = eps.pop().unwrap();
+    let a = eps.pop().unwrap();
+    let invalid = |rank| RcceError::InvalidRank { rank, size: 2 };
+    assert_eq!(
+        a.send_reliable(0, Bytes::from_static(b"self")),
+        Err(invalid(0))
+    );
+    assert_eq!(
+        a.send_reliable(9, Bytes::from_static(b"oob")),
+        Err(invalid(9))
+    );
+    assert_eq!(a.recv_reliable(0).unwrap_err(), invalid(0));
+    assert_eq!(send_heartbeat(&a, 0, 0), Err(invalid(0)));
+    assert_eq!(
+        await_heartbeat(&a, 9, Duration::from_millis(1)),
+        Err(invalid(9))
+    );
+}

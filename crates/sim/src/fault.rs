@@ -56,6 +56,16 @@ impl CoreStall {
     }
 }
 
+/// One permanent core failure: from `at` onwards the core executes
+/// nothing, acknowledges nothing, and emits no heartbeats — fail-stop.
+/// Unlike a [`CoreStall`] it never ends, which is what makes supervised
+/// *migration* (rather than patience) the right response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CoreKill {
+    pub core: u8,
+    pub at: SimTime,
+}
+
 /// Seeded description of every fault the plan may inject.
 #[derive(Debug, Clone, Serialize)]
 pub struct FaultConfig {
@@ -76,6 +86,8 @@ pub struct FaultConfig {
     pub degrade_factor: f64,
     /// Core stall windows.
     pub stalls: Vec<CoreStall>,
+    /// Permanent fail-stop core kills.
+    pub kills: Vec<CoreKill>,
 }
 
 impl Default for FaultConfig {
@@ -90,6 +102,7 @@ impl Default for FaultConfig {
             degraded_links: 0,
             degrade_factor: 1.0,
             stalls: Vec::new(),
+            kills: Vec::new(),
         }
     }
 }
@@ -237,12 +250,31 @@ impl FaultPlan {
         t + self.stall_remaining(core, t)
     }
 
+    /// The instant `core` fail-stops, if a kill is scheduled for it.
+    /// Multiple kills of the same core collapse to the earliest.
+    pub fn kill_time(&self, core: u8) -> Option<SimTime> {
+        self.cfg
+            .kills
+            .iter()
+            .filter(|k| k.core == core)
+            .map(|k| k.at)
+            .min()
+    }
+
+    /// Is `core` permanently dead at instant `t`?
+    pub fn dead_at(&self, core: u8, t: SimTime) -> bool {
+        self.kill_time(core).is_some_and(|k| k <= t)
+    }
+
     /// Fold the first `probes` decisions of every family into one value —
     /// a compact fingerprint of the schedule for determinism checks.
     pub fn schedule_digest(&self, probes: u64) -> u64 {
         let mut acc = mix(self.cfg.seed);
         for (i, f) in self.link_factors.iter().enumerate() {
             acc = mix(acc ^ (i as u64) ^ f.to_bits());
+        }
+        for k in &self.cfg.kills {
+            acc = mix(acc ^ k.core as u64 ^ mix(k.at.as_ps()));
         }
         for n in 0..probes {
             acc = mix(acc ^ self.flit_delay(n).as_ps());
@@ -404,5 +436,44 @@ mod tests {
             duration: SimTime::MAX,
         };
         assert_eq!(s.until(), SimTime::MAX);
+    }
+
+    #[test]
+    fn kill_queries() {
+        let p = FaultPlan::new(FaultConfig {
+            kills: vec![
+                CoreKill {
+                    core: 9,
+                    at: SimTime::from_ms(4),
+                },
+                CoreKill {
+                    core: 9,
+                    at: SimTime::from_ms(2),
+                },
+            ],
+            ..FaultConfig::default()
+        });
+        // Earliest kill wins.
+        assert_eq!(p.kill_time(9), Some(SimTime::from_ms(2)));
+        assert_eq!(p.kill_time(8), None);
+        assert!(!p.dead_at(9, SimTime::from_ms(1)));
+        assert!(p.dead_at(9, SimTime::from_ms(2)));
+        assert!(p.dead_at(9, SimTime::from_secs(100)));
+        assert!(!p.dead_at(8, SimTime::from_secs(100)));
+        // Kills never interfere with the transient-stall arithmetic.
+        assert_eq!(p.stall_remaining(9, SimTime::from_ms(3)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn kills_enter_the_schedule_digest() {
+        let quiet = FaultPlan::default();
+        let killed = FaultPlan::new(FaultConfig {
+            kills: vec![CoreKill {
+                core: 3,
+                at: SimTime::from_ms(1),
+            }],
+            ..FaultConfig::default()
+        });
+        assert_ne!(quiet.schedule_digest(16), killed.schedule_digest(16));
     }
 }

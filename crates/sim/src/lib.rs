@@ -37,8 +37,8 @@ pub mod topology;
 
 pub use des::EventQueue;
 pub use dvfs::{DvfsState, FreqMHz, IslandId};
-pub use fault::{CoreStall, FaultConfig, FaultPlan, MessageOutcome};
-pub use platform::{MemOp, SccConfig, SccPlatform};
+pub use fault::{CoreKill, CoreStall, FaultConfig, FaultPlan, MessageOutcome};
+pub use platform::{MemOp, SccConfig, SccPlatform, HEARTBEAT_BYTES};
 pub use power::{PowerConfig, PowerMeter, PowerSample};
 pub use time::SimTime;
 pub use topology::{CoreId, McId, TileId, NUM_CORES, NUM_MCS, NUM_TILES};

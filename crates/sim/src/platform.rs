@@ -21,6 +21,10 @@ use crate::topology::{CoreId, McId, TileId};
 use serde::Serialize;
 use std::sync::Arc;
 
+/// Wire size of one heartbeat datagram (magic + rank + sequence number —
+/// the format `scc-rcce`'s health module encodes).
+pub const HEARTBEAT_BYTES: u64 = 16;
+
 /// Full platform configuration.
 #[derive(Debug, Clone, Serialize)]
 pub struct SccConfig {
@@ -297,6 +301,27 @@ impl SccPlatform {
         // DRAM partition through its quadrant controller.
         let mc = self.partition_of(connector);
         self.mem.access(delivered, mc, bytes)
+    }
+
+    /// One heartbeat datagram from `from` to the MCPC supervisor: across
+    /// the mesh to the system interface tile, then the host link. Tiny,
+    /// but charged as real traffic so supervision shows up in the NoC and
+    /// host-link ledgers like any other message.
+    pub fn heartbeat(&mut self, from: CoreId, now: SimTime) -> SimTime {
+        let now = self.stall_adjust(from, now);
+        let sif = TileId::from_xy(3, 0);
+        let on_sif = self.noc.transfer(now, from.tile(), sif, HEARTBEAT_BYTES);
+        self.host_link.transfer(on_sif, HEARTBEAT_BYTES)
+    }
+
+    /// Uncontended one-way latency of a `bytes` payload from `from` to the
+    /// MCPC: mesh hops to the system interface tile plus the host link. A
+    /// pure estimate (no ledger mutation) — the failure detector's view of
+    /// how stale the freshest possible heartbeat is, which makes detection
+    /// latency mesh- and arrangement-dependent.
+    pub fn host_path_latency(&self, from: CoreId, bytes: u64) -> SimTime {
+        let sif = TileId::from_xy(3, 0);
+        self.noc.uncontended_latency(from.tile(), sif, bytes) + self.host_link.uncontended(bytes)
     }
 
     /// Transfer `bytes` from the chip to the host (visualization client).

@@ -2,14 +2,39 @@
 //! injection — dropped and corrupted messages, a degraded mesh link, and
 //! one filter core stalled forever — demonstrating that the retry
 //! protocol and graceful pipeline degradation still deliver every frame.
+//! A second act fail-stops a core outright and lets the self-healing
+//! supervisor detect it over the heartbeat stream, migrate the stage to a
+//! spare core, and replay the checkpointed strip.
 //!
 //! ```sh
 //! cargo run --release -p scc-core --example chaos
 //! ```
 
-use scc_core::{Arrangement, FaultSpec, Fidelity, RendererMode, RunConfig, SimRunner, StallSpec};
+use scc_core::{
+    Arrangement, FaultSpec, Fidelity, KillSpec, RendererMode, RunConfig, SimRunner, StallSpec,
+    WalkthroughReport,
+};
 use scc_render::{CityConfig, Scene};
 use std::sync::Arc;
+
+/// Count the chaotic run's frames that are bit-identical to the clean
+/// run's, and insist all of them are.
+fn assert_film_intact(clean: &WalkthroughReport, chaotic: &WalkthroughReport) {
+    let clean_frames = clean.outputs.as_ref().expect("full fidelity");
+    let chaos_frames = chaotic.outputs.as_ref().expect("full fidelity");
+    let intact = clean_frames
+        .iter()
+        .zip(chaos_frames)
+        .filter(|(a, b)| a == b)
+        .count();
+    println!(
+        "frames delivered  : {}/{} ({} bit-identical to the clean run)",
+        chaos_frames.len(),
+        clean_frames.len(),
+        intact
+    );
+    assert_eq!(intact, clean_frames.len(), "a frame was damaged or lost");
+}
 
 fn main() {
     let clean = RunConfig {
@@ -48,8 +73,8 @@ fn main() {
         "running {} frames twice: clean, then with injected faults...",
         clean.frames
     );
-    let baseline = SimRunner::new(clean, Arc::clone(&scene)).run();
-    let report = SimRunner::new(chaotic, scene).run();
+    let baseline = SimRunner::new(clean.clone(), Arc::clone(&scene)).run();
+    let report = SimRunner::new(chaotic, Arc::clone(&scene)).run();
 
     println!(
         "\nclean walkthrough : {:8.2} virtual seconds",
@@ -70,20 +95,60 @@ fn main() {
     if report.degradations.is_empty() {
         println!("  (none — faults were absorbed by retries alone)");
     }
-
-    let clean_frames = baseline.outputs.expect("full fidelity");
-    let chaos_frames = report.outputs.expect("full fidelity");
-    let intact = clean_frames
-        .iter()
-        .zip(&chaos_frames)
-        .filter(|(a, b)| a == b)
-        .count();
-    println!(
-        "\nframes delivered  : {}/{} ({} bit-identical to the clean run)",
-        chaos_frames.len(),
-        clean_frames.len(),
-        intact
-    );
-    assert_eq!(intact, clean_frames.len(), "a frame was damaged or lost");
+    assert_film_intact(&baseline, &report);
     println!("every frame survived the chaos.");
+
+    // ---- Act two: fail-stop + self-healing recovery ------------------
+    // Pipeline 1's blur core is killed outright mid-run. The supervisor
+    // on the MCPC notices the heartbeat silence, provisions a spare core
+    // over the host link, and the upstream stage replays its
+    // checkpointed strip — no graceful degradation, no pixel lost.
+    let mut supervised = clean;
+    supervised.fault = Some(FaultSpec {
+        kills: vec![KillSpec {
+            pipeline: 1,
+            stage: 1,
+            at_ms: 50,
+        }],
+        heartbeat_period_us: 10_000,
+        phi_dead: 3.0,
+        ..FaultSpec::default()
+    });
+    println!("\nkilling pipeline 1's blur core 50 ms in, supervisor armed...");
+    let healed = SimRunner::new(supervised, scene).run();
+    println!(
+        "healed walkthrough: {:8.2} virtual seconds",
+        healed.total_secs
+    );
+
+    println!("\nrecovery timeline:");
+    for r in &healed.recoveries {
+        println!(
+            "  frame {:>3}  {:?} core {:>2} killed   t={:8.3}s",
+            r.frame, r.stage, r.failed_core, r.killed_at_secs
+        );
+        println!(
+            "             heartbeat silence detected  t={:8.3}s",
+            r.detected_at_secs
+        );
+        println!(
+            "             migrated to spare core {:>2}, {} strip(s) replayed",
+            r.migration_target, r.frames_replayed
+        );
+        println!(
+            "             pipeline resumed           t={:8.3}s  (MTTR {:.1} ms)",
+            r.resumed_at_secs,
+            r.mttr_secs * 1e3
+        );
+    }
+    assert!(
+        !healed.recoveries.is_empty(),
+        "the supervisor must observe the kill"
+    );
+    assert!(
+        healed.degradations.is_empty(),
+        "a spare was available: no degradation fallback expected"
+    );
+    assert_film_intact(&baseline, &healed);
+    println!("the kill was healed in place — the film never noticed.");
 }

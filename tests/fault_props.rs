@@ -56,6 +56,7 @@ fn arb_fault_config() -> impl Strategy<Value = FaultConfig> {
                         duration: SimTime::from_ms(dur_ms),
                     })
                     .collect(),
+                kills: Vec::new(),
             },
         )
 }

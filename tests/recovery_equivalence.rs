@@ -1,0 +1,248 @@
+//! Differential suite for the self-healing control plane: a supervised
+//! fail-stop kill with a spare available must be *invisible in the
+//! pixels* — the film is bit-identical to the fault-free run — in every
+//! renderer mode and arrangement; with the spare pool exhausted the run
+//! must degrade *exactly* like the PR-1 permanent-stall fallback; the
+//! frame-major and event-driven executors must agree on the recovery
+//! timeline; and MTTR must be finite and monotone in the heartbeat
+//! period.
+
+use proptest::prelude::*;
+use scc_core::viz::frame_checksum;
+use scc_core::{
+    place, reference::reference_frames, run_des, Arrangement, FaultSpec, Fidelity, KillSpec,
+    RendererMode, RunConfig, SimRunner, StageKind, StallSpec,
+};
+use scc_filters::Image;
+use scc_render::{CityConfig, Scene};
+use std::sync::Arc;
+
+fn scene() -> Arc<Scene> {
+    Arc::new(Scene::city(CityConfig {
+        side: 8,
+        spacing: 8.0,
+        seed: 17,
+    }))
+}
+
+fn cfg(mode: RendererMode, arr: Arrangement, pipelines: u32) -> RunConfig {
+    RunConfig {
+        renderer: mode,
+        arrangement: arr,
+        pipelines,
+        width: 48,
+        height: 40,
+        frames: 4,
+        seed: 23,
+        fidelity: Fidelity::Full,
+        trace: false,
+        fault: None,
+        tuning: scc_core::NativeTuning::default(),
+    }
+}
+
+/// A fast-detecting supervisor spec with one kill.
+fn kill_spec(pipeline: u32, stage: u32, at_ms: u64) -> FaultSpec {
+    FaultSpec {
+        kills: vec![KillSpec {
+            pipeline,
+            stage,
+            at_ms,
+        }],
+        heartbeat_period_us: 2_000,
+        phi_dead: 2.0,
+        ..FaultSpec::default()
+    }
+}
+
+fn checksums(frames: &[Image]) -> Vec<u64> {
+    frames.iter().map(frame_checksum).collect()
+}
+
+fn oracle(c: &RunConfig) -> Vec<u64> {
+    let mut rc = c.clone();
+    if rc.renderer == RendererMode::McpcRenderer {
+        rc.renderer = RendererMode::SingleRenderer;
+    }
+    checksums(&reference_frames(&rc, scene()))
+}
+
+const MODES: [RendererMode; 3] = [
+    RendererMode::SingleRenderer,
+    RendererMode::PerPipelineRenderer,
+    RendererMode::McpcRenderer,
+];
+const ARRANGEMENTS: [Arrangement; 3] = [
+    Arrangement::Unordered,
+    Arrangement::Ordered,
+    Arrangement::Flipped,
+];
+
+/// The tentpole guarantee, swept across every renderer mode and core
+/// arrangement: one mid-pipeline fail-stop, detected over the heartbeat
+/// path, migrated to the first spare, replayed — zero degradations and a
+/// bit-identical film.
+#[test]
+fn kill_with_spare_is_bit_identical_in_every_mode_and_arrangement() {
+    for mode in MODES {
+        for arr in ARRANGEMENTS {
+            let mut c = cfg(mode, arr, 2);
+            let want = oracle(&c);
+            c.fault = Some(kill_spec(0, 2, 1));
+            let report = SimRunner::new(c.clone(), scene()).run();
+            assert!(
+                !report.recoveries.is_empty(),
+                "no recovery in {mode:?}/{arr:?}"
+            );
+            assert!(
+                report.degradations.is_empty(),
+                "fallback fired despite a spare in {mode:?}/{arr:?}"
+            );
+            let placement = place(mode, arr, c.pipelines);
+            let ev = &report.recoveries[0];
+            assert_eq!(ev.failed_core, placement.pipelines[0][2].raw());
+            assert_eq!(
+                ev.migration_target,
+                placement.spare_pool()[0].raw(),
+                "first spare in id order: {mode:?}/{arr:?}"
+            );
+            let kind = StageKind::PIPELINE_FILTERS[2];
+            let stage = report.stage(kind, Some(0)).expect("stage report");
+            assert_eq!(
+                stage.core_id, ev.migration_target,
+                "stage must finish on the spare: {mode:?}/{arr:?}"
+            );
+            assert_eq!(
+                checksums(&report.outputs.expect("full fidelity")),
+                want,
+                "recovery damaged the film: {mode:?}/{arr:?}"
+            );
+        }
+    }
+}
+
+/// With `max_spares: 0` the supervisor has nothing to migrate to, and the
+/// kill must fall back to PR-1 graceful degradation with *exactly* the
+/// timing and pixels of a permanent stall at the same instant.
+#[test]
+fn spare_exhausted_kill_degrades_exactly_like_pr1() {
+    let base = cfg(RendererMode::SingleRenderer, Arrangement::Flipped, 3);
+    let want = oracle(&base);
+
+    let mut killed = base.clone();
+    killed.fault = Some(FaultSpec {
+        max_spares: 0,
+        ..kill_spec(2, 3, 0)
+    });
+    let mut stalled = base;
+    stalled.fault = Some(FaultSpec {
+        stall: Some(StallSpec {
+            pipeline: 2,
+            stage: 3,
+            at_ms: 0,
+            for_ms: u64::MAX,
+        }),
+        ..FaultSpec::default()
+    });
+    let k = SimRunner::new(killed, scene()).run();
+    let s = SimRunner::new(stalled, scene()).run();
+    assert!(k.recoveries.is_empty(), "no spare, no migration");
+    assert!(!k.degradations.is_empty(), "the kill must fail over");
+    assert_eq!(
+        k.degradations, s.degradations,
+        "fallback diverged from PR-1"
+    );
+    assert_eq!(k.total_secs, s.total_secs, "fallback timing diverged");
+    assert_eq!(checksums(&k.outputs.expect("frames")), want);
+    assert_eq!(checksums(&s.outputs.expect("frames")), want);
+}
+
+/// The frame-major and event-driven executors observe the same kill and
+/// must agree on the recovery: same failed core, same spare, the same
+/// closed-form detection instant, and end-to-end times within the usual
+/// cross-executor tolerance.
+#[test]
+fn des_and_sim_agree_on_the_recovery_timeline() {
+    let mut c = cfg(RendererMode::SingleRenderer, Arrangement::Ordered, 3);
+    c.fidelity = Fidelity::TimingOnly;
+    c.frames = 10;
+    c.fault = Some(kill_spec(0, 2, 1));
+    let sim = SimRunner::new(c.clone(), scene()).run();
+    let des = run_des(&c, scene());
+    assert_eq!(sim.recoveries.len(), 1, "sim recovers once");
+    assert_eq!(des.recoveries.len(), 1, "DES recovers once");
+    let (a, b) = (&sim.recoveries[0], &des.recoveries[0]);
+    assert_eq!(a.failed_core, b.failed_core);
+    assert_eq!(a.migration_target, b.migration_target);
+    assert_eq!(a.killed_at_secs, b.killed_at_secs);
+    assert_eq!(
+        a.detected_at_secs, b.detected_at_secs,
+        "detection is a closed form of the kill instant and must match exactly"
+    );
+    let mttr_dev = (a.mttr_secs - b.mttr_secs).abs() / a.mttr_secs;
+    assert!(
+        mttr_dev < 0.10,
+        "MTTR diverged: sim {:.6}s vs DES {:.6}s",
+        a.mttr_secs,
+        b.mttr_secs
+    );
+    let dev = (des.total_secs - sim.total_secs).abs() / sim.total_secs;
+    assert!(
+        dev < 0.03,
+        "DES {:.3}s vs frame-major {:.3}s ({:.1}% apart)",
+        des.total_secs,
+        sim.total_secs,
+        dev * 100.0
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, // each case runs two full (small) pipelines
+        ..ProptestConfig::default()
+    })]
+
+    /// Doubling the heartbeat period can only detect (and thus repair)
+    /// later, never earlier — and MTTR stays finite either way.
+    #[test]
+    fn mttr_is_finite_and_monotone_in_heartbeat_period(
+        pipelines in 2u32..4,
+        stage in 0u32..5,
+        at_ms in 0u64..2,
+        period_us in 500u64..20_000,
+        phi in 2u32..6,
+    ) {
+        let run = |period_us: u64| {
+            let mut c = cfg(RendererMode::SingleRenderer, Arrangement::Ordered, pipelines);
+            c.width = 40;
+            c.height = 40;
+            c.frames = 2;
+            c.fidelity = Fidelity::TimingOnly;
+            c.fault = Some(FaultSpec {
+                heartbeat_period_us: period_us,
+                phi_dead: phi as f64,
+                ..kill_spec(0, stage, at_ms)
+            });
+            SimRunner::new(c, scene()).run()
+        };
+        let fast = run(period_us);
+        let slow = run(period_us * 2);
+        // The pre-observation timeline is identical, so the kill is either
+        // observed in both runs or in neither.
+        prop_assert_eq!(fast.recoveries.len(), slow.recoveries.len());
+        if let (Some(f), Some(s)) = (fast.recoveries.first(), slow.recoveries.first()) {
+            prop_assert!(f.mttr_secs.is_finite() && f.mttr_secs > 0.0);
+            prop_assert!(s.mttr_secs.is_finite() && s.mttr_secs > 0.0);
+            prop_assert!(
+                f.detected_at_secs <= s.detected_at_secs,
+                "halving the heartbeat rate detected earlier: {} vs {}",
+                f.detected_at_secs, s.detected_at_secs
+            );
+            prop_assert!(
+                f.mttr_secs <= s.mttr_secs + 1e-12,
+                "MTTR regressed with a faster heartbeat: {} vs {}",
+                f.mttr_secs, s.mttr_secs
+            );
+        }
+    }
+}
