@@ -31,6 +31,7 @@ fn bench_native_scaling(c: &mut Criterion) {
                     seed: 3,
                     fidelity: Fidelity::Full,
                     trace: false,
+                    verify: false,
                     fault: None,
                     tuning: scc_core::NativeTuning::default(),
                 };

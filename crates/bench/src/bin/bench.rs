@@ -69,6 +69,7 @@ fn main() {
         seed: 0x51CC_F11F,
         fidelity: Fidelity::Full,
         trace: false,
+        verify: false,
         fault: None,
         tuning: NativeTuning::default(),
     };

@@ -227,6 +227,7 @@ mod tests {
             seed: 5,
             fidelity: Fidelity::Full,
             trace: false,
+            verify: false,
             fault: None,
             tuning: NativeTuning::default(),
         };

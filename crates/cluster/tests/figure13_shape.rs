@@ -1,0 +1,140 @@
+//! Differential test against EXPERIMENTS.md's Figure 13 / Table I HPC
+//! rows: the cluster model must keep the published curve *shape* — the
+//! on-node configurations scale monotonically down to ~4 s, the
+//! external-renderer feed plateaus at ~21 s from two pipelines on — and
+//! stay within a few percent of the committed measured values.
+//!
+//! The published numbers come from the paper's full 400-frame walkthrough
+//! (what `experiments fig13` runs). The model is a steady-state cadence
+//! simulation, so a quarter-length walkthrough scaled by 4 lands within
+//! ~1.5% of the full run — cheap enough for every `cargo test`.
+
+use scc_cluster::{cluster_walkthrough, ClusterMode};
+use scc_core::RunConfig;
+use scc_render::{CityConfig, Scene};
+use std::sync::{Arc, OnceLock};
+
+/// The committed "measured" rows from EXPERIMENTS.md (seconds, p=1..7).
+const MEASURED_EXTERNAL: [f64; 7] = [25.7, 21.0, 21.1, 21.1, 21.1, 21.2, 21.2];
+const MEASURED_SINGLE: [f64; 7] = [25.7, 12.9, 8.7, 6.5, 5.2, 4.4, 3.8];
+
+/// Frames simulated per point; results are scaled back to the paper's
+/// 400-frame walkthrough.
+const FRAMES: u64 = 100;
+const SCALE: f64 = 400.0 / FRAMES as f64;
+
+fn rows() -> &'static [Vec<f64>; 3] {
+    static ROWS: OnceLock<[Vec<f64>; 3]> = OnceLock::new();
+    ROWS.get_or_init(|| {
+        let cfg = RunConfig {
+            frames: FRAMES,
+            ..RunConfig::default()
+        };
+        let scene = Arc::new(Scene::city(CityConfig::default()));
+        [
+            ClusterMode::ExternalRenderer,
+            ClusterMode::SingleRenderer,
+            ClusterMode::ParallelRenderer,
+        ]
+        .map(|mode| {
+            (1..=7u32)
+                .map(|p| cluster_walkthrough(mode, p, &cfg, Arc::clone(&scene)).total_secs * SCALE)
+                .collect()
+        })
+    })
+}
+
+fn row(mode: ClusterMode) -> &'static [f64] {
+    match mode {
+        ClusterMode::ExternalRenderer => &rows()[0],
+        ClusterMode::SingleRenderer => &rows()[1],
+        ClusterMode::ParallelRenderer => &rows()[2],
+    }
+}
+
+#[test]
+fn on_node_rows_scale_monotonically() {
+    for mode in [ClusterMode::SingleRenderer, ClusterMode::ParallelRenderer] {
+        let times = row(mode);
+        for p in 1..times.len() {
+            assert!(
+                times[p] < times[p - 1],
+                "{}: adding pipeline {} did not help ({:.1}s -> {:.1}s)",
+                mode.label(),
+                p + 1,
+                times[p - 1],
+                times[p]
+            );
+        }
+        // The paper's headline: seven on-node pipelines land around 4 s,
+        // a >6x speedup over one pipeline.
+        assert!(
+            times[0] / times[6] > 6.0,
+            "{}: p=7 speedup only {:.2}x",
+            mode.label(),
+            times[0] / times[6]
+        );
+    }
+}
+
+#[test]
+fn external_renderer_plateaus_from_two_pipelines() {
+    let times = row(ClusterMode::ExternalRenderer);
+    // One extra pipeline helps (the renderer overlaps the feed)...
+    assert!(
+        times[1] < times[0] * 0.9,
+        "no initial gain: {:.1}s -> {:.1}s",
+        times[0],
+        times[1]
+    );
+    // ...but from p=2 the network feed is the bottleneck: every further
+    // point sits within 5% of the p=2 time. This is the plateau position
+    // that distinguishes Figure 13's external row from the on-node rows.
+    for (p, &t) in times.iter().enumerate().skip(2) {
+        let ratio = t / times[1];
+        assert!(
+            (0.95..=1.05).contains(&ratio),
+            "plateau broken at p={}: {:.2}s vs p=2 {:.2}s",
+            p + 1,
+            t,
+            times[1]
+        );
+    }
+    // And the plateau never approaches the on-node endgame.
+    let single = row(ClusterMode::SingleRenderer);
+    assert!(
+        times[6] > single[6] * 3.0,
+        "external p=7 {:.1}s should sit far above on-node {:.1}s",
+        times[6],
+        single[6]
+    );
+}
+
+#[test]
+fn rows_match_experiments_md_within_tolerance() {
+    // Differential pin against the committed numbers: 5% per point (the
+    // quarter-length scaling contributes ~1.5% of that). A model change
+    // that shifts the curve must update EXPERIMENTS.md too.
+    let cases = [
+        (ClusterMode::ExternalRenderer, &MEASURED_EXTERNAL),
+        (ClusterMode::SingleRenderer, &MEASURED_SINGLE),
+        // Table I: the parallel row is indistinguishable from the single
+        // row at this geometry.
+        (ClusterMode::ParallelRenderer, &MEASURED_SINGLE),
+    ];
+    for (mode, want) in cases {
+        let got = row(mode);
+        for (p, (&g, &w)) in got.iter().zip(want.iter()).enumerate() {
+            let err = (g - w).abs() / w;
+            assert!(
+                err < 0.05,
+                "{} p={}: got {:.2}s, EXPERIMENTS.md says {:.2}s ({:.1}% off)",
+                mode.label(),
+                p + 1,
+                g,
+                w,
+                err * 100.0
+            );
+        }
+    }
+}

@@ -37,6 +37,7 @@ pub mod baseline;
 pub mod cost;
 pub mod frame;
 pub mod generic;
+pub mod invariant;
 pub mod metrics;
 pub mod placement;
 pub mod pool;
@@ -51,6 +52,7 @@ pub use baseline::{run_baseline, BaselineReport};
 pub use cost::CostModel;
 pub use frame::Frame;
 pub use generic::{run_generic_chain, FnStage, GenericReport, MacroStage, StageWork};
+pub use invariant::{check_report, enforce, Violation};
 pub use metrics::{DegradationEvent, HostTiming, RecoveryEvent, StageReport, WalkthroughReport};
 pub use placement::{place, place_dvfs_single_pipeline, Placement};
 pub use pool::{BufferPool, PoolStats};

@@ -77,6 +77,11 @@ pub struct DegradationEvent {
     pub reassigned_to: u32,
     /// Virtual time of the decision, seconds.
     pub at_secs: f64,
+    /// Pipeline position of the stage that failed: 0..=4 name the five
+    /// filter stages (sepia..swap), 5 is the handoff to transfer. Stages
+    /// *before* this index completed the aborted strip; the invariant
+    /// checker uses that to balance the per-stage frame ledger.
+    pub failed_stage: u32,
     /// Human-readable cause (e.g. which stage stalled).
     pub reason: String,
 }
@@ -218,11 +223,12 @@ impl WalkthroughReport {
         for d in &self.degradations {
             let _ = writeln!(
                 out,
-                "degrade frame={} pipeline={} to={} at={:016x} reason={}",
+                "degrade frame={} pipeline={} to={} at={:016x} stage={} reason={}",
                 d.frame,
                 d.pipeline,
                 d.reassigned_to,
                 d.at_secs.to_bits(),
+                d.failed_stage,
                 d.reason,
             );
         }
@@ -328,6 +334,7 @@ mod tests {
                 pipeline: 1,
                 reassigned_to: 2,
                 at_secs: 4.2,
+                failed_stage: 1,
                 reason: "blur stalled".into(),
             }],
             recoveries: vec![RecoveryEvent {

@@ -462,6 +462,62 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
         );
     }
 
+    // Behind `RunConfig::verify`: the DES-side invariants — monotone
+    // virtual clocks per stage, recovery-timeline legality, NoC flit
+    // conservation. (Frame conservation is structural here: the executed
+    // == all_nodes assertion above is exactly that ledger.)
+    if cfg.verify {
+        use crate::invariant::Violation;
+        let mut violations: Vec<Violation> = Vec::new();
+        let mut stages: Vec<(String, Vec<Node>)> = vec![
+            ("render".into(), (0..frames).map(Node::Render).collect()),
+            ("transfer".into(), (0..frames).map(Node::Transfer).collect()),
+        ];
+        for i in 0..p {
+            for (j, kind) in StageKind::PIPELINE_FILTERS.iter().enumerate() {
+                stages.push((
+                    format!("{} p{i}", kind.name()),
+                    (0..frames).map(|f| Node::Filter(i, j, f)).collect(),
+                ));
+            }
+        }
+        for (label, nodes) in stages {
+            let mut prev = SimTime::ZERO;
+            for (f, n) in nodes.iter().enumerate() {
+                let free = facts[n].free;
+                if free < prev {
+                    violations.push(Violation::new(
+                        "monotone-clock",
+                        format!(
+                            "{label}: frame {f} freed at {}s, before frame {} at {}s",
+                            free.as_secs_f64(),
+                            f - 1,
+                            prev.as_secs_f64()
+                        ),
+                    ));
+                    break;
+                }
+                prev = free;
+            }
+        }
+        for e in &recoveries {
+            if !(e.killed_at_secs <= e.detected_at_secs && e.detected_at_secs <= e.resumed_at_secs)
+            {
+                violations.push(Violation::new(
+                    "recovery-legality",
+                    format!(
+                        "recovery timeline disordered: killed {} detected {} resumed {}",
+                        e.killed_at_secs, e.detected_at_secs, e.resumed_at_secs
+                    ),
+                ));
+            }
+        }
+        if let Err(err) = platform.audit_noc() {
+            violations.push(Violation::new("noc-conservation", err));
+        }
+        crate::invariant::enforce(cfg, &violations);
+    }
+
     let ordered = full_fidelity.then(|| {
         (0..frames)
             .map(|f| outputs.remove(&f).expect("frame assembled"))
@@ -500,9 +556,30 @@ mod tests {
             seed: 5,
             fidelity: Fidelity::TimingOnly,
             trace: false,
+            verify: false,
             fault: None,
             tuning: crate::spec::NativeTuning::default(),
         }
+    }
+
+    #[test]
+    fn des_verifies_clean_with_and_without_kills() {
+        use crate::spec::{FaultSpec, KillSpec};
+        let mut c = cfg(2, 4);
+        c.verify = true;
+        run_des(&c, scene()); // would panic on a violation
+        c.fault = Some(FaultSpec {
+            kills: vec![KillSpec {
+                pipeline: 1,
+                stage: 3,
+                at_ms: 1,
+            }],
+            heartbeat_period_us: 2_000,
+            phi_dead: 2.0,
+            ..FaultSpec::default()
+        });
+        let r = run_des(&c, scene());
+        assert_eq!(r.recoveries.len(), 1);
     }
 
     #[test]

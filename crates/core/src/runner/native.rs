@@ -12,13 +12,14 @@ use crate::frame::Frame;
 use crate::metrics::HostTiming;
 use crate::pool::{BufferPool, PoolStats};
 use crate::spec::{RendererMode, RunConfig, StageKind};
+use crate::trace::{Phase, TraceLog};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use scc_filters::{standard_chain, vswap, Image, StripInfo};
 use scc_rcce::{communicator, crc32, Endpoint, MpbConfig, RcceError, Reliability};
 use scc_render::{Renderer, Scene, Walkthrough};
 use scc_sim::fault::{FaultConfig, FaultPlan};
 use scc_sim::stats::Quartiles;
-use scc_sim::SimTime;
+use scc_sim::{CoreId, SimTime};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -37,6 +38,50 @@ pub struct NativeReport {
     pub host: HostTiming,
     /// Buffer-pool reuse counters (all zero when pooling is off).
     pub pool_stats: PoolStats,
+    /// Wall-clock phase spans per stage thread, present when
+    /// [`RunConfig::trace`] is set. Times are nanoseconds since the run
+    /// started, expressed on the same [`SimTime`] axis the simulator
+    /// uses, so the Chrome exporter works unchanged.
+    pub trace: Option<TraceLog>,
+}
+
+/// Per-thread span collector for the native runner: each stage thread
+/// owns one and returns its log for merging after the join. When tracing
+/// is off it records nothing.
+struct SpanRecorder {
+    on: bool,
+    base: Instant,
+    core: CoreId,
+    kind: StageKind,
+    pipeline: Option<u32>,
+    log: TraceLog,
+}
+
+impl SpanRecorder {
+    fn new(on: bool, base: Instant, rank: usize, kind: StageKind, pipeline: Option<u32>) -> Self {
+        Self {
+            on,
+            base,
+            core: CoreId::new(rank as u8),
+            kind,
+            pipeline,
+            log: TraceLog::new(),
+        }
+    }
+
+    fn span(&mut self, frame: u64, phase: Phase, from: Instant, to: Instant) {
+        if !self.on {
+            return;
+        }
+        let t0 = SimTime::from_ns(from.duration_since(self.base).as_nanos() as u64);
+        let t1 = SimTime::from_ns(to.duration_since(self.base).as_nanos() as u64);
+        self.log
+            .span(self.core, self.kind, self.pipeline, frame, phase, t0, t1);
+    }
+
+    fn into_log(self) -> TraceLog {
+        self.log
+    }
 }
 
 /// Wire format: `crc32(rest) || header || RGBA payload`. The checksum
@@ -218,9 +263,10 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
     // stage's decode, so steady state runs with a fixed set of buffers.
     let pool = BufferPool::from_enabled(cfg.tuning.buffer_pool);
     let kernel_threads = cfg.tuning.kernel_threads as usize;
+    let tracing = cfg.trace;
     let start = Instant::now();
-    let mut handles = Vec::new();
-    type StageResult = (Vec<Duration>, Option<Vec<Image>>);
+    let mut handles: Vec<thread::JoinHandle<TraceLog>> = Vec::new();
+    type StageResult = (Vec<Duration>, Option<Vec<Image>>, TraceLog);
     let mut stage_handles: Vec<(StageKind, u32, thread::JoinHandle<StageResult>)> = Vec::new();
 
     // ---- source threads ----
@@ -234,11 +280,15 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
             let cfg = cfg.clone();
             let pool = pool.clone();
             let filters0: Vec<usize> = layout.filters.iter().map(|f| f[0]).collect();
+            let rank = layout.sources[0];
             handles.push(thread::spawn(move || {
+                let mut rec = SpanRecorder::new(tracing, start, rank, StageKind::Render, None);
                 let walkthrough = Walkthrough::standard(cfg.width as f32 / cfg.height as f32);
                 for f in 0..cfg.frames {
+                    let c0 = Instant::now();
                     let cam = walkthrough.camera(f);
                     let (img, _) = renderer.render_full(&cam, cfg.width, cfg.height);
+                    let c1 = Instant::now();
                     for (i, (info, strip)) in
                         img.split_strips(cfg.pipelines).into_iter().enumerate()
                     {
@@ -251,8 +301,11 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
                         send_bytes(&ep, reliable, filters0[i], encode_frame(&frame));
                         pool.release(frame.image.expect("strip pixels"));
                     }
+                    rec.span(f, Phase::Compute, c0, c1);
+                    rec.span(f, Phase::Send, c1, Instant::now());
                     pool.release(img);
                 }
+                rec.into_log()
             }));
         }
         RendererMode::PerPipelineRenderer => {
@@ -265,10 +318,14 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
                 let count = cfg.pipelines;
                 let pool = pool.clone();
                 handles.push(thread::spawn(move || {
+                    let mut rec =
+                        SpanRecorder::new(tracing, start, rank, StageKind::Render, Some(i as u32));
                     let walkthrough = Walkthrough::standard(cfg.width as f32 / cfg.height as f32);
                     for f in 0..cfg.frames {
+                        let c0 = Instant::now();
                         let cam = walkthrough.camera(f);
                         let (strip, _) = renderer.render_strip(&cam, cfg.width, cfg.height, y0, h);
+                        let c1 = Instant::now();
                         let frame = Frame {
                             id: f,
                             strip: StripInfo {
@@ -282,8 +339,11 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
                             image: Some(strip),
                         };
                         send_bytes(&ep, reliable, dst, encode_frame(&frame));
+                        rec.span(f, Phase::Compute, c0, c1);
+                        rec.span(f, Phase::Send, c1, Instant::now());
                         pool.release(frame.image.expect("strip pixels"));
                     }
+                    rec.into_log()
                 }));
             }
         }
@@ -314,10 +374,13 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
                 kind,
                 i as u32,
                 thread::spawn(move || {
+                    let mut rec = SpanRecorder::new(tracing, start, rank, kind, Some(i as u32));
                     let chain = standard_chain();
                     let filter = &chain[j];
                     for _ in 0..cfg.frames {
+                        let w0 = Instant::now();
                         let raw = recv_bytes(&ep, reliable, src);
+                        let r0 = Instant::now();
                         let mut frame =
                             decode_frame_pooled(raw, src, &pool).expect("frame survived transport");
                         let ctx = frame.ctx(cfg.seed);
@@ -326,10 +389,19 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
                             &ctx,
                             kernel_threads,
                         );
+                        let c0 = Instant::now();
                         send_bytes(&ep, reliable, dst, encode_frame(&frame));
+                        rec.span(frame.id, Phase::Wait, w0, r0);
+                        rec.span(frame.id, Phase::Compute, r0, c0);
+                        rec.span(frame.id, Phase::Send, c0, Instant::now());
                         pool.release(frame.image.expect("pixels"));
                     }
-                    (ep.take_wait_samples(), None)
+                    if cfg.verify {
+                        if let Err(e) = ep.audit_arq() {
+                            panic!("[arq-legality] {e}");
+                        }
+                    }
+                    (ep.take_wait_samples(), None, rec.into_log())
                 }),
             ));
         }
@@ -337,7 +409,8 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
 
     // ---- transfer thread (returns the assembled frames) ----
     {
-        let ep = eps[layout.transfer].take().unwrap();
+        let rank = layout.transfer;
+        let ep = eps[rank].take().unwrap();
         let cfg = cfg.clone();
         let pool = pool.clone();
         let swap_ranks: Vec<usize> = layout.filters.iter().map(|f| f[4]).collect();
@@ -345,8 +418,10 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
             StageKind::Transfer,
             0,
             thread::spawn(move || {
+                let mut rec = SpanRecorder::new(tracing, start, rank, StageKind::Transfer, None);
                 let mut out = Vec::with_capacity(cfg.frames as usize);
-                for _ in 0..cfg.frames {
+                for f in 0..cfg.frames {
+                    let w0 = Instant::now();
                     let mut strips = Vec::with_capacity(swap_ranks.len());
                     for &r in &swap_ranks {
                         let frame = decode_frame_pooled(recv_bytes(&ep, reliable, r), r, &pool)
@@ -356,30 +431,48 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
                             frame.image.expect("pixels"),
                         ));
                     }
+                    let c0 = Instant::now();
                     // The assembled frame leaves with the report, so it
                     // cannot be pooled — but the strips can.
                     out.push(Image::assemble(&strips));
+                    rec.span(f, Phase::Wait, w0, c0);
+                    rec.span(f, Phase::Compute, c0, Instant::now());
                     for (_, strip) in strips {
                         pool.release(strip);
                     }
                 }
-                (ep.take_wait_samples(), Some(out))
+                if cfg.verify {
+                    if let Err(e) = ep.audit_arq() {
+                        panic!("[arq-legality] {e}");
+                    }
+                }
+                (ep.take_wait_samples(), Some(out), rec.into_log())
             }),
         ));
     }
 
+    let mut trace = tracing.then(TraceLog::new);
     for h in handles {
-        h.join().expect("source thread panicked");
+        let log = h.join().expect("source thread panicked");
+        if let Some(t) = trace.as_mut() {
+            t.merge(log);
+        }
     }
     let mut frames = Vec::new();
     let mut idle_ms = Vec::new();
     for (kind, pl, h) in stage_handles {
-        let (waits, out) = h.join().expect("stage thread panicked");
+        let (waits, out, log) = h.join().expect("stage thread panicked");
         if let Some(out) = out {
             frames = out;
         }
+        if let Some(t) = trace.as_mut() {
+            t.merge(log);
+        }
         let ms: Vec<f64> = waits.iter().map(|d| d.as_secs_f64() * 1e3).collect();
         idle_ms.push((kind, pl, Quartiles::from_samples(&ms)));
+    }
+    if let Some(t) = trace.as_mut() {
+        t.sort_by_time();
     }
 
     let wall = start.elapsed();
@@ -395,6 +488,7 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
         idle_ms,
         host,
         pool_stats: pool.stats(),
+        trace,
     }
 }
 
@@ -424,6 +518,7 @@ mod tests {
             seed: 77,
             fidelity: Fidelity::Full,
             trace: false,
+            verify: false,
             fault: None,
             tuning: NativeTuning::default(),
         }
@@ -596,6 +691,37 @@ mod tests {
     }
 
     #[test]
+    fn trace_flag_yields_wall_clock_spans() {
+        // Regression: `trace: true` used to be silently ignored by the
+        // native runner — the report had no field to carry it at all.
+        let mut c = cfg(RendererMode::SingleRenderer, 2, 3);
+        c.trace = true;
+        let report = run_native(&c, scene());
+        let log = report.trace.expect("trace requested, trace delivered");
+        assert!(!log.is_empty());
+        // Every filter stage computed every frame on the wall clock.
+        for kind in StageKind::PIPELINE_FILTERS {
+            let busy = log.phase_total(kind, crate::trace::Phase::Compute);
+            assert!(
+                busy > SimTime::ZERO,
+                "{} recorded no compute time",
+                kind.name()
+            );
+        }
+        // Spans stay within the measured wall-clock window and export to
+        // the same Chrome format as the simulator's trace.
+        let wall = SimTime::from_ns(report.wall.as_nanos() as u64);
+        for e in log.events() {
+            assert!(e.t0 < e.t1 && e.t1 <= wall);
+        }
+        let json = log.to_chrome_json();
+        assert!(json.contains(r#""ph":"X""#) && json.contains("compute"));
+
+        let untraced = run_native(&cfg(RendererMode::SingleRenderer, 2, 3), scene());
+        assert!(untraced.trace.is_none(), "no trace unless requested");
+    }
+
+    #[test]
     fn deterministic_output_across_runs() {
         let c = cfg(RendererMode::SingleRenderer, 3, 3);
         let a = run_native(&c, scene());
@@ -607,6 +733,7 @@ mod tests {
     fn native_run_survives_drops_and_corruption() {
         use crate::spec::FaultSpec;
         let mut c = cfg(RendererMode::SingleRenderer, 2, 3);
+        c.verify = true; // every endpoint's ARQ ledger is audited at exit
         c.fault = Some(FaultSpec {
             seed: 0xC1A05,
             drop_rate: 0.05,

@@ -210,7 +210,11 @@ impl SimRunner {
         }
         // Every placed stage spin-waits on its RCCE flags when idle.
         self.platform.set_spinning(self.placement.all_cores());
-        let mut trace = self.cfg.trace.then(TraceLog::new);
+        // The invariant checker walks the span log even when the caller
+        // did not ask for a trace: collect internally and strip it from
+        // the report afterwards. Span collection never feeds back into
+        // the virtual timeline, so `verify` cannot change results.
+        let mut trace = (self.cfg.trace || self.cfg.verify).then(TraceLog::new);
 
         let p = self.cfg.pipelines as usize;
         let full = self.cfg.renderer != RendererMode::PerPipelineRenderer;
@@ -600,6 +604,7 @@ impl SimRunner {
                                 lane,
                                 f,
                                 at,
+                                j as u32,
                                 format!("{culprit} unresponsive beyond retry budget"),
                             );
                             owner[i] = adopter;
@@ -683,6 +688,12 @@ impl SimRunner {
                 transfer.busy += t_out - cycle_start;
                 transfer.free = t_out;
                 transfer.frames += 1;
+                // Mutation smoke test: a planted off-by-one in the
+                // transfer frame ledger the invariant checker must catch.
+                #[cfg(feature = "verify-selftest")]
+                if f == 0 {
+                    transfer.frames -= 1;
+                }
                 finish = t_out;
 
                 if fidelity == Fidelity::Full {
@@ -703,8 +714,15 @@ impl SimRunner {
             }
 
             // Frame f delivered end-to-end: release its checkpoints.
+            #[cfg(not(feature = "verify-selftest"))]
+            let acked = f;
+            // Mutation smoke test: acknowledge one frame too few, so the
+            // checkpoint ring keeps a delivered strip in flight and the
+            // replay ledger drifts from the DES executor's.
+            #[cfg(feature = "verify-selftest")]
+            let acked = f.saturating_sub(1);
             for ring in &mut checkpoints {
-                ring.ack(f);
+                ring.ack(acked);
             }
         }
         // Release the healer's borrows on the supervision state before
@@ -747,7 +765,7 @@ impl SimRunner {
 
         let power_trace = self.platform.power_trace(finish, SimTime::from_secs(1));
         let energy = self.platform.energy_joules(finish);
-        WalkthroughReport {
+        let mut report = WalkthroughReport {
             config: self.cfg.clone(),
             total_secs: finish.as_secs_f64(),
             stage_reports,
@@ -760,7 +778,18 @@ impl SimRunner {
             recoveries,
             outputs: (fidelity == Fidelity::Full).then_some(outputs),
             trace,
+        };
+        if self.cfg.verify {
+            let mut violations = crate::invariant::check_report(&report);
+            if let Err(e) = self.platform.audit_noc() {
+                violations.push(crate::invariant::Violation::new("noc-conservation", e));
+            }
+            crate::invariant::enforce(&report.config, &violations);
         }
+        if !self.cfg.trace {
+            report.trace = None;
+        }
+        report
     }
 }
 
@@ -922,6 +951,7 @@ fn mark_failed(
     lane: usize,
     frame: u64,
     at: SimTime,
+    failed_stage: u32,
     reason: String,
 ) -> usize {
     failed[lane] = true;
@@ -931,6 +961,7 @@ fn mark_failed(
         pipeline: lane as u32,
         reassigned_to: adopter as u32,
         at_secs: at.as_secs_f64(),
+        failed_stage,
         reason,
     });
     if let Some(log) = trace.as_mut() {
@@ -1019,6 +1050,7 @@ fn send_strip(
                     lane,
                     f,
                     at,
+                    0,
                     format!(
                         "{} unresponsive beyond retry budget",
                         StageKind::PIPELINE_FILTERS[0].name()
@@ -1204,18 +1236,16 @@ fn run_strip_on_lane(
                         // (The transfer stage, j+1 == 5, is never a kill
                         // target.) Otherwise blame the receiving stage —
                         // it is the one not acking.
-                        let killed = j + 1 < 5
-                            && fc
-                                .plan
-                                .kill_time(next_core.raw())
-                                .filter(|&k| k <= at)
-                                .is_some();
-                        if killed {
-                            let kill_at = fc.plan.kill_time(next_core.raw()).unwrap();
-                            // As in `send_strip`: the redirect pre-empts
-                            // the remaining ARQ patience, so the replay is
-                            // observed from the send's start.
-                            match try_recover(
+                        let kill = if j + 1 < 5 {
+                            fc.plan.kill_time(next_core.raw()).filter(|&k| k <= at)
+                        } else {
+                            None
+                        };
+                        // As in `send_strip`: the redirect pre-empts
+                        // the remaining ARQ patience, so the replay is
+                        // observed from the send's start.
+                        let recovered = kill.and_then(|kill_at| {
+                            try_recover(
                                 platform,
                                 fc,
                                 seqs,
@@ -1230,12 +1260,38 @@ fn run_strip_on_lane(
                                 bytes,
                                 in_flight,
                                 trace,
-                            ) {
-                                Some(r) => r,
-                                None => return Err((j + 1, at)),
+                            )
+                        });
+                        match recovered {
+                            Some(r) => r,
+                            None => {
+                                // This stage finished its pass — only the
+                                // handoff failed — so it books the strip,
+                                // and it stays occupied through the futile
+                                // retransmission window: `free` must reach
+                                // the ARQ's give-up time or the lane's next
+                                // strip would overlap this one on the same
+                                // core. `failed_stage` is j+1 and the
+                                // ledger stays uniform across both
+                                // detection sites.
+                                let stage = &mut lane_states[j];
+                                stage.frames += 1;
+                                stage.busy += at.saturating_sub(start);
+                                stage.free = at;
+                                platform.record_busy(stage_core, send_start, at);
+                                if let Some(log) = trace.as_mut() {
+                                    log.span(
+                                        stage_core,
+                                        stage_kind,
+                                        Some(lane),
+                                        f,
+                                        Phase::Send,
+                                        t,
+                                        at,
+                                    );
+                                }
+                                return Err((j + 1, at));
                             }
-                        } else {
-                            return Err((j + 1, at));
                         }
                     }
                 }
@@ -1330,6 +1386,7 @@ mod tests {
             seed: 42,
             fidelity: Fidelity::TimingOnly,
             trace: false,
+            verify: false,
             fault: None,
             tuning: crate::spec::NativeTuning::default(),
         }
@@ -1707,6 +1764,7 @@ mod trace_tests {
             seed: 1,
             fidelity: Fidelity::TimingOnly,
             trace: true,
+            verify: false,
             fault: None,
             tuning: crate::spec::NativeTuning::default(),
         };

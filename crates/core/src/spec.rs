@@ -340,6 +340,12 @@ pub struct RunConfig {
     pub fidelity: Fidelity,
     /// Record per-stage phase spans (exportable to Chrome trace JSON).
     pub trace: bool,
+    /// Run the invariant checker during sim/DES execution: frame
+    /// conservation, trace causality, NoC flit conservation, energy
+    /// identity. A violation panics with the seed + config that
+    /// produced it. Costs a little memory (the trace is collected
+    /// internally even when `trace` is off) but never changes results.
+    pub verify: bool,
     /// Fault injection; `None` runs the healthy fast path unchanged.
     pub fault: Option<FaultSpec>,
     /// Host-execution tuning (kernel threads, buffer pooling). Never
@@ -362,6 +368,7 @@ impl Default for RunConfig {
             seed: 0x51CC_F11F,
             fidelity: Fidelity::TimingOnly,
             trace: false,
+            verify: false,
             fault: None,
             tuning: NativeTuning::default(),
         }

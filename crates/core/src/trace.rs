@@ -99,6 +99,18 @@ impl TraceLog {
         &self.events
     }
 
+    /// Append every span of `other` — used to merge the per-thread logs
+    /// the native runner collects.
+    pub fn merge(&mut self, other: TraceLog) {
+        self.events.extend(other.events);
+    }
+
+    /// Sort spans by start time (merged multi-thread logs arrive in
+    /// join order, not time order).
+    pub fn sort_by_time(&mut self) {
+        self.events.sort_by_key(|e| (e.t0, e.core, e.t1));
+    }
+
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }

@@ -98,6 +98,9 @@ pub struct Endpoint {
     send_seq: Vec<AtomicU64>,
     /// Next expected sequence number from each source.
     recv_seq: Vec<AtomicU64>,
+    /// Reliable streams to each destination that completed with an ack —
+    /// the ARQ audit's ledger against `send_seq` (streams started).
+    acked_streams: Vec<AtomicU64>,
     barrier: Arc<Barrier>,
     mpb: MpbConfig,
     stats: Arc<CommStats>,
@@ -159,6 +162,7 @@ pub fn communicator(size: usize, window_msgs: usize, mpb: MpbConfig) -> Vec<Endp
             ack_ins,
             send_seq: (0..size).map(|_| AtomicU64::new(0)).collect(),
             recv_seq: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            acked_streams: (0..size).map(|_| AtomicU64::new(0)).collect(),
             barrier: Arc::clone(&barrier),
             mpb,
             stats: Arc::new(CommStats::default()),
@@ -346,6 +350,7 @@ impl Endpoint {
                 }
                 match ack_rx.recv_timeout(remaining) {
                     Ok(acked) if acked == seq => {
+                        self.acked_streams[dst].fetch_add(1, Ordering::Relaxed);
                         self.stats.sent_messages.fetch_add(1, Ordering::Relaxed);
                         self.stats
                             .sent_bytes
@@ -417,8 +422,14 @@ impl Endpoint {
                 continue;
             }
             // Stop-and-wait over a FIFO channel cannot reorder, so an
-            // intact envelope at this point is the expected one.
-            debug_assert_eq!(seq, expected, "reliable stream reordered");
+            // intact envelope from the stream's future is a protocol
+            // bug, not a transport fault — fail closed in every build.
+            if seq != expected {
+                return Err(RcceError::Protocol {
+                    rank: src,
+                    detail: "reliable stream reordered",
+                });
+            }
             let _ = ack_tx.try_send(seq);
             self.recv_seq[src].store(seq + 1, Ordering::Relaxed);
             let waited = t0.elapsed();
@@ -432,6 +443,47 @@ impl Endpoint {
                 .fetch_add(payload.len() as u64, Ordering::Relaxed);
             return Ok(payload);
         }
+    }
+
+    /// ARQ state-machine legality audit for a quiesced endpoint (no
+    /// sends in flight, reliability policy unchanged since creation):
+    ///
+    /// * acked streams never exceed started streams, per destination;
+    /// * every started-but-unacked stream burned a recorded timeout;
+    /// * retransmissions stay within the per-stream retry budget.
+    pub fn audit_arq(&self) -> Result<(), String> {
+        let mut started_total = 0u64;
+        let mut unacked_total = 0u64;
+        for dst in 0..self.size {
+            let started = self.send_seq[dst].load(Ordering::Relaxed);
+            let acked = self.acked_streams[dst].load(Ordering::Relaxed);
+            if acked > started {
+                return Err(format!(
+                    "rank {}: {acked} acked streams to {dst} but only {started} started",
+                    self.rank
+                ));
+            }
+            started_total += started;
+            unacked_total += started - acked;
+        }
+        let timeouts = self.stats.timeouts.load(Ordering::Relaxed);
+        if unacked_total > timeouts {
+            return Err(format!(
+                "rank {}: {unacked_total} reliable streams died without an ack \
+                 yet only {timeouts} timeouts were recorded",
+                self.rank
+            ));
+        }
+        let retrans = self.stats.retransmissions.load(Ordering::Relaxed);
+        let budget = started_total * self.reliability.retries as u64;
+        if retrans > budget {
+            return Err(format!(
+                "rank {}: {retrans} retransmissions exceed the budget of {budget} \
+                 ({} streams x {} retries)",
+                self.rank, started_total, self.reliability.retries
+            ));
+        }
+        Ok(())
     }
 
     /// Synchronise all ranks (RCCE_barrier).
@@ -709,6 +761,59 @@ mod tests {
         assert!(
             b.stats().corrupt_drops.load(Ordering::Relaxed) > 0,
             "some corrupted deliveries should have been caught by CRC"
+        );
+    }
+
+    #[test]
+    fn arq_audit_passes_after_lossy_traffic() {
+        let mut eps = comm(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.set_fault_plan(lossy_plan(99, 0.2, 0.2));
+        a.set_reliability(fast_reliability());
+        b.set_reliability(fast_reliability());
+        let t = thread::spawn(move || {
+            for i in 0u8..20 {
+                a.send_reliable(1, Bytes::copy_from_slice(&[i; 32]))
+                    .unwrap();
+            }
+            a
+        });
+        for _ in 0..20 {
+            b.recv_reliable(0).unwrap();
+        }
+        let a = t.join().unwrap();
+        a.audit_arq().expect("sender ledger legal");
+        b.audit_arq().expect("receiver ledger legal");
+    }
+
+    #[test]
+    fn arq_audit_catches_an_unaccounted_stream() {
+        let eps = comm(2);
+        let a = &eps[0];
+        // A stream that was started but neither acked nor timed out is
+        // exactly the state a lost state machine would leave behind.
+        a.send_seq[1].fetch_add(1, Ordering::Relaxed);
+        let err = a.audit_arq().unwrap_err();
+        assert!(err.contains("without an ack"), "unexpected detail: {err}");
+    }
+
+    #[test]
+    fn out_of_order_envelope_is_a_protocol_violation() {
+        let mut eps = comm(2);
+        let mut b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        b.set_reliability(fast_reliability());
+        // Hand-craft an intact envelope from the stream's future (seq 5
+        // while 0 is expected) and push it down the raw channel.
+        a.send(1, encode_envelope(5, &Bytes::from_static(b"rogue")))
+            .unwrap();
+        assert_eq!(
+            b.recv_reliable(0).unwrap_err(),
+            RcceError::Protocol {
+                rank: 0,
+                detail: "reliable stream reordered",
+            }
         );
     }
 

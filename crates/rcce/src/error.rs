@@ -18,6 +18,10 @@ pub enum RcceError {
     /// A reliable send to `rank` exhausted its retry budget without an
     /// acknowledgement.
     RetriesExhausted { rank: usize, attempts: u32 },
+    /// The ARQ state machine saw an illegal transition — e.g. an intact
+    /// envelope from the future of a FIFO stream. Indicates a protocol
+    /// bug, not a transport fault, so it is never retried.
+    Protocol { rank: usize, detail: &'static str },
 }
 
 impl fmt::Display for RcceError {
@@ -38,6 +42,9 @@ impl fmt::Display for RcceError {
                     f,
                     "send to rank {rank} unacknowledged after {attempts} attempts"
                 )
+            }
+            RcceError::Protocol { rank, detail } => {
+                write!(f, "ARQ protocol violation with rank {rank}: {detail}")
             }
         }
     }
@@ -64,5 +71,10 @@ mod tests {
             attempts: 4,
         };
         assert!(r.to_string().contains("4 attempts"));
+        let p = RcceError::Protocol {
+            rank: 6,
+            detail: "reordered",
+        };
+        assert!(p.to_string().contains("protocol violation"));
     }
 }

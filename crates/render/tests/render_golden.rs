@@ -1,0 +1,149 @@
+//! Golden unit tests for the render stage: pinned culling statistics,
+//! pinned octree traversal order, and pinned raster hashes.
+//!
+//! These complement the property tests: where `proptests.rs` checks
+//! relationships (culling is conservative, strips tile the frame), this
+//! file freezes exact numbers so an unintended change to the camera path,
+//! frustum extraction, octree build order or rasteriser shows up as a
+//! one-line diff. Regenerate by running the tests and copying the values
+//! from the failure message after a *deliberate* change.
+
+use scc_render::{
+    CityConfig, Containment, Frustum, Octree, OctreeConfig, Renderer, Scene, Walkthrough,
+};
+use std::sync::Arc;
+
+/// FNV-1a, the same digest the conformance harness pins films with.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn fnv1a_u32s(vals: &[u32]) -> u64 {
+    let mut bytes = Vec::with_capacity(vals.len() * 4);
+    for v in vals {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    fnv1a(&bytes)
+}
+
+/// The reference scene for every golden in this file.
+fn golden_scene() -> Arc<Scene> {
+    Arc::new(Scene::city(CityConfig {
+        side: 10,
+        spacing: 8.0,
+        seed: 7,
+    }))
+}
+
+#[test]
+fn camera_frustum_culling_stats_are_pinned() {
+    // (frame, nodes_visited, triangles_out, subtrees_accepted) along the
+    // standard walkthrough. Three well-separated poses so a camera-path or
+    // frustum-extraction change can't cancel out across samples.
+    const WANT: [(u64, u64, u64, u64); 3] = [(0, 40, 928, 2), (133, 40, 952, 8), (266, 40, 960, 9)];
+    let scene = golden_scene();
+    let tree = Octree::build(&scene.triangles, OctreeConfig::default());
+    let walk = Walkthrough::standard(1.25);
+    for (frame, nodes, tris, subtrees) in WANT {
+        let cam = walk.camera(frame);
+        let frustum = Frustum::from_matrix(&cam.view_projection());
+        let mut out = Vec::new();
+        let stats = tree.cull(&frustum, &mut out);
+        assert_eq!(
+            (
+                stats.nodes_visited,
+                stats.triangles_out,
+                stats.subtrees_accepted
+            ),
+            (nodes, tris, subtrees),
+            "culling stats drifted at frame {frame}: got ({}, {}, {})",
+            stats.nodes_visited,
+            stats.triangles_out,
+            stats.subtrees_accepted
+        );
+    }
+}
+
+#[test]
+fn frustum_point_classification_is_pinned() {
+    // A handful of hand-placed points against the frame-0 frustum: street
+    // level in front of the camera is visible, behind/above is not.
+    let cam = Walkthrough::standard(1.25).camera(0);
+    let frustum = Frustum::from_matrix(&cam.view_projection());
+    let cases = [
+        ((20.0, 3.0, 15.0), true),    // ahead along the orbit
+        ((80.0, 3.0, 15.0), false),   // behind the eye (radius is 40)
+        ((20.0, 400.0, 15.0), false), // far above the fovy cone
+    ];
+    for ((x, y, z), want) in cases {
+        let p = scc_render::Vec3 { x, y, z };
+        assert_eq!(
+            frustum.contains_point(p),
+            want,
+            "classification of ({x}, {y}, {z}) drifted"
+        );
+    }
+    // And the scene bounds always straddle the frustum from street level.
+    let scene = golden_scene();
+    assert_eq!(frustum.test_aabb(&scene.bounds), Containment::Intersecting);
+}
+
+#[test]
+fn octree_shape_and_traversal_order_are_pinned() {
+    // The traversal order is part of the contract: `cull` visits children
+    // in octant order, and downstream consumers (coverage estimation,
+    // rasterisation) see triangles in exactly this sequence. Hash the
+    // emitted index order, not just the set.
+    let scene = golden_scene();
+    let tree = Octree::build(
+        &scene.triangles,
+        OctreeConfig {
+            leaf_size: 16,
+            max_depth: 8,
+        },
+    );
+    assert_eq!(tree.node_count(), 82, "octree shape drifted");
+    assert_eq!(tree.triangle_count(), scene.triangles.len());
+
+    let cam = Walkthrough::standard(1.25).camera(40);
+    let frustum = Frustum::from_matrix(&cam.view_projection());
+    let mut out = Vec::new();
+    let stats = tree.cull(&frustum, &mut out);
+    assert_eq!(stats.triangles_out, out.len() as u64);
+    assert_eq!(
+        fnv1a_u32s(&out),
+        0x83f2_66ef_79d0_c32d,
+        "traversal order drifted (count {}, first {:?})",
+        out.len(),
+        out.first()
+    );
+}
+
+#[test]
+fn raster_hashes_are_pinned_at_two_sizes() {
+    // Full-frame renders at the two geometries the conformance harness
+    // exercises most (the fuzzer's 48x32 and the golden matrix's 64x48).
+    // The hash covers every RGBA byte, so shading, depth-test order and
+    // the sky gradient are all under the pin.
+    let renderer = Renderer::new(golden_scene());
+    let walk = Walkthrough::standard(1.25);
+    const WANT: [(u32, u32, u64, u64); 2] = [
+        (48, 32, 2, 0xce55_e753_aef7_5f25),
+        (64, 48, 2, 0x3fe7_e906_704c_9b25),
+    ];
+    for (w, h, frame, want) in WANT {
+        let (img, stats) = renderer.render_full(&walk.camera(frame), w, h);
+        assert!(stats.raster.pixels_written > 0, "{w}x{h} rendered nothing");
+        let got = fnv1a(img.as_bytes());
+        assert_eq!(
+            got, want,
+            "raster hash drifted at {w}x{h}: got {got:#018x} ({} px written)",
+            stats.raster.pixels_written
+        );
+    }
+}

@@ -65,6 +65,15 @@ pub struct Noc {
     stats: Vec<LinkStats>,
     total_messages: u64,
     total_bytes: u64,
+    /// Flit-conservation ledger: per-link message/byte counts registered
+    /// at route-computation time, *before* any booking happens. The
+    /// [`Noc::audit`] cross-checks the booked `stats` against these, so a
+    /// refactor that books a link twice — or forgets one hop of a route —
+    /// is caught rather than silently mis-accounted.
+    expected_msgs: Vec<u64>,
+    expected_bytes: Vec<u64>,
+    /// Transfers whose route was registered in the expectation ledger.
+    routed_messages: u64,
     fault: Option<Arc<FaultPlan>>,
 }
 
@@ -77,6 +86,9 @@ impl Noc {
             stats: vec![LinkStats::default(); Link::DENSE_COUNT],
             total_messages: 0,
             total_bytes: 0,
+            expected_msgs: vec![0; Link::DENSE_COUNT],
+            expected_bytes: vec![0; Link::DENSE_COUNT],
+            routed_messages: 0,
             fault: None,
             cfg,
         }
@@ -106,6 +118,13 @@ impl Noc {
         let mut t = now + self.cfg.message_overhead;
         if let Some(plan) = &self.fault {
             t += plan.flit_delay(msg_idx);
+        }
+        // Register what this route *should* book before booking anything.
+        self.routed_messages += 1;
+        for link in xy_route(from, to) {
+            let idx = link.dense_index();
+            self.expected_msgs[idx] += 1;
+            self.expected_bytes[idx] += bytes;
         }
         for link in xy_route(from, to) {
             let idx = link.dense_index();
@@ -160,6 +179,41 @@ impl Noc {
     /// The most heavily loaded link by bytes, if any traffic has flowed.
     pub fn hottest_link_bytes(&self) -> u64 {
         self.stats.iter().map(|s| s.bytes).max().unwrap_or(0)
+    }
+
+    /// Flit conservation per link: every message booked on a link must
+    /// correspond to exactly one hop of exactly one routed transfer, with
+    /// the full payload accounted. Returns a description of the first
+    /// discrepancy, if any.
+    pub fn audit(&self) -> Result<(), String> {
+        if self.routed_messages != self.total_messages {
+            return Err(format!(
+                "noc routed {} transfers but counted {}",
+                self.routed_messages, self.total_messages
+            ));
+        }
+        for idx in 0..Link::DENSE_COUNT {
+            let s = &self.stats[idx];
+            if s.messages != self.expected_msgs[idx] {
+                return Err(format!(
+                    "link {idx}: booked {} messages, route ledger expects {}",
+                    s.messages, self.expected_msgs[idx]
+                ));
+            }
+            if s.bytes != self.expected_bytes[idx] {
+                return Err(format!(
+                    "link {idx}: booked {} bytes, route ledger expects {}",
+                    s.bytes, self.expected_bytes[idx]
+                ));
+            }
+            if s.messages == 0 && (s.busy_ps != 0 || s.wait_ps != 0) {
+                return Err(format!(
+                    "link {idx}: time booked ({} ps busy, {} ps wait) with no messages",
+                    s.busy_ps, s.wait_ps
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -302,5 +356,42 @@ mod tests {
         assert_eq!(noc.total_messages(), 2);
         assert_eq!(noc.total_bytes(), 200);
         assert!(noc.hottest_link_bytes() >= 123);
+    }
+
+    #[test]
+    fn audit_passes_after_arbitrary_traffic() {
+        let mut noc = Noc::new(cfg());
+        assert_eq!(noc.audit(), Ok(()), "a fresh mesh is balanced");
+        for i in 0..20u32 {
+            noc.transfer(
+                SimTime::from_us(i as u64),
+                TileId::from_xy((i % 6) as u8, (i % 4) as u8),
+                TileId::from_xy(((i + 3) % 6) as u8, ((i + 1) % 4) as u8),
+                1000 + i as u64,
+            );
+        }
+        // Zero-hop transfers book no links but still count as messages.
+        let t = TileId::from_xy(2, 2);
+        noc.transfer(SimTime::ZERO, t, t, 555);
+        assert_eq!(noc.audit(), Ok(()));
+    }
+
+    #[test]
+    fn audit_catches_a_cooked_ledger() {
+        let mut noc = Noc::new(cfg());
+        noc.transfer(
+            SimTime::ZERO,
+            TileId::from_xy(0, 0),
+            TileId::from_xy(2, 0),
+            4096,
+        );
+        // Simulate a booking bug: one link loses a message from its stats.
+        let idx = Link {
+            from: TileId::from_xy(0, 0),
+            dir: Direction::East,
+        }
+        .dense_index();
+        noc.stats[idx].messages -= 1;
+        assert!(noc.audit().is_err(), "missing booking must be flagged");
     }
 }

@@ -368,6 +368,13 @@ impl SccPlatform {
         self.cfg.power.idle_power(&self.dvfs)
     }
 
+    /// Flit conservation across the mesh: cross-check the per-link
+    /// booking statistics against the independently registered route
+    /// ledger (see [`crate::noc::Noc::audit`]).
+    pub fn audit_noc(&self) -> Result<(), String> {
+        self.noc.audit()
+    }
+
     pub fn stats(&self) -> PlatformStats {
         PlatformStats {
             noc_messages: self.noc.total_messages(),

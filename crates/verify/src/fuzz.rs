@@ -1,0 +1,861 @@
+//! Coverage-guided fault-space fuzzing.
+//!
+//! A [`FuzzCase`] is a complete [`RunConfig`] with a ≤ 10-line text form
+//! (the repro format under `tests/regressions/`). The fuzzer mutates the
+//! fault plan, kill schedule and tuning of corpus cases, runs each mutant
+//! through the differential oracle ([`run_oracle`]), and keeps mutants
+//! whose [`coverage`] reaches fault-decision branches or recovery phases
+//! no earlier case reached. Failures are [`shrink`]-minimised while
+//! preserving the failing check's name.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use scc_core::runner::sim::SimRunner;
+use scc_core::spec::{
+    Arrangement, FaultSpec, Fidelity, KillSpec, RendererMode, RunConfig, StallSpec,
+};
+use scc_core::viz::frame_checksum;
+use scc_sim::fault::{FaultConfig, FaultPlan, MessageOutcome};
+use scc_sim::SimTime;
+use std::collections::BTreeSet;
+
+/// One point in the fault space: a full run configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    pub cfg: RunConfig,
+}
+
+/// One oracle failure: the stable name of the check that tripped plus a
+/// human-readable detail line.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub check: String,
+    pub detail: String,
+}
+
+/// Everything one oracle execution produced.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    pub failures: Vec<Failure>,
+    pub coverage: BTreeSet<String>,
+}
+
+fn mode_tag(m: RendererMode) -> &'static str {
+    match m {
+        RendererMode::SingleRenderer => "single",
+        RendererMode::PerPipelineRenderer => "perpipe",
+        RendererMode::McpcRenderer => "mcpc",
+    }
+}
+
+fn mode_from_tag(s: &str) -> Result<RendererMode, String> {
+    match s {
+        "single" => Ok(RendererMode::SingleRenderer),
+        "perpipe" => Ok(RendererMode::PerPipelineRenderer),
+        "mcpc" => Ok(RendererMode::McpcRenderer),
+        _ => Err(format!("unknown renderer mode `{s}`")),
+    }
+}
+
+fn arr_from_tag(s: &str) -> Result<Arrangement, String> {
+    match s {
+        "unordered" => Ok(Arrangement::Unordered),
+        "ordered" => Ok(Arrangement::Ordered),
+        "flipped" => Ok(Arrangement::Flipped),
+        _ => Err(format!("unknown arrangement `{s}`")),
+    }
+}
+
+impl FuzzCase {
+    /// A small, clean starting point (the fuzzer's corpus seed).
+    pub fn base(seed: u64) -> FuzzCase {
+        FuzzCase {
+            cfg: RunConfig {
+                pipelines: 2,
+                width: 48,
+                height: 32,
+                frames: 3,
+                seed,
+                fidelity: Fidelity::Full,
+                trace: false,
+                verify: false,
+                ..RunConfig::default()
+            },
+        }
+    }
+
+    /// Serialise to the ≤ 10-line repro format. Floats use Rust's
+    /// shortest round-trip `Display`, so `from_text` is lossless.
+    pub fn to_text(&self) -> String {
+        let c = &self.cfg;
+        let mut out = format!(
+            "run mode={} arr={} p={} w={} h={} f={} seed={:#x} fid={} threads={} pool={}\n",
+            mode_tag(c.renderer),
+            c.arrangement.name(),
+            c.pipelines,
+            c.width,
+            c.height,
+            c.frames,
+            c.seed,
+            match c.fidelity {
+                Fidelity::Full => "full",
+                Fidelity::TimingOnly => "timing",
+            },
+            c.tuning.kernel_threads,
+            c.tuning.buffer_pool as u8,
+        );
+        if let Some(f) = &c.fault {
+            out.push_str(&format!(
+                "fault seed={:#x} drop={} corrupt={} delay={} max_delay_us={} links={} factor={} timeout_us={} retries={}\n",
+                f.seed, f.drop_rate, f.corrupt_rate, f.delay_rate, f.max_delay_us,
+                f.degraded_links, f.degrade_factor, f.timeout_us, f.retry_budget,
+            ));
+            out.push_str(&format!(
+                "sup hb_us={} phi={} spares={} depth={}\n",
+                f.heartbeat_period_us, f.phi_dead, f.max_spares, f.checkpoint_depth,
+            ));
+            for k in &f.kills {
+                out.push_str(&format!(
+                    "kill p={} s={} at_ms={}\n",
+                    k.pipeline, k.stage, k.at_ms
+                ));
+            }
+            if let Some(s) = &f.stall {
+                out.push_str(&format!(
+                    "stall p={} s={} at_ms={} for_ms={}\n",
+                    s.pipeline, s.stage, s.at_ms, s.for_ms
+                ));
+            }
+        }
+        out
+    }
+
+    /// Parse the repro format back into a case.
+    pub fn from_text(text: &str) -> Result<FuzzCase, String> {
+        fn fields(line: &str) -> Result<Vec<(&str, &str)>, String> {
+            line.split_whitespace()
+                .skip(1)
+                .map(|kv| {
+                    kv.split_once('=')
+                        .ok_or_else(|| format!("malformed field `{kv}`"))
+                })
+                .collect()
+        }
+        fn get<'a>(kvs: &[(&str, &'a str)], key: &str) -> Result<&'a str, String> {
+            kvs.iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| *v)
+                .ok_or_else(|| format!("missing field `{key}`"))
+        }
+        fn int(kvs: &[(&str, &str)], key: &str) -> Result<u64, String> {
+            let v = get(kvs, key)?;
+            let (src, radix) = match v.strip_prefix("0x") {
+                Some(hex) => (hex, 16),
+                None => (v, 10),
+            };
+            u64::from_str_radix(src, radix).map_err(|e| format!("{key}={v}: {e}"))
+        }
+        fn float(kvs: &[(&str, &str)], key: &str) -> Result<f64, String> {
+            get(kvs, key)?.parse().map_err(|e| format!("{key}: {e}"))
+        }
+
+        let mut case = FuzzCase::base(0);
+        let mut saw_run = false;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let kvs = fields(line)?;
+            match line.split_whitespace().next().unwrap_or("") {
+                "run" => {
+                    saw_run = true;
+                    let c = &mut case.cfg;
+                    c.renderer = mode_from_tag(get(&kvs, "mode")?)?;
+                    c.arrangement = arr_from_tag(get(&kvs, "arr")?)?;
+                    c.pipelines = int(&kvs, "p")? as u32;
+                    c.width = int(&kvs, "w")? as u32;
+                    c.height = int(&kvs, "h")? as u32;
+                    c.frames = int(&kvs, "f")?;
+                    c.seed = int(&kvs, "seed")?;
+                    c.fidelity = match get(&kvs, "fid")? {
+                        "full" => Fidelity::Full,
+                        "timing" => Fidelity::TimingOnly,
+                        other => return Err(format!("unknown fidelity `{other}`")),
+                    };
+                    c.tuning.kernel_threads = int(&kvs, "threads")? as u32;
+                    c.tuning.buffer_pool = int(&kvs, "pool")? != 0;
+                }
+                "fault" => {
+                    let f = case.cfg.fault.get_or_insert_with(FaultSpec::default);
+                    f.seed = int(&kvs, "seed")?;
+                    f.drop_rate = float(&kvs, "drop")?;
+                    f.corrupt_rate = float(&kvs, "corrupt")?;
+                    f.delay_rate = float(&kvs, "delay")?;
+                    f.max_delay_us = int(&kvs, "max_delay_us")?;
+                    f.degraded_links = int(&kvs, "links")? as u32;
+                    f.degrade_factor = float(&kvs, "factor")?;
+                    f.timeout_us = int(&kvs, "timeout_us")?;
+                    f.retry_budget = int(&kvs, "retries")? as u32;
+                }
+                "sup" => {
+                    let f = case.cfg.fault.get_or_insert_with(FaultSpec::default);
+                    f.heartbeat_period_us = int(&kvs, "hb_us")?;
+                    f.phi_dead = float(&kvs, "phi")?;
+                    f.max_spares = int(&kvs, "spares")? as u32;
+                    f.checkpoint_depth = int(&kvs, "depth")? as u32;
+                }
+                "kill" => {
+                    let f = case.cfg.fault.get_or_insert_with(FaultSpec::default);
+                    f.kills.push(KillSpec {
+                        pipeline: int(&kvs, "p")? as u32,
+                        stage: int(&kvs, "s")? as u32,
+                        at_ms: int(&kvs, "at_ms")?,
+                    });
+                }
+                "stall" => {
+                    let f = case.cfg.fault.get_or_insert_with(FaultSpec::default);
+                    f.stall = Some(StallSpec {
+                        pipeline: int(&kvs, "p")? as u32,
+                        stage: int(&kvs, "s")? as u32,
+                        at_ms: int(&kvs, "at_ms")?,
+                        for_ms: int(&kvs, "for_ms")?,
+                    });
+                }
+                other => return Err(format!("unknown directive `{other}`")),
+            }
+        }
+        if !saw_run {
+            return Err("repro has no `run` line".into());
+        }
+        case.cfg
+            .validate()
+            .map_err(|e| format!("invalid repro: {e}"))?;
+        Ok(case)
+    }
+
+    /// Apply one random, validity-preserving mutation. Mutations that
+    /// produce an invalid config are rolled back and retried (bounded).
+    pub fn mutate(&mut self, rng: &mut StdRng) {
+        for _ in 0..24 {
+            let mut next = self.clone();
+            next.mutate_once(rng);
+            if next.cfg.validate().is_ok() {
+                *self = next;
+                return;
+            }
+        }
+    }
+
+    fn mutate_once(&mut self, rng: &mut StdRng) {
+        let c = &mut self.cfg;
+        match rng.gen_range(0u32..16) {
+            0 => {
+                c.renderer = [
+                    RendererMode::SingleRenderer,
+                    RendererMode::PerPipelineRenderer,
+                    RendererMode::McpcRenderer,
+                ][rng.gen_range(0usize..3)]
+            }
+            1 => {
+                c.arrangement = [
+                    Arrangement::Unordered,
+                    Arrangement::Ordered,
+                    Arrangement::Flipped,
+                ][rng.gen_range(0usize..3)]
+            }
+            2 => c.pipelines = rng.gen_range(1u32..=4),
+            3 => {
+                let (w, h) = [(32u32, 24u32), (48, 32), (64, 48)][rng.gen_range(0usize..3)];
+                c.width = w;
+                c.height = h;
+            }
+            4 => c.frames = rng.gen_range(2u64..=5),
+            5 => c.seed = rng.gen(),
+            6 => {
+                c.fidelity = if rng.gen() {
+                    Fidelity::Full
+                } else {
+                    Fidelity::TimingOnly
+                }
+            }
+            7 => {
+                c.tuning.kernel_threads = rng.gen_range(1u32..=4);
+                c.tuning.buffer_pool = rng.gen();
+            }
+            8 => c.fault = None,
+            9 => {
+                let f = c.fault.get_or_insert_with(FaultSpec::default);
+                f.seed = rng.gen();
+                f.drop_rate = [0.0, 0.05, 0.2][rng.gen_range(0usize..3)];
+                f.corrupt_rate = [0.0, 0.05, 0.2][rng.gen_range(0usize..3)];
+                f.delay_rate = [0.0, 0.1, 0.3][rng.gen_range(0usize..3)];
+            }
+            10 => {
+                let f = c.fault.get_or_insert_with(FaultSpec::default);
+                f.degraded_links = rng.gen_range(0u32..=4);
+                f.degrade_factor = [0.25, 0.5, 1.0][rng.gen_range(0usize..3)];
+            }
+            11 => {
+                let pipelines = c.pipelines;
+                let f = c.fault.get_or_insert_with(FaultSpec::default);
+                if f.kills.len() >= 3 {
+                    f.kills.clear();
+                }
+                // Kill times span the whole walkthrough (a frame is
+                // ~11 ms of virtual time at the fuzzing geometry), so
+                // mutants reach early-, mid- and post-run kills.
+                f.kills.push(KillSpec {
+                    pipeline: rng.gen_range(0..pipelines),
+                    stage: rng.gen_range(0u32..5),
+                    at_ms: rng.gen_range(0u64..=40),
+                });
+                f.heartbeat_period_us = [1_000, 2_000, 5_000][rng.gen_range(0usize..3)];
+                f.phi_dead = [2.0, 3.0][rng.gen_range(0usize..2)];
+            }
+            12 => {
+                if let Some(f) = &mut c.fault {
+                    f.kills.clear();
+                }
+            }
+            13 => {
+                let pipelines = c.pipelines;
+                let f = c.fault.get_or_insert_with(FaultSpec::default);
+                f.stall = Some(StallSpec {
+                    pipeline: rng.gen_range(0..pipelines),
+                    stage: rng.gen_range(0u32..5),
+                    at_ms: rng.gen_range(0u64..=2),
+                    for_ms: if rng.gen() {
+                        rng.gen_range(1u64..=5)
+                    } else {
+                        u64::MAX
+                    },
+                });
+            }
+            14 => {
+                if let Some(f) = &mut c.fault {
+                    f.stall = None;
+                }
+            }
+            _ => {
+                let f = c.fault.get_or_insert_with(FaultSpec::default);
+                f.max_spares = rng.gen_range(0u32..=2);
+                f.retry_budget = rng.gen_range(0u32..=4);
+                f.timeout_us = [200, 500, 1_000][rng.gen_range(0usize..3)];
+                f.checkpoint_depth = rng.gen_range(1u32..=4);
+            }
+        }
+        // Drop fault sub-specs that point past a shrunken pipeline count.
+        if let Some(f) = &mut c.fault {
+            let p = c.pipelines;
+            f.kills.retain(|k| k.pipeline < p);
+            if f.stall.is_some_and(|s| s.pipeline >= p) {
+                f.stall = None;
+            }
+        }
+    }
+}
+
+/// Static + dynamic coverage features of one case/report pair. Static
+/// features come from probing the deterministic [`FaultPlan`] decision
+/// surface (which branches *will* fire); dynamic ones from what the run
+/// actually did (degradations, recoveries, replay).
+pub fn coverage(case: &FuzzCase, outcome_events: &CoverageEvents) -> BTreeSet<String> {
+    let c = &case.cfg;
+    let mut set = BTreeSet::new();
+    set.insert(format!("mode:{}", mode_tag(c.renderer)));
+    set.insert(format!("arr:{}", c.arrangement.name()));
+    set.insert(format!("p:{}", c.pipelines));
+    set.insert(format!(
+        "fid:{}",
+        if c.fidelity == Fidelity::Full {
+            "full"
+        } else {
+            "timing"
+        }
+    ));
+    if c.tuning.kernel_threads > 1 {
+        set.insert("tuning:threads".into());
+    }
+    if !c.tuning.buffer_pool {
+        set.insert("tuning:no-pool".into());
+    }
+    if let Some(f) = &c.fault {
+        if f.degraded_links > 0 && f.degrade_factor < 1.0 {
+            set.insert("links:degraded".into());
+        }
+        if let Some(s) = &f.stall {
+            set.insert(
+                if s.for_ms == u64::MAX {
+                    "stall:forever"
+                } else {
+                    "stall:transient"
+                }
+                .into(),
+            );
+        }
+        set.insert(format!("kills:{}", f.kills.len()));
+        if !f.kills.is_empty() {
+            set.insert(
+                if f.kills.len() as u32 <= f.max_spares {
+                    "spares:enough"
+                } else {
+                    "spares:short"
+                }
+                .into(),
+            );
+        }
+        // Probe the message-plane decision surface the way the runner
+        // will query it (per from/to/seq/attempt), without running.
+        let plan = FaultPlan::new(FaultConfig {
+            seed: f.seed,
+            drop_rate: f.drop_rate,
+            corrupt_rate: f.corrupt_rate,
+            delay_rate: f.delay_rate,
+            max_delay: SimTime::from_us(f.max_delay_us),
+            ..FaultConfig::default()
+        });
+        for from in 0..4u64 {
+            for to in 0..4u64 {
+                for seq in 0..4u64 {
+                    let mut first = None;
+                    for attempt in 0..=f.retry_budget.min(3) {
+                        let o = plan.message_outcome(from, to, seq, attempt);
+                        match o {
+                            MessageOutcome::Drop => {
+                                set.insert("msg:drop".into());
+                            }
+                            MessageOutcome::Corrupt { .. } => {
+                                set.insert("msg:corrupt".into());
+                            }
+                            MessageOutcome::Delay(_) => {
+                                set.insert("msg:delay".into());
+                            }
+                            MessageOutcome::Deliver => {
+                                set.insert("msg:deliver".into());
+                                if attempt > 0 && !matches!(first, Some(MessageOutcome::Deliver)) {
+                                    set.insert("msg:deliver-after-retry".into());
+                                }
+                            }
+                        }
+                        if attempt == 0 {
+                            first = Some(o);
+                        }
+                    }
+                }
+            }
+        }
+        if (0..64).any(|i| !plan.flit_delay(i).is_zero()) {
+            set.insert("flit:delayed".into());
+        }
+    }
+    if outcome_events.degradations > 0 {
+        set.insert("event:degradation".into());
+    }
+    if outcome_events.recoveries > 0 {
+        set.insert("event:recovery".into());
+    }
+    if outcome_events.frames_replayed > 0 {
+        set.insert("event:replay".into());
+    }
+    set
+}
+
+/// The run facts [`coverage`] folds in.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoverageEvents {
+    pub degradations: usize,
+    pub recoveries: usize,
+    pub frames_replayed: u32,
+}
+
+/// Is this configuration inside the DES validator's supported envelope?
+/// (Single renderer, kills-only faults, enough spares to recover.)
+fn des_eligible(cfg: &RunConfig) -> bool {
+    if cfg.renderer != RendererMode::SingleRenderer {
+        return false;
+    }
+    match &cfg.fault {
+        None => true,
+        Some(f) => {
+            f.stall.is_none()
+                && f.drop_rate == 0.0
+                && f.corrupt_rate == 0.0
+                && f.delay_rate == 0.0
+                && f.degraded_links == 0
+                && f.kills.len() as u32 <= f.max_spares
+        }
+    }
+}
+
+/// Run one case through every oracle that applies:
+///
+/// 1. the frame-major simulator with the full invariant catalogue
+///    applied to its report (collected, not panicking);
+/// 2. the film oracle — `Full`-fidelity output frames must match the
+///    sequential reference bit for bit, faults or no faults;
+/// 3. the DES differential — when the config is inside the DES envelope,
+///    walkthrough timing (clean runs, ±5 %), the recovery timeline and
+///    the output film must agree between the two executors.
+pub fn run_oracle(case: &FuzzCase) -> Outcome {
+    let mut failures = Vec::new();
+
+    let mut sim_cfg = case.cfg.clone();
+    sim_cfg.trace = true; // the trace invariants need spans
+    sim_cfg.verify = false; // collect violations instead of panicking
+    let report = match run_caught(|| SimRunner::new(sim_cfg.clone(), crate::verify_scene()).run()) {
+        Ok(r) => r,
+        Err(msg) if msg.contains("no surviving pipeline") => {
+            // Every lane dead is a *modelled* fatal outcome (the sim
+            // documents the panic), so it counts as coverage, not as a
+            // conformance failure.
+            let mut cov = coverage(case, &CoverageEvents::default());
+            cov.insert("event:total-loss".into());
+            return Outcome {
+                failures: Vec::new(),
+                coverage: cov,
+            };
+        }
+        Err(msg) => {
+            return Outcome {
+                failures: vec![Failure {
+                    check: "panic".into(),
+                    detail: msg,
+                }],
+                coverage: coverage(case, &CoverageEvents::default()),
+            };
+        }
+    };
+
+    for v in scc_core::invariant::check_report(&report) {
+        failures.push(Failure {
+            check: v.check.to_string(),
+            detail: v.detail,
+        });
+    }
+
+    if case.cfg.fidelity == Fidelity::Full {
+        let reference = scc_core::reference::reference_frames(&case.cfg, crate::verify_scene());
+        match &report.outputs {
+            Some(frames) if frames.len() == reference.len() => {
+                for (i, (got, want)) in frames.iter().zip(&reference).enumerate() {
+                    let (g, w) = (frame_checksum(got), frame_checksum(want));
+                    if g != w {
+                        failures.push(Failure {
+                            check: "film-divergence".into(),
+                            detail: format!("frame {i}: sim {g:016x} != reference {w:016x}"),
+                        });
+                        break;
+                    }
+                }
+            }
+            Some(frames) => failures.push(Failure {
+                check: "film-divergence".into(),
+                detail: format!(
+                    "sim delivered {} frames, reference {}",
+                    frames.len(),
+                    reference.len()
+                ),
+            }),
+            None => failures.push(Failure {
+                check: "film-divergence".into(),
+                detail: "full fidelity but no output frames".into(),
+            }),
+        }
+    }
+
+    if des_eligible(&case.cfg) {
+        let mut des_cfg = case.cfg.clone();
+        des_cfg.trace = false;
+        des_cfg.verify = false;
+        let des = match run_caught(|| scc_core::run_des(&des_cfg, crate::verify_scene())) {
+            Ok(d) => d,
+            Err(msg) => {
+                failures.push(Failure {
+                    check: "panic".into(),
+                    detail: format!("DES executor panicked: {msg}"),
+                });
+                let events = CoverageEvents {
+                    degradations: report.degradations.len(),
+                    recoveries: report.recoveries.len(),
+                    frames_replayed: report.recoveries.iter().map(|r| r.frames_replayed).sum(),
+                };
+                return Outcome {
+                    failures,
+                    coverage: coverage(case, &events),
+                };
+            }
+        };
+        if case.cfg.fault.is_none() {
+            let dev = (des.total_secs - report.total_secs).abs() / report.total_secs;
+            if dev > 0.05 {
+                failures.push(Failure {
+                    check: "differential-timing".into(),
+                    detail: format!(
+                        "sim {:.6}s vs DES {:.6}s ({:.1}% apart)",
+                        report.total_secs,
+                        des.total_secs,
+                        dev * 100.0
+                    ),
+                });
+            }
+        }
+        if des.recoveries.len() != report.recoveries.len() {
+            failures.push(Failure {
+                check: "differential-replay".into(),
+                detail: format!(
+                    "sim recovered {} times, DES {}",
+                    report.recoveries.len(),
+                    des.recoveries.len()
+                ),
+            });
+        } else {
+            for (s, d) in report.recoveries.iter().zip(&des.recoveries) {
+                if s.frames_replayed != d.frames_replayed {
+                    failures.push(Failure {
+                        check: "differential-replay".into(),
+                        detail: format!(
+                            "frame {}: sim replayed {} frames, DES {}",
+                            s.frame, s.frames_replayed, d.frames_replayed
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+        if case.cfg.fidelity == Fidelity::Full {
+            if let (Some(a), Some(b)) = (&report.outputs, &des.frames) {
+                let fa: Vec<u64> = a.iter().map(frame_checksum).collect();
+                let fb: Vec<u64> = b.iter().map(frame_checksum).collect();
+                if fa != fb {
+                    failures.push(Failure {
+                        check: "differential-film".into(),
+                        detail: "sim and DES output films differ".into(),
+                    });
+                }
+            }
+        }
+    }
+
+    let events = CoverageEvents {
+        degradations: report.degradations.len(),
+        recoveries: report.recoveries.len(),
+        frames_replayed: report.recoveries.iter().map(|r| r.frames_replayed).sum(),
+    };
+    Outcome {
+        failures,
+        coverage: coverage(case, &events),
+    }
+}
+
+/// Run a runner call, converting a panic into its message. Keeps one bad
+/// mutant from killing the whole fuzzing campaign.
+fn run_caught<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(|e| {
+        e.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "non-string panic payload".into())
+    })
+}
+
+/// Does the case still fail with the same check name?
+fn still_fails(case: &FuzzCase, check: &str) -> bool {
+    case.cfg.validate().is_ok() && run_oracle(case).failures.iter().any(|f| f.check == check)
+}
+
+/// Complexity score the shrinker minimises. A candidate is only accepted
+/// when this strictly decreases, so the greedy loop cannot oscillate
+/// between candidates that merely *change* the case.
+fn cost(case: &FuzzCase) -> u64 {
+    let c = &case.cfg;
+    let mut k = 0u64;
+    if let Some(f) = &c.fault {
+        k += 1_000;
+        k += 500 * f.kills.len() as u64;
+        if f.stall.is_some() {
+            k += 500;
+        }
+        if f.drop_rate > 0.0 || f.corrupt_rate > 0.0 || f.delay_rate > 0.0 {
+            k += 100;
+        }
+        if f.degraded_links > 0 {
+            k += 100;
+        }
+    }
+    k += c.pipelines as u64 * 50;
+    k += c.frames * 10;
+    k += (c.width as u64 * c.height as u64) / 64;
+    if c.renderer != RendererMode::SingleRenderer {
+        k += 25;
+    }
+    if c.arrangement != Arrangement::Unordered {
+        k += 5;
+    }
+    if c.tuning.kernel_threads != 1 || !c.tuning.buffer_pool {
+        k += 5;
+    }
+    if c.seed != 1 {
+        k += 1;
+    }
+    k
+}
+
+/// Shrink a failing case to a minimal repro that still trips the *same*
+/// check. Candidate simplifications are applied greedily to fixpoint;
+/// the result is what lands in `tests/regressions/`.
+pub fn shrink(mut case: FuzzCase, check: &str) -> FuzzCase {
+    let candidates: Vec<fn(&mut RunConfig)> = vec![
+        |c| c.fault = None,
+        |c| {
+            if let Some(f) = &mut c.fault {
+                f.stall = None;
+            }
+        },
+        |c| {
+            if let Some(f) = &mut c.fault {
+                f.kills.truncate(1);
+            }
+        },
+        |c| {
+            if let Some(f) = &mut c.fault {
+                f.kills.clear();
+            }
+        },
+        |c| {
+            if let Some(f) = &mut c.fault {
+                f.drop_rate = 0.0;
+                f.corrupt_rate = 0.0;
+                f.delay_rate = 0.0;
+            }
+        },
+        |c| {
+            if let Some(f) = &mut c.fault {
+                f.degraded_links = 0;
+                f.degrade_factor = 1.0;
+            }
+        },
+        |c| c.pipelines = 1,
+        |c| c.frames = 2,
+        |c| {
+            c.width = 32;
+            c.height = 24;
+        },
+        |c| c.renderer = RendererMode::SingleRenderer,
+        |c| c.arrangement = Arrangement::Unordered,
+        |c| c.tuning = Default::default(),
+        |c| c.seed = 1,
+    ];
+    loop {
+        let mut improved = false;
+        for candidate in &candidates {
+            let mut trial = case.clone();
+            candidate(&mut trial.cfg);
+            if let Some(f) = &mut trial.cfg.fault {
+                let p = trial.cfg.pipelines;
+                f.kills.retain(|k| k.pipeline < p);
+                if f.stall.is_some_and(|s| s.pipeline >= p) {
+                    f.stall = None;
+                }
+            }
+            if cost(&trial) < cost(&case) && still_fails(&trial, check) {
+                case = trial;
+                improved = true;
+            }
+        }
+        if !improved {
+            return case;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn repro_text_round_trips() {
+        let mut rng = StdRng::seed_from_u64(0x5eed);
+        let mut case = FuzzCase::base(7);
+        for _ in 0..40 {
+            case.mutate(&mut rng);
+            let text = case.to_text();
+            assert!(
+                text.lines().count() <= 10,
+                "repro must stay within 10 lines:\n{text}"
+            );
+            let back = FuzzCase::from_text(&text).expect("parse own output");
+            assert_eq!(back.to_text(), text, "round trip changed the case");
+        }
+    }
+
+    #[test]
+    fn mutate_preserves_validity() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut case = FuzzCase::base(1);
+        for _ in 0..200 {
+            case.mutate(&mut rng);
+            case.cfg.validate().expect("mutants stay valid");
+        }
+    }
+
+    #[test]
+    fn coverage_sees_fault_decision_branches() {
+        let mut lossy = FuzzCase::base(1);
+        lossy.cfg.fault = Some(FaultSpec {
+            seed: 9,
+            drop_rate: 0.3,
+            corrupt_rate: 0.3,
+            delay_rate: 0.3,
+            ..FaultSpec::default()
+        });
+        let set = coverage(&lossy, &CoverageEvents::default());
+        for feature in [
+            "msg:drop",
+            "msg:corrupt",
+            "msg:delay",
+            "msg:deliver",
+            "flit:delayed",
+        ] {
+            assert!(set.contains(feature), "missing {feature} in {set:?}");
+        }
+        let clean = coverage(&FuzzCase::base(1), &CoverageEvents::default());
+        assert!(
+            !clean.contains("msg:drop"),
+            "clean case claims fault coverage"
+        );
+    }
+
+    #[test]
+    #[cfg_attr(feature = "verify-selftest", ignore = "mutants make every run fail")]
+    fn oracle_passes_clean_and_recovery_cases() {
+        let clean = FuzzCase::base(3);
+        let out = run_oracle(&clean);
+        assert!(
+            out.failures.is_empty(),
+            "clean case failed: {:?}",
+            out.failures
+        );
+        assert!(out.coverage.contains("mode:single"));
+
+        let mut kill = FuzzCase::base(3);
+        kill.cfg.fault = Some(FaultSpec {
+            kills: vec![KillSpec {
+                pipeline: 0,
+                stage: 1,
+                at_ms: 1,
+            }],
+            heartbeat_period_us: 2_000,
+            phi_dead: 2.0,
+            ..FaultSpec::default()
+        });
+        let out = run_oracle(&kill);
+        assert!(
+            out.failures.is_empty(),
+            "kill case failed: {:?}",
+            out.failures
+        );
+        assert!(out.coverage.contains("event:recovery"));
+    }
+}

@@ -1,0 +1,425 @@
+//! # scc-verify — the conformance harness
+//!
+//! Three layers of defence for the macro-pipelining framework, each
+//! independent of the code it checks:
+//!
+//! * **golden run-digests** ([`golden_matrix`], [`digest_case`]) — a
+//!   diff-friendly text digest of everything deterministic in a run
+//!   (report fingerprint, film hash, trace summary, energy identity)
+//!   for the full renderer × arrangement matrix plus fault, recovery
+//!   and native-tuning variants, pinned under `tests/golden/`;
+//! * **differential oracle** ([`fuzz::run_oracle`]) — one configuration
+//!   executed by the frame-major simulator, the DES validator, and the
+//!   sequential reference data path, with the invariant checker
+//!   ([`scc_core::invariant`]) applied to the report;
+//! * **coverage-guided fuzzer** ([`fuzz`], driven by the `scc-verify`
+//!   binary) — mutates fault plans, kill schedules and tunings, keeps
+//!   mutants that reach new fault-decision branches or recovery phases,
+//!   and shrinks any failure to a ≤ 10-line repro for
+//!   `tests/regressions/`.
+
+use scc_core::runner::sim::SimRunner;
+use scc_core::spec::{Fidelity, RunConfig};
+use scc_core::viz::frame_checksum;
+use scc_core::WalkthroughReport;
+use scc_render::{CityConfig, Scene};
+use std::sync::Arc;
+
+pub mod fuzz;
+
+/// FNV-1a offset basis (the same constants `viz::frame_checksum` uses,
+/// so every hash in the harness speaks one dialect).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+pub const FNV_PRIME: u64 = 0x100_0000_01B3;
+
+/// FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a over a string's UTF-8 bytes.
+pub fn fnv1a_str(s: &str) -> u64 {
+    fnv1a(s.as_bytes())
+}
+
+/// The fixed scene every conformance run renders: small enough for CI,
+/// rich enough that every filter has real work.
+pub fn verify_scene() -> Arc<Scene> {
+    Arc::new(Scene::city(CityConfig {
+        side: 8,
+        spacing: 8.0,
+        seed: 3,
+    }))
+}
+
+/// One golden configuration: a stable name (the golden file's stem) and
+/// the run it pins.
+#[derive(Debug, Clone)]
+pub struct GoldenCase {
+    pub name: String,
+    pub cfg: RunConfig,
+}
+
+fn base_cfg() -> RunConfig {
+    RunConfig {
+        pipelines: 2,
+        width: 64,
+        height: 48,
+        frames: 4,
+        seed: 11,
+        fidelity: Fidelity::Full,
+        trace: true,
+        verify: true,
+        ..RunConfig::default()
+    }
+}
+
+/// The golden matrix: every renderer mode × every arrangement, plus a
+/// degraded (permanent stall, no spares), a recovered (kill + spare),
+/// and a lossy-links variant. All run under the invariant checker.
+pub fn golden_matrix() -> Vec<GoldenCase> {
+    use scc_core::spec::{Arrangement, FaultSpec, KillSpec, RendererMode, StallSpec};
+    let mut cases = Vec::new();
+    for mode in [
+        RendererMode::SingleRenderer,
+        RendererMode::PerPipelineRenderer,
+        RendererMode::McpcRenderer,
+    ] {
+        for arr in [
+            Arrangement::Unordered,
+            Arrangement::Ordered,
+            Arrangement::Flipped,
+        ] {
+            let mut cfg = base_cfg();
+            cfg.renderer = mode;
+            cfg.arrangement = arr;
+            cases.push(GoldenCase {
+                name: format!(
+                    "{}-{}",
+                    match mode {
+                        RendererMode::SingleRenderer => "single",
+                        RendererMode::PerPipelineRenderer => "perpipe",
+                        RendererMode::McpcRenderer => "mcpc",
+                    },
+                    arr.name()
+                ),
+                cfg,
+            });
+        }
+    }
+    let mut degraded = base_cfg();
+    degraded.pipelines = 3;
+    degraded.fault = Some(FaultSpec {
+        stall: Some(StallSpec {
+            pipeline: 1,
+            stage: 2,
+            at_ms: 0,
+            for_ms: u64::MAX,
+        }),
+        max_spares: 0,
+        ..FaultSpec::default()
+    });
+    cases.push(GoldenCase {
+        name: "fault-degraded".into(),
+        cfg: degraded,
+    });
+    let mut recovered = base_cfg();
+    recovered.fault = Some(FaultSpec {
+        kills: vec![KillSpec {
+            pipeline: 0,
+            stage: 1,
+            at_ms: 1,
+        }],
+        heartbeat_period_us: 2_000,
+        phi_dead: 2.0,
+        ..FaultSpec::default()
+    });
+    cases.push(GoldenCase {
+        name: "fault-recovered".into(),
+        cfg: recovered,
+    });
+    let mut lossy = base_cfg();
+    lossy.fault = Some(FaultSpec {
+        seed: 0x1055,
+        drop_rate: 0.05,
+        corrupt_rate: 0.05,
+        delay_rate: 0.10,
+        ..FaultSpec::default()
+    });
+    cases.push(GoldenCase {
+        name: "fault-lossy".into(),
+        cfg: lossy,
+    });
+    cases
+}
+
+/// Digest everything deterministic in a walkthrough report as a small
+/// diff-friendly text block. Floats go in as IEEE-754 bit patterns —
+/// formatting can never drift.
+pub fn digest_report(r: &WalkthroughReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "fingerprint={:016x}\n",
+        fnv1a_str(&r.fingerprint())
+    ));
+    match &r.outputs {
+        Some(frames) => {
+            let mut h = FNV_OFFSET;
+            for f in frames {
+                for b in frame_checksum(f).to_le_bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(FNV_PRIME);
+                }
+            }
+            out.push_str(&format!("film={:016x} frames={}\n", h, frames.len()));
+        }
+        None => out.push_str("film=none\n"),
+    }
+    let replayed: u32 = r.recoveries.iter().map(|e| e.frames_replayed).sum();
+    out.push_str(&format!(
+        "events degradations={} recoveries={} replayed={}\n",
+        r.degradations.len(),
+        r.recoveries.len(),
+        replayed
+    ));
+    match &r.trace {
+        Some(log) => {
+            let mut text = String::new();
+            for e in log.events() {
+                text.push_str(&format!(
+                    "{} {} {:?} {} {:?} {} {}\n",
+                    e.core,
+                    e.kind.name(),
+                    e.pipeline,
+                    e.frame,
+                    e.phase,
+                    e.t0.as_ps(),
+                    e.t1.as_ps()
+                ));
+            }
+            out.push_str(&format!(
+                "trace spans={} digest={:016x}\n",
+                log.events().len(),
+                fnv1a_str(&text)
+            ));
+        }
+        None => out.push_str("trace=none\n"),
+    }
+    out.push_str(&format!(
+        "energy scc={:016x} idle_w={:016x} total_secs={:016x}\n",
+        r.scc_energy_joules.to_bits(),
+        r.scc_idle_power.to_bits(),
+        r.total_secs.to_bits()
+    ));
+    out
+}
+
+/// Run one golden case through the simulator (invariant-checked) and
+/// render its digest block, headed by the case name and config.
+pub fn digest_case(case: &GoldenCase) -> String {
+    let report = SimRunner::new(case.cfg.clone(), verify_scene()).run();
+    format!(
+        "== {}\nconfig={}\n{}",
+        case.name,
+        config_line(&case.cfg),
+        digest_report(&report)
+    )
+}
+
+/// One-line canonical config rendering for digest headers.
+pub fn config_line(cfg: &RunConfig) -> String {
+    format!(
+        "{} {} p={} {}x{}x{} seed={:#x} fault={}",
+        cfg.renderer.name(),
+        cfg.arrangement.name(),
+        cfg.pipelines,
+        cfg.width,
+        cfg.height,
+        cfg.frames,
+        cfg.seed,
+        match &cfg.fault {
+            None => "none".to_string(),
+            Some(f) => format!(
+                "seed={:#x} drop={:?} corrupt={:?} delay={:?} stall={} kills={}",
+                f.seed,
+                f.drop_rate,
+                f.corrupt_rate,
+                f.delay_rate,
+                f.stall.is_some(),
+                f.kills.len()
+            ),
+        }
+    )
+}
+
+/// Digest of the native runner's output film under several tunings: the
+/// film hash must be identical for every (threads, pooling) combination
+/// and equal to the sequential reference — wall-clock timings are
+/// excluded, so the digest is byte-stable across machines.
+pub fn native_tuning_digest() -> String {
+    use scc_core::run_native;
+    use scc_core::spec::NativeTuning;
+    let mut cfg = base_cfg();
+    cfg.width = 48;
+    cfg.height = 32;
+    cfg.frames = 3;
+    cfg.trace = false;
+    let reference = scc_core::reference::reference_frames(&cfg, verify_scene());
+    let ref_hash = film_hash(&reference);
+    let mut out = format!("== native-tuning\nreference={:016x}\n", ref_hash);
+    for (threads, pool) in [(1u32, true), (2, true), (2, false)] {
+        let mut c = cfg.clone();
+        c.tuning = NativeTuning {
+            kernel_threads: threads,
+            buffer_pool: pool,
+        };
+        let report = run_native(&c, verify_scene());
+        out.push_str(&format!(
+            "threads={} pool={} film={:016x}\n",
+            threads,
+            pool,
+            film_hash(&report.frames)
+        ));
+    }
+    out
+}
+
+fn film_hash(frames: &[scc_filters::Image]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for f in frames {
+        for b in frame_checksum(f).to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// Digest of the *schema* of the bench trajectory's JSON artefacts
+/// (`BENCH_native_pipeline.json`, `BENCH_recovery.json`): the sorted set
+/// of JSON keys each document exposes. Values vary run to run — the
+/// shape must not.
+pub fn bench_schema_digest() -> String {
+    use scc_bench::native_throughput::measure_native_throughput;
+    use scc_bench::recovery::measure_recovery;
+    let mut cfg = base_cfg();
+    cfg.width = 48;
+    cfg.height = 32;
+    cfg.frames = 2;
+    cfg.trace = false;
+    cfg.verify = false;
+    let scene = verify_scene();
+    let throughput = measure_native_throughput(&cfg, &scene, &[1]);
+    let recovery = measure_recovery(&cfg, &scene, &[1]);
+    let mut out = String::from("== bench-schema\n");
+    for (name, json) in [
+        ("native_pipeline", throughput.to_json()),
+        ("recovery", recovery.to_json()),
+    ] {
+        let keys = json_keys(&json);
+        out.push_str(&format!(
+            "BENCH_{name}.json keys={} digest={:016x}\n",
+            keys.len(),
+            fnv1a_str(&keys.join(","))
+        ));
+        for k in keys {
+            out.push_str(&format!("  {k}\n"));
+        }
+    }
+    out
+}
+
+/// Extract the sorted, deduplicated set of object keys from a JSON
+/// document (string-scan; the vendored serde has no parser).
+pub fn json_keys(json: &str) -> Vec<String> {
+    let mut keys = std::collections::BTreeSet::new();
+    let bytes = json.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len() && bytes[j] != b'"' {
+                if bytes[j] == b'\\' {
+                    j += 1;
+                }
+                j += 1;
+            }
+            let mut k = j + 1;
+            while k < bytes.len() && (bytes[k] as char).is_whitespace() {
+                k += 1;
+            }
+            if k < bytes.len() && bytes[k] == b':' {
+                keys.insert(json[start..j].to_string());
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    keys.into_iter().collect()
+}
+
+/// The whole golden document: matrix digests, native tuning digest, and
+/// the bench schema digest, in a fixed order.
+pub fn golden_document() -> String {
+    let mut out = String::new();
+    for case in golden_matrix() {
+        out.push_str(&digest_case(&case));
+        out.push('\n');
+    }
+    out.push_str(&native_tuning_digest());
+    out.push('\n');
+    out.push_str(&bench_schema_digest());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn json_keys_extracts_object_keys_only() {
+        let json = r#"{"a":1,"nested":{"b":[{"c":"not:a:key"},2]},"a":3}"#;
+        assert_eq!(json_keys(json), vec!["a", "b", "c", "nested"]);
+    }
+
+    #[test]
+    fn golden_matrix_covers_the_full_mode_arrangement_grid() {
+        let cases = golden_matrix();
+        assert_eq!(cases.len(), 12, "3x3 matrix + 3 fault variants");
+        let names: Vec<_> = cases.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"single-ordered"));
+        assert!(names.contains(&"mcpc-flipped"));
+        assert!(names.contains(&"fault-recovered"));
+        for c in &cases {
+            assert!(
+                c.cfg.verify,
+                "{}: golden runs are invariant-checked",
+                c.name
+            );
+            c.cfg.validate().expect("golden config valid");
+        }
+    }
+
+    #[test]
+    #[cfg_attr(feature = "verify-selftest", ignore = "mutants trip the checker")]
+    fn digests_are_deterministic() {
+        let case = &golden_matrix()[0];
+        assert_eq!(digest_case(case), digest_case(case));
+    }
+}

@@ -1,0 +1,233 @@
+//! The `scc-verify` binary: golden-digest maintenance and the
+//! coverage-guided fault-space fuzzer.
+//!
+//! ```text
+//! scc-verify golden [--update]       check (or regenerate) tests/golden/
+//! scc-verify fuzz [--budget 60s] [--seed N] [--cases K]
+//! scc-verify replay <repro.txt>      run the oracle on one repro file
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scc_verify::fuzz::{run_oracle, shrink, FuzzCase};
+use scc_verify::{digest_case, fnv1a_str, golden_matrix};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn repo_dir(env_override: &str, default_rel: &str) -> PathBuf {
+    if let Ok(dir) = std::env::var(env_override) {
+        return PathBuf::from(dir);
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(default_rel)
+}
+
+fn golden_dir() -> PathBuf {
+    repo_dir("SCC_GOLDEN_DIR", "../../tests/golden")
+}
+
+fn regressions_dir() -> PathBuf {
+    repo_dir("SCC_REGRESSIONS_DIR", "../../tests/regressions")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("golden") => cmd_golden(args.iter().any(|a| a == "--update")),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("replay") => cmd_replay(args.get(1).map(String::as_str)),
+        _ => {
+            eprintln!("usage: scc-verify golden [--update] | fuzz [--budget 60s] [--seed N] [--cases K] | replay <file>");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+/// Check every golden case digest against `tests/golden/<name>.txt`, or
+/// rewrite the files with `--update` (the CLI twin of `UPDATE_GOLDEN=1`).
+fn cmd_golden(update: bool) -> i32 {
+    let dir = golden_dir();
+    let mut drift = 0;
+    let mut blocks: Vec<(String, String)> = golden_matrix()
+        .iter()
+        .map(|case| (case.name.clone(), digest_case(case)))
+        .collect();
+    blocks.push(("native-tuning".into(), scc_verify::native_tuning_digest()));
+    blocks.push(("bench-schema".into(), scc_verify::bench_schema_digest()));
+    if update {
+        std::fs::create_dir_all(&dir).expect("create golden dir");
+    }
+    for (name, digest) in blocks {
+        let path = dir.join(format!("{name}.txt"));
+        if update {
+            std::fs::write(&path, &digest).expect("write golden file");
+            println!("wrote {}", path.display());
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(want) if want == digest => println!("ok   {name}"),
+            Ok(want) => {
+                drift += 1;
+                eprintln!("FAIL {name}: digest drifted");
+                for (l, (a, b)) in digest.lines().zip(want.lines()).enumerate() {
+                    if a != b {
+                        eprintln!("  line {}: got  {a}", l + 1);
+                        eprintln!("  line {}: want {b}", l + 1);
+                    }
+                }
+            }
+            Err(e) => {
+                drift += 1;
+                eprintln!("FAIL {name}: {e} (run `scc-verify golden --update`)");
+            }
+        }
+    }
+    if drift > 0 {
+        eprintln!("{drift} golden digest(s) drifted");
+        1
+    } else {
+        0
+    }
+}
+
+fn parse_budget(s: &str) -> Duration {
+    let (num, mult) = match s.strip_suffix('m') {
+        Some(m) => (m, 60),
+        None => (s.strip_suffix('s').unwrap_or(s), 1),
+    };
+    Duration::from_secs(num.parse::<u64>().expect("budget like 60s or 5m") * mult)
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// The fuzz loop: seed a corpus, then repeatedly pick a recent corpus
+/// entry, mutate it, and run the differential oracle. Mutants that reach
+/// fault-decision branches or recovery phases no earlier case reached
+/// join the corpus; failures are shrunk to minimal repros and written to
+/// `tests/regressions/`.
+fn cmd_fuzz(args: &[String]) -> i32 {
+    let budget = parse_budget(flag_value(args, "--budget").unwrap_or("60s"));
+    let seed: u64 = flag_value(args, "--seed").map_or(0xf022, |s| s.parse().expect("--seed N"));
+    let max_cases: usize =
+        flag_value(args, "--cases").map_or(usize::MAX, |s| s.parse().expect("--cases K"));
+
+    // The oracle converts target panics into outcomes; silence the
+    // default hook so modelled crashes don't spam the fuzz log.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut corpus: Vec<FuzzCase> = vec![FuzzCase::base(seed)];
+    let mut seen = BTreeSet::new();
+    let mut failing: Vec<(String, FuzzCase)> = Vec::new();
+    let deadline = Instant::now() + budget;
+    let mut iterations = 0usize;
+
+    // Charge the coverage map with the corpus seed.
+    seen.extend(run_oracle(&corpus[0]).coverage);
+
+    while Instant::now() < deadline && iterations < max_cases {
+        iterations += 1;
+        // Newest-biased parent selection: recent corpus entries carry the
+        // rarest coverage, so they breed first.
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let idx = corpus.len() - 1 - ((u * u * corpus.len() as f64) as usize).min(corpus.len() - 1);
+        let mut mutant = corpus[idx].clone();
+        for _ in 0..rng.gen_range(1u32..=3) {
+            mutant.mutate(&mut rng);
+        }
+
+        let outcome = run_oracle(&mutant);
+        let new_features: Vec<String> = outcome
+            .coverage
+            .iter()
+            .filter(|f| !seen.contains(*f))
+            .cloned()
+            .collect();
+
+        if !outcome.failures.is_empty() {
+            let check = outcome.failures[0].check.clone();
+            if failing.iter().any(|(c, _)| *c == check) {
+                continue; // one repro per distinct check is enough
+            }
+            println!(
+                "[fuzz] iteration {iterations}: {} failure(s), first `{check}` — shrinking",
+                outcome.failures.len()
+            );
+            for f in &outcome.failures {
+                println!("[fuzz]   {}: {}", f.check, f.detail);
+            }
+            let minimal = shrink(mutant, &check);
+            let text = minimal.to_text();
+            let dir = regressions_dir();
+            std::fs::create_dir_all(&dir).expect("create regressions dir");
+            let path = dir.join(format!("fuzz-{:016x}.txt", fnv1a_str(&text)));
+            std::fs::write(&path, &text).expect("write repro");
+            println!(
+                "[fuzz] minimal repro ({} lines) -> {}",
+                text.lines().count(),
+                path.display()
+            );
+            print!("{text}");
+            failing.push((check, minimal));
+            continue;
+        }
+
+        if !new_features.is_empty() {
+            println!(
+                "[fuzz] iteration {iterations}: +{} feature(s) ({}), corpus {}",
+                new_features.len(),
+                new_features.join(", "),
+                corpus.len() + 1
+            );
+            seen.extend(new_features);
+            corpus.push(mutant);
+        }
+    }
+
+    println!(
+        "[fuzz] done: {iterations} iterations, corpus {}, {} coverage features, {} failing check(s)",
+        corpus.len(),
+        seen.len(),
+        failing.len()
+    );
+    for f in &seen {
+        println!("[fuzz]   covered {f}");
+    }
+    if failing.is_empty() {
+        0
+    } else {
+        1
+    }
+}
+
+/// Re-run the oracle on a saved repro; exits 0 only if it passes.
+fn cmd_replay(path: Option<&str>) -> i32 {
+    let Some(path) = path else {
+        eprintln!("usage: scc-verify replay <repro.txt>");
+        return 2;
+    };
+    let text = std::fs::read_to_string(path).expect("read repro file");
+    let case = match FuzzCase::from_text(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return 2;
+        }
+    };
+    let outcome = run_oracle(&case);
+    if outcome.failures.is_empty() {
+        println!("{path}: ok ({} coverage features)", outcome.coverage.len());
+        0
+    } else {
+        for f in &outcome.failures {
+            eprintln!("{path}: {}: {}", f.check, f.detail);
+        }
+        1
+    }
+}

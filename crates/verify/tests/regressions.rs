@@ -1,0 +1,38 @@
+//! Replay every shrunk fuzzer repro under `tests/regressions/` and
+//! require the full oracle to pass. A repro lands there when the fuzzer
+//! finds (and minimises) a failing configuration; once the bug is fixed
+//! the file stays behind as a tripwire.
+//!
+//! Disabled under `verify-selftest`: the planted mutants make every
+//! repro (deliberately) fail.
+#![cfg(not(feature = "verify-selftest"))]
+
+use scc_verify::fuzz::{run_oracle, FuzzCase};
+use std::path::PathBuf;
+
+fn regressions_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/regressions")
+}
+
+#[test]
+fn every_saved_repro_passes_the_oracle() {
+    let dir = regressions_dir();
+    let mut replayed = 0;
+    for entry in std::fs::read_dir(&dir).expect("tests/regressions exists") {
+        let path = entry.expect("read dir entry").path();
+        if path.extension().is_none_or(|e| e != "txt") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("read repro");
+        let case = FuzzCase::from_text(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let outcome = run_oracle(&case);
+        assert!(
+            outcome.failures.is_empty(),
+            "{}: {:?}",
+            path.display(),
+            outcome.failures
+        );
+        replayed += 1;
+    }
+    assert!(replayed > 0, "no repro files found in {}", dir.display());
+}

@@ -1,0 +1,78 @@
+//! Mutation smoke test (the acceptance gate for the whole harness).
+//!
+//! Built with `--features verify-selftest`, `scc-core` plants two
+//! off-by-one bugs in the frame accounting:
+//!
+//! * the transfer stage under-counts its ledger by one frame, and
+//! * recovery acknowledgements lag by one frame, doubling the replay.
+//!
+//! The harness must catch both — the first through the invariant
+//! checker's frame-conservation rule, the second through the fuzzer's
+//! differential oracle against the DES validator — and the shrinker must
+//! reduce the failing configuration to a repro of at most 10 lines.
+#![cfg(feature = "verify-selftest")]
+
+use scc_core::spec::{FaultSpec, KillSpec};
+use scc_verify::fuzz::{run_oracle, shrink, FuzzCase};
+
+fn kill_case() -> FuzzCase {
+    let mut case = FuzzCase::base(3);
+    // The kill lands while the *third* frame is in flight: by then the
+    // lagging acknowledgement has pinned a delivered strip in the
+    // checkpoint ring, so the sim replays 2 frames where the DES
+    // executor replays 1 — the differential the oracle must see.
+    case.cfg.fault = Some(FaultSpec {
+        kills: vec![KillSpec {
+            pipeline: 0,
+            stage: 1,
+            at_ms: 22,
+        }],
+        heartbeat_period_us: 2_000,
+        phi_dead: 2.0,
+        ..FaultSpec::default()
+    });
+    case
+}
+
+#[test]
+fn both_planted_mutants_are_caught_in_one_oracle_pass() {
+    let outcome = run_oracle(&kill_case());
+    let checks: Vec<&str> = outcome.failures.iter().map(|f| f.check.as_str()).collect();
+    assert!(
+        checks.contains(&"frame-conservation"),
+        "invariant checker missed the transfer ledger mutant: {checks:?}"
+    );
+    assert!(
+        checks.contains(&"differential-replay"),
+        "differential oracle missed the replay mutant: {checks:?}"
+    );
+}
+
+#[test]
+fn shrinker_produces_a_minimal_repro() {
+    let minimal = shrink(kill_case(), "frame-conservation");
+    let text = minimal.to_text();
+    assert!(
+        text.lines().count() <= 10,
+        "repro must fit in 10 lines:\n{text}"
+    );
+    // The shrunk case must still reproduce the same failure...
+    let outcome = run_oracle(&minimal);
+    assert!(
+        outcome
+            .failures
+            .iter()
+            .any(|f| f.check == "frame-conservation"),
+        "shrunk repro no longer fails: {:?}",
+        outcome.failures
+    );
+    // ...and the ledger mutant needs no fault plan at all, so the
+    // shrinker should have stripped it down to a clean run line.
+    assert!(
+        minimal.cfg.fault.is_none(),
+        "shrinker kept an unnecessary fault plan:\n{text}"
+    );
+    // Round trip: what lands in tests/regressions/ must parse.
+    let back = FuzzCase::from_text(&text).expect("repro parses");
+    assert_eq!(back.to_text(), text);
+}

@@ -47,6 +47,7 @@ fn main() {
         seed: 7,
         fidelity: Fidelity::Full,
         trace: false,
+        verify: false,
         fault: None,
         tuning: scc_core::NativeTuning::default(),
     };

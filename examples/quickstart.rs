@@ -23,6 +23,7 @@ fn main() {
         seed: 7,
         fidelity: Fidelity::TimingOnly,
         trace: false,
+        verify: false,
         fault: None,
         tuning: scc_core::NativeTuning::default(),
     };

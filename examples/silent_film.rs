@@ -38,6 +38,7 @@ fn main() {
         seed: 1913, // a properly vintage year
         fidelity: Fidelity::Full,
         trace: false,
+        verify: false,
         fault: None,
         tuning: scc_core::NativeTuning::default(),
     };

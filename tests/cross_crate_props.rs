@@ -59,6 +59,7 @@ proptest! {
             seed,
             fidelity: Fidelity::Full,
         trace: false,
+        verify: false,
         fault: None,
         tuning: scc_core::NativeTuning::default(),
     };
@@ -89,6 +90,7 @@ proptest! {
             seed: 9,
             fidelity: Fidelity::TimingOnly,
         trace: false,
+        verify: false,
         fault: None,
         tuning: scc_core::NativeTuning::default(),
     };
@@ -118,6 +120,7 @@ proptest! {
             seed: 3,
             fidelity: Fidelity::TimingOnly,
         trace: false,
+        verify: false,
         fault: None,
         tuning: scc_core::NativeTuning::default(),
     };
@@ -157,6 +160,7 @@ proptest! {
             seed: 3,
             fidelity: Fidelity::TimingOnly,
         trace: false,
+        verify: false,
         fault: None,
         tuning: scc_core::NativeTuning::default(),
     };

@@ -28,6 +28,7 @@ fn cfg(mode: RendererMode, pipelines: u32) -> RunConfig {
         seed: 2013,
         fidelity: Fidelity::Full,
         trace: false,
+        verify: false,
         fault: None,
         tuning: scc_core::NativeTuning::default(),
     }

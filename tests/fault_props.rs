@@ -143,6 +143,7 @@ proptest! {
             seed: 31,
             fidelity: Fidelity::Full,
             trace: false,
+            verify: false,
             fault: Some(FaultSpec {
                 retry_budget,
                 stall: Some(StallSpec {
@@ -203,6 +204,7 @@ proptest! {
             seed,
             fidelity: Fidelity::Full,
             trace: false,
+            verify: false,
             fault: Some(FaultSpec {
                 drop_rate: drop_pct as f64 / 100.0,
                 corrupt_rate: 0.01,

@@ -31,6 +31,7 @@ fn cfg(mode: RendererMode, tuning: NativeTuning) -> RunConfig {
         seed: 0xCAFE_D00D,
         fidelity: Fidelity::Full,
         trace: false,
+        verify: false,
         fault: None,
         tuning,
     }

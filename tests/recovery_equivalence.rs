@@ -36,6 +36,7 @@ fn cfg(mode: RendererMode, arr: Arrangement, pipelines: u32) -> RunConfig {
         seed: 23,
         fidelity: Fidelity::Full,
         trace: false,
+        verify: false,
         fault: None,
         tuning: scc_core::NativeTuning::default(),
     }
