@@ -4,7 +4,7 @@
 //! figures).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use scc_core::{run_native, Arrangement, Fidelity, RendererMode, RunConfig};
+use scc_core::{run_native, Fidelity, RunConfig};
 use scc_render::{CityConfig, Scene};
 use std::sync::Arc;
 
@@ -21,20 +21,14 @@ fn bench_native_scaling(c: &mut Criterion) {
             BenchmarkId::from_parameter(pipelines),
             &pipelines,
             |b, &p| {
-                let cfg = RunConfig {
-                    renderer: RendererMode::SingleRenderer,
-                    arrangement: Arrangement::Ordered,
-                    pipelines: p,
-                    width: 160,
-                    height: 120,
-                    frames: 12,
-                    seed: 3,
-                    fidelity: Fidelity::Full,
-                    trace: false,
-                    verify: false,
-                    fault: None,
-                    tuning: scc_core::NativeTuning::default(),
-                };
+                let cfg = RunConfig::builder()
+                    .pipelines(p)
+                    .size(160, 120)
+                    .frames(12)
+                    .seed(3)
+                    .fidelity(Fidelity::Full)
+                    .build()
+                    .expect("valid config");
                 b.iter(|| black_box(run_native(&cfg, Arc::clone(&scene))))
             },
         );

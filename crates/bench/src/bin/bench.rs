@@ -16,7 +16,7 @@
 use scc_bench::native_throughput::measure_native_throughput;
 use scc_bench::recovery::measure_recovery;
 use scc_bench::standard_scene;
-use scc_core::{Arrangement, Fidelity, NativeTuning, RendererMode, RunConfig};
+use scc_core::{Fidelity, RunConfig};
 
 fn parse_flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -59,21 +59,14 @@ fn main() {
         })
         .unwrap_or_else(|| if smoke { vec![1, 2] } else { vec![1, 2, 4] });
 
-    let cfg = RunConfig {
-        renderer: RendererMode::SingleRenderer,
-        arrangement: Arrangement::Ordered,
-        pipelines,
-        width,
-        height,
-        frames,
-        seed: 0x51CC_F11F,
-        fidelity: Fidelity::Full,
-        trace: false,
-        verify: false,
-        fault: None,
-        tuning: NativeTuning::default(),
-    };
-    cfg.validate().expect("bench configuration");
+    let cfg = RunConfig::builder()
+        .pipelines(pipelines)
+        .size(width, height)
+        .frames(frames)
+        .seed(0x51CC_F11F)
+        .fidelity(Fidelity::Full)
+        .build()
+        .expect("bench configuration");
 
     if recovery_mode {
         let kills: Vec<u64> = parse_flag(&args, "--kills")

@@ -110,14 +110,14 @@ fn main() {
         }
         "trace" => {
             println!("== Stage timeline trace ==");
-            let mut config = scc_core::RunConfig {
-                renderer: scc_core::RendererMode::McpcRenderer,
-                pipelines: 3,
-                frames: 25,
-                trace: true,
-                ..scc_core::RunConfig::default()
-            };
-            config.arrangement = scc_core::Arrangement::Ordered;
+            let config = scc_core::RunConfig::builder()
+                .renderer(scc_core::RendererMode::McpcRenderer)
+                .arrangement(scc_core::Arrangement::Ordered)
+                .pipelines(3)
+                .frames(25)
+                .trace(true)
+                .build()
+                .expect("valid config");
             let r = scc_core::SimRunner::new(config, std::sync::Arc::clone(&scene)).run();
             let log = r.trace.expect("trace enabled");
             let path = "target/pipeline_trace.json";

@@ -22,12 +22,12 @@ pub fn standard_config() -> RunConfig {
 }
 
 fn cfg(mode: RendererMode, arr: Arrangement, p: u32) -> RunConfig {
-    RunConfig {
-        renderer: mode,
-        arrangement: arr,
-        pipelines: p,
-        ..RunConfig::default()
-    }
+    RunConfig::builder()
+        .renderer(mode)
+        .arrangement(arr)
+        .pipelines(p)
+        .build()
+        .expect("valid config")
 }
 
 /// Run one walkthrough and return the report.

@@ -4,13 +4,16 @@
 //! Sweeps the native runner's host tuning knobs (per-stage kernel threads,
 //! buffer pooling) over one configuration, records wall-clock frames/s for
 //! each point, and verifies every point produced byte-identical output (a
-//! perf knob that changes a pixel is a bug, not a speedup). The JSON this
-//! module renders is hand-rolled: the vendored serde shim is a no-op
-//! marker, so the schema lives here, in one place, deliberately flat.
+//! perf knob that changes a pixel is a bug, not a speedup). The JSON is
+//! built on `scc_telemetry::Json` (the vendored serde shim is a no-op
+//! marker), so the schema lives here, in one place, deliberately flat —
+//! and when the base config enables telemetry, the baseline point's full
+//! metric snapshot is embedded under a `telemetry` key.
 
 use scc_core::viz::frame_checksum;
 use scc_core::{run_native, HostTiming, NativeTuning, PoolStats, RunConfig};
 use scc_render::Scene;
+use scc_telemetry::{snapshot_to_tree, Json, Snapshot};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -38,6 +41,9 @@ pub struct ThroughputReport {
     pub points: Vec<ThroughputPoint>,
     /// True when every point delivered bit-identical frames.
     pub output_consistent: bool,
+    /// Metric snapshot of the first sweep point's run, captured when the
+    /// base config enables telemetry; embedded in the JSON document.
+    pub telemetry: Option<Snapshot>,
 }
 
 /// Fold per-frame checksums into one digest (FNV-1a over the u64s).
@@ -79,10 +85,14 @@ pub fn measure_native_throughput(
     }
 
     let mut points = Vec::with_capacity(variants.len());
+    let mut telemetry = None;
     for tuning in variants {
         let mut cfg = base.clone();
         cfg.tuning = tuning;
         let report = run_native(&cfg, Arc::clone(scene));
+        if telemetry.is_none() {
+            telemetry = report.telemetry.clone();
+        }
         points.push(ThroughputPoint {
             kernel_threads: tuning.kernel_threads,
             buffer_pool: tuning.buffer_pool,
@@ -112,59 +122,58 @@ pub fn measure_native_throughput(
             .unwrap_or(1),
         points,
         output_consistent,
+        telemetry,
     }
 }
 
 impl ThroughputReport {
     /// Render the report as the `BENCH_native_pipeline.json` document.
     pub fn to_json(&self) -> String {
-        let mut out = String::new();
-        out.push_str("{\n");
-        let _ = writeln!(out, "  \"bench\": \"native_pipeline\",");
-        let _ = writeln!(out, "  \"config\": {{");
-        let _ = writeln!(
-            out,
-            "    \"renderer\": \"{}\",",
-            self.config.renderer.name()
+        let config = Json::obj()
+            .field("renderer", Json::str(self.config.renderer.name()))
+            .field("pipelines", Json::U64(u64::from(self.config.pipelines)))
+            .field("width", Json::U64(u64::from(self.config.width)))
+            .field("height", Json::U64(u64::from(self.config.height)))
+            .field("frames", Json::U64(self.config.frames))
+            .field("seed", Json::U64(self.config.seed));
+        let points = Json::Arr(
+            self.points
+                .iter()
+                .map(|p| {
+                    Json::obj()
+                        .field("kernel_threads", Json::U64(u64::from(p.kernel_threads)))
+                        .field("buffer_pool", Json::Bool(p.buffer_pool))
+                        .field("wall_secs", Json::F64(p.timing.wall_secs))
+                        .field("frames_per_sec", Json::F64(p.timing.frames_per_sec))
+                        .field("mpixels_per_sec", Json::F64(p.timing.mpixels_per_sec))
+                        .field("speedup_vs_1thread", Json::F64(p.speedup_vs_1thread))
+                        .field(
+                            "output_checksum",
+                            Json::str(format!("{:#018x}", p.output_checksum)),
+                        )
+                        .field("pool_recycled", Json::U64(p.pool_stats.recycled))
+                        .field("pool_fresh", Json::U64(p.pool_stats.fresh))
+                })
+                .collect(),
         );
-        let _ = writeln!(out, "    \"pipelines\": {},", self.config.pipelines);
-        let _ = writeln!(out, "    \"width\": {},", self.config.width);
-        let _ = writeln!(out, "    \"height\": {},", self.config.height);
-        let _ = writeln!(out, "    \"frames\": {},", self.config.frames);
-        let _ = writeln!(out, "    \"seed\": {}", self.config.seed);
-        let _ = writeln!(out, "  }},");
-        let _ = writeln!(out, "  \"host_cpus\": {},", self.host_cpus);
-        let _ = writeln!(
-            out,
-            "  \"note\": \"kernel-thread speedup is bounded by host_cpus; \
-             on a single-CPU host the curve is flat at ~1x and the >=2x \
-             at 4 threads shape requires >=4 real cores\","
-        );
-        let _ = writeln!(out, "  \"output_consistent\": {},", self.output_consistent);
-        let _ = writeln!(out, "  \"points\": [");
-        for (i, p) in self.points.iter().enumerate() {
-            let comma = if i + 1 < self.points.len() { "," } else { "" };
-            let _ = writeln!(
-                out,
-                "    {{\"kernel_threads\": {}, \"buffer_pool\": {}, \
-                 \"wall_secs\": {:.6}, \"frames_per_sec\": {:.3}, \
-                 \"mpixels_per_sec\": {:.3}, \"speedup_vs_1thread\": {:.3}, \
-                 \"output_checksum\": \"{:#018x}\", \
-                 \"pool_recycled\": {}, \"pool_fresh\": {}}}{comma}",
-                p.kernel_threads,
-                p.buffer_pool,
-                p.timing.wall_secs,
-                p.timing.frames_per_sec,
-                p.timing.mpixels_per_sec,
-                p.speedup_vs_1thread,
-                p.output_checksum,
-                p.pool_stats.recycled,
-                p.pool_stats.fresh,
-            );
+        let mut doc = Json::obj()
+            .field("bench", Json::str("native_pipeline"))
+            .field("config", config)
+            .field("host_cpus", Json::U64(u64::from(self.host_cpus)))
+            .field(
+                "note",
+                Json::str(
+                    "kernel-thread speedup is bounded by host_cpus; \
+                     on a single-CPU host the curve is flat at ~1x and the >=2x \
+                     at 4 threads shape requires >=4 real cores",
+                ),
+            )
+            .field("output_consistent", Json::Bool(self.output_consistent))
+            .field("points", points);
+        if let Some(snap) = &self.telemetry {
+            doc = doc.field("telemetry", snapshot_to_tree(snap));
         }
-        let _ = writeln!(out, "  ]");
-        out.push_str("}\n");
-        out
+        doc.render()
     }
 
     /// Plain-text table for the terminal.
@@ -213,24 +222,18 @@ impl ThroughputReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scc_core::{Arrangement, Fidelity, RendererMode};
+    use scc_core::Fidelity;
     use scc_render::CityConfig;
 
     fn tiny() -> (RunConfig, Arc<Scene>) {
-        let cfg = RunConfig {
-            renderer: RendererMode::SingleRenderer,
-            arrangement: Arrangement::Ordered,
-            pipelines: 2,
-            width: 32,
-            height: 32,
-            frames: 2,
-            seed: 5,
-            fidelity: Fidelity::Full,
-            trace: false,
-            verify: false,
-            fault: None,
-            tuning: NativeTuning::default(),
-        };
+        let cfg = RunConfig::builder()
+            .pipelines(2)
+            .size(32, 32)
+            .frames(2)
+            .seed(5)
+            .fidelity(Fidelity::Full)
+            .build()
+            .expect("valid config");
         let scene = Arc::new(Scene::city(CityConfig {
             side: 4,
             spacing: 8.0,

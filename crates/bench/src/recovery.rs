@@ -6,12 +6,15 @@
 //! killed-with-spare run, recording detection latency, MTTR, the number
 //! of replayed strips, and delivered throughput before/after the repair —
 //! and verifying the healed film is bit-identical to the clean one. The
-//! JSON is hand-rolled like the other bench documents (the vendored serde
-//! shim is a no-op marker), deliberately flat.
+//! JSON is built on `scc_telemetry::Json` (the vendored serde shim is a
+//! no-op marker), deliberately flat — and when the base config enables
+//! telemetry, the first healed run's full metric snapshot (heartbeat
+//! misses, migrations, replayed frames) embeds under a `telemetry` key.
 
 use scc_core::viz::frame_checksum;
 use scc_core::{Arrangement, FaultSpec, KillSpec, RunConfig, SimRunner};
 use scc_render::Scene;
+use scc_telemetry::{snapshot_to_tree, Json, Snapshot};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -44,6 +47,9 @@ pub struct RecoveryReport {
     pub heartbeat_period_us: u64,
     pub phi_dead: f64,
     pub points: Vec<RecoveryPoint>,
+    /// Metric snapshot of the first killed-and-healed run, captured when
+    /// the base config enables telemetry; embedded in the JSON document.
+    pub telemetry: Option<Snapshot>,
 }
 
 /// Run the sweep: every arrangement × every kill time, one supervised
@@ -57,6 +63,7 @@ pub fn measure_recovery(
     const HEARTBEAT_PERIOD_US: u64 = 10_000;
     const PHI_DEAD: f64 = 3.0;
     let mut points = Vec::new();
+    let mut telemetry = None;
     for arr in [
         Arrangement::Unordered,
         Arrangement::Ordered,
@@ -87,6 +94,9 @@ pub fn measure_recovery(
                 ..FaultSpec::default()
             });
             let report = SimRunner::new(killed, Arc::clone(scene)).run();
+            if telemetry.is_none() {
+                telemetry = report.telemetry.clone();
+            }
             let ev = report
                 .recoveries
                 .first()
@@ -116,63 +126,55 @@ pub fn measure_recovery(
         heartbeat_period_us: HEARTBEAT_PERIOD_US,
         phi_dead: PHI_DEAD,
         points,
+        telemetry,
     }
 }
 
 impl RecoveryReport {
     /// Render the report as the `BENCH_recovery.json` document.
     pub fn to_json(&self) -> String {
-        let mut out = String::new();
-        out.push_str("{\n");
-        let _ = writeln!(out, "  \"bench\": \"recovery\",");
-        let _ = writeln!(out, "  \"config\": {{");
-        let _ = writeln!(
-            out,
-            "    \"renderer\": \"{}\",",
-            self.config.renderer.name()
+        let config = Json::obj()
+            .field("renderer", Json::str(self.config.renderer.name()))
+            .field("pipelines", Json::U64(u64::from(self.config.pipelines)))
+            .field("width", Json::U64(u64::from(self.config.width)))
+            .field("height", Json::U64(u64::from(self.config.height)))
+            .field("frames", Json::U64(self.config.frames))
+            .field("seed", Json::U64(self.config.seed));
+        let points = Json::Arr(
+            self.points
+                .iter()
+                .map(|p| {
+                    Json::obj()
+                        .field("arrangement", Json::str(format!("{:?}", p.arrangement)))
+                        .field("kill_at_ms", Json::U64(p.kill_at_ms))
+                        .field("detect_latency_ms", Json::F64(p.detect_latency_secs * 1e3))
+                        .field("mttr_ms", Json::F64(p.mttr_secs * 1e3))
+                        .field("frames_replayed", Json::U64(u64::from(p.frames_replayed)))
+                        .field("clean_fps", Json::F64(p.clean_fps))
+                        .field("healed_fps", Json::F64(p.healed_fps))
+                        .field("overhead_pct", Json::F64(p.overhead_pct))
+                        .field("bit_identical", Json::Bool(p.bit_identical))
+                })
+                .collect(),
         );
-        let _ = writeln!(out, "    \"pipelines\": {},", self.config.pipelines);
-        let _ = writeln!(out, "    \"width\": {},", self.config.width);
-        let _ = writeln!(out, "    \"height\": {},", self.config.height);
-        let _ = writeln!(out, "    \"frames\": {},", self.config.frames);
-        let _ = writeln!(out, "    \"seed\": {}", self.config.seed);
-        let _ = writeln!(out, "  }},");
-        let _ = writeln!(
-            out,
-            "  \"heartbeat_period_us\": {},",
-            self.heartbeat_period_us
-        );
-        let _ = writeln!(out, "  \"phi_dead\": {:.1},", self.phi_dead);
-        let _ = writeln!(
-            out,
-            "  \"note\": \"virtual-time sweep: one supervised kill of pipeline \
-             0's scratch stage per point; MTTR = detection + spare \
-             provisioning + checkpointed replay\","
-        );
-        let _ = writeln!(out, "  \"points\": [");
-        for (i, p) in self.points.iter().enumerate() {
-            let comma = if i + 1 < self.points.len() { "," } else { "" };
-            let _ = writeln!(
-                out,
-                "    {{\"arrangement\": \"{:?}\", \"kill_at_ms\": {}, \
-                 \"detect_latency_ms\": {:.3}, \"mttr_ms\": {:.3}, \
-                 \"frames_replayed\": {}, \"clean_fps\": {:.3}, \
-                 \"healed_fps\": {:.3}, \"overhead_pct\": {:.3}, \
-                 \"bit_identical\": {}}}{comma}",
-                p.arrangement,
-                p.kill_at_ms,
-                p.detect_latency_secs * 1e3,
-                p.mttr_secs * 1e3,
-                p.frames_replayed,
-                p.clean_fps,
-                p.healed_fps,
-                p.overhead_pct,
-                p.bit_identical,
-            );
+        let mut doc = Json::obj()
+            .field("bench", Json::str("recovery"))
+            .field("config", config)
+            .field("heartbeat_period_us", Json::U64(self.heartbeat_period_us))
+            .field("phi_dead", Json::F64(self.phi_dead))
+            .field(
+                "note",
+                Json::str(
+                    "virtual-time sweep: one supervised kill of pipeline \
+                     0's scratch stage per point; MTTR = detection + spare \
+                     provisioning + checkpointed replay",
+                ),
+            )
+            .field("points", points);
+        if let Some(snap) = &self.telemetry {
+            doc = doc.field("telemetry", snapshot_to_tree(snap));
         }
-        let _ = writeln!(out, "  ]");
-        out.push_str("}\n");
-        out
+        doc.render()
     }
 
     /// Plain-text table for the terminal.
@@ -232,25 +234,19 @@ impl RecoveryReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scc_core::{Fidelity, NativeTuning, RendererMode};
+    use scc_core::Fidelity;
     use scc_render::CityConfig;
 
     #[test]
     fn sweep_heals_every_point_and_json_well_formed() {
-        let cfg = RunConfig {
-            renderer: RendererMode::SingleRenderer,
-            arrangement: Arrangement::Ordered,
-            pipelines: 2,
-            width: 40,
-            height: 40,
-            frames: 3,
-            seed: 5,
-            fidelity: Fidelity::Full,
-            trace: false,
-            verify: false,
-            fault: None,
-            tuning: NativeTuning::default(),
-        };
+        let cfg = RunConfig::builder()
+            .pipelines(2)
+            .size(40, 40)
+            .frames(3)
+            .seed(5)
+            .fidelity(Fidelity::Full)
+            .build()
+            .expect("valid config");
         let scene = Arc::new(Scene::city(CityConfig {
             side: 4,
             spacing: 8.0,

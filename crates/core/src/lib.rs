@@ -35,6 +35,7 @@
 
 pub mod baseline;
 pub mod cost;
+pub mod facade;
 pub mod frame;
 pub mod generic;
 pub mod invariant;
@@ -50,6 +51,7 @@ pub mod viz;
 
 pub use baseline::{run_baseline, BaselineReport};
 pub use cost::CostModel;
+pub use facade::{default_scene, run, run_with_scene, Backend, BackendReport, RunOutcome};
 pub use frame::Frame;
 pub use generic::{run_generic_chain, FnStage, GenericReport, MacroStage, StageWork};
 pub use invariant::{check_report, enforce, Violation};
@@ -60,8 +62,8 @@ pub use runner::des::{run_des, DesReport};
 pub use runner::native::{run_native, NativeReport};
 pub use runner::sim::{DvfsPlan, SimRunner};
 pub use spec::{
-    Arrangement, FaultSpec, Fidelity, KillSpec, NativeTuning, RendererMode, RunConfig, StageKind,
-    StallSpec,
+    Arrangement, FaultSpec, Fidelity, KillSpec, NativeTuning, RendererMode, RunConfig,
+    RunConfigBuilder, StageKind, StallSpec,
 };
 pub use supervise::{resolve_kills, CheckpointRing, Supervisor, STAGE_PROVISION_BYTES};
 pub use trace::{Phase, TraceEvent, TraceLog};

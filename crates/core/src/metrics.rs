@@ -40,14 +40,20 @@ pub struct HostTiming {
 
 impl HostTiming {
     /// Derive the rates from a measured wall time.
+    ///
+    /// Degenerate inputs never produce NaN or infinity: a wall time that
+    /// is zero, negative, or not finite (a stopped clock, a subtraction
+    /// gone backwards) yields zero rates and a wall time clamped to 0.0,
+    /// so downstream speedup ratios and JSON documents stay well-formed.
     pub fn from_wall(wall_secs: f64, frames: u64, width: u32, height: u32) -> HostTiming {
-        let fps = if wall_secs > 0.0 {
+        let wall_ok = wall_secs.is_finite() && wall_secs > 0.0;
+        let fps = if wall_ok {
             frames as f64 / wall_secs
         } else {
             0.0
         };
         HostTiming {
-            wall_secs,
+            wall_secs: if wall_ok { wall_secs } else { 0.0 },
             frames,
             frames_per_sec: fps,
             mpixels_per_sec: fps * width as f64 * height as f64 / 1e6,
@@ -56,8 +62,14 @@ impl HostTiming {
 
     /// Throughput ratio of this timing over a baseline (speedup when the
     /// baseline is the 1-thread run).
+    ///
+    /// Returns 0.0 — never NaN or infinity — when either side is
+    /// degenerate: a baseline with zero (or non-finite) throughput has
+    /// no meaningful ratio, and a non-finite numerator is itself a
+    /// measurement failure.
     pub fn speedup_over(&self, baseline: &HostTiming) -> f64 {
-        if baseline.frames_per_sec > 0.0 {
+        let base_ok = baseline.frames_per_sec.is_finite() && baseline.frames_per_sec > 0.0;
+        if base_ok && self.frames_per_sec.is_finite() {
             self.frames_per_sec / baseline.frames_per_sec
         } else {
             0.0
@@ -145,6 +157,11 @@ pub struct WalkthroughReport {
     /// Stage phase spans (when `RunConfig::trace` was set).
     #[serde(skip)]
     pub trace: Option<crate::trace::TraceLog>,
+    /// Telemetry snapshot (when `RunConfig::telemetry` was set).
+    /// Deliberately excluded from [`WalkthroughReport::fingerprint`]:
+    /// observation must never move a golden digest.
+    #[serde(skip)]
+    pub telemetry: Option<scc_telemetry::Snapshot>,
 }
 
 impl WalkthroughReport {
@@ -351,6 +368,7 @@ mod tests {
             }],
             outputs: None,
             trace: None,
+            telemetry: None,
         }
     }
 
@@ -371,6 +389,45 @@ mod tests {
         let degenerate = HostTiming::from_wall(0.0, 10, 4, 4);
         assert_eq!(degenerate.frames_per_sec, 0.0);
         assert_eq!(t.speedup_over(&degenerate), 0.0);
+    }
+
+    #[test]
+    fn host_timing_degenerate_inputs_are_nan_free() {
+        // Zero, negative, NaN, and infinite wall times all clamp to a
+        // quiet zero-rate timing instead of poisoning downstream math.
+        for wall in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let t = HostTiming::from_wall(wall, 10, 4, 4);
+            assert_eq!(t.wall_secs, 0.0, "wall {wall} must clamp");
+            assert_eq!(t.frames_per_sec, 0.0);
+            assert_eq!(t.mpixels_per_sec, 0.0);
+            assert_eq!(t.frames, 10, "frame count is preserved");
+        }
+        // Zero frames over a real wall time is a valid zero rate.
+        let idle = HostTiming::from_wall(2.0, 0, 4, 4);
+        assert_eq!(idle.frames_per_sec, 0.0);
+        assert!(idle.mpixels_per_sec == 0.0 && !idle.mpixels_per_sec.is_nan());
+    }
+
+    #[test]
+    fn speedup_over_degenerate_baselines_is_nan_free() {
+        let good = HostTiming::from_wall(2.0, 100, 4, 4);
+        let zero = HostTiming::from_wall(0.0, 100, 4, 4);
+        // Zero baseline, zero numerator, both zero: all 0.0, never NaN.
+        assert_eq!(good.speedup_over(&zero), 0.0);
+        assert_eq!(zero.speedup_over(&good), 0.0);
+        assert_eq!(zero.speedup_over(&zero), 0.0);
+        // A hand-built non-finite baseline cannot leak through either.
+        let poisoned = HostTiming {
+            wall_secs: 1.0,
+            frames: 1,
+            frames_per_sec: f64::NAN,
+            mpixels_per_sec: f64::NAN,
+        };
+        assert_eq!(good.speedup_over(&poisoned), 0.0);
+        assert_eq!(poisoned.speedup_over(&good), 0.0);
+        // And the healthy path still measures.
+        let base = HostTiming::from_wall(8.0, 100, 4, 4);
+        assert_eq!(good.speedup_over(&base), 4.0);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use scc_render::{Renderer, Scene, Walkthrough};
 use scc_sim::fault::{CoreKill, FaultConfig, FaultPlan};
 use scc_sim::platform::MemOp;
 use scc_sim::{CoreId, EventQueue, SccConfig, SccPlatform, SimTime, HEARTBEAT_BYTES};
+use scc_telemetry::{names, EventKind, TelemetrySink, IDLE_MS_BUCKETS, SECONDS_BUCKETS};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -60,6 +61,9 @@ pub struct DesReport {
     /// counterpart of [`crate::metrics::WalkthroughReport::recoveries`],
     /// so the differential suite can cross-check the migration timeline.
     pub recoveries: Vec<RecoveryEvent>,
+    /// Metrics and events recorded during the run
+    /// ([`RunConfig::telemetry`]); `None` when telemetry is off.
+    pub telemetry: Option<scc_telemetry::Snapshot>,
 }
 
 /// The kill schedule entry for `core`, if any.
@@ -68,6 +72,12 @@ fn kill_time(kills: &[CoreKill], core: CoreId) -> Option<SimTime> {
 }
 
 /// Execute `cfg` (must be `SingleRenderer`) event-wise.
+///
+/// Deprecated in favour of the facade: new code should call
+/// [`crate::run`] with [`crate::Backend::Des`], which wraps this entry
+/// point unchanged and returns the backend-independent
+/// [`crate::RunOutcome`] view. Kept public for callers that want the
+/// raw [`DesReport`] alone.
 pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
     assert_eq!(
         cfg.renderer,
@@ -107,6 +117,9 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
     // onto a spare; every node indexes this instead of the placement.
     let mut pipe_cores: Vec<[CoreId; 5]> = placement.pipelines.clone();
     let mut recoveries: Vec<RecoveryEvent> = Vec::new();
+    // Shared observation sink; disabled (the default) it records nothing
+    // and the DES timeline is bit-identical to pre-telemetry builds.
+    let tel = TelemetrySink::from_enabled(cfg.telemetry);
     let renderer = Renderer::new(scene);
     let walkthrough = Walkthrough::standard(cfg.width as f32 / cfg.height as f32);
     let impls: [Box<dyn ImageFilter>; 5] = [
@@ -282,6 +295,20 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
                 let (_, h) = bounds[i];
                 let bytes = cfg.width as u64 * h as u64 * 4;
                 let mut start = start_of(node, &facts, &arrivals);
+                if tel.is_enabled() {
+                    let own_free = if f == 0 {
+                        SimTime::ZERO
+                    } else {
+                        facts[&Node::Filter(i, j, f - 1)].free
+                    };
+                    let pl = i.to_string();
+                    tel.observe(
+                        names::STAGE_IDLE_MS,
+                        &[("pipeline", pl.as_str()), ("stage", kind.name())],
+                        IDLE_MS_BUCKETS,
+                        start.saturating_sub(own_free).as_secs_f64() * 1e3,
+                    );
+                }
                 if let Some(kill_at) = kill_time(&kills, core).filter(|&k| k <= start) {
                     // Fail-stop observed with the strip already resident:
                     // detect via the heartbeat path, provision the next
@@ -307,6 +334,7 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
                     pipe_cores[i][j] = spare;
                     spinning.push(spare);
                     platform.set_spinning(spinning.clone());
+                    let mttr = resident.saturating_sub(kill_at).as_secs_f64();
                     recoveries.push(RecoveryEvent {
                         frame: f,
                         pipeline: i as u32,
@@ -317,8 +345,29 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
                         detected_at_secs: detected.as_secs_f64(),
                         resumed_at_secs: resident.as_secs_f64(),
                         frames_replayed: 1,
-                        mttr_secs: resident.saturating_sub(kill_at).as_secs_f64(),
+                        mttr_secs: mttr,
                     });
+                    tel.event(
+                        detected.as_ps() / 1_000,
+                        EventKind::HeartbeatMiss {
+                            core: u32::from(core.raw()),
+                            suspicion: sup.phi_dead(),
+                        },
+                    );
+                    tel.event(
+                        resident.as_ps() / 1_000,
+                        EventKind::Migration {
+                            stage: kind.name(),
+                            pipeline: i as u32,
+                            from_core: u32::from(core.raw()),
+                            to_core: u32::from(spare.raw()),
+                            frames_replayed: 1,
+                        },
+                    );
+                    tel.count(names::HEARTBEAT_MISSES_TOTAL, &[], 1);
+                    tel.count(names::MIGRATIONS_TOTAL, &[], 1);
+                    tel.count(names::FRAMES_REPLAYED_TOTAL, &[], 1);
+                    tel.observe(names::MTTR_SECONDS, &[], SECONDS_BUCKETS, mttr);
                     core = spare;
                     start = resident;
                 }
@@ -388,6 +437,14 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
                 arr.sort();
                 let own_free = start_of(node, &facts, &arrivals);
                 let cycle_start = own_free.max(arr[0]);
+                if tel.is_enabled() {
+                    tel.observe(
+                        names::STAGE_IDLE_MS,
+                        &[("pipeline", "-"), ("stage", StageKind::Transfer.name())],
+                        IDLE_MS_BUCKETS,
+                        cycle_start.saturating_sub(own_free).as_secs_f64() * 1e3,
+                    );
+                }
                 let mut t = own_free;
                 for (i, &a) in arr.iter().enumerate() {
                     let strip_bytes = cfg.width as u64 * bounds[i].1 as u64 * 4;
@@ -453,13 +510,14 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
             kills: kills.clone(),
             ..FaultConfig::default()
         });
-        crate::supervise::book_heartbeats(
+        let booked = crate::supervise::book_heartbeats(
             &mut platform,
             &placement,
             &plan,
             SimTime::from_us(spec.heartbeat_period_us),
             finish,
         );
+        tel.count(names::HEARTBEATS_TOTAL, &[], booked);
     }
 
     // Behind `RunConfig::verify`: the DES-side invariants — monotone
@@ -518,6 +576,17 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
         crate::invariant::enforce(cfg, &violations);
     }
 
+    // Run-level rollups (nothing here can perturb the timeline: the
+    // event queue has drained).
+    if tel.is_enabled() {
+        tel.count(names::FRAMES_TOTAL, &[], frames);
+        tel.gauge(names::WALKTHROUGH_SECONDS, &[], finish.as_secs_f64());
+        tel.gauge(names::ENERGY_JOULES, &[], platform.energy_joules(finish));
+        let stats = platform.stats();
+        tel.count(names::NOC_MESSAGES_TOTAL, &[], stats.noc_messages);
+        tel.count(names::NOC_BYTES_TOTAL, &[], stats.noc_bytes);
+    }
+
     let ordered = full_fidelity.then(|| {
         (0..frames)
             .map(|f| outputs.remove(&f).expect("frame assembled"))
@@ -527,6 +596,7 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
         total_secs: finish.as_secs_f64(),
         frames: ordered,
         recoveries,
+        telemetry: tel.snapshot(),
     }
 }
 
@@ -546,20 +616,16 @@ mod tests {
     }
 
     fn cfg(pipelines: u32, frames: u64) -> RunConfig {
-        RunConfig {
-            renderer: RendererMode::SingleRenderer,
-            arrangement: Arrangement::Ordered,
-            pipelines,
-            width: 120,
-            height: 120,
-            frames,
-            seed: 5,
-            fidelity: Fidelity::TimingOnly,
-            trace: false,
-            verify: false,
-            fault: None,
-            tuning: crate::spec::NativeTuning::default(),
-        }
+        RunConfig::builder()
+            .renderer(RendererMode::SingleRenderer)
+            .arrangement(Arrangement::Ordered)
+            .pipelines(pipelines)
+            .size(120, 120)
+            .frames(frames)
+            .seed(5)
+            .fidelity(Fidelity::TimingOnly)
+            .build()
+            .expect("valid test config")
     }
 
     #[test]

@@ -20,6 +20,7 @@ use scc_render::{Renderer, Scene, Walkthrough};
 use scc_sim::fault::{FaultConfig, FaultPlan};
 use scc_sim::stats::Quartiles;
 use scc_sim::{CoreId, SimTime};
+use scc_telemetry::{names, TelemetrySink, IDLE_MS_BUCKETS};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -43,6 +44,9 @@ pub struct NativeReport {
     /// started, expressed on the same [`SimTime`] axis the simulator
     /// uses, so the Chrome exporter works unchanged.
     pub trace: Option<TraceLog>,
+    /// Metrics and events recorded during the run
+    /// ([`RunConfig::telemetry`]); `None` when telemetry is off.
+    pub telemetry: Option<scc_telemetry::Snapshot>,
 }
 
 /// Per-thread span collector for the native runner: each stage thread
@@ -220,6 +224,12 @@ fn ranks(mode: RendererMode, p: usize) -> Ranks {
 
 /// Run the walkthrough natively. Frames always carry pixels (the
 /// `fidelity` field of the config is ignored).
+///
+/// Deprecated in favour of the facade: new code should call
+/// [`crate::run`] with [`crate::Backend::Native`], which wraps this
+/// entry point unchanged and returns the backend-independent
+/// [`crate::RunOutcome`] view. Kept public for callers that want the
+/// raw [`NativeReport`] alone.
 pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
     cfg.validate().expect("invalid run configuration");
     let p = cfg.pipelines as usize;
@@ -232,6 +242,15 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
     // seed. Core stalls and link degradation are simulator-only notions —
     // the native threads see the message-level faults.
     let reliable = cfg.fault.is_some();
+    // One sink shared by every stage thread and every RCCE endpoint, so
+    // ARQ retries recorded inside the transport and stage metrics
+    // recorded out here land in the same snapshot.
+    let tel = TelemetrySink::from_enabled(cfg.telemetry);
+    if tel.is_enabled() {
+        for ep in endpoints.iter_mut() {
+            ep.set_telemetry(tel.clone());
+        }
+    }
     if let Some(spec) = &cfg.fault {
         let plan = Arc::new(FaultPlan::new(FaultConfig {
             seed: spec.seed,
@@ -263,7 +282,10 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
     // stage's decode, so steady state runs with a fixed set of buffers.
     let pool = BufferPool::from_enabled(cfg.tuning.buffer_pool);
     let kernel_threads = cfg.tuning.kernel_threads as usize;
-    let tracing = cfg.trace;
+    // Telemetry mirrors the span log into its event stream, so an
+    // enabled sink collects spans even when the caller did not ask for a
+    // trace in the report.
+    let tracing = cfg.trace || tel.is_enabled();
     let start = Instant::now();
     let mut handles: Vec<thread::JoinHandle<TraceLog>> = Vec::new();
     type StageResult = (Vec<Duration>, Option<Vec<Image>>, TraceLog);
@@ -469,6 +491,22 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
             t.merge(log);
         }
         let ms: Vec<f64> = waits.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+        if tel.is_enabled() {
+            // The transfer stage is unpipelined; "-" matches the other
+            // runners' label convention.
+            let pl = if kind == StageKind::Transfer {
+                "-".to_string()
+            } else {
+                pl.to_string()
+            };
+            let labels = [("pipeline", pl.as_str()), ("stage", kind.name())];
+            if let Some(h) = tel.histogram(names::STAGE_IDLE_MS, &labels, IDLE_MS_BUCKETS) {
+                for m in &ms {
+                    h.observe(*m);
+                }
+            }
+            tel.count(names::STAGE_FRAMES_TOTAL, &labels, cfg.frames);
+        }
         idle_ms.push((kind, pl, Quartiles::from_samples(&ms)));
     }
     if let Some(t) = trace.as_mut() {
@@ -482,13 +520,29 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
         cfg.width,
         cfg.height,
     );
+    let pool_stats = pool.stats();
+    if tel.is_enabled() {
+        tel.count(names::FRAMES_TOTAL, &[], frames.len() as u64);
+        tel.gauge(names::WALKTHROUGH_SECONDS, &[], wall.as_secs_f64());
+        tel.gauge(names::HOST_FRAMES_PER_SEC, &[], host.frames_per_sec);
+        tel.gauge(names::HOST_MPIXELS_PER_SEC, &[], host.mpixels_per_sec);
+        tel.count(names::POOL_RECYCLED_TOTAL, &[], pool_stats.recycled);
+        tel.count(names::POOL_FRESH_TOTAL, &[], pool_stats.fresh);
+        if let Some(t) = trace.as_ref() {
+            t.record_into(&tel);
+        }
+    }
+    if !cfg.trace {
+        trace = None;
+    }
     NativeReport {
         wall,
         frames,
         idle_ms,
         host,
-        pool_stats: pool.stats(),
+        pool_stats,
         trace,
+        telemetry: tel.snapshot(),
     }
 }
 
@@ -508,20 +562,16 @@ mod tests {
     }
 
     fn cfg(mode: RendererMode, pipelines: u32, frames: u64) -> RunConfig {
-        RunConfig {
-            renderer: mode,
-            arrangement: Arrangement::Ordered,
-            pipelines,
-            width: 64,
-            height: 64,
-            frames,
-            seed: 77,
-            fidelity: Fidelity::Full,
-            trace: false,
-            verify: false,
-            fault: None,
-            tuning: NativeTuning::default(),
-        }
+        RunConfig::builder()
+            .renderer(mode)
+            .arrangement(Arrangement::Ordered)
+            .pipelines(pipelines)
+            .size(64, 64)
+            .frames(frames)
+            .seed(77)
+            .fidelity(Fidelity::Full)
+            .build()
+            .expect("valid test config")
     }
 
     #[test]

@@ -28,6 +28,7 @@ use scc_render::{Renderer, Scene, Walkthrough};
 use scc_sim::fault::{CoreStall, FaultConfig, FaultPlan, MessageOutcome};
 use scc_sim::platform::MemOp;
 use scc_sim::{CoreId, FreqMHz, SccConfig, SccPlatform, SimTime, HEARTBEAT_BYTES};
+use scc_telemetry::{names, EventKind, TelemetrySink, IDLE_MS_BUCKETS, SECONDS_BUCKETS};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -91,6 +92,10 @@ struct FaultCtx {
     timeout: SimTime,
     /// Retransmissions after the first attempt.
     budget: u32,
+    /// The run's shared telemetry sink (disabled unless
+    /// `RunConfig::telemetry`); lets the ARQ and recovery paths record
+    /// retries, misses, and migrations as they happen.
+    tel: TelemetrySink,
 }
 
 impl FaultCtx {
@@ -108,7 +113,7 @@ impl FaultCtx {
 
     /// Build the simulator-facing plan from a [`FaultSpec`], resolving the
     /// stall's (pipeline, stage) address to a physical core.
-    fn from_spec(spec: &FaultSpec, placement: &Placement) -> FaultCtx {
+    fn from_spec(spec: &FaultSpec, placement: &Placement, tel: TelemetrySink) -> FaultCtx {
         let stalls = spec
             .stall
             .iter()
@@ -136,6 +141,7 @@ impl FaultCtx {
             })),
             timeout: SimTime::from_us(spec.timeout_us),
             budget: spec.retry_budget,
+            tel,
         }
     }
 }
@@ -150,6 +156,7 @@ pub struct SimRunner {
     walkthrough: Walkthrough,
     dvfs: DvfsPlan,
     fault: Option<FaultCtx>,
+    tel: TelemetrySink,
 }
 
 impl SimRunner {
@@ -179,10 +186,14 @@ impl SimRunner {
     ) -> SimRunner {
         cfg.validate().expect("invalid run configuration");
         let walkthrough = Walkthrough::standard(cfg.width as f32 / cfg.height as f32);
+        // One sink for the whole run: the frame loop, the ARQ retry
+        // path, and the supervisor all record into it. Disabled (the
+        // default) it is a no-op and cannot perturb anything.
+        let tel = TelemetrySink::from_enabled(cfg.telemetry);
         let fault = cfg
             .fault
             .as_ref()
-            .map(|s| FaultCtx::from_spec(s, &placement));
+            .map(|s| FaultCtx::from_spec(s, &placement, tel.clone()));
         let mut platform = platform;
         if let Some(ctx) = &fault {
             platform.set_fault_plan(Arc::clone(&ctx.plan));
@@ -196,6 +207,7 @@ impl SimRunner {
             walkthrough,
             dvfs,
             fault,
+            tel,
         }
     }
 
@@ -204,6 +216,12 @@ impl SimRunner {
     }
 
     /// Execute the walkthrough; consumes the runner.
+    ///
+    /// Deprecated as a front door: new code should call [`crate::run`]
+    /// with [`crate::Backend::Sim`], which constructs the runner and
+    /// returns the backend-independent [`crate::RunOutcome`] view.
+    /// Constructing a `SimRunner` directly remains the right move for
+    /// sim-only knobs such as [`SimRunner::with_parts`] DVFS plans.
     pub fn run(mut self) -> WalkthroughReport {
         for (core, freq) in &self.dvfs.settings {
             self.platform.set_core_frequency(*core, *freq);
@@ -213,8 +231,11 @@ impl SimRunner {
         // The invariant checker walks the span log even when the caller
         // did not ask for a trace: collect internally and strip it from
         // the report afterwards. Span collection never feeds back into
-        // the virtual timeline, so `verify` cannot change results.
-        let mut trace = (self.cfg.trace || self.cfg.verify).then(TraceLog::new);
+        // the virtual timeline, so `verify` cannot change results. The
+        // telemetry event stream is fed from the same log, so an enabled
+        // sink also forces internal collection.
+        let mut trace =
+            (self.cfg.trace || self.cfg.verify || self.tel.is_enabled()).then(TraceLog::new);
 
         let p = self.cfg.pipelines as usize;
         let full = self.cfg.renderer != RendererMode::PerPipelineRenderer;
@@ -739,13 +760,14 @@ impl SimRunner {
                 .fault
                 .as_ref()
                 .expect("fault ctx exists when spec does");
-            crate::supervise::book_heartbeats(
+            let booked = crate::supervise::book_heartbeats(
                 &mut self.platform,
                 &self.placement,
                 &fc.plan,
                 SimTime::from_us(spec.heartbeat_period_us),
                 finish,
             );
+            self.tel.count(names::HEARTBEATS_TOTAL, &[], booked);
         }
 
         // ---- reports ----
@@ -765,6 +787,55 @@ impl SimRunner {
 
         let power_trace = self.platform.power_trace(finish, SimTime::from_secs(1));
         let energy = self.platform.energy_joules(finish);
+
+        // ---- telemetry: fold the run's ledgers into the sink ----
+        // Pure observation of state the report already carries, recorded
+        // after the frame loop so nothing here can perturb the timeline.
+        if self.tel.is_enabled() {
+            for r in &renderers {
+                record_stage_telemetry(&self.tel, r);
+            }
+            if let Some(c) = &connector {
+                record_stage_telemetry(&self.tel, c);
+            }
+            for pipe in &filters {
+                for s in pipe {
+                    record_stage_telemetry(&self.tel, s);
+                }
+            }
+            record_stage_telemetry(&self.tel, &transfer);
+            self.tel.count(names::FRAMES_TOTAL, &[], transfer.frames);
+            self.tel
+                .gauge(names::WALKTHROUGH_SECONDS, &[], finish.as_secs_f64());
+            self.tel.gauge(names::ENERGY_JOULES, &[], energy);
+            let stats = self.platform.stats();
+            self.tel
+                .count(names::NOC_MESSAGES_TOTAL, &[], stats.noc_messages);
+            self.tel.count(names::NOC_BYTES_TOTAL, &[], stats.noc_bytes);
+            let pool_stats = pool.stats();
+            self.tel
+                .count(names::POOL_RECYCLED_TOTAL, &[], pool_stats.recycled);
+            self.tel
+                .count(names::POOL_FRESH_TOTAL, &[], pool_stats.fresh);
+            self.tel
+                .count(names::DEGRADATIONS_TOTAL, &[], degradations.len() as u64);
+            // Degradations retire lanes one at a time, so the k-th event
+            // leaves p - (k + 1) survivors.
+            for (k, d) in degradations.iter().enumerate() {
+                self.tel.event(
+                    (d.at_secs * 1e9) as u64,
+                    EventKind::Degradation {
+                        pipeline: d.pipeline,
+                        frame: d.frame,
+                        survivors: p as u32 - (k as u32 + 1),
+                    },
+                );
+            }
+            if let Some(log) = trace.as_ref() {
+                log.record_into(&self.tel);
+            }
+        }
+
         let mut report = WalkthroughReport {
             config: self.cfg.clone(),
             total_secs: finish.as_secs_f64(),
@@ -778,6 +849,7 @@ impl SimRunner {
             recoveries,
             outputs: (fidelity == Fidelity::Full).then_some(outputs),
             trace,
+            telemetry: self.tel.snapshot(),
         };
         if self.cfg.verify {
             let mut violations = crate::invariant::check_report(&report);
@@ -791,6 +863,25 @@ impl SimRunner {
         }
         report
     }
+}
+
+/// Record one stage's per-run ledgers — the Figure 15 idle distribution,
+/// busy time, frame count — into the sink under `{stage, pipeline}`
+/// labels (`pipeline="-"` for unpipelined stages, keeping one label set
+/// per metric family).
+fn record_stage_telemetry(tel: &TelemetrySink, s: &StageState) {
+    let pl = s.pipeline.map(|i| i.to_string());
+    let labels = [
+        ("pipeline", pl.as_deref().unwrap_or("-")),
+        ("stage", s.kind.name()),
+    ];
+    if let Some(h) = tel.histogram(names::STAGE_IDLE_MS, &labels, IDLE_MS_BUCKETS) {
+        for idle in &s.idle_samples {
+            h.observe(idle.as_secs_f64() * 1e3);
+        }
+    }
+    tel.gauge(names::STAGE_BUSY_SECONDS, &labels, s.busy.as_secs_f64());
+    tel.count(names::STAGE_FRAMES_TOTAL, &labels, s.frames);
 }
 
 /// One virtual-time reliable send: each attempt rolls its own fate from
@@ -819,11 +910,13 @@ fn faulted_send(
             // Fail-stop: a killed receiver acknowledges nothing, ever —
             // timing-wise indistinguishable from a permanent stall (the
             // sender burns the same retry schedule before giving up).
+            ctx.tel.count(names::ARQ_TIMEOUTS_TOTAL, &[], 1);
             return Err(t + ctx.patience_from(attempt));
         }
         if ctx.plan.stall_remaining(to.raw(), t) > ctx.patience_from(attempt) {
             // The receiver cannot wake before the last retry window
             // closes; no ack will ever arrive.
+            ctx.tel.count(names::ARQ_TIMEOUTS_TOTAL, &[], 1);
             return Err(t + ctx.patience_from(attempt));
         }
         match ctx
@@ -836,14 +929,29 @@ fn faulted_send(
             MessageOutcome::Delay(d) => {
                 return Ok(platform.send_to_partition(from, to, t + d, bytes));
             }
-            MessageOutcome::Drop | MessageOutcome::Corrupt { .. } => {
+            outcome @ (MessageOutcome::Drop | MessageOutcome::Corrupt { .. }) => {
                 // Lost outright, or delivered mangled and rejected by the
                 // receiver's CRC check: either way no ack arrives and the
                 // sender backs off.
+                if matches!(outcome, MessageOutcome::Corrupt { .. }) {
+                    ctx.tel.count(names::ARQ_CORRUPT_DROPS_TOTAL, &[], 1);
+                }
                 t += ctx.timeout * (1u64 << attempt);
+                if attempt < ctx.budget {
+                    ctx.tel.count(names::ARQ_RETRIES_TOTAL, &[], 1);
+                    ctx.tel.event(
+                        t.as_ps() / 1_000,
+                        EventKind::ArqRetry {
+                            from: u32::from(from.raw()),
+                            to: u32::from(to.raw()),
+                            attempt: attempt + 1,
+                        },
+                    );
+                }
             }
         }
     }
+    ctx.tel.count(names::ARQ_TIMEOUTS_TOTAL, &[], 1);
     Err(t)
 }
 
@@ -903,6 +1011,7 @@ fn try_recover(
     lane_states[j].free = ready;
     h.spinning.push(spare);
     platform.set_spinning(h.spinning.clone());
+    let mttr = resident.saturating_sub(kill_at).as_secs_f64();
     h.recoveries.push(RecoveryEvent {
         frame: f,
         pipeline: lane,
@@ -913,8 +1022,31 @@ fn try_recover(
         detected_at_secs: detected.as_secs_f64(),
         resumed_at_secs: resident.as_secs_f64(),
         frames_replayed: in_flight,
-        mttr_secs: resident.saturating_sub(kill_at).as_secs_f64(),
+        mttr_secs: mttr,
     });
+    fc.tel.event(
+        detected.as_ps() / 1_000,
+        EventKind::HeartbeatMiss {
+            core: u32::from(failed_core.raw()),
+            suspicion: h.sup.phi_dead(),
+        },
+    );
+    fc.tel.event(
+        resident.as_ps() / 1_000,
+        EventKind::Migration {
+            stage: lane_states[j].kind.name(),
+            pipeline: lane,
+            from_core: u32::from(failed_core.raw()),
+            to_core: u32::from(spare.raw()),
+            frames_replayed: in_flight,
+        },
+    );
+    fc.tel.count(names::HEARTBEAT_MISSES_TOTAL, &[], 1);
+    fc.tel.count(names::MIGRATIONS_TOTAL, &[], 1);
+    fc.tel
+        .count(names::FRAMES_REPLAYED_TOTAL, &[], u64::from(in_flight));
+    fc.tel
+        .observe(names::MTTR_SECONDS, &[], SECONDS_BUCKETS, mttr);
     if let Some(log) = trace.as_mut() {
         log.span(
             spare,
@@ -1376,20 +1508,16 @@ mod tests {
     }
 
     fn quick_cfg(mode: RendererMode, pipelines: u32) -> RunConfig {
-        RunConfig {
-            renderer: mode,
-            arrangement: Arrangement::Ordered,
-            pipelines,
-            width: 100,
-            height: 100,
-            frames: 12,
-            seed: 42,
-            fidelity: Fidelity::TimingOnly,
-            trace: false,
-            verify: false,
-            fault: None,
-            tuning: crate::spec::NativeTuning::default(),
-        }
+        RunConfig::builder()
+            .renderer(mode)
+            .arrangement(Arrangement::Ordered)
+            .pipelines(pipelines)
+            .size(100, 100)
+            .frames(12)
+            .seed(42)
+            .fidelity(Fidelity::TimingOnly)
+            .build()
+            .expect("valid test config")
     }
 
     #[test]
@@ -1754,20 +1882,17 @@ mod trace_tests {
 
     #[test]
     fn trace_records_all_phases_when_enabled() {
-        let cfg = RunConfig {
-            renderer: RendererMode::McpcRenderer,
-            arrangement: Arrangement::Ordered,
-            pipelines: 2,
-            width: 100,
-            height: 100,
-            frames: 6,
-            seed: 1,
-            fidelity: Fidelity::TimingOnly,
-            trace: true,
-            verify: false,
-            fault: None,
-            tuning: crate::spec::NativeTuning::default(),
-        };
+        let cfg = RunConfig::builder()
+            .renderer(RendererMode::McpcRenderer)
+            .arrangement(Arrangement::Ordered)
+            .pipelines(2)
+            .size(100, 100)
+            .frames(6)
+            .seed(1)
+            .fidelity(Fidelity::TimingOnly)
+            .trace(true)
+            .build()
+            .expect("valid test config");
         let scene = Arc::new(Scene::city(CityConfig {
             side: 8,
             spacing: 8.0,

@@ -351,6 +351,11 @@ pub struct RunConfig {
     /// Host-execution tuning (kernel threads, buffer pooling). Never
     /// changes output, only how fast the host produces it.
     pub tuning: NativeTuning,
+    /// Record metrics and events into a [`scc_telemetry::TelemetrySink`]
+    /// during the run. Observation only: the sink never feeds back into
+    /// scheduling, so enabling it cannot move a result, and disabling it
+    /// (the default) leaves golden digests byte-identical.
+    pub telemetry: bool,
 }
 
 impl Default for RunConfig {
@@ -371,11 +376,19 @@ impl Default for RunConfig {
             verify: false,
             fault: None,
             tuning: NativeTuning::default(),
+            telemetry: false,
         }
     }
 }
 
 impl RunConfig {
+    /// Start a fluent [`RunConfigBuilder`] seeded with the defaults.
+    /// `build()` runs [`RunConfig::validate`] once, so a successfully
+    /// built config is known-runnable on every backend.
+    pub fn builder() -> RunConfigBuilder {
+        RunConfigBuilder::default()
+    }
+
     /// Check the configuration fits the machine.
     pub fn validate(&self) -> Result<(), String> {
         if self.pipelines == 0 {
@@ -404,6 +417,121 @@ impl RunConfig {
     /// Bytes of one full frame.
     pub fn frame_bytes(&self) -> u64 {
         self.width as u64 * self.height as u64 * 4
+    }
+}
+
+/// Fluent construction for [`RunConfig`] — the supported alternative to
+/// struct-literal configs. Starts from [`RunConfig::default`]; every
+/// setter is chainable; [`RunConfigBuilder::build`] validates exactly
+/// once and refuses configurations the machine cannot run.
+///
+/// ```
+/// use scc_core::spec::{Arrangement, RendererMode, RunConfig};
+///
+/// let cfg = RunConfig::builder()
+///     .renderer(RendererMode::McpcRenderer)
+///     .arrangement(Arrangement::Ordered)
+///     .pipelines(3)
+///     .size(64, 48)
+///     .frames(4)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(cfg.pipelines, 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RunConfigBuilder {
+    cfg: RunConfig,
+}
+
+impl RunConfigBuilder {
+    pub fn renderer(mut self, renderer: RendererMode) -> Self {
+        self.cfg.renderer = renderer;
+        self
+    }
+
+    pub fn arrangement(mut self, arrangement: Arrangement) -> Self {
+        self.cfg.arrangement = arrangement;
+        self
+    }
+
+    pub fn pipelines(mut self, pipelines: u32) -> Self {
+        self.cfg.pipelines = pipelines;
+        self
+    }
+
+    pub fn width(mut self, width: u32) -> Self {
+        self.cfg.width = width;
+        self
+    }
+
+    pub fn height(mut self, height: u32) -> Self {
+        self.cfg.height = height;
+        self
+    }
+
+    /// Set both frame dimensions at once.
+    pub fn size(mut self, width: u32, height: u32) -> Self {
+        self.cfg.width = width;
+        self.cfg.height = height;
+        self
+    }
+
+    pub fn frames(mut self, frames: u64) -> Self {
+        self.cfg.frames = frames;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    pub fn fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.cfg.fidelity = fidelity;
+        self
+    }
+
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.cfg.trace = trace;
+        self
+    }
+
+    pub fn verify(mut self, verify: bool) -> Self {
+        self.cfg.verify = verify;
+        self
+    }
+
+    /// Enable telemetry recording (off by default).
+    pub fn telemetry(mut self, telemetry: bool) -> Self {
+        self.cfg.telemetry = telemetry;
+        self
+    }
+
+    /// Install a fault-injection plan (`fault(None)` clears it).
+    pub fn fault(mut self, fault: impl Into<Option<FaultSpec>>) -> Self {
+        self.cfg.fault = fault.into();
+        self
+    }
+
+    pub fn tuning(mut self, tuning: NativeTuning) -> Self {
+        self.cfg.tuning = tuning;
+        self
+    }
+
+    pub fn kernel_threads(mut self, kernel_threads: u32) -> Self {
+        self.cfg.tuning.kernel_threads = kernel_threads;
+        self
+    }
+
+    pub fn buffer_pool(mut self, buffer_pool: bool) -> Self {
+        self.cfg.tuning.buffer_pool = buffer_pool;
+        self
+    }
+
+    /// Validate once and hand out the finished config.
+    pub fn build(self) -> Result<RunConfig, String> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -604,5 +732,86 @@ mod tests {
         assert_eq!(StageKind::PIPELINE_FILTERS.len(), 5);
         assert_eq!(Arrangement::all().len(), 3);
         assert_eq!(RendererMode::McpcRenderer.name(), "MCPC renderer");
+    }
+
+    #[test]
+    fn builder_defaults_match_default_config() {
+        let built = RunConfig::builder().build().expect("defaults are valid");
+        let direct = RunConfig::default();
+        assert_eq!(format!("{built:?}"), format!("{direct:?}"));
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let cfg = RunConfig::builder()
+            .renderer(RendererMode::McpcRenderer)
+            .arrangement(Arrangement::Flipped)
+            .pipelines(2)
+            .size(64, 48)
+            .frames(4)
+            .seed(11)
+            .fidelity(Fidelity::Full)
+            .trace(true)
+            .verify(true)
+            .telemetry(true)
+            .fault(FaultSpec::default())
+            .kernel_threads(2)
+            .buffer_pool(false)
+            .build()
+            .expect("valid config");
+        assert_eq!(cfg.renderer, RendererMode::McpcRenderer);
+        assert_eq!(cfg.arrangement, Arrangement::Flipped);
+        assert_eq!(
+            (cfg.width, cfg.height, cfg.frames, cfg.seed),
+            (64, 48, 4, 11)
+        );
+        assert_eq!(cfg.fidelity, Fidelity::Full);
+        assert!(cfg.trace && cfg.verify && cfg.telemetry);
+        assert!(cfg.fault.is_some());
+        assert_eq!(cfg.tuning.kernel_threads, 2);
+        assert!(!cfg.tuning.buffer_pool);
+    }
+
+    #[test]
+    fn builder_error_paths_mirror_validate() {
+        // Zero pipelines.
+        let err = RunConfig::builder().pipelines(0).build().unwrap_err();
+        assert!(err.contains("at least one pipeline"), "{err}");
+        // Core oversubscription.
+        let err = RunConfig::builder()
+            .renderer(RendererMode::PerPipelineRenderer)
+            .pipelines(8)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("48"), "{err}");
+        // More pipelines than rows.
+        let err = RunConfig::builder()
+            .pipelines(5)
+            .size(64, 4)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("rows"), "{err}");
+        // Degenerate geometry.
+        let err = RunConfig::builder().frames(0).build().unwrap_err();
+        assert!(err.contains("degenerate"), "{err}");
+        // Invalid fault plan propagates through build().
+        let err = RunConfig::builder()
+            .fault(FaultSpec {
+                drop_rate: 1.5,
+                ..FaultSpec::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(err.contains("rate"), "{err}");
+        // Invalid tuning propagates through build().
+        let err = RunConfig::builder().kernel_threads(0).build().unwrap_err();
+        assert!(err.contains("kernel_threads"), "{err}");
+        // fault(None) clears a previously set plan.
+        let cfg = RunConfig::builder()
+            .fault(FaultSpec::default())
+            .fault(None)
+            .build()
+            .expect("cleared fault plan is valid");
+        assert!(cfg.fault.is_none());
     }
 }

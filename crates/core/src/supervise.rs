@@ -69,6 +69,11 @@ impl Supervisor {
         self.heartbeat_period
     }
 
+    /// Suspicion threshold the detector fires at (phi periods of silence).
+    pub fn phi_dead(&self) -> f64 {
+        self.phi_dead
+    }
+
     /// Spare cores still available for migration.
     pub fn spares_left(&self) -> usize {
         self.spares.len() - self.enlisted
@@ -104,21 +109,26 @@ impl Supervisor {
 /// frame loop so the charges land as real NoC/host-link messages in the
 /// stats without perturbing stage timelines; only supervised runs (armed
 /// kills) carry this traffic, keeping the quiet-plan identity intact.
+/// Returns the number of heartbeats booked (telemetry's
+/// `scc_heartbeats_total`).
 pub fn book_heartbeats(
     platform: &mut SccPlatform,
     placement: &Placement,
     plan: &FaultPlan,
     period: SimTime,
     until: SimTime,
-) {
+) -> u64 {
+    let mut booked = 0u64;
     for core in placement.all_cores() {
         let silent_from = plan.kill_time(core.raw()).unwrap_or(SimTime::MAX);
         let mut t = SimTime::ZERO;
         while t < until && t < silent_from {
             platform.heartbeat(core, t);
+            booked += 1;
             t += period;
         }
     }
+    booked
 }
 
 /// Bounded per-strip checkpoint ring: pristine strip frames keyed by

@@ -9,8 +9,8 @@
 
 use crate::spec::StageKind;
 use scc_sim::{CoreId, SimTime};
+use scc_telemetry::{ChromeSpan, EventKind, TelemetrySink};
 use serde::Serialize;
-use std::fmt::Write as _;
 
 /// What a core was doing during a span.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -126,27 +126,66 @@ impl TraceLog {
 
     /// Export as Chrome trace-event JSON (load in `chrome://tracing` or
     /// Perfetto). Virtual microseconds; one row ("thread") per core.
+    /// Rendering is delegated to `scc-telemetry`'s Chrome exporter, the
+    /// single writer for this format.
     pub fn to_chrome_json(&self) -> String {
-        let mut out = String::from("[");
-        for (i, e) in self.events.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let name = match e.pipeline {
-                Some(p) => format!("{} p{} f{} {}", e.kind.name(), p, e.frame, e.phase.name()),
-                None => format!("{} f{} {}", e.kind.name(), e.frame, e.phase.name()),
-            };
-            let ts = e.t0.as_ps() as f64 / 1e6; // ps -> us
-            let dur = (e.t1 - e.t0).as_ps() as f64 / 1e6;
-            let _ = write!(
-                out,
-                r#"{{"name":"{name}","cat":"{}","ph":"X","ts":{ts:.3},"dur":{dur:.3},"pid":1,"tid":{}}}"#,
-                e.phase.name(),
-                e.core
-            );
+        let spans: Vec<ChromeSpan> = self
+            .events
+            .iter()
+            .map(|e| ChromeSpan {
+                name: scc_telemetry::chrome::span_name(
+                    e.kind.name(),
+                    e.pipeline,
+                    e.frame,
+                    e.phase.name(),
+                ),
+                cat: e.phase.name().to_string(),
+                ts_us: e.t0.as_ps() as f64 / 1e6, // ps -> us
+                dur_us: (e.t1 - e.t0).as_ps() as f64 / 1e6,
+                pid: 1,
+                tid: u32::from(e.core),
+            })
+            .collect();
+        scc_telemetry::chrome::render(&spans)
+    }
+
+    /// Mirror every span into a telemetry sink's event stream as a
+    /// `stage_start`/`stage_stop` pair (virtual nanoseconds). No-op on a
+    /// disabled sink.
+    pub fn record_into(&self, sink: &TelemetrySink) {
+        if !sink.is_enabled() {
+            return;
         }
-        out.push(']');
-        out
+        for e in &self.events {
+            let mk = |stop: bool| {
+                let (stage, phase, core, pipeline, frame) = (
+                    e.kind.name(),
+                    e.phase.name(),
+                    u32::from(e.core),
+                    e.pipeline,
+                    e.frame,
+                );
+                if stop {
+                    EventKind::StageStop {
+                        stage,
+                        phase,
+                        core,
+                        pipeline,
+                        frame,
+                    }
+                } else {
+                    EventKind::StageStart {
+                        stage,
+                        phase,
+                        core,
+                        pipeline,
+                        frame,
+                    }
+                }
+            };
+            sink.event(e.t0.as_ps() / 1_000, mk(false));
+            sink.event(e.t1.as_ps() / 1_000, mk(true));
+        }
     }
 }
 
@@ -238,5 +277,25 @@ mod tests {
         let log = TraceLog::new();
         assert!(log.is_empty());
         assert_eq!(log.to_chrome_json(), "[]");
+    }
+
+    #[test]
+    fn record_into_mirrors_spans_as_event_pairs() {
+        let log = log_with_events();
+        let sink = TelemetrySink::enabled();
+        log.record_into(&sink);
+        let snap = sink.snapshot().unwrap();
+        assert_eq!(snap.events.len(), 2 * log.events().len());
+        // The event stream round-trips to the same Chrome JSON spans.
+        let spans = scc_telemetry::chrome::events_to_spans(&snap.events);
+        assert_eq!(spans.len(), log.events().len());
+        let direct = log.to_chrome_json();
+        for span in &spans {
+            assert!(direct.contains(&span.name), "missing {}", span.name);
+        }
+        // Disabled sink: nothing recorded, nothing allocated.
+        let off = TelemetrySink::disabled();
+        log.record_into(&off);
+        assert!(off.snapshot().is_none());
     }
 }

@@ -17,6 +17,7 @@ use bytes::{BufMut, Bytes, BytesMut};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use scc_sim::fault::{FaultPlan, MessageOutcome};
+use scc_telemetry::{names, EventKind, TelemetrySink};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -109,6 +110,11 @@ pub struct Endpoint {
     fault: Option<Arc<FaultPlan>>,
     /// Per-source wait samples, for idle-time quartiles.
     wait_samples: Mutex<Vec<Duration>>,
+    /// Shared telemetry sink (disabled by default): the ARQ protocol
+    /// records retries, corrupt drops, and timeouts as they happen.
+    tel: TelemetrySink,
+    /// Wall-clock origin for telemetry event timestamps.
+    tel_base: Instant,
 }
 
 /// Create a communicator of `size` ranks with per-pair channel capacity
@@ -169,6 +175,8 @@ pub fn communicator(size: usize, window_msgs: usize, mpb: MpbConfig) -> Vec<Endp
             reliability: Reliability::default(),
             fault: None,
             wait_samples: Mutex::new(Vec::new()),
+            tel: TelemetrySink::disabled(),
+            tel_base: Instant::now(),
         })
         .collect()
 }
@@ -274,6 +282,24 @@ impl Endpoint {
         self.reliability = reliability;
     }
 
+    /// Attach a telemetry sink (call before moving the endpoint into its
+    /// thread); event timestamps restart at this call. A disabled sink —
+    /// the default — records nothing.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.tel = sink;
+        self.tel_base = Instant::now();
+    }
+
+    /// The endpoint's telemetry sink (shared with `health` helpers).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.tel
+    }
+
+    /// Nanoseconds since the telemetry epoch ([`Endpoint::set_telemetry`]).
+    pub fn telemetry_now_ns(&self) -> u64 {
+        self.tel_base.elapsed().as_nanos() as u64
+    }
+
     pub fn reliability(&self) -> Reliability {
         self.reliability
     }
@@ -296,6 +322,15 @@ impl Endpoint {
         for attempt in 0..attempts {
             if attempt > 0 {
                 self.stats.retransmissions.fetch_add(1, Ordering::Relaxed);
+                self.tel.count(names::ARQ_RETRIES_TOTAL, &[], 1);
+                self.tel.event(
+                    self.telemetry_now_ns(),
+                    EventKind::ArqRetry {
+                        from: self.rank as u32,
+                        to: dst as u32,
+                        attempt,
+                    },
+                );
             }
             let outcome = match &self.fault {
                 Some(plan) => plan.message_outcome(self.rank as u64, dst as u64, seq, attempt),
@@ -367,6 +402,7 @@ impl Endpoint {
             }
         }
         self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+        self.tel.count(names::ARQ_TIMEOUTS_TOTAL, &[], 1);
         Err(RcceError::RetriesExhausted {
             rank: dst,
             attempts,
@@ -393,6 +429,7 @@ impl Endpoint {
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
                 self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                self.tel.count(names::ARQ_TIMEOUTS_TOTAL, &[], 1);
                 return Err(if saw_corrupt {
                     RcceError::Corrupt { rank: src }
                 } else {
@@ -411,6 +448,7 @@ impl Endpoint {
                 None => {
                     // Corrupt in flight: no ack, the sender will retry.
                     self.stats.corrupt_drops.fetch_add(1, Ordering::Relaxed);
+                    self.tel.count(names::ARQ_CORRUPT_DROPS_TOTAL, &[], 1);
                     saw_corrupt = true;
                     continue;
                 }

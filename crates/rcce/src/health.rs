@@ -75,7 +75,25 @@ pub fn send_heartbeat(ep: &Endpoint, dst: usize, seq: u64) -> Result<(), RcceErr
             rank: ep.rank() as u32,
             seq,
         }),
-    )
+    )?;
+    ep.telemetry()
+        .count(scc_telemetry::names::HEARTBEATS_TOTAL, &[], 1);
+    Ok(())
+}
+
+/// Record a phi-detector death verdict on `ep`'s telemetry sink: a
+/// `heartbeat_miss` event plus the miss counter. Call when
+/// [`PhiDetector::is_dead`] first flips for a peer.
+pub fn record_heartbeat_miss(ep: &Endpoint, peer: usize, suspicion: f64) {
+    let tel = ep.telemetry();
+    tel.count(scc_telemetry::names::HEARTBEAT_MISSES_TOTAL, &[], 1);
+    tel.event(
+        ep.telemetry_now_ns(),
+        scc_telemetry::EventKind::HeartbeatMiss {
+            core: peer as u32,
+            suspicion,
+        },
+    );
 }
 
 /// Non-blocking poll for a heartbeat from `src`. `Ok(None)` when nothing

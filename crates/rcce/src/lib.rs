@@ -36,8 +36,8 @@ pub use comm::{communicator, CommStats, Endpoint, Reliability};
 pub use crc::crc32;
 pub use error::RcceError;
 pub use health::{
-    await_heartbeat, decode_heartbeat, encode_heartbeat, poll_heartbeat, send_heartbeat, Heartbeat,
-    PhiDetector, HEARTBEAT_WIRE_BYTES,
+    await_heartbeat, decode_heartbeat, encode_heartbeat, poll_heartbeat, record_heartbeat_miss,
+    send_heartbeat, Heartbeat, PhiDetector, HEARTBEAT_WIRE_BYTES,
 };
 pub use mpb::MpbConfig;
 pub use onesided::{one_sided, recv_via_get, send_via_put, OneSided};

@@ -1,0 +1,138 @@
+//! Chrome trace-event (`chrome://tracing`, Perfetto) exporter.
+//!
+//! This is the single renderer for both span sources: `scc-core`'s
+//! `TraceLog` converts its spans to [`ChromeSpan`]s and delegates here,
+//! and the telemetry event stream's `stage_start`/`stage_stop` pairs can
+//! be rendered directly with [`events_to_spans`]. One row ("thread") per
+//! SCC core; timestamps in microseconds.
+
+use crate::event::{Event, EventKind};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One complete ("X"-phase) Chrome trace span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeSpan {
+    pub name: String,
+    /// Category — the phase name (`wait`, `compute`, ...).
+    pub cat: String,
+    pub ts_us: f64,
+    pub dur_us: f64,
+    pub pid: u32,
+    pub tid: u32,
+}
+
+/// The span display name shared by the trace log and the event stream.
+pub fn span_name(stage: &str, pipeline: Option<u32>, frame: u64, phase: &str) -> String {
+    match pipeline {
+        Some(p) => format!("{stage} p{p} f{frame} {phase}"),
+        None => format!("{stage} f{frame} {phase}"),
+    }
+}
+
+/// Render spans as a Chrome trace-event JSON array.
+pub fn render(spans: &[ChromeSpan]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            r#"{{"name":"{}","cat":"{}","ph":"X","ts":{:.3},"dur":{:.3},"pid":1,"tid":{}}}"#,
+            s.name, s.cat, s.ts_us, s.dur_us, s.tid
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// Pair `stage_start`/`stage_stop` events into complete spans. Starts
+/// without a matching stop (a crashed stage) are dropped; pairing is by
+/// (stage, phase, core, pipeline, frame), latest-start-wins.
+pub fn events_to_spans(events: &[Event]) -> Vec<ChromeSpan> {
+    type Key = (&'static str, &'static str, u32, Option<u32>, u64);
+    let mut open: HashMap<Key, u64> = HashMap::new();
+    let mut spans = Vec::new();
+    for e in events {
+        match &e.kind {
+            EventKind::StageStart {
+                stage,
+                phase,
+                core,
+                pipeline,
+                frame,
+            } => {
+                open.insert((*stage, *phase, *core, *pipeline, *frame), e.at_ns);
+            }
+            EventKind::StageStop {
+                stage,
+                phase,
+                core,
+                pipeline,
+                frame,
+            } => {
+                if let Some(t0) = open.remove(&(*stage, *phase, *core, *pipeline, *frame)) {
+                    spans.push(ChromeSpan {
+                        name: span_name(stage, *pipeline, *frame, phase),
+                        cat: phase.to_string(),
+                        ts_us: t0 as f64 / 1e3,
+                        dur_us: e.at_ns.saturating_sub(t0) as f64 / 1e3,
+                        pid: 1,
+                        tid: *core,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pair_into_spans_and_render() {
+        let mk = |at_ns, start| Event {
+            at_ns,
+            kind: if start {
+                EventKind::StageStart {
+                    stage: "blur",
+                    phase: "compute",
+                    core: 2,
+                    pipeline: Some(0),
+                    frame: 7,
+                }
+            } else {
+                EventKind::StageStop {
+                    stage: "blur",
+                    phase: "compute",
+                    core: 2,
+                    pipeline: Some(0),
+                    frame: 7,
+                }
+            },
+        };
+        let spans = events_to_spans(&[
+            mk(10_000_000, true),
+            mk(15_000_000, false),
+            // A dangling start must not produce a span.
+            mk(20_000_000, true),
+        ]);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "blur p0 f7 compute");
+        assert_eq!(spans[0].tid, 2);
+        let json = render(&spans);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains(r#""ph":"X""#));
+        assert!(json.contains(r#""ts":10000.000"#));
+        assert!(json.contains(r#""dur":5000.000"#));
+    }
+
+    #[test]
+    fn empty_render() {
+        assert_eq!(render(&[]), "[]");
+    }
+}

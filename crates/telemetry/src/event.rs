@@ -1,0 +1,121 @@
+//! The structured event stream.
+//!
+//! Events are discrete, timestamped observations of the run's control
+//! plane — the things a counter can't narrate: which stage span opened
+//! when, which ARQ send needed a retry, which heartbeat crossed the phi
+//! threshold, where a pipeline migrated or degraded to. Timestamps are
+//! nanoseconds on the emitting backend's own axis (virtual time for the
+//! sim and DES runners, wall time since run start for native); a
+//! snapshot never mixes backends, so the axis is uniform within one
+//! stream.
+
+/// One timestamped event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    pub at_ns: u64,
+    pub kind: EventKind,
+}
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A stage opened a phase span (`phase` is the `trace::Phase` name).
+    StageStart {
+        stage: &'static str,
+        phase: &'static str,
+        core: u32,
+        pipeline: Option<u32>,
+        frame: u64,
+    },
+    /// The matching close of a [`EventKind::StageStart`] span.
+    StageStop {
+        stage: &'static str,
+        phase: &'static str,
+        core: u32,
+        pipeline: Option<u32>,
+        frame: u64,
+    },
+    /// A reliable send exhausted a timeout and retransmitted.
+    ArqRetry { from: u32, to: u32, attempt: u32 },
+    /// A phi-accrual detector (or its booked-simulation twin) declared a
+    /// core dead after missed heartbeats.
+    HeartbeatMiss { core: u32, suspicion: f64 },
+    /// The supervisor migrated a stage onto a spare core.
+    Migration {
+        stage: &'static str,
+        pipeline: u32,
+        from_core: u32,
+        to_core: u32,
+        frames_replayed: u32,
+    },
+    /// A pipeline was retired and its strip share reassigned.
+    Degradation {
+        pipeline: u32,
+        frame: u64,
+        survivors: u32,
+    },
+}
+
+impl EventKind {
+    /// Stable wire tag used by the JSON exporter and schema tests.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            EventKind::StageStart { .. } => "stage_start",
+            EventKind::StageStop { .. } => "stage_stop",
+            EventKind::ArqRetry { .. } => "arq_retry",
+            EventKind::HeartbeatMiss { .. } => "heartbeat_miss",
+            EventKind::Migration { .. } => "migration",
+            EventKind::Degradation { .. } => "degradation",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names_are_stable() {
+        let kinds = [
+            EventKind::StageStart {
+                stage: "blur",
+                phase: "compute",
+                core: 1,
+                pipeline: Some(0),
+                frame: 7,
+            },
+            EventKind::ArqRetry {
+                from: 1,
+                to: 2,
+                attempt: 1,
+            },
+            EventKind::HeartbeatMiss {
+                core: 3,
+                suspicion: 3.5,
+            },
+            EventKind::Migration {
+                stage: "scratch",
+                pipeline: 0,
+                from_core: 3,
+                to_core: 40,
+                frames_replayed: 2,
+            },
+            EventKind::Degradation {
+                pipeline: 1,
+                frame: 9,
+                survivors: 2,
+            },
+        ];
+        let tags: Vec<&str> = kinds.iter().map(|k| k.type_name()).collect();
+        assert_eq!(
+            tags,
+            vec![
+                "stage_start",
+                "arq_retry",
+                "heartbeat_miss",
+                "migration",
+                "degradation"
+            ]
+        );
+    }
+}

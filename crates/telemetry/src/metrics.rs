@@ -1,0 +1,304 @@
+//! Lock-cheap metric primitives and the name+labels registry.
+//!
+//! All hot-path mutation is a single atomic RMW: counters and histogram
+//! buckets are `AtomicU64`s, gauges store f64 bit patterns. Histogram
+//! sums accumulate in integer **micro-units** so concurrent observation
+//! is associative — the exported sum is bit-identical regardless of the
+//! interleaving, which keeps native-backend snapshots deterministic for
+//! a fixed seed. The registry itself takes a mutex only on
+//! get-or-create; callers cache the returned handles in loops.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotone event count.
+#[derive(Debug, Default)]
+pub struct CounterCell {
+    value: AtomicU64,
+}
+
+/// Last-write-wins f64 sample (stored as bit pattern).
+#[derive(Debug, Default)]
+pub struct GaugeCell {
+    bits: AtomicU64,
+}
+
+/// Fixed-bucket histogram: `bounds` are strictly increasing upper bucket
+/// edges; an implicit `+Inf` bucket catches the overflow tail.
+#[derive(Debug)]
+pub struct HistogramCell {
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` buckets; the last is `+Inf`.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observations in 1e-6 units (integer adds are associative).
+    sum_micros: AtomicU64,
+}
+
+impl CounterCell {
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl GaugeCell {
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+impl HistogramCell {
+    fn new(bounds: &[f64]) -> HistogramCell {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must strictly increase"
+        );
+        HistogramCell {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let micros = if v.is_finite() && v > 0.0 {
+            (v * 1e6).round() as u64
+        } else {
+            0
+        };
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+    }
+}
+
+/// Cheap-clone handle onto a registered counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<CounterCell>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.0.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.add(n);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// Cheap-clone handle onto a registered gauge.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<GaugeCell>);
+
+impl Gauge {
+    pub fn set(&self, v: f64) {
+        self.0.set(v);
+    }
+
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+}
+
+/// Cheap-clone handle onto a registered histogram.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCell>);
+
+impl Histogram {
+    pub fn observe(&self, v: f64) {
+        self.0.observe(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count()
+    }
+
+    pub fn bounds(&self) -> Vec<f64> {
+        self.0.bounds().to_vec()
+    }
+
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0.bucket_counts()
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.0.sum()
+    }
+}
+
+/// Identity of a time series: metric name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct SeriesKey {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+}
+
+pub(crate) fn sorted_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    out.sort();
+    out
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum Series {
+    Counter(Arc<CounterCell>),
+    Gauge(Arc<GaugeCell>),
+    Histogram(Arc<HistogramCell>),
+}
+
+/// Get-or-create store of every live series, keyed by name + sorted
+/// labels. Iteration order (and therefore every exporter's output order)
+/// is the `BTreeMap` order: name, then label pairs.
+#[derive(Debug, Default)]
+pub struct Registry {
+    series: Mutex<BTreeMap<SeriesKey, Series>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = SeriesKey {
+            name: name.to_string(),
+            labels: sorted_labels(labels),
+        };
+        let mut series = self.series.lock().unwrap();
+        match series
+            .entry(key)
+            .or_insert_with(|| Series::Counter(Arc::new(CounterCell::default())))
+        {
+            Series::Counter(c) => Counter(Arc::clone(c)),
+            _ => panic!("series {name} already registered with a different type"),
+        }
+    }
+
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = SeriesKey {
+            name: name.to_string(),
+            labels: sorted_labels(labels),
+        };
+        let mut series = self.series.lock().unwrap();
+        match series
+            .entry(key)
+            .or_insert_with(|| Series::Gauge(Arc::new(GaugeCell::default())))
+        {
+            Series::Gauge(g) => Gauge(Arc::clone(g)),
+            _ => panic!("series {name} already registered with a different type"),
+        }
+    }
+
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], bounds: &[f64]) -> Histogram {
+        let key = SeriesKey {
+            name: name.to_string(),
+            labels: sorted_labels(labels),
+        };
+        let mut series = self.series.lock().unwrap();
+        match series
+            .entry(key)
+            .or_insert_with(|| Series::Histogram(Arc::new(HistogramCell::new(bounds))))
+        {
+            Series::Histogram(h) => {
+                assert_eq!(
+                    h.bounds(),
+                    bounds,
+                    "series {name} already registered with different bucket bounds"
+                );
+                Histogram(Arc::clone(h))
+            }
+            _ => panic!("series {name} already registered with a different type"),
+        }
+    }
+
+    pub(crate) fn iter_sorted(&self) -> Vec<(SeriesKey, Series)> {
+        self.series
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let reg = Registry::new();
+        let c = reg.counter("scc_test_total", &[("stage", "blur")]);
+        c.inc();
+        c.add(4);
+        // Same name+labels resolves to the same cell, label order ignored.
+        let again = reg.counter("scc_test_total", &[("stage", "blur")]);
+        assert_eq!(again.get(), 5);
+        let g = reg.gauge("scc_test_gauge", &[]);
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+    }
+
+    #[test]
+    fn histogram_buckets_clamp_and_sum() {
+        let reg = Registry::new();
+        let h = reg.histogram("scc_test_ms", &[], &[1.0, 10.0]);
+        h.observe(0.5); // bucket 0 (<= 1.0)
+        h.observe(1.0); // bucket 0 (inclusive upper edge)
+        h.observe(5.0); // bucket 1
+        h.observe(100.0); // +Inf bucket
+        h.observe(f64::NAN); // lands in +Inf, contributes 0 to the sum
+        assert_eq!(h.bucket_counts(), vec![2, 1, 2]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 106.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("scc_dup", &[]);
+        reg.gauge("scc_dup", &[]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Prometheus text exposition rendering of a [`Snapshot`].
+//!
+//! Families are emitted in sorted name order, series within a family in
+//! sorted label order (both inherited from the snapshot), label keys
+//! sorted at registration — so the whole document is a pure function of
+//! the recorded values.
+
+use crate::json::fmt_f64;
+use crate::snapshot::Snapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, String)>) -> String {
+    let mut pairs: Vec<(String, String)> = labels.to_vec();
+    if let Some((k, v)) = extra {
+        pairs.push((k.to_string(), v));
+        pairs.sort();
+    }
+    if pairs.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn le_text(bound: Option<f64>) -> String {
+    match bound {
+        Some(b) => fmt_f64(b),
+        None => "+Inf".to_string(),
+    }
+}
+
+enum Family<'a> {
+    Counter(Vec<&'a crate::snapshot::CounterSample>),
+    Gauge(Vec<&'a crate::snapshot::GaugeSample>),
+    Histogram(Vec<&'a crate::snapshot::HistogramSample>),
+}
+
+/// Render the snapshot in Prometheus text exposition format.
+pub fn render(snap: &Snapshot) -> String {
+    // Merge the three sample kinds into one name-sorted family map so
+    // `# TYPE` headers appear exactly once per family, in name order.
+    let mut families: BTreeMap<&str, Family> = BTreeMap::new();
+    for s in &snap.counters {
+        match families
+            .entry(&s.name)
+            .or_insert_with(|| Family::Counter(Vec::new()))
+        {
+            Family::Counter(v) => v.push(s),
+            _ => unreachable!("registry enforces one type per name"),
+        }
+    }
+    for s in &snap.gauges {
+        match families
+            .entry(&s.name)
+            .or_insert_with(|| Family::Gauge(Vec::new()))
+        {
+            Family::Gauge(v) => v.push(s),
+            _ => unreachable!("registry enforces one type per name"),
+        }
+    }
+    for s in &snap.histograms {
+        match families
+            .entry(&s.name)
+            .or_insert_with(|| Family::Histogram(Vec::new()))
+        {
+            Family::Histogram(v) => v.push(s),
+            _ => unreachable!("registry enforces one type per name"),
+        }
+    }
+
+    let mut out = String::new();
+    for (name, family) in families {
+        match family {
+            Family::Counter(samples) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                for s in samples {
+                    let _ = writeln!(out, "{name}{} {}", label_block(&s.labels, None), s.value);
+                }
+            }
+            Family::Gauge(samples) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                for s in samples {
+                    let _ = writeln!(
+                        out,
+                        "{name}{} {}",
+                        label_block(&s.labels, None),
+                        fmt_f64(s.value)
+                    );
+                }
+            }
+            Family::Histogram(samples) => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                for s in samples {
+                    let mut cumulative = 0u64;
+                    for (i, &count) in s.bucket_counts.iter().enumerate() {
+                        cumulative += count;
+                        let le = le_text(s.bounds.get(i).copied());
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {cumulative}",
+                            label_block(&s.labels, Some(("le", le)))
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{name}_sum{} {}",
+                        label_block(&s.labels, None),
+                        fmt_f64(s.sum)
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{name}_count{} {}",
+                        label_block(&s.labels, None),
+                        s.count
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TelemetrySink;
+
+    #[test]
+    fn exposition_is_sorted_and_complete() {
+        let sink = TelemetrySink::enabled();
+        // Register deliberately out of name / label order.
+        sink.gauge("scc_walkthrough_seconds", &[], 1.25);
+        sink.count(
+            "scc_stage_frames_total",
+            &[("stage", "sepia"), ("pipeline", "1")],
+            4,
+        );
+        sink.count(
+            "scc_stage_frames_total",
+            &[("pipeline", "0"), ("stage", "blur")],
+            3,
+        );
+        sink.observe("scc_stage_idle_ms", &[("stage", "blur")], &[1.0, 5.0], 0.5);
+        sink.observe("scc_stage_idle_ms", &[("stage", "blur")], &[1.0, 5.0], 9.0);
+        let text = render(&sink.snapshot().unwrap());
+
+        let expected = "\
+# TYPE scc_stage_frames_total counter
+scc_stage_frames_total{pipeline=\"0\",stage=\"blur\"} 3
+scc_stage_frames_total{pipeline=\"1\",stage=\"sepia\"} 4
+# TYPE scc_stage_idle_ms histogram
+scc_stage_idle_ms_bucket{le=\"1\",stage=\"blur\"} 1
+scc_stage_idle_ms_bucket{le=\"5\",stage=\"blur\"} 1
+scc_stage_idle_ms_bucket{le=\"+Inf\",stage=\"blur\"} 2
+scc_stage_idle_ms_sum{stage=\"blur\"} 9.5
+scc_stage_idle_ms_count{stage=\"blur\"} 2
+# TYPE scc_walkthrough_seconds gauge
+scc_walkthrough_seconds 1.25
+";
+        assert_eq!(text, expected);
+    }
+}

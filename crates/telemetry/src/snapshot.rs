@@ -1,0 +1,203 @@
+//! [`Snapshot`] — the immutable view of a finished (or in-flight) run.
+//!
+//! Sample vectors come out of the registry's `BTreeMap`, so they are
+//! sorted by metric name then label pairs; events are sorted by
+//! timestamp. Exporters only ever walk a snapshot, which is what makes
+//! their output deterministic for a fixed seed.
+
+use crate::event::Event;
+use crate::metrics::{Registry, Series};
+
+/// One counter sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: u64,
+}
+
+/// One gauge sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+/// One histogram sample: per-bucket counts plus count/sum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    /// Upper bucket edges; `bucket_counts` has one extra `+Inf` slot.
+    pub bounds: Vec<f64>,
+    pub bucket_counts: Vec<u64>,
+    pub count: u64,
+    pub sum: f64,
+}
+
+impl HistogramSample {
+    /// Index of the bucket holding the sample of (0-based) rank `r`.
+    fn bucket_of_rank(&self, r: u64) -> usize {
+        let mut cum = 0u64;
+        for (i, &c) in self.bucket_counts.iter().enumerate() {
+            cum += c;
+            if cum > r {
+                return i;
+            }
+        }
+        self.bucket_counts.len().saturating_sub(1)
+    }
+
+    /// Edges `(lo, hi)` bracketing the `q`-quantile (type-7 rank, the
+    /// same convention as `scc_sim::stats::Quartiles`): the exact
+    /// quantile of the underlying samples is guaranteed to lie in
+    /// `lo..=hi`. `lo` is `-Inf` for the first bucket, `hi` is `+Inf`
+    /// for the overflow bucket. `None` when the histogram is empty.
+    pub fn quantile_bracket(&self, q: f64) -> Option<(f64, f64)> {
+        if self.count == 0 {
+            return None;
+        }
+        // Type-7 interpolates between the samples at floor/ceil of
+        // q*(n-1), so the bracket must span both samples' buckets.
+        let pos = q.clamp(0.0, 1.0) * (self.count - 1) as f64;
+        let lo_bucket = self.bucket_of_rank(pos.floor() as u64);
+        let hi_bucket = self.bucket_of_rank(pos.ceil() as u64);
+        let lo = if lo_bucket == 0 {
+            f64::NEG_INFINITY
+        } else {
+            self.bounds[lo_bucket - 1]
+        };
+        let hi = if hi_bucket >= self.bounds.len() {
+            f64::INFINITY
+        } else {
+            self.bounds[hi_bucket]
+        };
+        Some((lo, hi))
+    }
+
+    /// Point estimate for the `q`-quantile: the upper edge of its
+    /// bracket (finite edge preferred when the bracket is open-ended).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.quantile_bracket(q).map(|(lo, hi)| {
+            if hi.is_finite() {
+                hi
+            } else if lo.is_finite() {
+                lo
+            } else {
+                0.0
+            }
+        })
+    }
+}
+
+/// Everything a sink had observed when the snapshot was taken.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    pub counters: Vec<CounterSample>,
+    pub gauges: Vec<GaugeSample>,
+    pub histograms: Vec<HistogramSample>,
+    pub events: Vec<Event>,
+}
+
+impl Snapshot {
+    pub(crate) fn from_parts(registry: &Registry, events: Vec<Event>) -> Snapshot {
+        let mut snap = Snapshot {
+            events,
+            ..Snapshot::default()
+        };
+        for (key, series) in registry.iter_sorted() {
+            match series {
+                Series::Counter(c) => snap.counters.push(CounterSample {
+                    name: key.name,
+                    labels: key.labels,
+                    value: c.get(),
+                }),
+                Series::Gauge(g) => snap.gauges.push(GaugeSample {
+                    name: key.name,
+                    labels: key.labels,
+                    value: g.get(),
+                }),
+                Series::Histogram(h) => snap.histograms.push(HistogramSample {
+                    name: key.name,
+                    labels: key.labels,
+                    bounds: h.bounds().to_vec(),
+                    bucket_counts: h.bucket_counts(),
+                    count: h.count(),
+                    sum: h.sum(),
+                }),
+            }
+        }
+        snap
+    }
+
+    /// Total number of metric samples (counters + gauges + histograms).
+    pub fn metric_count(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// First counter sample matching `name` and all of `labels`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<&CounterSample> {
+        self.counters
+            .iter()
+            .find(|s| s.name == name && labels_match(&s.labels, labels))
+    }
+
+    /// First gauge sample matching `name` and all of `labels`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<&GaugeSample> {
+        self.gauges
+            .iter()
+            .find(|s| s.name == name && labels_match(&s.labels, labels))
+    }
+
+    /// First histogram sample matching `name` and all of `labels`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSample> {
+        self.histograms
+            .iter()
+            .find(|s| s.name == name && labels_match(&s.labels, labels))
+    }
+}
+
+fn labels_match(have: &[(String, String)], want: &[(&str, &str)]) -> bool {
+    want.iter()
+        .all(|(k, v)| have.iter().any(|(hk, hv)| hk == k && hv == v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(bounds: &[f64], counts: &[u64]) -> HistogramSample {
+        HistogramSample {
+            name: "scc_test_ms".into(),
+            labels: vec![],
+            bounds: bounds.to_vec(),
+            bucket_counts: counts.to_vec(),
+            count: counts.iter().sum(),
+            sum: 0.0,
+        }
+    }
+
+    #[test]
+    fn quantile_bracket_brackets_exact_quantiles() {
+        // 10 samples: 4 in (≤1], 4 in (1,10], 2 in (10,+Inf).
+        let h = sample(&[1.0, 10.0], &[4, 4, 2]);
+        // Median rank 4.5 → samples 4 and 5, both in bucket 1.
+        assert_eq!(h.quantile_bracket(0.5), Some((1.0, 10.0)));
+        // q0 in the first bucket (open lower edge).
+        assert_eq!(h.quantile_bracket(0.0), Some((f64::NEG_INFINITY, 1.0)));
+        // q1 in the overflow bucket.
+        assert_eq!(h.quantile_bracket(1.0), Some((10.0, f64::INFINITY)));
+        // Rank straddling a bucket edge widens the bracket.
+        let h2 = sample(&[1.0, 10.0], &[4, 4, 0]);
+        // q=3.5/7 → ranks 3 and 4 → buckets 0 and 1.
+        assert_eq!(h2.quantile_bracket(0.5), Some((f64::NEG_INFINITY, 10.0)));
+    }
+
+    #[test]
+    fn quantile_of_empty_is_none() {
+        let h = sample(&[1.0], &[0, 0]);
+        assert_eq!(h.quantile_bracket(0.5), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+}

@@ -70,17 +70,14 @@ impl FuzzCase {
     /// A small, clean starting point (the fuzzer's corpus seed).
     pub fn base(seed: u64) -> FuzzCase {
         FuzzCase {
-            cfg: RunConfig {
-                pipelines: 2,
-                width: 48,
-                height: 32,
-                frames: 3,
-                seed,
-                fidelity: Fidelity::Full,
-                trace: false,
-                verify: false,
-                ..RunConfig::default()
-            },
+            cfg: RunConfig::builder()
+                .pipelines(2)
+                .size(48, 32)
+                .frames(3)
+                .seed(seed)
+                .fidelity(Fidelity::Full)
+                .build()
+                .expect("valid config"),
         }
     }
 

@@ -1,6 +1,6 @@
 //! # scc-verify — the conformance harness
 //!
-//! Three layers of defence for the macro-pipelining framework, each
+//! Four layers of defence for the macro-pipelining framework, each
 //! independent of the code it checks:
 //!
 //! * **golden run-digests** ([`golden_matrix`], [`digest_case`]) — a
@@ -16,7 +16,11 @@
 //!   binary) — mutates fault plans, kill schedules and tunings, keeps
 //!   mutants that reach new fault-decision branches or recovery phases,
 //!   and shrinks any failure to a ≤ 10-line repro for
-//!   `tests/regressions/`.
+//!   `tests/regressions/`;
+//! * **telemetry conformance** ([`telemetry`]) — the golden matrix
+//!   re-run with `RunConfig::telemetry` on (digests must not move), the
+//!   exporter schema checks against `scc_telemetry::names::ALL`, and
+//!   the Figure 15 idle-quartile reproduction from live histograms.
 
 use scc_core::runner::sim::SimRunner;
 use scc_core::spec::{Fidelity, RunConfig};
@@ -26,6 +30,7 @@ use scc_render::{CityConfig, Scene};
 use std::sync::Arc;
 
 pub mod fuzz;
+pub mod telemetry;
 
 /// FNV-1a offset basis (the same constants `viz::frame_checksum` uses,
 /// so every hash in the harness speaks one dialect).
@@ -67,17 +72,16 @@ pub struct GoldenCase {
 }
 
 fn base_cfg() -> RunConfig {
-    RunConfig {
-        pipelines: 2,
-        width: 64,
-        height: 48,
-        frames: 4,
-        seed: 11,
-        fidelity: Fidelity::Full,
-        trace: true,
-        verify: true,
-        ..RunConfig::default()
-    }
+    RunConfig::builder()
+        .pipelines(2)
+        .size(64, 48)
+        .frames(4)
+        .seed(11)
+        .fidelity(Fidelity::Full)
+        .trace(true)
+        .verify(true)
+        .build()
+        .expect("valid config")
 }
 
 /// The golden matrix: every renderer mode × every arrangement, plus a

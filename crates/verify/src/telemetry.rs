@@ -1,0 +1,187 @@
+//! Telemetry conformance checks — the verify job's `telemetry` step.
+//!
+//! Three guarantees, each checked against the same golden matrix the
+//! run-digests pin:
+//!
+//! * **observation has no observer effect** — running any golden case
+//!   with [`RunConfig::telemetry`](scc_core::RunConfig) enabled must
+//!   leave its pinned digest byte-identical;
+//! * **the exporters speak the catalogued schema** — every metric name
+//!   in a snapshot comes from [`scc_telemetry::names::ALL`], events are
+//!   time-ordered, and the Prometheus / JSON exporters render every
+//!   family they are given;
+//! * **Figure 15 falls out of the live metrics** — for every stage the
+//!   `scc_stage_idle_ms` histogram's quantile brackets must contain the
+//!   report's exact `idle_ms` quartiles.
+
+use crate::GoldenCase;
+use scc_core::WalkthroughReport;
+use scc_telemetry::{names, Snapshot};
+
+/// The same golden case with telemetry recording switched on. The name
+/// is kept: its digest must match the telemetry-off pinned file.
+pub fn with_telemetry(case: &GoldenCase) -> GoldenCase {
+    let mut cfg = case.cfg.clone();
+    cfg.telemetry = true;
+    GoldenCase {
+        name: case.name.clone(),
+        cfg,
+    }
+}
+
+/// Check a snapshot against the metric-name catalogue and the exporter
+/// contracts. Returns every violation, one per line.
+pub fn check_snapshot_schema(snap: &Snapshot) -> Result<(), String> {
+    let mut errs = Vec::new();
+    let catalogued = |name: &str| names::ALL.contains(&name);
+    for s in &snap.counters {
+        if !catalogued(&s.name) {
+            errs.push(format!("counter {} not in names::ALL", s.name));
+        }
+    }
+    for s in &snap.gauges {
+        if !catalogued(&s.name) {
+            errs.push(format!("gauge {} not in names::ALL", s.name));
+        }
+    }
+    for s in &snap.histograms {
+        if !catalogued(&s.name) {
+            errs.push(format!("histogram {} not in names::ALL", s.name));
+        }
+        if s.bucket_counts.len() != s.bounds.len() + 1 {
+            errs.push(format!(
+                "histogram {}: {} buckets for {} bounds (want bounds+1)",
+                s.name,
+                s.bucket_counts.len(),
+                s.bounds.len()
+            ));
+        }
+        if s.bucket_counts.iter().sum::<u64>() != s.count {
+            errs.push(format!(
+                "histogram {}: bucket counts disagree with count",
+                s.name
+            ));
+        }
+    }
+    if snap.events.windows(2).any(|w| w[0].at_ns > w[1].at_ns) {
+        errs.push("events are not time-ordered".to_string());
+    }
+
+    // Prometheus exposition: exactly one `# TYPE` header per family.
+    let prom = scc_telemetry::prometheus::render(snap);
+    for s in &snap.counters {
+        let header = format!("# TYPE {} counter", s.name);
+        if prom.matches(&header).count() != 1 {
+            errs.push(format!("prometheus: missing/duplicated `{header}`"));
+        }
+    }
+    for s in &snap.histograms {
+        let header = format!("# TYPE {} histogram", s.name);
+        if prom.matches(&header).count() != 1 {
+            errs.push(format!("prometheus: missing/duplicated `{header}`"));
+        }
+    }
+
+    // JSON exporter: schema tag present, document balanced.
+    let json = scc_telemetry::json::render(snap);
+    if !json.contains(&format!(
+        "\"schema\": \"{}\"",
+        scc_telemetry::json::SNAPSHOT_SCHEMA
+    )) {
+        errs.push("json: schema tag missing".to_string());
+    }
+    if json.matches('{').count() != json.matches('}').count()
+        || json.matches('[').count() != json.matches(']').count()
+    {
+        errs.push("json: unbalanced braces/brackets".to_string());
+    }
+
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs.join("\n"))
+    }
+}
+
+/// Check that the live `scc_stage_idle_ms` histograms reproduce the
+/// report's Figure 15 idle quartiles: for every stage with an idle
+/// distribution, each exact quartile must lie inside the histogram's
+/// quantile bracket (the tightest statement a fixed-bucket sketch can
+/// make). Returns every violation, one per line.
+pub fn check_idle_quartiles(report: &WalkthroughReport) -> Result<(), String> {
+    let snap = report
+        .telemetry
+        .as_ref()
+        .ok_or("report carries no telemetry snapshot")?;
+    let mut errs = Vec::new();
+    let mut checked = 0usize;
+    for s in &report.stage_reports {
+        let Some(q) = &s.idle_ms else { continue };
+        let pl = s.pipeline.map(|i| i.to_string());
+        let labels = [
+            ("pipeline", pl.as_deref().unwrap_or("-")),
+            ("stage", s.kind.name()),
+        ];
+        let Some(h) = snap.histogram(names::STAGE_IDLE_MS, &labels) else {
+            errs.push(format!(
+                "no {} histogram for stage {} p{:?}",
+                names::STAGE_IDLE_MS,
+                s.kind.name(),
+                s.pipeline
+            ));
+            continue;
+        };
+        for (tag, quantile, exact) in [
+            ("q1", 0.25, q.q1),
+            ("median", 0.50, q.median),
+            ("q3", 0.75, q.q3),
+        ] {
+            match h.quantile_bracket(quantile) {
+                Some((lo, hi)) if lo <= exact && exact <= hi => checked += 1,
+                Some((lo, hi)) => errs.push(format!(
+                    "stage {} p{:?} {tag}: exact {exact} ms outside bracket [{lo}, {hi}]",
+                    s.kind.name(),
+                    s.pipeline
+                )),
+                None => errs.push(format!(
+                    "stage {} p{:?}: empty idle histogram",
+                    s.kind.name(),
+                    s.pipeline
+                )),
+            }
+        }
+    }
+    if checked == 0 {
+        errs.push("no idle quartiles were checked".to_string());
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden_matrix;
+
+    #[test]
+    fn with_telemetry_only_flips_the_flag() {
+        let case = &golden_matrix()[0];
+        let on = with_telemetry(case);
+        assert!(on.cfg.telemetry && !case.cfg.telemetry);
+        assert_eq!(on.name, case.name);
+        let mut roundtrip = on.cfg.clone();
+        roundtrip.telemetry = false;
+        assert_eq!(format!("{roundtrip:?}"), format!("{:?}", case.cfg));
+    }
+
+    #[test]
+    fn schema_check_flags_uncatalogued_names() {
+        let sink = scc_telemetry::TelemetrySink::enabled();
+        sink.count("scc_not_in_catalogue_total", &[], 1);
+        let err = check_snapshot_schema(&sink.snapshot().unwrap()).unwrap_err();
+        assert!(err.contains("not in names::ALL"), "{err}");
+    }
+}

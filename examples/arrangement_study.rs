@@ -7,12 +7,13 @@
 //! cargo run --release -p scc-core --example arrangement_study
 //! ```
 
-use scc_core::{place, Arrangement, RendererMode, RunConfig, SimRunner};
-use scc_render::{CityConfig, Scene};
+use scc_core::{
+    default_scene, place, run_with_scene, Arrangement, Backend, RendererMode, RunConfig,
+};
 use std::sync::Arc;
 
 fn main() {
-    let scene = Arc::new(Scene::city(CityConfig::default()));
+    let scene = default_scene();
     // Show where the stages land on the die for each arrangement
     // (R render, C connector, s/b/c/f/w the filter chain, T transfer).
     for arr in Arrangement::all() {
@@ -26,13 +27,13 @@ fn main() {
     for p in [2u32, 4, 6] {
         let mut row = Vec::new();
         for arr in Arrangement::all() {
-            let config = RunConfig {
-                renderer: RendererMode::McpcRenderer,
-                arrangement: arr,
-                pipelines: p,
-                ..RunConfig::default()
-            };
-            let r = SimRunner::new(config, Arc::clone(&scene)).run();
+            let config = RunConfig::builder()
+                .renderer(RendererMode::McpcRenderer)
+                .arrangement(arr)
+                .pipelines(p)
+                .build()
+                .expect("valid config");
+            let r = run_with_scene(&config, Backend::Sim, Arc::clone(&scene));
             row.push(r.total_secs);
         }
         let spread = 100.0

@@ -11,11 +11,18 @@
 //! ```
 
 use scc_core::{
-    Arrangement, FaultSpec, Fidelity, KillSpec, RendererMode, RunConfig, SimRunner, StallSpec,
-    WalkthroughReport,
+    default_scene, run_with_scene, Backend, BackendReport, FaultSpec, Fidelity, KillSpec,
+    RunConfig, StallSpec, WalkthroughReport,
 };
-use scc_render::{CityConfig, Scene};
 use std::sync::Arc;
+
+/// Run `cfg` on the sim backend and unwrap the full walkthrough report.
+fn simulate(cfg: &RunConfig, scene: Arc<scc_render::Scene>) -> WalkthroughReport {
+    match run_with_scene(cfg, Backend::Sim, scene).report {
+        BackendReport::Sim(report) => report,
+        _ => unreachable!("sim backend returns a sim report"),
+    }
+}
 
 /// Count the chaotic run's frames that are bit-identical to the clean
 /// run's, and insist all of them are.
@@ -37,45 +44,46 @@ fn assert_film_intact(clean: &WalkthroughReport, chaotic: &WalkthroughReport) {
 }
 
 fn main() {
-    let clean = RunConfig {
-        renderer: RendererMode::SingleRenderer,
-        arrangement: Arrangement::Ordered,
-        pipelines: 3,
-        width: 200,
-        height: 200,
-        frames: 48,
-        seed: 7,
-        fidelity: Fidelity::Full,
-        trace: false,
-        verify: false,
-        fault: None,
-        tuning: scc_core::NativeTuning::default(),
-    };
-    let mut chaotic = clean.clone();
-    chaotic.fault = Some(FaultSpec {
-        seed: 0xC1A05,
-        drop_rate: 0.01,
-        corrupt_rate: 0.005,
-        delay_rate: 0.05,
-        degraded_links: 2,
-        degrade_factor: 0.5,
-        // Pipeline 1's scratch core dies 100 virtual ms into the run.
-        stall: Some(StallSpec {
-            pipeline: 1,
-            stage: 2,
-            at_ms: 100,
-            for_ms: u64::MAX,
-        }),
-        ..FaultSpec::default()
-    });
+    let clean = RunConfig::builder()
+        .pipelines(3)
+        .size(200, 200)
+        .frames(48)
+        .seed(7)
+        .fidelity(Fidelity::Full)
+        .build()
+        .expect("valid config");
+    let chaotic = RunConfig::builder()
+        .pipelines(3)
+        .size(200, 200)
+        .frames(48)
+        .seed(7)
+        .fidelity(Fidelity::Full)
+        .fault(FaultSpec {
+            seed: 0xC1A05,
+            drop_rate: 0.01,
+            corrupt_rate: 0.005,
+            delay_rate: 0.05,
+            degraded_links: 2,
+            degrade_factor: 0.5,
+            // Pipeline 1's scratch core dies 100 virtual ms into the run.
+            stall: Some(StallSpec {
+                pipeline: 1,
+                stage: 2,
+                at_ms: 100,
+                for_ms: u64::MAX,
+            }),
+            ..FaultSpec::default()
+        })
+        .build()
+        .expect("valid config");
 
-    let scene = Arc::new(Scene::city(CityConfig::default()));
+    let scene = default_scene();
     println!(
         "running {} frames twice: clean, then with injected faults...",
         clean.frames
     );
-    let baseline = SimRunner::new(clean.clone(), Arc::clone(&scene)).run();
-    let report = SimRunner::new(chaotic, Arc::clone(&scene)).run();
+    let baseline = simulate(&clean, Arc::clone(&scene));
+    let report = simulate(&chaotic, Arc::clone(&scene));
 
     println!(
         "\nclean walkthrough : {:8.2} virtual seconds",
@@ -116,7 +124,7 @@ fn main() {
         ..FaultSpec::default()
     });
     println!("\nkilling pipeline 1's blur core 50 ms in, supervisor armed...");
-    let healed = SimRunner::new(supervised, scene).run();
+    let healed = simulate(&supervised, scene);
     println!(
         "healed walkthrough: {:8.2} virtual seconds",
         healed.total_secs

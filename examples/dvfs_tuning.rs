@@ -7,18 +7,21 @@
 //! ```
 
 use scc_core::runner::sim::DvfsPlan;
-use scc_core::{place_dvfs_single_pipeline, CostModel, RendererMode, RunConfig, SimRunner};
-use scc_render::{CityConfig, Scene};
+use scc_core::{
+    default_scene, place_dvfs_single_pipeline, CostModel, RendererMode, RunConfig, SimRunner,
+};
 use scc_sim::{FreqMHz, IslandId, SccConfig, SccPlatform};
 use std::sync::Arc;
 
 fn main() {
-    let scene = Arc::new(Scene::city(CityConfig::default()));
-    let config = RunConfig {
-        renderer: RendererMode::McpcRenderer,
-        pipelines: 1,
-        ..RunConfig::default()
-    };
+    // DVFS plans are a sim-backend-specific knob, so this example stays
+    // on `SimRunner::with_parts` rather than the `scc_core::run` facade.
+    let scene = default_scene();
+    let config = RunConfig::builder()
+        .renderer(RendererMode::McpcRenderer)
+        .pipelines(1)
+        .build()
+        .expect("valid config");
     // Island-aware placement (Figure 18): blur alone in its voltage
     // island, the post-blur stages together in another.
     let placement = place_dvfs_single_pipeline(RendererMode::McpcRenderer);

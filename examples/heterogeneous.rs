@@ -6,13 +6,12 @@
 //! cargo run --release -p scc-core --example heterogeneous
 //! ```
 
-use scc_core::{Arrangement, RendererMode, RunConfig, SimRunner};
-use scc_render::{CityConfig, Scene};
+use scc_core::{default_scene, run_with_scene, Backend, BackendReport, RendererMode, RunConfig};
 use scc_sim::power::McpcPower;
 use std::sync::Arc;
 
 fn main() {
-    let scene = Arc::new(Scene::city(CityConfig::default()));
+    let scene = default_scene();
     let mcpc = McpcPower::default();
     println!(
         "{:<16} {:>4} {:>10} {:>10} {:>12}",
@@ -27,13 +26,15 @@ fn main() {
             if p > mode.max_pipelines() {
                 continue;
             }
-            let config = RunConfig {
-                renderer: mode,
-                arrangement: Arrangement::Ordered,
-                pipelines: p,
-                ..RunConfig::default()
+            let config = RunConfig::builder()
+                .renderer(mode)
+                .pipelines(p)
+                .build()
+                .expect("valid config");
+            let outcome = run_with_scene(&config, Backend::Sim, Arc::clone(&scene));
+            let BackendReport::Sim(r) = &outcome.report else {
+                unreachable!("sim backend returns a sim report");
             };
-            let r = SimRunner::new(config, Arc::clone(&scene)).run();
             println!(
                 "{:<16} {:>4} {:>9.1}s {:>8.1} W {:>10.0} J",
                 mode.name(),

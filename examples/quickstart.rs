@@ -5,41 +5,32 @@
 //! cargo run --release -p scc-core --example quickstart
 //! ```
 
-use scc_core::{Arrangement, Fidelity, RendererMode, RunConfig, SimRunner};
-use scc_render::{CityConfig, Scene};
-use std::sync::Arc;
+use scc_core::{run, Backend, BackendReport, RunConfig};
+use scc_telemetry::names;
 
 fn main() {
     // The paper's standard workload: a 400-frame walkthrough of a city
     // scene, 400x400 pixels per frame, three parallel pipelines fed by a
     // single render core on the chip.
-    let config = RunConfig {
-        renderer: RendererMode::SingleRenderer,
-        arrangement: Arrangement::Ordered,
-        pipelines: 3,
-        width: 400,
-        height: 400,
-        frames: 400,
-        seed: 7,
-        fidelity: Fidelity::TimingOnly,
-        trace: false,
-        verify: false,
-        fault: None,
-        tuning: scc_core::NativeTuning::default(),
-    };
-    let scene = Arc::new(Scene::city(CityConfig::default()));
+    let config = RunConfig::builder()
+        .pipelines(3)
+        .seed(7)
+        .telemetry(true)
+        .build()
+        .expect("valid config");
     println!(
-        "scene: {} triangles; running {} frames through {} pipelines...",
-        scene.triangle_count(),
-        config.frames,
-        config.pipelines
+        "running {} frames through {} pipelines...",
+        config.frames, config.pipelines
     );
 
-    let report = SimRunner::new(config, scene).run();
+    let outcome = run(&config, Backend::Sim);
+    let BackendReport::Sim(report) = &outcome.report else {
+        unreachable!("sim backend returns a sim report");
+    };
 
     println!(
         "\nwalkthrough time : {:8.1} virtual seconds",
-        report.total_secs
+        outcome.total_secs
     );
     println!(
         "speed-up vs core : {:8.2}x  (382 s single-core baseline)",
@@ -48,7 +39,7 @@ fn main() {
     println!("mean SCC power   : {:8.1} W", report.mean_power());
     println!("SCC energy       : {:8.0} J", report.scc_energy_joules);
     println!("\nper-stage busy time / utilisation:");
-    for s in &report.stage_reports {
+    for s in &outcome.stage_reports {
         println!(
             "  {:<9} pipeline {:<4} core {:>2}   busy {:>7.1}s  ({:4.0}%)",
             s.kind.name(),
@@ -57,7 +48,7 @@ fn main() {
                 .unwrap_or_else(|| "-".into()),
             s.core_id,
             s.busy_secs,
-            100.0 * s.busy_secs / report.total_secs
+            100.0 * s.busy_secs / outcome.total_secs
         );
     }
     println!(
@@ -66,4 +57,16 @@ fn main() {
         report.platform.mem_bytes as f64 / 1e6,
         report.platform.mem_imbalance
     );
+
+    // The same numbers are live metrics: the run carried a telemetry
+    // snapshot (scrapeable as Prometheus text or JSON).
+    let snap = outcome.telemetry.as_ref().expect("telemetry was enabled");
+    println!(
+        "\ntelemetry: {} metric families, {} events recorded",
+        snap.metric_count(),
+        snap.events.len()
+    );
+    if let Some(frames) = snap.counter(names::FRAMES_TOTAL, &[]) {
+        println!("  {} = {}", names::FRAMES_TOTAL, frames.value);
+    }
 }

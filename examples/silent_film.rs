@@ -5,12 +5,10 @@
 //! cargo run --release -p scc-core --example silent_film [out_dir]
 //! ```
 
-use scc_core::{run_native, Arrangement, Fidelity, RendererMode, RunConfig};
+use scc_core::{run, Backend, BackendReport, Fidelity, RunConfig};
 use scc_filters::Image;
-use scc_render::{CityConfig, Scene};
 use std::io::Write;
 use std::path::Path;
-use std::sync::Arc;
 
 fn write_ppm(img: &Image, path: &Path) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
@@ -28,26 +26,22 @@ fn main() {
         .unwrap_or_else(|| "target/silent_film".into());
     std::fs::create_dir_all(&out_dir).expect("create output dir");
 
-    let config = RunConfig {
-        renderer: RendererMode::SingleRenderer,
-        arrangement: Arrangement::Ordered,
-        pipelines: 4,
-        width: 320,
-        height: 240,
-        frames: 48,
-        seed: 1913, // a properly vintage year
-        fidelity: Fidelity::Full,
-        trace: false,
-        verify: false,
-        fault: None,
-        tuning: scc_core::NativeTuning::default(),
-    };
-    let scene = Arc::new(Scene::city(CityConfig::default()));
+    let config = RunConfig::builder()
+        .pipelines(4)
+        .size(320, 240)
+        .frames(48)
+        .seed(1913) // a properly vintage year
+        .fidelity(Fidelity::Full)
+        .build()
+        .expect("valid config");
     println!(
         "rendering {} frames at {}x{} through 4 parallel pipelines (native threads)...",
         config.frames, config.width, config.height
     );
-    let report = run_native(&config, scene);
+    let outcome = run(&config, Backend::Native);
+    let BackendReport::Native(report) = &outcome.report else {
+        unreachable!("native backend returns a native report");
+    };
     println!(
         "done in {:.2?} wall time ({:.1} frames/s)",
         report.wall,

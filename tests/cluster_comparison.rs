@@ -3,7 +3,7 @@
 //! (what is slowest on the SCC is fastest on the cluster).
 
 use scc_cluster::{cluster_walkthrough, ClusterMode};
-use scc_core::{Arrangement, RendererMode, RunConfig, SimRunner};
+use scc_core::{RendererMode, RunConfig, SimRunner};
 use scc_render::{CityConfig, Scene};
 use std::sync::Arc;
 
@@ -12,10 +12,10 @@ fn scene() -> Arc<Scene> {
 }
 
 fn cfg() -> RunConfig {
-    RunConfig {
-        frames: 60,
-        ..RunConfig::default()
-    }
+    RunConfig::builder()
+        .frames(60)
+        .build()
+        .expect("valid config")
 }
 
 fn cluster_secs(mode: ClusterMode, p: u32, s: &Arc<Scene>) -> f64 {
@@ -30,12 +30,12 @@ fn cluster_is_several_times_faster_than_the_scc() {
     let scc_best = (1..=8u32)
         .map(|p| {
             SimRunner::new(
-                RunConfig {
-                    renderer: RendererMode::McpcRenderer,
-                    arrangement: Arrangement::Ordered,
-                    pipelines: p,
-                    ..cfg()
-                },
+                RunConfig::builder()
+                    .renderer(RendererMode::McpcRenderer)
+                    .pipelines(p)
+                    .frames(60)
+                    .build()
+                    .expect("valid config"),
                 Arc::clone(&s),
             )
             .run()
@@ -56,12 +56,12 @@ fn seven_pipeline_cluster_is_an_order_of_magnitude_faster() {
     // SCC system."
     let s = scene();
     let scc7 = SimRunner::new(
-        RunConfig {
-            renderer: RendererMode::PerPipelineRenderer,
-            arrangement: Arrangement::Ordered,
-            pipelines: 7,
-            ..cfg()
-        },
+        RunConfig::builder()
+            .renderer(RendererMode::PerPipelineRenderer)
+            .pipelines(7)
+            .frames(60)
+            .build()
+            .expect("valid config"),
         Arc::clone(&s),
     )
     .run()

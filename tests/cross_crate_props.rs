@@ -49,20 +49,16 @@ proptest! {
         seed in any::<u64>(),
         scene_seed in 0u64..4,
     ) {
-        let cfg = RunConfig {
-            renderer: mode,
-            arrangement: arr,
-            pipelines,
-            width: 48,
-            height: 40,
-            frames,
-            seed,
-            fidelity: Fidelity::Full,
-        trace: false,
-        verify: false,
-        fault: None,
-        tuning: scc_core::NativeTuning::default(),
-    };
+        let cfg = RunConfig::builder()
+            .renderer(mode)
+            .arrangement(arr)
+            .pipelines(pipelines)
+            .size(48, 40)
+            .frames(frames)
+            .seed(seed)
+            .fidelity(Fidelity::Full)
+            .build()
+            .expect("every swept configuration fits the machine");
         let report = SimRunner::new(cfg.clone(), scene(scene_seed)).run();
         // The per-pipeline-renderer reference renders strips with band
         // frusta; the others split a full-frame render.
@@ -80,20 +76,15 @@ proptest! {
         pipelines in 1u32..4,
         frames in 1u64..4,
     ) {
-        let mut cfg = RunConfig {
-            renderer: mode,
-            arrangement: Arrangement::Ordered,
-            pipelines,
-            width: 40,
-            height: 40,
-            frames,
-            seed: 9,
-            fidelity: Fidelity::TimingOnly,
-        trace: false,
-        verify: false,
-        fault: None,
-        tuning: scc_core::NativeTuning::default(),
-    };
+        let mut cfg = RunConfig::builder()
+            .renderer(mode)
+            .pipelines(pipelines)
+            .size(40, 40)
+            .frames(frames)
+            .seed(9)
+            .fidelity(Fidelity::TimingOnly)
+            .build()
+            .expect("valid config");
         let t1 = SimRunner::new(cfg.clone(), scene(1)).run().total_secs;
         cfg.fidelity = Fidelity::Full;
         let t2 = SimRunner::new(cfg.clone(), scene(1)).run().total_secs;
@@ -110,20 +101,16 @@ proptest! {
         // Busy time per stage must scale down with strip size: the sum of
         // filter busy time across pipelines stays within a constant factor
         // of the one-pipeline total (no superlinear blow-up).
-        let mk = |p: u32| RunConfig {
-            renderer: RendererMode::SingleRenderer,
-            arrangement: Arrangement::Ordered,
-            pipelines: p,
-            width: 48,
-            height: 48,
-            frames,
-            seed: 3,
-            fidelity: Fidelity::TimingOnly,
-        trace: false,
-        verify: false,
-        fault: None,
-        tuning: scc_core::NativeTuning::default(),
-    };
+        let mk = |p: u32| {
+            RunConfig::builder()
+                .pipelines(p)
+                .size(48, 48)
+                .frames(frames)
+                .seed(3)
+                .fidelity(Fidelity::TimingOnly)
+                .build()
+                .expect("valid config")
+        };
         let one = SimRunner::new(mk(1), scene(2)).run();
         let many = SimRunner::new(mk(pipelines), scene(2)).run();
         let total = |r: &scc_core::WalkthroughReport| -> f64 {
@@ -150,20 +137,17 @@ proptest! {
         // hurt by more than a small tolerance (the paper's dip is a few
         // percent). Very short walkthroughs are excluded: with only a
         // couple of frames the longer fill of a wider pipeline dominates.
-        let mk = |p: u32| RunConfig {
-            renderer: RendererMode::McpcRenderer,
-            arrangement: Arrangement::Ordered,
-            pipelines: p,
-            width: 96,
-            height: 96,
-            frames,
-            seed: 3,
-            fidelity: Fidelity::TimingOnly,
-        trace: false,
-        verify: false,
-        fault: None,
-        tuning: scc_core::NativeTuning::default(),
-    };
+        let mk = |p: u32| {
+            RunConfig::builder()
+                .renderer(RendererMode::McpcRenderer)
+                .pipelines(p)
+                .size(96, 96)
+                .frames(frames)
+                .seed(3)
+                .fidelity(Fidelity::TimingOnly)
+                .build()
+                .expect("valid config")
+        };
         let t2 = SimRunner::new(mk(2), scene(0)).run().total_secs;
         let t4 = SimRunner::new(mk(4), scene(0)).run().total_secs;
         prop_assert!(t4 <= t2 * 1.15, "t2={t2} t4={t4}");

@@ -2,8 +2,7 @@
 
 use scc_core::runner::sim::DvfsPlan;
 use scc_core::{
-    place_dvfs_single_pipeline, Arrangement, CostModel, RendererMode, RunConfig, SimRunner,
-    WalkthroughReport,
+    place_dvfs_single_pipeline, CostModel, RendererMode, RunConfig, SimRunner, WalkthroughReport,
 };
 use scc_render::{CityConfig, Scene};
 use scc_sim::power::McpcPower;
@@ -15,13 +14,12 @@ fn scene() -> Arc<Scene> {
 }
 
 fn cfg(mode: RendererMode, pipelines: u32) -> RunConfig {
-    RunConfig {
-        renderer: mode,
-        arrangement: Arrangement::Ordered,
-        pipelines,
-        frames: 60,
-        ..RunConfig::default()
-    }
+    RunConfig::builder()
+        .renderer(mode)
+        .pipelines(pipelines)
+        .frames(60)
+        .build()
+        .expect("valid config")
 }
 
 fn dvfs_run(settings: Vec<(CoreId, FreqMHz)>, scene: &Arc<Scene>) -> WalkthroughReport {

@@ -18,20 +18,15 @@ fn scene() -> Arc<Scene> {
 }
 
 fn cfg(mode: RendererMode, pipelines: u32) -> RunConfig {
-    RunConfig {
-        renderer: mode,
-        arrangement: Arrangement::Ordered,
-        pipelines,
-        width: 72,
-        height: 60,
-        frames: 4,
-        seed: 2013,
-        fidelity: Fidelity::Full,
-        trace: false,
-        verify: false,
-        fault: None,
-        tuning: scc_core::NativeTuning::default(),
-    }
+    RunConfig::builder()
+        .renderer(mode)
+        .pipelines(pipelines)
+        .size(72, 60)
+        .frames(4)
+        .seed(2013)
+        .fidelity(Fidelity::Full)
+        .build()
+        .expect("valid config")
 }
 
 #[test]

@@ -1,0 +1,104 @@
+//! Facade equivalence: `scc_core::run` must be a pure repackaging of the
+//! direct entry points — identical report fingerprint for the sim
+//! backend, identical timeline for the DES validator, identical film for
+//! the native runner — across every renderer mode the backend covers.
+
+use scc_core::viz::frame_checksum;
+use scc_core::{
+    run_des, run_native, run_with_scene, Backend, BackendReport, Fidelity, RendererMode, RunConfig,
+    SimRunner,
+};
+use scc_render::{CityConfig, Scene};
+use std::sync::Arc;
+
+const MODES: [RendererMode; 3] = [
+    RendererMode::SingleRenderer,
+    RendererMode::PerPipelineRenderer,
+    RendererMode::McpcRenderer,
+];
+
+fn scene() -> Arc<Scene> {
+    Arc::new(Scene::city(CityConfig {
+        side: 4,
+        spacing: 8.0,
+        seed: 1,
+    }))
+}
+
+fn cfg(mode: RendererMode) -> RunConfig {
+    RunConfig::builder()
+        .renderer(mode)
+        .pipelines(2)
+        .size(48, 48)
+        .frames(3)
+        .seed(9)
+        .fidelity(Fidelity::Full)
+        .build()
+        .expect("valid config")
+}
+
+fn film(frames: &[scc_filters::Image]) -> Vec<u64> {
+    frames.iter().map(frame_checksum).collect()
+}
+
+#[test]
+fn sim_facade_matches_the_direct_runner_in_every_mode() {
+    for mode in MODES {
+        let c = cfg(mode);
+        let direct = SimRunner::new(c.clone(), scene()).run();
+        let outcome = run_with_scene(&c, Backend::Sim, scene());
+        assert_eq!(outcome.backend, Backend::Sim);
+        assert_eq!(outcome.total_secs, direct.total_secs, "{mode:?}");
+        assert_eq!(outcome.frames, c.frames, "{mode:?}");
+        let BackendReport::Sim(report) = &outcome.report else {
+            panic!("{mode:?}: sim backend must return a sim report");
+        };
+        assert_eq!(report.fingerprint(), direct.fingerprint(), "{mode:?}");
+        assert_eq!(
+            film(report.outputs.as_ref().expect("full fidelity")),
+            film(direct.outputs.as_ref().expect("full fidelity")),
+            "{mode:?}: facade changed the film"
+        );
+    }
+}
+
+#[test]
+fn des_facade_matches_the_direct_validator() {
+    let c = cfg(RendererMode::SingleRenderer);
+    let direct = run_des(&c, scene());
+    let outcome = run_with_scene(&c, Backend::Des, scene());
+    assert_eq!(outcome.backend, Backend::Des);
+    assert_eq!(outcome.total_secs, direct.total_secs);
+    assert_eq!(outcome.frames, c.frames);
+    let BackendReport::Des(report) = &outcome.report else {
+        panic!("des backend must return a DES report");
+    };
+    assert_eq!(report.total_secs, direct.total_secs);
+    assert_eq!(
+        film(report.frames.as_ref().expect("full fidelity")),
+        film(direct.frames.as_ref().expect("full fidelity")),
+        "facade changed the DES film"
+    );
+}
+
+#[test]
+fn native_facade_matches_the_direct_runner_in_every_mode() {
+    for mode in MODES {
+        let c = cfg(mode);
+        let direct = run_native(&c, scene());
+        let outcome = run_with_scene(&c, Backend::Native, scene());
+        assert_eq!(outcome.backend, Backend::Native);
+        let BackendReport::Native(report) = &outcome.report else {
+            panic!("{mode:?}: native backend must return a native report");
+        };
+        // Wall-clock differs run to run; the data path must not.
+        assert_eq!(
+            film(&report.frames),
+            film(&direct.frames),
+            "{mode:?}: facade changed the native film"
+        );
+        assert_eq!(outcome.frames as usize, direct.frames.len(), "{mode:?}");
+        assert!(outcome.total_secs > 0.0, "{mode:?}");
+        assert!(outcome.host.is_some(), "{mode:?}: host timing missing");
+    }
+}

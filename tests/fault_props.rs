@@ -11,8 +11,8 @@ use scc_core::runner::native::{decode_frame_checked, encode_frame};
 use scc_core::viz::frame_checksum;
 use scc_core::Frame;
 use scc_core::{
-    reference::reference_frames, run_native, Arrangement, FaultSpec, Fidelity, NativeTuning,
-    RendererMode, RunConfig, SimRunner, StallSpec,
+    reference::reference_frames, run_native, FaultSpec, Fidelity, NativeTuning, RunConfig,
+    SimRunner, StallSpec,
 };
 use scc_filters::{Image, StripInfo};
 use scc_render::{CityConfig, Scene};
@@ -133,18 +133,13 @@ proptest! {
         frames in 1u64..4,
     ) {
         let victim_pipeline = victim_pipeline_pick % pipelines;
-        let cfg = RunConfig {
-            renderer: RendererMode::SingleRenderer,
-            arrangement: Arrangement::Ordered,
-            pipelines,
-            width: 40,
-            height: 40,
-            frames,
-            seed: 31,
-            fidelity: Fidelity::Full,
-            trace: false,
-            verify: false,
-            fault: Some(FaultSpec {
+        let cfg = RunConfig::builder()
+            .pipelines(pipelines)
+            .size(40, 40)
+            .frames(frames)
+            .seed(31)
+            .fidelity(Fidelity::Full)
+            .fault(FaultSpec {
                 retry_budget,
                 stall: Some(StallSpec {
                     pipeline: victim_pipeline,
@@ -153,9 +148,9 @@ proptest! {
                     for_ms: u64::MAX,
                 }),
                 ..FaultSpec::default()
-            }),
-            tuning: scc_core::NativeTuning::default(),
-        };
+            })
+            .build()
+            .expect("valid config");
         let mut clean = cfg.clone();
         clean.fault = None;
         let want: Vec<u64> = reference_frames(&clean, scene())
@@ -194,26 +189,22 @@ proptest! {
         frames in 1u64..3,
         seed in 0u64..1000,
     ) {
-        let cfg = RunConfig {
-            renderer: RendererMode::SingleRenderer,
-            arrangement: Arrangement::Ordered,
-            pipelines: 2,
-            width: 40,
-            height: 40,
-            frames,
-            seed,
-            fidelity: Fidelity::Full,
-            trace: false,
-            verify: false,
-            fault: Some(FaultSpec {
+        let cfg = RunConfig::builder()
+            .pipelines(2)
+            .size(40, 40)
+            .frames(frames)
+            .seed(seed)
+            .fidelity(Fidelity::Full)
+            .fault(FaultSpec {
                 drop_rate: drop_pct as f64 / 100.0,
                 corrupt_rate: 0.01,
                 timeout_us: 100_000,
                 retry_budget: 5,
                 ..FaultSpec::default()
-            }),
-            tuning: NativeTuning { kernel_threads, buffer_pool },
-        };
+            })
+            .tuning(NativeTuning { kernel_threads, buffer_pool })
+            .build()
+            .expect("valid config");
         let mut clean = cfg.clone();
         clean.fault = None;
         let want: Vec<u64> = reference_frames(&clean, scene())

@@ -5,7 +5,7 @@
 
 use scc_core::cost::{CostModel, RenderWork};
 use scc_core::runner::sim::DvfsPlan;
-use scc_core::{place, Arrangement, RendererMode, RunConfig, SimRunner, StageKind};
+use scc_core::{place, RendererMode, RunConfig, SimRunner, StageKind};
 use scc_render::{CityConfig, Renderer, Scene, Walkthrough};
 use scc_sim::{SccConfig, SccPlatform, SimTime};
 use std::sync::Arc;
@@ -15,13 +15,12 @@ fn scene() -> Arc<Scene> {
 }
 
 fn cfg(mode: RendererMode, pipelines: u32) -> RunConfig {
-    RunConfig {
-        renderer: mode,
-        arrangement: Arrangement::Ordered,
-        pipelines,
-        frames: 50,
-        ..RunConfig::default()
-    }
+    RunConfig::builder()
+        .renderer(mode)
+        .pipelines(pipelines)
+        .frames(50)
+        .build()
+        .expect("valid config")
 }
 
 fn run_with_bucket(config: RunConfig, bucket: SimTime, scene: &Arc<Scene>) -> f64 {

@@ -5,8 +5,7 @@
 //! that changes a pixel is a correctness bug dressed up as a speedup.
 
 use scc_core::{
-    reference::reference_frames, run_native, Arrangement, Fidelity, NativeTuning, RendererMode,
-    RunConfig,
+    reference::reference_frames, run_native, Fidelity, NativeTuning, RendererMode, RunConfig,
 };
 use scc_filters::Image;
 use scc_render::{CityConfig, Scene};
@@ -21,20 +20,16 @@ fn scene() -> Arc<Scene> {
 }
 
 fn cfg(mode: RendererMode, tuning: NativeTuning) -> RunConfig {
-    RunConfig {
-        renderer: mode,
-        arrangement: Arrangement::Ordered,
-        pipelines: 2,
-        width: 52,
-        height: 44,
-        frames: 4,
-        seed: 0xCAFE_D00D,
-        fidelity: Fidelity::Full,
-        trace: false,
-        verify: false,
-        fault: None,
-        tuning,
-    }
+    RunConfig::builder()
+        .renderer(mode)
+        .pipelines(2)
+        .size(52, 44)
+        .frames(4)
+        .seed(0xCAFE_D00D)
+        .fidelity(Fidelity::Full)
+        .tuning(tuning)
+        .build()
+        .expect("valid config")
 }
 
 const MODES: [RendererMode; 3] = [

@@ -26,20 +26,16 @@ fn scene() -> Arc<Scene> {
 }
 
 fn cfg(mode: RendererMode, arr: Arrangement, pipelines: u32) -> RunConfig {
-    RunConfig {
-        renderer: mode,
-        arrangement: arr,
-        pipelines,
-        width: 48,
-        height: 40,
-        frames: 4,
-        seed: 23,
-        fidelity: Fidelity::Full,
-        trace: false,
-        verify: false,
-        fault: None,
-        tuning: scc_core::NativeTuning::default(),
-    }
+    RunConfig::builder()
+        .renderer(mode)
+        .arrangement(arr)
+        .pipelines(pipelines)
+        .size(48, 40)
+        .frames(4)
+        .seed(23)
+        .fidelity(Fidelity::Full)
+        .build()
+        .expect("valid config")
 }
 
 /// A fast-detecting supervisor spec with one kill.
