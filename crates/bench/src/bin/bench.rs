@@ -9,10 +9,16 @@
 //!         [--pipelines P] [--threads 1,2,4,8]
 //!   bench recovery [--smoke] [--out PATH] [--frames N] [--size WxH]
 //!                  [--pipelines P] [--kills 10,50,150]
+//!   bench autoplace [--smoke] [--out PATH] [--frames N] [--size WxH]
+//!                   [--pipelines P]
 //!
 //! `--smoke` shrinks everything to a seconds-long configuration for CI;
 //! the defaults measure the paper's 400×400 silent-film geometry.
+//! `autoplace` sweeps the stage-graph scheduler's placement against the
+//! three fixed arrangements in virtual time and writes
+//! `BENCH_autoplace.json`.
 
+use scc_bench::autoplace::measure_autoplace;
 use scc_bench::native_throughput::measure_native_throughput;
 use scc_bench::recovery::measure_recovery;
 use scc_bench::standard_scene;
@@ -27,13 +33,16 @@ fn parse_flag(args: &[String], name: &str) -> Option<String> {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let recovery_mode = args.first().map(|a| a == "recovery").unwrap_or(false);
-    if recovery_mode {
+    let autoplace_mode = args.first().map(|a| a == "autoplace").unwrap_or(false);
+    if recovery_mode || autoplace_mode {
         args.remove(0);
     }
     let smoke = args.iter().any(|a| a == "--smoke");
     let out_path = parse_flag(&args, "--out").unwrap_or_else(|| {
         if recovery_mode {
             "BENCH_recovery.json".into()
+        } else if autoplace_mode {
+            "BENCH_autoplace.json".into()
         } else {
             "BENCH_native_pipeline.json".into()
         }
@@ -67,6 +76,35 @@ fn main() {
         .fidelity(Fidelity::Full)
         .build()
         .expect("bench configuration");
+
+    if autoplace_mode {
+        eprintln!(
+            "measuring auto-placement vs fixed arrangements: {}x{} f={} p={}{}",
+            width,
+            height,
+            frames,
+            pipelines,
+            if smoke { " (smoke)" } else { "" },
+        );
+        let scene = standard_scene();
+        let report = measure_autoplace(&cfg, &scene);
+        print!("{}", report.render_text());
+        std::fs::write(&out_path, report.to_json()).expect("write bench json");
+        println!("wrote {out_path}");
+        if !report.output_consistent {
+            eprintln!("FATAL: the scheduler placement changed a pixel");
+            std::process::exit(1);
+        }
+        if report.speedup_vs_best_fixed < 0.99 {
+            eprintln!(
+                "FATAL: auto placement lost to a fixed arrangement \
+                 ({:.3}x)",
+                report.speedup_vs_best_fixed
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
 
     if recovery_mode {
         let kills: Vec<u64> = parse_flag(&args, "--kills")

@@ -5,6 +5,7 @@
 //! `experiments` binary prints; the Criterion benches in `benches/` wrap
 //! the same entry points.
 
+pub mod autoplace;
 pub mod experiments;
 pub mod native_throughput;
 pub mod recovery;

@@ -384,7 +384,7 @@ fn check_trace(r: &WalkthroughReport, events: &[TraceEvent], v: &mut Vec<Violati
                 .iter()
                 .all(|e| StageKind::PIPELINE_FILTERS.contains(&e.kind));
         let mut prev_end = None;
-        let mut prev_cycle: Option<(u64, usize)> = None;
+        let mut prev_cycle: Option<(u64, StageKind, usize)> = None;
         for e in &spans {
             if let Some(end) = prev_end {
                 if e.t0 < end {
@@ -405,12 +405,15 @@ fn check_trace(r: &WalkthroughReport, events: &[TraceEvent], v: &mut Vec<Violati
             prev_end = Some(e.t1);
             // Cycle-order causality only applies to the filter stages —
             // source and transfer cores emit different shapes. Within one
-            // frame the cycle index must strictly advance (phases with no
-            // work emit zero-width spans the log drops, so gaps are fine);
-            // across spans the frame number never regresses.
+            // (frame, stage) the cycle index must strictly advance (phases
+            // with no work emit zero-width spans the log drops, so gaps
+            // are fine); across spans the frame number never regresses.
+            // The check is keyed by stage kind, not just frame, because a
+            // merged auto-placement group runs several stages of the same
+            // frame back-to-back on one core.
             if filters_only {
                 let idx = cycle_index(e.phase).expect("busy phases only");
-                if let Some((pf, pi)) = prev_cycle {
+                if let Some((pf, pk, pi)) = prev_cycle {
                     if e.frame < pf {
                         v.push(Violation::new(
                             "trace-causality",
@@ -422,7 +425,7 @@ fn check_trace(r: &WalkthroughReport, events: &[TraceEvent], v: &mut Vec<Violati
                         ));
                         break;
                     }
-                    if e.frame == pf && idx <= pi {
+                    if e.frame == pf && e.kind == pk && idx <= pi {
                         v.push(Violation::new(
                             "trace-causality",
                             format!(
@@ -435,7 +438,7 @@ fn check_trace(r: &WalkthroughReport, events: &[TraceEvent], v: &mut Vec<Violati
                         break;
                     }
                 }
-                prev_cycle = Some((e.frame, idx));
+                prev_cycle = Some((e.frame, e.kind, idx));
             }
         }
     }

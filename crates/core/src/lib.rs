@@ -40,11 +40,13 @@ pub mod frame;
 pub mod generic;
 pub mod invariant;
 pub mod metrics;
+pub mod partition;
 pub mod placement;
 pub mod pool;
 pub mod reference;
 pub mod runner;
 pub mod spec;
+pub mod stage_graph;
 pub mod supervise;
 pub mod trace;
 pub mod viz;
@@ -56,7 +58,8 @@ pub use frame::Frame;
 pub use generic::{run_generic_chain, FnStage, GenericReport, MacroStage, StageWork};
 pub use invariant::{check_report, enforce, Violation};
 pub use metrics::{DegradationEvent, HostTiming, RecoveryEvent, StageReport, WalkthroughReport};
-pub use placement::{place, place_dvfs_single_pipeline, Placement};
+pub use partition::{auto_place, partition, placement_for, plan_for, AutoPlacement, StagePlan};
+pub use placement::{place, place_dvfs_single_pipeline, Placement, ReplicaSlot};
 pub use pool::{BufferPool, PoolStats};
 pub use runner::des::{run_des, DesReport};
 pub use runner::native::{run_native, NativeReport};
@@ -65,6 +68,7 @@ pub use spec::{
     Arrangement, FaultSpec, Fidelity, KillSpec, NativeTuning, RendererMode, RunConfig,
     RunConfigBuilder, StageKind, StallSpec,
 };
+pub use stage_graph::{StageClass, StageGraph, StageNode, StageWeights, WeightSource};
 pub use supervise::{resolve_kills, CheckpointRing, Supervisor, STAGE_PROVISION_BYTES};
 pub use trace::{Phase, TraceEvent, TraceLog};
 pub use viz::{VizClient, VizReport};

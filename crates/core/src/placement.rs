@@ -13,6 +13,19 @@ use crate::spec::{Arrangement, RendererMode, StageKind};
 use scc_sim::topology::{CoreId, TileId, CORES_PER_TILE, MESH_H, MESH_W, NUM_CORES};
 use std::collections::HashSet;
 
+/// Extra DOALL replica cores the scheduler assigned to one replicated
+/// stage of one lane (the primary stays in [`Placement::pipelines`];
+/// frame `f` runs on replica `f mod (1 + extras.len())`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaSlot {
+    /// Which lane the replicas belong to.
+    pub pipeline: u32,
+    /// Which of the five filter stages is replicated (0-based).
+    pub stage: usize,
+    /// The replica cores beyond the primary, in replica order.
+    pub extras: Vec<CoreId>,
+}
+
 /// Where every stage of a run lives.
 #[derive(Debug, Clone)]
 pub struct Placement {
@@ -22,23 +35,55 @@ pub struct Placement {
     /// Connector core for the MCPC configuration.
     pub connector: Option<CoreId>,
     /// `pipelines[i]` = the five filter cores of pipeline `i` in stage
-    /// order (sepia, blur, scratch, flicker, swap).
+    /// order (sepia, blur, scratch, flicker, swap). Scheduler-produced
+    /// placements may *merge* adjacent stages onto one core, in which
+    /// case the core id repeats across those (contiguous) slots.
     pub pipelines: Vec<[CoreId; 5]>,
+    /// Replica cores for scheduler-replicated stages. Empty for the
+    /// fixed arrangements.
+    pub replicas: Vec<ReplicaSlot>,
     /// The single transfer core.
     pub transfer: CoreId,
 }
 
 impl Placement {
-    /// Every core used, in a deterministic order.
+    /// Every core used, each exactly once, in a deterministic order
+    /// (merged stages contribute their shared core once).
     pub fn all_cores(&self) -> Vec<CoreId> {
         let mut v = Vec::new();
-        v.extend(&self.renderers);
-        v.extend(self.connector);
-        for p in &self.pipelines {
-            v.extend(p);
+        let mut seen = HashSet::new();
+        let mut push = |v: &mut Vec<CoreId>, c: CoreId| {
+            if seen.insert(c) {
+                v.push(c);
+            }
+        };
+        for &c in &self.renderers {
+            push(&mut v, c);
         }
-        v.push(self.transfer);
+        if let Some(c) = self.connector {
+            push(&mut v, c);
+        }
+        for p in &self.pipelines {
+            for &c in p {
+                push(&mut v, c);
+            }
+        }
+        for r in &self.replicas {
+            for &c in &r.extras {
+                push(&mut v, c);
+            }
+        }
+        push(&mut v, self.transfer);
         v
+    }
+
+    /// Replica cores of stage `j` in lane `lane` beyond the primary
+    /// (empty for fixed placements).
+    pub fn replica_extras(&self, lane: u32, stage: usize) -> &[CoreId] {
+        self.replicas
+            .iter()
+            .find(|r| r.pipeline == lane && r.stage == stage)
+            .map_or(&[], |r| r.extras.as_slice())
     }
 
     /// The deterministic spare-core pool: every core the placement left
@@ -69,13 +114,48 @@ impl Placement {
                 return Some((StageKind::PIPELINE_FILTERS[j], Some(i as u32)));
             }
         }
+        for r in &self.replicas {
+            if r.extras.contains(&core) {
+                return Some((StageKind::PIPELINE_FILTERS[r.stage], Some(r.pipeline)));
+            }
+        }
         None
     }
 
-    fn assert_valid(&self) {
-        let cores = self.all_cores();
-        let set: HashSet<_> = cores.iter().collect();
-        assert_eq!(set.len(), cores.len(), "placement assigns a core twice");
+    pub(crate) fn assert_valid(&self) {
+        // Endpoints and replica extras must be globally unique; a lane
+        // core may repeat, but only across *contiguous* stage slots of
+        // the same lane (a scheduler merge), never between lanes or
+        // with an endpoint.
+        let mut singular: HashSet<CoreId> = HashSet::new();
+        for &c in self
+            .renderers
+            .iter()
+            .chain(self.connector.iter())
+            .chain(self.replicas.iter().flat_map(|r| r.extras.iter()))
+            .chain(std::iter::once(&self.transfer))
+        {
+            assert!(singular.insert(c), "placement assigns {c} twice");
+        }
+        let mut lane_owner: std::collections::HashMap<CoreId, (usize, usize)> =
+            std::collections::HashMap::new();
+        for (i, lane) in self.pipelines.iter().enumerate() {
+            for (j, &c) in lane.iter().enumerate() {
+                assert!(!singular.contains(&c), "placement assigns {c} twice");
+                match lane_owner.get(&c) {
+                    None => {
+                        lane_owner.insert(c, (i, j));
+                    }
+                    Some(&(li, lj)) => {
+                        assert!(
+                            li == i && lj + 1 == j,
+                            "placement assigns {c} twice (non-contiguous reuse)"
+                        );
+                        lane_owner.insert(c, (i, j));
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -138,6 +218,7 @@ fn place_unordered(mode: RendererMode, p: u32) -> Placement {
         renderers,
         connector,
         pipelines,
+        replicas: Vec::new(),
         transfer: take(),
     }
 }
@@ -240,6 +321,7 @@ fn place_rows(mode: RendererMode, p: u32, flip: bool) -> Placement {
         renderers,
         connector,
         pipelines,
+        replicas: Vec::new(),
         transfer,
     }
 }
@@ -271,6 +353,7 @@ pub fn place_dvfs_single_pipeline(mode: RendererMode) -> Placement {
         renderers,
         connector,
         pipelines: vec![[sepia, blur, scratch, flicker, swap]],
+        replicas: Vec::new(),
         transfer,
     };
     p.assert_valid();

@@ -18,7 +18,8 @@
 
 use crate::cost::{CostModel, RenderWork};
 use crate::metrics::RecoveryEvent;
-use crate::placement::{place, Placement};
+use crate::partition::StagePlan;
+use crate::placement::Placement;
 use crate::spec::{Fidelity, RendererMode, RunConfig, StageKind};
 use crate::supervise::{resolve_kills, Supervisor, STAGE_PROVISION_BYTES};
 use scc_filters::{Blur, Flicker, Image, ImageFilter, Scratch, Sepia, VSwap};
@@ -87,7 +88,8 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
     cfg.validate().expect("invalid configuration");
     let cost = CostModel::default();
     let mut platform = SccPlatform::new(SccConfig::default());
-    let placement: Placement = place(cfg.renderer, cfg.arrangement, cfg.pipelines);
+    let placement: Placement = crate::partition::placement_for(cfg);
+    let plan: StagePlan = crate::partition::plan_for(cfg);
     let mut spinning = placement.all_cores();
     platform.set_spinning(spinning.clone());
     // Supervision: the DES validator models *supervised fail-stop kills*
@@ -115,7 +117,24 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
         .map(|s| Supervisor::new(&placement, s));
     // Stage-to-core mapping, mutable so a migration can re-home a stage
     // onto a spare; every node indexes this instead of the placement.
-    let mut pipe_cores: Vec<[CoreId; 5]> = placement.pipelines.clone();
+    // `reps[i][j]` lists the cores serving stage `j` of lane `i`: the
+    // primary first, then the scheduler's replica extras — frame `f` is
+    // handled by `reps[i][j][f % r]`, which preserves strip order within
+    // the lane by construction.
+    let mut reps: Vec<Vec<Vec<CoreId>>> = placement
+        .pipelines
+        .iter()
+        .enumerate()
+        .map(|(i, lane)| {
+            (0..5)
+                .map(|j| {
+                    let mut v = vec![lane[j]];
+                    v.extend_from_slice(placement.replica_extras(i as u32, j));
+                    v
+                })
+                .collect()
+        })
+        .collect();
     let mut recoveries: Vec<RecoveryEvent> = Vec::new();
     // Shared observation sink; disabled (the default) it records nothing
     // and the DES timeline is bit-identical to pre-telemetry builds.
@@ -139,6 +158,13 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
     let mut strip_images: HashMap<(usize, u64), Image> = HashMap::new();
     let mut outputs: HashMap<u64, Image> = HashMap::new();
 
+    // Scheduler-plan strides: a replicated stage advances its own clock
+    // once every `r` frames (replica `f % r`), and a merged stage
+    // serializes on its group's *last* member — the shared core runs the
+    // whole group frame-major, so frame `f` may only begin once frame
+    // `f - r` has cleared the group tail.
+    let r_of = |j: usize| u64::from(plan.replicas_of(j));
+    let same_core_hop = |j: usize| j + 1 < 5 && plan.merged_with_prev(j + 1);
     // Dependency counts per node; a node becomes schedulable at 0.
     let mut pending: HashMap<Node, u32> = HashMap::new();
     let deps_of = |node: Node| -> Vec<Node> {
@@ -147,9 +173,13 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
             Node::Render(f) => {
                 if f > 0 {
                     d.push(Node::Render(f - 1));
-                    // Sends rendezvous with each sepia's previous frame.
+                }
+                // Sends rendezvous with the receiving replica's previous
+                // cycle (stride r for a replicated first stage).
+                let r0 = r_of(0);
+                if f >= r0 {
                     for i in 0..p {
-                        d.push(Node::Filter(i, 0, f - 1));
+                        d.push(Node::Filter(i, 0, f - r0));
                     }
                 }
             }
@@ -160,14 +190,21 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
                 } else {
                     d.push(Node::Filter(i, j - 1, f));
                 }
-                if f > 0 {
-                    // Own previous cycle and downstream readiness.
-                    d.push(Node::Filter(i, j, f - 1));
-                    if j + 1 < 5 {
-                        d.push(Node::Filter(i, j + 1, f - 1));
-                    } else {
-                        d.push(Node::Transfer(f - 1));
+                // Own previous cycle, via the group serialization point.
+                let r = r_of(j);
+                if f >= r {
+                    d.push(Node::Filter(i, plan.last_of_group(j), f - r));
+                }
+                // Downstream readiness — skipped when the next hop stays
+                // on this core (the strip is already resident, there is
+                // no rendezvous to wait for).
+                if j + 1 < 5 {
+                    let rn = r_of(j + 1);
+                    if f >= rn && !same_core_hop(j) {
+                        d.push(Node::Filter(i, j + 1, f - rn));
                     }
+                } else if f > 0 {
+                    d.push(Node::Transfer(f - 1));
                 }
             }
             Node::Transfer(f) => {
@@ -220,10 +257,11 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
                     }
                 }
                 Node::Filter(i, j, f) => {
-                    let own = if f == 0 {
+                    let r = u64::from(plan.replicas_of(j));
+                    let own = if f < r {
                         SimTime::ZERO
                     } else {
-                        facts[&Node::Filter(i, j, f - 1)].free
+                        facts[&Node::Filter(i, plan.last_of_group(j), f - r)].free
                     };
                     arrivals[&node].max(own)
                 }
@@ -273,13 +311,14 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
                         strip_images.insert((info.index as usize, f), strip);
                     }
                 }
+                let r0 = u64::from(plan.replicas_of(0));
                 for (i, (_, h)) in bounds.iter().enumerate() {
                     let bytes = cfg.width as u64 * *h as u64 * 4;
-                    let dst = pipe_cores[i][0];
-                    let recv_free = if f == 0 {
+                    let dst = reps[i][0][(f % r0) as usize];
+                    let recv_free = if f < r0 {
                         SimTime::ZERO
                     } else {
-                        facts[&Node::Filter(i, 0, f - 1)].free
+                        facts[&Node::Filter(i, 0, f - r0)].free
                     };
                     let send_start = t.max(recv_free);
                     let resident = platform.send_to_partition(core, dst, send_start, bytes);
@@ -290,16 +329,23 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
                 facts.insert(node, Facts { free: t, _done: t });
             }
             Node::Filter(i, j, f) => {
-                let mut core = pipe_cores[i][j];
+                let r = u64::from(plan.replicas_of(j));
+                let rep = (f % r) as usize;
+                let merged_prev = plan.merged_with_prev(j);
+                let mut core = reps[i][j][rep];
                 let kind = StageKind::PIPELINE_FILTERS[j];
                 let (_, h) = bounds[i];
                 let bytes = cfg.width as u64 * h as u64 * 4;
                 let mut start = start_of(node, &facts, &arrivals);
                 if tel.is_enabled() {
-                    let own_free = if f == 0 {
+                    let own_free = if merged_prev {
+                        // Same-core input: the stage was never idle, it
+                        // picked the strip up the instant it appeared.
+                        start
+                    } else if f < r {
                         SimTime::ZERO
                     } else {
-                        facts[&Node::Filter(i, j, f - 1)].free
+                        facts[&Node::Filter(i, plan.last_of_group(j), f - r)].free
                     };
                     let pl = i.to_string();
                     tel.observe(
@@ -324,14 +370,21 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
                     let hb_latency = platform.host_path_latency(core, HEARTBEAT_BYTES);
                     let detected = sup.detect_time(kill_at, hb_latency);
                     let ready = platform.host_to_chip(spare, detected, STAGE_PROVISION_BYTES);
-                    let upstream = if j == 0 {
+                    // Replay comes from the merged group's *external*
+                    // upstream — internal inputs died with the core.
+                    let g0 = plan.groups[plan.group_of(j)].start;
+                    let upstream = if g0 == 0 {
                         placement.renderers[0]
                     } else {
-                        pipe_cores[i][j - 1]
+                        reps[i][g0 - 1][(f % r_of(g0 - 1)) as usize]
                     };
                     let resend_at = ready.max(start);
                     let resident = platform.send_to_partition(upstream, spare, resend_at, bytes);
-                    pipe_cores[i][j] = spare;
+                    // A merged group lives and dies with its one core:
+                    // every sibling stage re-homes to the spare with it.
+                    for sib in plan.groups[plan.group_of(j)].stages() {
+                        reps[i][sib][rep] = spare;
+                    }
                     spinning.push(spare);
                     platform.set_spinning(spinning.clone());
                     let mttr = resident.saturating_sub(kill_at).as_secs_f64();
@@ -371,7 +424,12 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
                     core = spare;
                     start = resident;
                 }
-                let mut t = platform.fetch_from_partition(core, start, bytes);
+                let mut t = if merged_prev {
+                    // Same-core input: already resident, no MPB fetch.
+                    start
+                } else {
+                    platform.fetch_from_partition(core, start, bytes)
+                };
                 let proxy = Image::new(cfg.width, h);
                 let ctx = scc_filters::FrameCtx {
                     frame_id: f,
@@ -395,28 +453,36 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
                 t = platform.mem_stream(core, t, MemOp::Read, traffic.read_bytes);
                 t = platform.mem_stream(core, t, MemOp::Write, traffic.write_bytes);
                 platform.record_busy(core, start, t);
-                let (next_core, next_free) = if j + 1 < 5 {
-                    (
-                        pipe_cores[i][j + 1],
-                        if f == 0 {
-                            SimTime::ZERO
-                        } else {
-                            facts[&Node::Filter(i, j + 1, f - 1)].free
-                        },
-                    )
+                let resident = if same_core_hop(j) {
+                    // Next stage shares this core: the strip stays put,
+                    // there is no send and no rendezvous.
+                    t
                 } else {
-                    (
-                        placement.transfer,
-                        if f == 0 {
-                            SimTime::ZERO
-                        } else {
-                            facts[&Node::Transfer(f - 1)].free
-                        },
-                    )
+                    let (next_core, next_free) = if j + 1 < 5 {
+                        let rn = u64::from(plan.replicas_of(j + 1));
+                        (
+                            reps[i][j + 1][(f % rn) as usize],
+                            if f < rn {
+                                SimTime::ZERO
+                            } else {
+                                facts[&Node::Filter(i, j + 1, f - rn)].free
+                            },
+                        )
+                    } else {
+                        (
+                            placement.transfer,
+                            if f == 0 {
+                                SimTime::ZERO
+                            } else {
+                                facts[&Node::Transfer(f - 1)].free
+                            },
+                        )
+                    };
+                    let send_start = t.max(next_free);
+                    let resident = platform.send_to_partition(core, next_core, send_start, bytes);
+                    platform.record_busy(core, send_start, resident);
+                    resident
                 };
-                let send_start = t.max(next_free);
-                let resident = platform.send_to_partition(core, next_core, send_start, bytes);
-                platform.record_busy(core, send_start, resident);
                 if j + 1 < 5 {
                     arrivals.insert(Node::Filter(i, j + 1, f), resident);
                 } else {
@@ -533,10 +599,18 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
         ];
         for i in 0..p {
             for (j, kind) in StageKind::PIPELINE_FILTERS.iter().enumerate() {
-                stages.push((
-                    format!("{} p{i}", kind.name()),
-                    (0..frames).map(|f| Node::Filter(i, j, f)).collect(),
-                ));
+                // A replicated stage keeps one virtual clock per replica:
+                // frames f ≡ k (mod r) form an independent chain.
+                let r = u64::from(plan.replicas_of(j));
+                for k in 0..r {
+                    stages.push((
+                        format!("{} p{i} r{k}", kind.name()),
+                        (k..frames)
+                            .step_by(r as usize)
+                            .map(|f| Node::Filter(i, j, f))
+                            .collect(),
+                    ));
+                }
             }
         }
         for (label, nodes) in stages {
@@ -713,6 +787,35 @@ mod tests {
         clean.fault = None;
         let reference = crate::reference::reference_frames(&clean, scene());
         assert_eq!(des.frames.expect("full fidelity keeps frames"), reference);
+    }
+
+    #[test]
+    fn des_auto_placement_verifies_clean_and_matches_reference() {
+        // The scheduler plan (merged tail + replicated blur) through the
+        // event-driven executor: every invariant holds and the film is
+        // still the reference film, bit-for-bit.
+        let mut c = cfg(2, 6);
+        c.width = 64;
+        c.height = 64;
+        c.fidelity = Fidelity::Full;
+        c.auto_place = true;
+        c.verify = true;
+        let des = run_des(&c, scene());
+        let reference = crate::reference::reference_frames(&c, scene());
+        assert_eq!(des.frames.expect("full fidelity keeps frames"), reference);
+    }
+
+    #[test]
+    fn des_auto_placement_beats_fixed_throughput() {
+        // Replicating the bottleneck must shorten the virtual walkthrough.
+        let fixed = run_des(&cfg(2, 12), scene()).total_secs;
+        let mut c = cfg(2, 12);
+        c.auto_place = true;
+        let auto = run_des(&c, scene()).total_secs;
+        assert!(
+            auto <= fixed * 1.01,
+            "auto {auto:.3}s must not lose to fixed {fixed:.3}s"
+        );
     }
 
     #[test]

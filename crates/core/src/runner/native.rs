@@ -10,6 +10,7 @@
 
 use crate::frame::Frame;
 use crate::metrics::HostTiming;
+use crate::partition::StagePlan;
 use crate::pool::{BufferPool, PoolStats};
 use crate::spec::{RendererMode, RunConfig, StageKind};
 use crate::trace::{Phase, TraceLog};
@@ -74,13 +75,20 @@ impl SpanRecorder {
     }
 
     fn span(&mut self, frame: u64, phase: Phase, from: Instant, to: Instant) {
+        self.span_kind(self.kind, frame, phase, from, to);
+    }
+
+    /// Record a span under an explicit stage kind — a merged-group thread
+    /// runs several stages back-to-back and labels each compute slice
+    /// with the stage that did the work.
+    fn span_kind(&mut self, kind: StageKind, frame: u64, phase: Phase, from: Instant, to: Instant) {
         if !self.on {
             return;
         }
         let t0 = SimTime::from_ns(from.duration_since(self.base).as_nanos() as u64);
         let t1 = SimTime::from_ns(to.duration_since(self.base).as_nanos() as u64);
         self.log
-            .span(self.core, self.kind, self.pipeline, frame, phase, t0, t1);
+            .span(self.core, kind, self.pipeline, frame, phase, t0, t1);
     }
 
     fn into_log(self) -> TraceLog {
@@ -193,30 +201,43 @@ fn recv_bytes(ep: &Endpoint, reliable: bool, src: usize) -> Bytes {
 }
 
 /// Rank layout of the native communicator.
+///
+/// The scheduler plan shapes the interior: one rank (one OS thread) per
+/// *group replica* per lane — a merged group's stages share a thread, a
+/// replicated group gets one thread per replica. The fixed plan (five
+/// singleton groups, one replica each) reproduces the historical
+/// one-thread-per-stage layout exactly.
 struct Ranks {
     sources: Vec<usize>,
-    filters: Vec<[usize; 5]>,
+    /// `groups[i][g]` — ranks of the replicas serving group `g` of lane
+    /// `i`; frame `f` is handled by `groups[i][g][f % r]`.
+    groups: Vec<Vec<Vec<usize>>>,
     transfer: usize,
     total: usize,
 }
 
-fn ranks(mode: RendererMode, p: usize) -> Ranks {
+fn ranks(mode: RendererMode, p: usize, plan: &StagePlan) -> Ranks {
     let n_sources = match mode {
         RendererMode::PerPipelineRenderer => p,
         _ => 1,
     };
     let sources: Vec<usize> = (0..n_sources).collect();
     let mut next = n_sources;
-    let filters: Vec<[usize; 5]> = (0..p)
+    let groups: Vec<Vec<Vec<usize>>> = (0..p)
         .map(|_| {
-            let f = [next, next + 1, next + 2, next + 3, next + 4];
-            next += 5;
-            f
+            plan.groups
+                .iter()
+                .map(|g| {
+                    let v: Vec<usize> = (next..next + g.replicas as usize).collect();
+                    next += g.replicas as usize;
+                    v
+                })
+                .collect()
         })
         .collect();
     Ranks {
         sources,
-        filters,
+        groups,
         transfer: next,
         total: next + 1,
     }
@@ -233,7 +254,8 @@ fn ranks(mode: RendererMode, p: usize) -> Ranks {
 pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
     cfg.validate().expect("invalid run configuration");
     let p = cfg.pipelines as usize;
-    let layout = ranks(cfg.renderer, p);
+    let plan = crate::partition::plan_for(cfg);
+    let layout = ranks(cfg.renderer, p, &plan);
     // Window of 2 in-flight frames per channel: enough to pipeline,
     // small enough to exert RCCE-like backpressure.
     let mut endpoints = communicator(layout.total, 2, MpbConfig::default());
@@ -288,7 +310,10 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
     let tracing = cfg.trace || tel.is_enabled();
     let start = Instant::now();
     let mut handles: Vec<thread::JoinHandle<TraceLog>> = Vec::new();
-    type StageResult = (Vec<Duration>, Option<Vec<Image>>, TraceLog);
+    // Wait samples, assembled frames (transfer only), span log, and the
+    // number of frames this thread actually handled (a replica sees only
+    // its stride's share).
+    type StageResult = (Vec<Duration>, Option<Vec<Image>>, TraceLog, u64);
     let mut stage_handles: Vec<(StageKind, u32, thread::JoinHandle<StageResult>)> = Vec::new();
 
     // ---- source threads ----
@@ -301,7 +326,9 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
             let renderer = Arc::clone(&renderer);
             let cfg = cfg.clone();
             let pool = pool.clone();
-            let filters0: Vec<usize> = layout.filters.iter().map(|f| f[0]).collect();
+            // Per-lane first-group replica ranks; frame f's strip goes to
+            // replica f % r, which preserves strip order per lane.
+            let filters0: Vec<Vec<usize>> = layout.groups.iter().map(|g| g[0].clone()).collect();
             let rank = layout.sources[0];
             handles.push(thread::spawn(move || {
                 let mut rec = SpanRecorder::new(tracing, start, rank, StageKind::Render, None);
@@ -320,7 +347,8 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
                             full_width: cfg.width,
                             image: Some(strip),
                         };
-                        send_bytes(&ep, reliable, filters0[i], encode_frame(&frame));
+                        let dst = filters0[i][(f % filters0[i].len() as u64) as usize];
+                        send_bytes(&ep, reliable, dst, encode_frame(&frame));
                         pool.release(frame.image.expect("strip pixels"));
                     }
                     rec.span(f, Phase::Compute, c0, c1);
@@ -336,7 +364,7 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
                 let renderer = renderer.as_ref().clone_shared();
                 let cfg = cfg.clone();
                 let (y0, h) = bounds[i];
-                let dst = layout.filters[i][0];
+                let dsts: Vec<usize> = layout.groups[i][0].clone();
                 let count = cfg.pipelines;
                 let pool = pool.clone();
                 handles.push(thread::spawn(move || {
@@ -360,6 +388,7 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
                             full_width: cfg.width,
                             image: Some(strip),
                         };
+                        let dst = dsts[(f % dsts.len() as u64) as usize];
                         send_bytes(&ep, reliable, dst, encode_frame(&frame));
                         rec.span(f, Phase::Compute, c0, c1);
                         rec.span(f, Phase::Send, c1, Instant::now());
@@ -371,61 +400,88 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
         }
     }
 
-    // ---- filter stage threads ----
+    // ---- filter stage threads (one per group replica per lane) ----
     for i in 0..p {
-        for j in 0..5 {
-            let rank = layout.filters[i][j];
-            let ep = eps[rank].take().unwrap();
-            let cfg = cfg.clone();
-            let src = if j == 0 {
-                match cfg.renderer {
-                    RendererMode::PerPipelineRenderer => layout.sources[i],
-                    _ => layout.sources[0],
-                }
-            } else {
-                layout.filters[i][j - 1]
-            };
-            let dst = if j + 1 < 5 {
-                layout.filters[i][j + 1]
-            } else {
-                layout.transfer
-            };
-            let kind = StageKind::PIPELINE_FILTERS[j];
-            let pool = pool.clone();
-            stage_handles.push((
-                kind,
-                i as u32,
-                thread::spawn(move || {
-                    let mut rec = SpanRecorder::new(tracing, start, rank, kind, Some(i as u32));
-                    let chain = standard_chain();
-                    let filter = &chain[j];
-                    for _ in 0..cfg.frames {
-                        let w0 = Instant::now();
-                        let raw = recv_bytes(&ep, reliable, src);
-                        let r0 = Instant::now();
-                        let mut frame =
-                            decode_frame_pooled(raw, src, &pool).expect("frame survived transport");
-                        let ctx = frame.ctx(cfg.seed);
-                        filter.apply_chunked(
-                            frame.image.as_mut().expect("pixels"),
-                            &ctx,
-                            kernel_threads,
-                        );
-                        let c0 = Instant::now();
-                        send_bytes(&ep, reliable, dst, encode_frame(&frame));
-                        rec.span(frame.id, Phase::Wait, w0, r0);
-                        rec.span(frame.id, Phase::Compute, r0, c0);
-                        rec.span(frame.id, Phase::Send, c0, Instant::now());
-                        pool.release(frame.image.expect("pixels"));
+        for (g, group) in plan.groups.iter().enumerate() {
+            let r = group.replicas as usize;
+            for k in 0..r {
+                let rank = layout.groups[i][g][k];
+                let ep = eps[rank].take().unwrap();
+                let cfg = cfg.clone();
+                // One upstream rank per sender replica; frame f arrives
+                // from replica f % |src_ranks| (a single source counts
+                // as one "replica").
+                let src_ranks: Vec<usize> = if g == 0 {
+                    match cfg.renderer {
+                        RendererMode::PerPipelineRenderer => vec![layout.sources[i]],
+                        _ => vec![layout.sources[0]],
                     }
-                    if cfg.verify {
-                        if let Err(e) = ep.audit_arq() {
-                            panic!("[arq-legality] {e}");
+                } else {
+                    layout.groups[i][g - 1].clone()
+                };
+                let dst_ranks: Vec<usize> = if g + 1 < plan.groups.len() {
+                    layout.groups[i][g + 1].clone()
+                } else {
+                    vec![layout.transfer]
+                };
+                let stages: Vec<usize> = group.stages().collect();
+                let kind = StageKind::PIPELINE_FILTERS[group.start];
+                let pool = pool.clone();
+                stage_handles.push((
+                    kind,
+                    i as u32,
+                    thread::spawn(move || {
+                        let mut rec = SpanRecorder::new(tracing, start, rank, kind, Some(i as u32));
+                        let chain = standard_chain();
+                        let mut handled = 0u64;
+                        // Replica k owns frames f ≡ k (mod r) — the
+                        // strip order within the lane never changes.
+                        let mut f = k as u64;
+                        while f < cfg.frames {
+                            let w0 = Instant::now();
+                            let src = src_ranks[(f % src_ranks.len() as u64) as usize];
+                            let raw = recv_bytes(&ep, reliable, src);
+                            let r0 = Instant::now();
+                            let mut frame = decode_frame_pooled(raw, src, &pool)
+                                .expect("frame survived transport");
+                            let ctx = frame.ctx(cfg.seed);
+                            rec.span(frame.id, Phase::Wait, w0, r0);
+                            // A merged group's stages run back-to-back on
+                            // this thread: internal hops are plain
+                            // function calls, no message, no copy.
+                            let mut prev = r0;
+                            for &j in &stages {
+                                chain[j].apply_chunked(
+                                    frame.image.as_mut().expect("pixels"),
+                                    &ctx,
+                                    kernel_threads,
+                                );
+                                let now = Instant::now();
+                                rec.span_kind(
+                                    StageKind::PIPELINE_FILTERS[j],
+                                    frame.id,
+                                    Phase::Compute,
+                                    prev,
+                                    now,
+                                );
+                                prev = now;
+                            }
+                            let dst = dst_ranks[(f % dst_ranks.len() as u64) as usize];
+                            send_bytes(&ep, reliable, dst, encode_frame(&frame));
+                            rec.span(frame.id, Phase::Send, prev, Instant::now());
+                            pool.release(frame.image.expect("pixels"));
+                            handled += 1;
+                            f += r as u64;
                         }
-                    }
-                    (ep.take_wait_samples(), None, rec.into_log())
-                }),
-            ));
+                        if cfg.verify {
+                            if let Err(e) = ep.audit_arq() {
+                                panic!("[arq-legality] {e}");
+                            }
+                        }
+                        (ep.take_wait_samples(), None, rec.into_log(), handled)
+                    }),
+                ));
+            }
         }
     }
 
@@ -435,7 +491,13 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
         let ep = eps[rank].take().unwrap();
         let cfg = cfg.clone();
         let pool = pool.clone();
-        let swap_ranks: Vec<usize> = layout.filters.iter().map(|f| f[4]).collect();
+        // Last-group replica ranks per lane; frame f's strip arrives
+        // from replica f % r of that lane's tail group.
+        let swap_ranks: Vec<Vec<usize>> = layout
+            .groups
+            .iter()
+            .map(|g| g.last().unwrap().clone())
+            .collect();
         stage_handles.push((
             StageKind::Transfer,
             0,
@@ -445,7 +507,8 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
                 for f in 0..cfg.frames {
                     let w0 = Instant::now();
                     let mut strips = Vec::with_capacity(swap_ranks.len());
-                    for &r in &swap_ranks {
+                    for lane in &swap_ranks {
+                        let r = lane[(f % lane.len() as u64) as usize];
                         let frame = decode_frame_pooled(recv_bytes(&ep, reliable, r), r, &pool)
                             .expect("frame survived transport");
                         strips.push((
@@ -468,7 +531,12 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
                         panic!("[arq-legality] {e}");
                     }
                 }
-                (ep.take_wait_samples(), Some(out), rec.into_log())
+                (
+                    ep.take_wait_samples(),
+                    Some(out),
+                    rec.into_log(),
+                    cfg.frames,
+                )
             }),
         ));
     }
@@ -483,7 +551,7 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
     let mut frames = Vec::new();
     let mut idle_ms = Vec::new();
     for (kind, pl, h) in stage_handles {
-        let (waits, out, log) = h.join().expect("stage thread panicked");
+        let (waits, out, log, handled) = h.join().expect("stage thread panicked");
         if let Some(out) = out {
             frames = out;
         }
@@ -505,7 +573,7 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
                     h.observe(*m);
                 }
             }
-            tel.count(names::STAGE_FRAMES_TOTAL, &labels, cfg.frames);
+            tel.count(names::STAGE_FRAMES_TOTAL, &labels, handled);
         }
         idle_ms.push((kind, pl, Quartiles::from_samples(&ms)));
     }
@@ -689,6 +757,53 @@ mod tests {
         let mut ref_cfg = c.clone();
         ref_cfg.renderer = RendererMode::SingleRenderer;
         let reference = reference_frames(&ref_cfg, scene());
+        assert_eq!(native.frames, reference);
+    }
+
+    #[test]
+    fn native_auto_placement_matches_reference_all_modes() {
+        // The scheduler plan on real threads: merged groups share a
+        // thread, replicas stripe frames — the film must still equal the
+        // sequential oracle bit-for-bit in every renderer mode.
+        for mode in [
+            RendererMode::SingleRenderer,
+            RendererMode::PerPipelineRenderer,
+            RendererMode::McpcRenderer,
+        ] {
+            let mut c = cfg(mode, 2, 5);
+            c.auto_place = true;
+            let native = run_native(&c, scene());
+            let mut ref_cfg = c.clone();
+            if mode == RendererMode::McpcRenderer {
+                ref_cfg.renderer = RendererMode::SingleRenderer;
+            }
+            let reference = reference_frames(&ref_cfg, scene());
+            assert_eq!(
+                native.frames, reference,
+                "{mode:?} diverged under auto placement"
+            );
+        }
+    }
+
+    #[test]
+    fn native_auto_placement_survives_message_faults() {
+        use crate::spec::FaultSpec;
+        let mut c = cfg(RendererMode::SingleRenderer, 2, 4);
+        c.auto_place = true;
+        c.verify = true;
+        c.fault = Some(FaultSpec {
+            seed: 0xC1A05,
+            drop_rate: 0.05,
+            corrupt_rate: 0.05,
+            timeout_us: 100_000,
+            retry_budget: 5,
+            ..FaultSpec::default()
+        });
+        let native = run_native(&c, scene());
+        let mut clean = c.clone();
+        clean.fault = None;
+        clean.auto_place = false;
+        let reference = reference_frames(&clean, scene());
         assert_eq!(native.frames, reference);
     }
 

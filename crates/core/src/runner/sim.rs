@@ -19,7 +19,8 @@
 use crate::cost::{CostModel, RenderWork};
 use crate::frame::Frame;
 use crate::metrics::{DegradationEvent, RecoveryEvent, StageReport, WalkthroughReport};
-use crate::placement::{place, Placement};
+use crate::partition::StagePlan;
+use crate::placement::Placement;
 use crate::spec::{FaultSpec, Fidelity, RendererMode, RunConfig, StageKind};
 use crate::supervise::{resolve_kills, CheckpointRing, Supervisor, STAGE_PROVISION_BYTES};
 use crate::trace::{Phase, TraceLog};
@@ -151,6 +152,7 @@ pub struct SimRunner {
     cfg: RunConfig,
     cost: CostModel,
     placement: Placement,
+    plan: StagePlan,
     platform: SccPlatform,
     renderer: Arc<Renderer>,
     walkthrough: Walkthrough,
@@ -161,9 +163,10 @@ pub struct SimRunner {
 
 impl SimRunner {
     /// Build a runner with the default platform, cost model, scene and the
-    /// placement implied by the configuration.
+    /// placement implied by the configuration — the scheduler's when
+    /// [`RunConfig::auto_place`] is set, else the fixed arrangement.
     pub fn new(cfg: RunConfig, scene: Arc<Scene>) -> SimRunner {
-        let placement = place(cfg.renderer, cfg.arrangement, cfg.pipelines);
+        let placement = crate::partition::placement_for(&cfg);
         SimRunner::with_parts(
             cfg,
             scene,
@@ -185,6 +188,7 @@ impl SimRunner {
         dvfs: DvfsPlan,
     ) -> SimRunner {
         cfg.validate().expect("invalid run configuration");
+        let plan = crate::partition::plan_for(&cfg);
         let walkthrough = Walkthrough::standard(cfg.width as f32 / cfg.height as f32);
         // One sink for the whole run: the frame loop, the ARQ retry
         // path, and the supervisor all record into it. Disabled (the
@@ -203,6 +207,7 @@ impl SimRunner {
             cfg,
             cost,
             placement,
+            plan,
             platform,
             walkthrough,
             dvfs,
@@ -268,6 +273,27 @@ impl SimRunner {
                 [mk(0), mk(1), mk(2), mk(3), mk(4)]
             })
             .collect();
+        // Replica stage states beyond each primary (scheduler placements
+        // only): `extras[lane][j]` holds replicas `1..r` of stage `j`.
+        // Frame `f` runs on replica `f mod r`, swapped into the primary
+        // slot for the duration of the frame — the frame-major loop then
+        // executes the replicated pipeline without further changes, and
+        // strip ordering is preserved by construction.
+        let plan = self.plan.clone();
+        let mut extras: Vec<[Vec<StageState>; 5]> = (0..p)
+            .map(|i| {
+                let mk = |j: usize| -> Vec<StageState> {
+                    self.placement
+                        .replica_extras(i as u32, j)
+                        .iter()
+                        .map(|&c| {
+                            StageState::new(StageKind::PIPELINE_FILTERS[j], c, Some(i as u32))
+                        })
+                        .collect()
+                };
+                [mk(0), mk(1), mk(2), mk(3), mk(4)]
+            })
+            .collect();
         let mut transfer = StageState::new(StageKind::Transfer, self.placement.transfer, None);
 
         // Filter implementations in stage order.
@@ -326,6 +352,7 @@ impl SimRunner {
 
         for f in 0..self.cfg.frames {
             let cam = self.walkthrough.camera(f);
+            route_replicas(&plan, &mut filters, &mut extras, f);
 
             // ---- source: produce the P strips of frame f ----
             // For each pipeline: the time its strip is resident in the
@@ -380,6 +407,7 @@ impl SimRunner {
                         let in_flight = checkpoints.get(i).map_or(1, |r| r.unacked() as u32);
                         let (start, resident) = send_strip(
                             &mut self.platform,
+                            &plan,
                             self.fault.as_ref(),
                             &mut send_seqs,
                             &mut filters,
@@ -468,6 +496,7 @@ impl SimRunner {
                         let in_flight = checkpoints.get(i).map_or(1, |r| r.unacked() as u32);
                         let (start, resident) = send_strip(
                             &mut self.platform,
+                            &plan,
                             self.fault.as_ref(),
                             &mut send_seqs,
                             &mut filters,
@@ -551,6 +580,7 @@ impl SimRunner {
                         let in_flight = checkpoints.get(i).map_or(1, |r| r.unacked() as u32);
                         let (send_at, resident) = send_strip(
                             &mut self.platform,
+                            &plan,
                             self.fault.as_ref(),
                             &mut send_seqs,
                             &mut filters,
@@ -588,6 +618,7 @@ impl SimRunner {
                     let lane = owner[i];
                     match run_strip_on_lane(
                         &mut self.platform,
+                        &plan,
                         &self.cost,
                         &impls,
                         &mut filters[lane],
@@ -640,6 +671,7 @@ impl SimRunner {
                                 .clone();
                             let (_, resident) = send_strip(
                                 &mut self.platform,
+                                &plan,
                                 self.fault.as_ref(),
                                 &mut send_seqs,
                                 &mut filters,
@@ -745,6 +777,9 @@ impl SimRunner {
             for ring in &mut checkpoints {
                 ring.ack(acked);
             }
+            // Return the frame's replicas to their pool slots (swap is an
+            // involution), so frame f + 1 routes from a clean layout.
+            route_replicas(&plan, &mut filters, &mut extras, f);
         }
         // Release the healer's borrows on the supervision state before
         // the report is assembled.
@@ -783,6 +818,15 @@ impl SimRunner {
                 stage_reports.push(s.report());
             }
         }
+        // Replica clones report alongside their primaries, so the frame
+        // ledger still sums to pipelines x frames per stage position.
+        for lane in &extras {
+            for states in lane {
+                for s in states {
+                    stage_reports.push(s.report());
+                }
+            }
+        }
         stage_reports.push(transfer.report());
 
         let power_trace = self.platform.power_trace(finish, SimTime::from_secs(1));
@@ -801,6 +845,13 @@ impl SimRunner {
             for pipe in &filters {
                 for s in pipe {
                     record_stage_telemetry(&self.tel, s);
+                }
+            }
+            for lane in &extras {
+                for states in lane {
+                    for s in states {
+                        record_stage_telemetry(&self.tel, s);
+                    }
                 }
             }
             record_stage_telemetry(&self.tel, &transfer);
@@ -982,6 +1033,7 @@ struct Healer<'a> {
 #[allow(clippy::too_many_arguments)]
 fn try_recover(
     platform: &mut SccPlatform,
+    plan: &StagePlan,
     fc: &FaultCtx,
     seqs: &mut HashMap<(u8, u8), u64>,
     healer: &mut Option<Healer>,
@@ -1007,6 +1059,14 @@ fn try_recover(
     // observes the kill at `observed`).
     let resend_at = ready.max(observed);
     let resident = faulted_send(platform, fc, seqs, upstream, spare, resend_at, bytes).ok()?;
+    // A merged group lives and dies with its one core: every sibling
+    // stage it hosted migrates to the spare alongside stage `j`.
+    for sib in plan.groups[plan.group_of(j)].stages() {
+        if lane_states[sib].core == failed_core {
+            lane_states[sib].core = spare;
+            lane_states[sib].free = ready;
+        }
+    }
     lane_states[j].core = spare;
     lane_states[j].free = ready;
     h.spinning.push(spare);
@@ -1119,6 +1179,7 @@ fn mark_failed(
 #[allow(clippy::too_many_arguments)]
 fn send_strip(
     platform: &mut SccPlatform,
+    plan: &StagePlan,
     fault: Option<&FaultCtx>,
     seqs: &mut HashMap<(u8, u8), u64>,
     filters: &mut [[StageState; 5]],
@@ -1157,6 +1218,7 @@ fn send_strip(
                     // so the observation point is the send's start.
                     if let Some(resident) = try_recover(
                         platform,
+                        plan,
                         fc,
                         seqs,
                         healer,
@@ -1207,6 +1269,7 @@ fn send_strip(
 #[allow(clippy::too_many_arguments)]
 fn run_strip_on_lane(
     platform: &mut SccPlatform,
+    plan: &StagePlan,
     cost: &CostModel,
     impls: &[Box<dyn ImageFilter>; 5],
     lane_states: &mut [StageState; 5],
@@ -1236,6 +1299,10 @@ fn run_strip_on_lane(
             lane_states[j].free,
             lane_states[j].kind,
         );
+        // Inside a merged group the strip never leaves the core: the
+        // previous stage's output is already local, so there is no idle
+        // wait, no fetch, and (below) no send for the handoff.
+        let merged_prev = plan.merged_with_prev(j);
         let start = avail.max(stage_free);
         if let Some(fc) = fault {
             // A fail-stopped stage with a strip already resident: migrate
@@ -1248,6 +1315,7 @@ fn run_strip_on_lane(
                 };
                 match try_recover(
                     platform,
+                    plan,
                     fc,
                     seqs,
                     healer,
@@ -1276,30 +1344,40 @@ fn run_strip_on_lane(
                 return Err((j, start + fc.horizon()));
             }
         }
-        lane_states[j]
-            .idle_samples
-            .push(avail.saturating_sub(stage_free));
-        // Fetch the strip out of this core's DRAM partition.
-        let t_fetch = platform.fetch_from_partition(stage_core, start, bytes);
+        lane_states[j].idle_samples.push(if merged_prev {
+            SimTime::ZERO
+        } else {
+            avail.saturating_sub(stage_free)
+        });
+        // Fetch the strip out of this core's DRAM partition (a merged
+        // stage's input is already resident from its in-group
+        // predecessor).
+        let t_fetch = if merged_prev {
+            start
+        } else {
+            platform.fetch_from_partition(stage_core, start, bytes)
+        };
         if let Some(log) = trace.as_mut() {
-            log.span(
-                stage_core,
-                stage_kind,
-                Some(lane),
-                f,
-                Phase::Wait,
-                stage_free,
-                start,
-            );
-            log.span(
-                stage_core,
-                stage_kind,
-                Some(lane),
-                f,
-                Phase::Fetch,
-                start,
-                t_fetch,
-            );
+            if !merged_prev {
+                log.span(
+                    stage_core,
+                    stage_kind,
+                    Some(lane),
+                    f,
+                    Phase::Wait,
+                    stage_free,
+                    start,
+                );
+                log.span(
+                    stage_core,
+                    stage_kind,
+                    Some(lane),
+                    f,
+                    Phase::Fetch,
+                    start,
+                    t_fetch,
+                );
+            }
         }
         let mut t = t_fetch;
         // Apply (really, in full fidelity) and charge compute.
@@ -1351,97 +1429,33 @@ fn run_strip_on_lane(
         }
 
         // Hand over to the next stage (or the transfer stage),
-        // rendezvous-paced.
-        let (next_core, next_free) = if j + 1 < 5 {
-            (lane_states[j + 1].core, lane_states[j + 1].free)
+        // rendezvous-paced. A handoff to the next stage of the same
+        // merged group stays on-core: no rendezvous, no message, nothing
+        // for the fault plan to touch.
+        let resident = if j + 1 < 5 && plan.merged_with_prev(j + 1) {
+            t
         } else {
-            (transfer_core, transfer_free)
-        };
-        let send_start = t.max(next_free);
-        let resident = match fault {
-            Some(fc) => {
-                match faulted_send(platform, fc, seqs, stage_core, next_core, send_start, bytes) {
-                    Ok(r) => r,
-                    Err(at) => {
-                        // A fail-stopped downstream filter stage: migrate
-                        // it and land the replayed strip on the spare.
-                        // (The transfer stage, j+1 == 5, is never a kill
-                        // target.) Otherwise blame the receiving stage —
-                        // it is the one not acking.
-                        let kill = if j + 1 < 5 {
-                            fc.plan.kill_time(next_core.raw()).filter(|&k| k <= at)
-                        } else {
-                            None
-                        };
-                        // As in `send_strip`: the redirect pre-empts
-                        // the remaining ARQ patience, so the replay is
-                        // observed from the send's start.
-                        let recovered = kill.and_then(|kill_at| {
-                            try_recover(
-                                platform,
-                                fc,
-                                seqs,
-                                healer,
-                                lane_states,
-                                lane,
-                                j + 1,
-                                stage_core,
-                                kill_at,
-                                send_start,
-                                f,
-                                bytes,
-                                in_flight,
-                                trace,
-                            )
-                        });
-                        match recovered {
-                            Some(r) => r,
-                            None => {
-                                // This stage finished its pass — only the
-                                // handoff failed — so it books the strip,
-                                // and it stays occupied through the futile
-                                // retransmission window: `free` must reach
-                                // the ARQ's give-up time or the lane's next
-                                // strip would overlap this one on the same
-                                // core. `failed_stage` is j+1 and the
-                                // ledger stays uniform across both
-                                // detection sites.
-                                let stage = &mut lane_states[j];
-                                stage.frames += 1;
-                                stage.busy += at.saturating_sub(start);
-                                stage.free = at;
-                                platform.record_busy(stage_core, send_start, at);
-                                if let Some(log) = trace.as_mut() {
-                                    log.span(
-                                        stage_core,
-                                        stage_kind,
-                                        Some(lane),
-                                        f,
-                                        Phase::Send,
-                                        t,
-                                        at,
-                                    );
-                                }
-                                return Err((j + 1, at));
-                            }
-                        }
-                    }
-                }
-            }
-            None => platform.send_to_partition(stage_core, next_core, send_start, bytes),
-        };
-        platform.record_busy(stage_core, send_start, resident);
-        if let Some(log) = trace.as_mut() {
-            log.span(
+            run_strip_handoff(
+                platform,
+                lane_states,
+                lane,
+                transfer_core,
+                transfer_free,
+                trace,
+                f,
+                bytes,
+                fault,
+                seqs,
+                healer,
+                plan,
+                in_flight,
+                j,
                 stage_core,
                 stage_kind,
-                Some(lane),
-                f,
-                Phase::Send,
+                start,
                 t,
-                resident,
-            );
-        }
+            )?
+        };
         let stage = &mut lane_states[j];
         stage.busy += resident - start;
         stage.free = resident;
@@ -1449,7 +1463,153 @@ fn run_strip_on_lane(
         avail = resident;
         j += 1;
     }
+    // Merged groups share one core: once the frame clears the group,
+    // every member is next free when the group's last stage is — without
+    // this, the group's first stage could start frame f + 1 while the
+    // core is still finishing frame f's tail stages.
+    for g in &plan.groups {
+        if g.len > 1 {
+            let group_free = lane_states[g.start + g.len - 1].free;
+            for j in g.stages() {
+                lane_states[j].free = group_free;
+            }
+        }
+    }
     Ok(avail)
+}
+
+/// The rendezvous-paced handoff of stage `j`'s finished strip to its
+/// downstream — the next stage's core for this frame, or the transfer
+/// stage. Extracted from [`run_strip_on_lane`] so merged groups can skip
+/// it wholesale; returns the strip's residency downstream, or the
+/// degradation abort `(failed stage, detection time)`.
+#[allow(clippy::too_many_arguments)]
+fn run_strip_handoff(
+    platform: &mut SccPlatform,
+    lane_states: &mut [StageState; 5],
+    lane: u32,
+    transfer_core: CoreId,
+    transfer_free: SimTime,
+    trace: &mut Option<TraceLog>,
+    f: u64,
+    bytes: u64,
+    fault: Option<&FaultCtx>,
+    seqs: &mut HashMap<(u8, u8), u64>,
+    healer: &mut Option<Healer>,
+    plan: &StagePlan,
+    in_flight: u32,
+    j: usize,
+    stage_core: CoreId,
+    stage_kind: StageKind,
+    start: SimTime,
+    t: SimTime,
+) -> Result<SimTime, (usize, SimTime)> {
+    let (next_core, next_free) = if j + 1 < 5 {
+        (lane_states[j + 1].core, lane_states[j + 1].free)
+    } else {
+        (transfer_core, transfer_free)
+    };
+    let send_start = t.max(next_free);
+    let resident = match fault {
+        Some(fc) => {
+            match faulted_send(platform, fc, seqs, stage_core, next_core, send_start, bytes) {
+                Ok(r) => r,
+                Err(at) => {
+                    // A fail-stopped downstream filter stage: migrate
+                    // it and land the replayed strip on the spare.
+                    // (The transfer stage, j+1 == 5, is never a kill
+                    // target.) Otherwise blame the receiving stage —
+                    // it is the one not acking.
+                    let kill = if j + 1 < 5 {
+                        fc.plan.kill_time(next_core.raw()).filter(|&k| k <= at)
+                    } else {
+                        None
+                    };
+                    // As in `send_strip`: the redirect pre-empts
+                    // the remaining ARQ patience, so the replay is
+                    // observed from the send's start.
+                    let recovered = kill.and_then(|kill_at| {
+                        try_recover(
+                            platform,
+                            plan,
+                            fc,
+                            seqs,
+                            healer,
+                            lane_states,
+                            lane,
+                            j + 1,
+                            stage_core,
+                            kill_at,
+                            send_start,
+                            f,
+                            bytes,
+                            in_flight,
+                            trace,
+                        )
+                    });
+                    match recovered {
+                        Some(r) => r,
+                        None => {
+                            // This stage finished its pass — only the
+                            // handoff failed — so it books the strip,
+                            // and it stays occupied through the futile
+                            // retransmission window: `free` must reach
+                            // the ARQ's give-up time or the lane's next
+                            // strip would overlap this one on the same
+                            // core. `failed_stage` is j+1 and the
+                            // ledger stays uniform across both
+                            // detection sites.
+                            let stage = &mut lane_states[j];
+                            stage.frames += 1;
+                            stage.busy += at.saturating_sub(start);
+                            stage.free = at;
+                            platform.record_busy(stage_core, send_start, at);
+                            if let Some(log) = trace.as_mut() {
+                                log.span(stage_core, stage_kind, Some(lane), f, Phase::Send, t, at);
+                            }
+                            return Err((j + 1, at));
+                        }
+                    }
+                }
+            }
+        }
+        None => platform.send_to_partition(stage_core, next_core, send_start, bytes),
+    };
+    platform.record_busy(stage_core, send_start, resident);
+    if let Some(log) = trace.as_mut() {
+        log.span(
+            stage_core,
+            stage_kind,
+            Some(lane),
+            f,
+            Phase::Send,
+            t,
+            resident,
+        );
+    }
+    Ok(resident)
+}
+
+/// Swap the frame's replica (`f mod r`) of every replicated stage into
+/// the primary slot. The swap is an involution: calling it again at the
+/// end of the frame restores the pool layout.
+fn route_replicas(
+    plan: &StagePlan,
+    filters: &mut [[StageState; 5]],
+    extras: &mut [[Vec<StageState>; 5]],
+    f: u64,
+) {
+    for (lane, ex) in filters.iter_mut().zip(extras.iter_mut()) {
+        for j in 0..5 {
+            let r = u64::from(plan.replicas_of(j));
+            if r > 1 {
+                let k = (f % r) as usize;
+                if k > 0 {
+                    std::mem::swap(&mut lane[j], &mut ex[j][k - 1]);
+                }
+            }
+        }
+    }
 }
 
 fn strip_info(i: usize, bounds: &[(u32, u32)], full_height: u32) -> StripInfo {
@@ -1496,6 +1656,7 @@ fn make_strips(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::placement::place;
     use crate::spec::Arrangement;
     use scc_render::CityConfig;
 
@@ -1859,6 +2020,51 @@ mod tests {
         }
         // The supervised run's heartbeats are real ledger traffic.
         assert!(k.platform.noc_messages > s.platform.noc_messages);
+    }
+
+    #[test]
+    fn auto_placement_verifies_clean_and_matches_fixed_film() {
+        // The scheduler placement (merged tail + replicated blur) must
+        // deliver the same film bit-for-bit, pass every invariant
+        // (verify panics inside run on a violation), and not lose
+        // throughput against the paper's fixed arrangement.
+        let scene = tiny_scene();
+        let mut fixed = quick_cfg(RendererMode::SingleRenderer, 2);
+        fixed.fidelity = Fidelity::Full;
+        fixed.frames = 6;
+        fixed.verify = true;
+        let mut auto = fixed.clone();
+        auto.auto_place = true;
+        let a = SimRunner::new(fixed, Arc::clone(&scene)).run();
+        let b = SimRunner::new(auto.clone(), scene).run();
+        assert_eq!(
+            a.outputs.expect("fixed frames"),
+            b.outputs.expect("auto frames"),
+            "auto placement changed the film"
+        );
+        assert!(
+            b.total_secs <= a.total_secs * 1.01,
+            "auto ({:.3}s) must not lose to fixed ({:.3}s)",
+            b.total_secs,
+            a.total_secs
+        );
+        // Replicated blur means more blur stage reports than lanes.
+        let blurs = b
+            .stage_reports
+            .iter()
+            .filter(|s| s.kind == StageKind::Blur)
+            .count();
+        assert!(blurs > 2, "expected blur replicas, saw {blurs} reports");
+        // And each stage position still accounts for every strip.
+        for kind in StageKind::PIPELINE_FILTERS {
+            let sum: u64 = b
+                .stage_reports
+                .iter()
+                .filter(|s| s.kind == kind)
+                .map(|s| s.frames)
+                .sum();
+            assert_eq!(sum, 12, "{} ledger", kind.name());
+        }
     }
 
     #[test]

@@ -356,6 +356,19 @@ pub struct RunConfig {
     /// scheduling, so enabling it cannot move a result, and disabling it
     /// (the default) leaves golden digests byte-identical.
     pub telemetry: bool,
+    /// Let the stage-graph scheduler compute the placement instead of
+    /// the fixed arrangement: cheap adjacent stages merge onto one
+    /// core and the bottleneck stage is replicated across spare cores
+    /// (frame-round-robin, order preserving). Off by default; the
+    /// output film is bit-identical either way.
+    pub auto_place: bool,
+    /// Explicit per-stage weights for the scheduler, in
+    /// [`StageKind::PIPELINE_FILTERS`] order (five finite, non-negative
+    /// values; relative scale only). `None` uses the static cost-model
+    /// estimate. Telemetry-driven placement extracts weights from a
+    /// previous run's `scc_stage_idle_ms` histograms and feeds them in
+    /// here.
+    pub stage_weights: Option<Vec<f64>>,
 }
 
 impl Default for RunConfig {
@@ -377,6 +390,8 @@ impl Default for RunConfig {
             fault: None,
             tuning: NativeTuning::default(),
             telemetry: false,
+            auto_place: false,
+            stage_weights: None,
         }
     }
 }
@@ -411,6 +426,20 @@ impl RunConfig {
             fault.validate(self.pipelines)?;
         }
         self.tuning.validate()?;
+        if let Some(w) = &self.stage_weights {
+            if w.len() != StageKind::PIPELINE_FILTERS.len() {
+                return Err(format!(
+                    "stage_weights has {} entries, need {}",
+                    w.len(),
+                    StageKind::PIPELINE_FILTERS.len()
+                ));
+            }
+            for (j, v) in w.iter().enumerate() {
+                if !v.is_finite() || *v < 0.0 {
+                    return Err(format!("stage_weights[{j}] = {v} is not a finite weight"));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -510,6 +539,19 @@ impl RunConfigBuilder {
     /// Install a fault-injection plan (`fault(None)` clears it).
     pub fn fault(mut self, fault: impl Into<Option<FaultSpec>>) -> Self {
         self.cfg.fault = fault.into();
+        self
+    }
+
+    /// Hand placement to the stage-graph scheduler (off by default).
+    pub fn auto_place(mut self, auto_place: bool) -> Self {
+        self.cfg.auto_place = auto_place;
+        self
+    }
+
+    /// Explicit scheduler weights (`stage_weights(None)` reverts to the
+    /// static cost-model estimate).
+    pub fn stage_weights(mut self, stage_weights: impl Into<Option<Vec<f64>>>) -> Self {
+        self.cfg.stage_weights = stage_weights.into();
         self
     }
 
@@ -757,6 +799,8 @@ mod tests {
             .fault(FaultSpec::default())
             .kernel_threads(2)
             .buffer_pool(false)
+            .auto_place(true)
+            .stage_weights(vec![1.0, 5.0, 1.0, 1.0, 1.0])
             .build()
             .expect("valid config");
         assert_eq!(cfg.renderer, RendererMode::McpcRenderer);
@@ -770,6 +814,41 @@ mod tests {
         assert!(cfg.fault.is_some());
         assert_eq!(cfg.tuning.kernel_threads, 2);
         assert!(!cfg.tuning.buffer_pool);
+        assert!(cfg.auto_place);
+        assert_eq!(
+            cfg.stage_weights.as_deref(),
+            Some(&[1.0, 5.0, 1.0, 1.0, 1.0][..])
+        );
+    }
+
+    #[test]
+    fn stage_weights_validation() {
+        // Wrong arity.
+        let err = RunConfig::builder()
+            .stage_weights(vec![1.0, 2.0])
+            .build()
+            .unwrap_err();
+        assert!(err.contains("entries"), "{err}");
+        // NaN and negatives rejected — the scheduler must never see them.
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            let err = RunConfig::builder()
+                .stage_weights(vec![1.0, bad, 1.0, 1.0, 1.0])
+                .build()
+                .unwrap_err();
+            assert!(err.contains("finite weight"), "{err}");
+        }
+        // All-zero is legal (the partitioner merges everything mergeable).
+        assert!(RunConfig::builder()
+            .stage_weights(vec![0.0; 5])
+            .build()
+            .is_ok());
+        // stage_weights(None) clears.
+        let cfg = RunConfig::builder()
+            .stage_weights(vec![1.0; 5])
+            .stage_weights(None)
+            .build()
+            .expect("valid");
+        assert!(cfg.stage_weights.is_none());
     }
 
     #[test]

@@ -82,11 +82,13 @@ impl FuzzCase {
     }
 
     /// Serialise to the ≤ 10-line repro format. Floats use Rust's
-    /// shortest round-trip `Display`, so `from_text` is lossless.
+    /// shortest round-trip `Display`, so `from_text` is lossless. The
+    /// scheduler fields (`auto=1` on the run line, a `weights` line)
+    /// are emitted only when set, so pre-scheduler repros stay valid.
     pub fn to_text(&self) -> String {
         let c = &self.cfg;
         let mut out = format!(
-            "run mode={} arr={} p={} w={} h={} f={} seed={:#x} fid={} threads={} pool={}\n",
+            "run mode={} arr={} p={} w={} h={} f={} seed={:#x} fid={} threads={} pool={}{}\n",
             mode_tag(c.renderer),
             c.arrangement.name(),
             c.pipelines,
@@ -100,7 +102,12 @@ impl FuzzCase {
             },
             c.tuning.kernel_threads,
             c.tuning.buffer_pool as u8,
+            if c.auto_place { " auto=1" } else { "" },
         );
+        if let Some(w) = &c.stage_weights {
+            let list: Vec<String> = w.iter().map(f64::to_string).collect();
+            out.push_str(&format!("weights w={}\n", list.join(",")));
+        }
         if let Some(f) = &c.fault {
             out.push_str(&format!(
                 "fault seed={:#x} drop={} corrupt={} delay={} max_delay_us={} links={} factor={} timeout_us={} retries={}\n",
@@ -182,6 +189,16 @@ impl FuzzCase {
                     };
                     c.tuning.kernel_threads = int(&kvs, "threads")? as u32;
                     c.tuning.buffer_pool = int(&kvs, "pool")? != 0;
+                    // Optional: absent in pre-scheduler repros.
+                    c.auto_place = kvs.iter().any(|(k, _)| *k == "auto") && int(&kvs, "auto")? != 0;
+                }
+                "weights" => {
+                    let list = get(&kvs, "w")?;
+                    let w: Result<Vec<f64>, String> = list
+                        .split(',')
+                        .map(|v| v.parse().map_err(|e| format!("weights {v}: {e}")))
+                        .collect();
+                    case.cfg.stage_weights = Some(w?);
                 }
                 "fault" => {
                     let f = case.cfg.fault.get_or_insert_with(FaultSpec::default);
@@ -246,7 +263,7 @@ impl FuzzCase {
 
     fn mutate_once(&mut self, rng: &mut StdRng) {
         let c = &mut self.cfg;
-        match rng.gen_range(0u32..16) {
+        match rng.gen_range(0u32..19) {
             0 => {
                 c.renderer = [
                     RendererMode::SingleRenderer,
@@ -334,13 +351,22 @@ impl FuzzCase {
                     f.stall = None;
                 }
             }
-            _ => {
+            15 => {
                 let f = c.fault.get_or_insert_with(FaultSpec::default);
                 f.max_spares = rng.gen_range(0u32..=2);
                 f.retry_budget = rng.gen_range(0u32..=4);
                 f.timeout_us = [200, 500, 1_000][rng.gen_range(0usize..3)];
                 f.checkpoint_depth = rng.gen_range(1u32..=4);
             }
+            16 => c.auto_place = !c.auto_place,
+            17 => {
+                // Explicit scheduler weights from a palette spanning the
+                // interesting regimes: flat (everything merges), spiky
+                // (maximal replication), zero-heavy (degenerate).
+                let palette = [0.0, 0.1, 1.0, 4.0, 250.0];
+                c.stage_weights = Some((0..5).map(|_| palette[rng.gen_range(0usize..5)]).collect());
+            }
+            _ => c.stage_weights = None,
         }
         // Drop fault sub-specs that point past a shrunken pipeline count.
         if let Some(f) = &mut c.fault {
@@ -376,6 +402,21 @@ pub fn coverage(case: &FuzzCase, outcome_events: &CoverageEvents) -> BTreeSet<St
     }
     if !c.tuning.buffer_pool {
         set.insert("tuning:no-pool".into());
+    }
+    if c.auto_place {
+        set.insert("place:auto".into());
+        // Probe the scheduler's decision surface: which placement
+        // shapes does this case actually reach?
+        let auto = scc_core::auto_place(c);
+        if auto.plan.groups.iter().any(|g| g.replicas > 1) {
+            set.insert("place:replicated".into());
+        }
+        if auto.plan.groups.iter().any(|g| g.len > 1) {
+            set.insert("place:merged".into());
+        }
+    }
+    if c.stage_weights.is_some() {
+        set.insert("weights:explicit".into());
     }
     if let Some(f) = &c.fault {
         if f.degraded_links > 0 && f.degrade_factor < 1.0 {
@@ -692,6 +733,12 @@ fn cost(case: &FuzzCase) -> u64 {
     if c.tuning.kernel_threads != 1 || !c.tuning.buffer_pool {
         k += 5;
     }
+    if c.auto_place {
+        k += 50;
+    }
+    if c.stage_weights.is_some() {
+        k += 25;
+    }
     if c.seed != 1 {
         k += 1;
     }
@@ -741,6 +788,11 @@ pub fn shrink(mut case: FuzzCase, check: &str) -> FuzzCase {
         |c| c.renderer = RendererMode::SingleRenderer,
         |c| c.arrangement = Arrangement::Unordered,
         |c| c.tuning = Default::default(),
+        |c| c.stage_weights = None,
+        |c| {
+            c.auto_place = false;
+            c.stage_weights = None;
+        },
         |c| c.seed = 1,
     ];
     loop {
@@ -822,6 +874,58 @@ mod tests {
             !clean.contains("msg:drop"),
             "clean case claims fault coverage"
         );
+    }
+
+    #[test]
+    fn coverage_sees_scheduler_decisions() {
+        let mut auto = FuzzCase::base(1);
+        auto.cfg.auto_place = true;
+        let set = coverage(&auto, &CoverageEvents::default());
+        for feature in ["place:auto", "place:replicated", "place:merged"] {
+            assert!(set.contains(feature), "missing {feature} in {set:?}");
+        }
+        let clean = coverage(&FuzzCase::base(1), &CoverageEvents::default());
+        assert!(
+            !clean.contains("place:auto"),
+            "fixed case claims scheduler coverage"
+        );
+        auto.cfg.stage_weights = Some(vec![1.0; 5]);
+        assert!(coverage(&auto, &CoverageEvents::default()).contains("weights:explicit"));
+    }
+
+    #[test]
+    #[cfg_attr(feature = "verify-selftest", ignore = "mutants make every run fail")]
+    fn oracle_passes_auto_placed_cases() {
+        // The scheduler inside the full differential oracle: sim vs DES
+        // vs sequential reference, clean and with a kill on the
+        // replicated bottleneck's primary.
+        let mut auto = FuzzCase::base(3);
+        auto.cfg.auto_place = true;
+        let out = run_oracle(&auto);
+        assert!(
+            out.failures.is_empty(),
+            "auto case failed: {:?}",
+            out.failures
+        );
+        assert!(out.coverage.contains("place:auto"));
+
+        auto.cfg.fault = Some(FaultSpec {
+            kills: vec![KillSpec {
+                pipeline: 0,
+                stage: 1,
+                at_ms: 1,
+            }],
+            heartbeat_period_us: 2_000,
+            phi_dead: 2.0,
+            ..FaultSpec::default()
+        });
+        let out = run_oracle(&auto);
+        assert!(
+            out.failures.is_empty(),
+            "auto kill case failed: {:?}",
+            out.failures
+        );
+        assert!(out.coverage.contains("event:recovery"));
     }
 
     #[test]

@@ -160,6 +160,40 @@ pub fn golden_matrix() -> Vec<GoldenCase> {
         name: "fault-lossy".into(),
         cfg: lossy,
     });
+    // The stage-graph scheduler: one auto-placed run per renderer mode
+    // (film must stay bit-identical to the fixed digests' film hash),
+    // plus a kill on the replicated bottleneck's primary — the
+    // supervisor must migrate a scheduler placement, group siblings
+    // included, without moving the film hash.
+    for (tag, mode) in [
+        ("single", RendererMode::SingleRenderer),
+        ("perpipe", RendererMode::PerPipelineRenderer),
+        ("mcpc", RendererMode::McpcRenderer),
+    ] {
+        let mut cfg = base_cfg();
+        cfg.renderer = mode;
+        cfg.auto_place = true;
+        cases.push(GoldenCase {
+            name: format!("auto-{tag}"),
+            cfg,
+        });
+    }
+    let mut auto_recovered = base_cfg();
+    auto_recovered.auto_place = true;
+    auto_recovered.fault = Some(FaultSpec {
+        kills: vec![KillSpec {
+            pipeline: 0,
+            stage: 1,
+            at_ms: 1,
+        }],
+        heartbeat_period_us: 2_000,
+        phi_dead: 2.0,
+        ..FaultSpec::default()
+    });
+    cases.push(GoldenCase {
+        name: "auto-recovered".into(),
+        cfg: auto_recovered,
+    });
     cases
 }
 
@@ -236,10 +270,21 @@ pub fn digest_case(case: &GoldenCase) -> String {
     )
 }
 
-/// One-line canonical config rendering for digest headers.
+/// One-line canonical config rendering for digest headers. The
+/// scheduler suffix (`auto=1`, explicit weights) only appears when the
+/// case opts in, so the fixed-arrangement digests are byte-stable
+/// across the scheduler's introduction.
 pub fn config_line(cfg: &RunConfig) -> String {
+    let auto = if cfg.auto_place {
+        match &cfg.stage_weights {
+            Some(w) => format!(" auto=1 weights={w:?}"),
+            None => " auto=1".to_string(),
+        }
+    } else {
+        String::new()
+    };
     format!(
-        "{} {} p={} {}x{}x{} seed={:#x} fault={}",
+        "{} {} p={} {}x{}x{} seed={:#x}{auto} fault={}",
         cfg.renderer.name(),
         cfg.arrangement.name(),
         cfg.pipelines,
@@ -294,6 +339,32 @@ pub fn native_tuning_digest() -> String {
     out
 }
 
+/// Digest of the stage-graph scheduler's *decisions* on the golden
+/// geometry: the full decision table (stage, class, weight, group,
+/// replicas, cores) for every renderer mode, pinned verbatim plus an
+/// FNV fold. Any change to the cost model, the partitioning passes or
+/// the core realisation moves this file — reviewers see the new table,
+/// not just a hash.
+pub fn autoplace_decision_digest() -> String {
+    use scc_core::spec::RendererMode;
+    let mut out = String::from("== autoplace-decision\n");
+    for (tag, mode) in [
+        ("single", RendererMode::SingleRenderer),
+        ("perpipe", RendererMode::PerPipelineRenderer),
+        ("mcpc", RendererMode::McpcRenderer),
+    ] {
+        let mut cfg = base_cfg();
+        cfg.renderer = mode;
+        cfg.auto_place = true;
+        let table = scc_core::auto_place(&cfg).decision_table();
+        out.push_str(&format!(
+            "-- {tag} digest={:016x}\n{table}",
+            fnv1a_str(&table)
+        ));
+    }
+    out
+}
+
 fn film_hash(frames: &[scc_filters::Image]) -> u64 {
     let mut h = FNV_OFFSET;
     for f in frames {
@@ -306,10 +377,11 @@ fn film_hash(frames: &[scc_filters::Image]) -> u64 {
 }
 
 /// Digest of the *schema* of the bench trajectory's JSON artefacts
-/// (`BENCH_native_pipeline.json`, `BENCH_recovery.json`): the sorted set
-/// of JSON keys each document exposes. Values vary run to run — the
-/// shape must not.
+/// (`BENCH_native_pipeline.json`, `BENCH_recovery.json`,
+/// `BENCH_autoplace.json`): the sorted set of JSON keys each document
+/// exposes. Values vary run to run — the shape must not.
 pub fn bench_schema_digest() -> String {
+    use scc_bench::autoplace::measure_autoplace;
     use scc_bench::native_throughput::measure_native_throughput;
     use scc_bench::recovery::measure_recovery;
     let mut cfg = base_cfg();
@@ -321,10 +393,12 @@ pub fn bench_schema_digest() -> String {
     let scene = verify_scene();
     let throughput = measure_native_throughput(&cfg, &scene, &[1]);
     let recovery = measure_recovery(&cfg, &scene, &[1]);
+    let autoplace = measure_autoplace(&cfg, &scene);
     let mut out = String::from("== bench-schema\n");
     for (name, json) in [
         ("native_pipeline", throughput.to_json()),
         ("recovery", recovery.to_json()),
+        ("autoplace", autoplace.to_json()),
     ] {
         let keys = json_keys(&json);
         out.push_str(&format!(
@@ -370,8 +444,9 @@ pub fn json_keys(json: &str) -> Vec<String> {
     keys.into_iter().collect()
 }
 
-/// The whole golden document: matrix digests, native tuning digest, and
-/// the bench schema digest, in a fixed order.
+/// The whole golden document: matrix digests, native tuning digest,
+/// the scheduler decision digest, and the bench schema digest, in a
+/// fixed order.
 pub fn golden_document() -> String {
     let mut out = String::new();
     for case in golden_matrix() {
@@ -379,6 +454,8 @@ pub fn golden_document() -> String {
         out.push('\n');
     }
     out.push_str(&native_tuning_digest());
+    out.push('\n');
+    out.push_str(&autoplace_decision_digest());
     out.push('\n');
     out.push_str(&bench_schema_digest());
     out
@@ -405,11 +482,25 @@ mod tests {
     #[test]
     fn golden_matrix_covers_the_full_mode_arrangement_grid() {
         let cases = golden_matrix();
-        assert_eq!(cases.len(), 12, "3x3 matrix + 3 fault variants");
+        assert_eq!(
+            cases.len(),
+            16,
+            "3x3 matrix + 3 fault variants + 4 scheduler variants"
+        );
         let names: Vec<_> = cases.iter().map(|c| c.name.as_str()).collect();
         assert!(names.contains(&"single-ordered"));
         assert!(names.contains(&"mcpc-flipped"));
         assert!(names.contains(&"fault-recovered"));
+        assert!(names.contains(&"auto-single"));
+        assert!(names.contains(&"auto-recovered"));
+        for c in &cases {
+            assert_eq!(
+                c.name.starts_with("auto-"),
+                c.cfg.auto_place,
+                "{}: auto_place must match the auto- prefix",
+                c.name
+            );
+        }
         for c in &cases {
             assert!(
                 c.cfg.verify,

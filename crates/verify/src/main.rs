@@ -54,6 +54,10 @@ fn cmd_golden(update: bool) -> i32 {
         .map(|case| (case.name.clone(), digest_case(case)))
         .collect();
     blocks.push(("native-tuning".into(), scc_verify::native_tuning_digest()));
+    blocks.push((
+        "autoplace-decision".into(),
+        scc_verify::autoplace_decision_digest(),
+    ));
     blocks.push(("bench-schema".into(), scc_verify::bench_schema_digest()));
     if update {
         std::fs::create_dir_all(&dir).expect("create golden dir");

@@ -7,7 +7,10 @@
 //! digest (deliberately) wrong.
 #![cfg(not(feature = "verify-selftest"))]
 
-use scc_verify::{bench_schema_digest, digest_case, golden_matrix, native_tuning_digest};
+use scc_verify::{
+    autoplace_decision_digest, bench_schema_digest, digest_case, golden_matrix,
+    native_tuning_digest,
+};
 use std::path::PathBuf;
 
 fn golden_dir() -> PathBuf {
@@ -64,6 +67,13 @@ fn bench_schema_digest_matches_the_pinned_file() {
     }
 }
 
+#[test]
+fn autoplace_decision_digest_matches_the_pinned_file() {
+    if let Err(e) = check_or_update("autoplace-decision", &autoplace_decision_digest()) {
+        panic!("{e}");
+    }
+}
+
 /// The acceptance bar: two consecutive runs of the whole matrix must be
 /// byte-identical — no wall-clock, allocator or iteration-order leak.
 #[test]
@@ -77,5 +87,6 @@ fn consecutive_matrix_runs_are_byte_identical() {
         );
     }
     assert_eq!(native_tuning_digest(), native_tuning_digest());
+    assert_eq!(autoplace_decision_digest(), autoplace_decision_digest());
     assert_eq!(bench_schema_digest(), bench_schema_digest());
 }

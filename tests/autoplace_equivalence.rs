@@ -1,0 +1,210 @@
+//! Differential suite for the stage-graph scheduler: an auto-placed run
+//! must deliver the *same film, bit for bit* as the paper's fixed
+//! 7-stage arrangement — across all three renderer modes, all three
+//! backends (frame-major sim, event-driven DES, native threads), and
+//! under injected faults (message-level drops/corruption on the native
+//! transport, supervised fail-stop kills on the simulated backends).
+//! It also pins the scheduler's reason to exist: the auto placement's
+//! simulated frame rate beats (or ties within 1%) every fixed
+//! arrangement on the film workload.
+
+use scc_core::viz::frame_checksum;
+use scc_core::{
+    reference::reference_frames, run_des, run_native, Arrangement, FaultSpec, Fidelity, KillSpec,
+    RendererMode, RunConfig, SimRunner,
+};
+use scc_filters::Image;
+use scc_render::{CityConfig, Scene};
+use std::sync::Arc;
+
+fn scene() -> Arc<Scene> {
+    Arc::new(Scene::city(CityConfig {
+        side: 8,
+        spacing: 8.0,
+        seed: 17,
+    }))
+}
+
+fn cfg(mode: RendererMode, pipelines: u32) -> RunConfig {
+    RunConfig::builder()
+        .renderer(mode)
+        .arrangement(Arrangement::Ordered)
+        .pipelines(pipelines)
+        .size(48, 40)
+        .frames(4)
+        .seed(23)
+        .fidelity(Fidelity::Full)
+        .build()
+        .expect("valid config")
+}
+
+fn checksums(frames: &[Image]) -> Vec<u64> {
+    frames.iter().map(frame_checksum).collect()
+}
+
+const MODES: [RendererMode; 3] = [
+    RendererMode::SingleRenderer,
+    RendererMode::PerPipelineRenderer,
+    RendererMode::McpcRenderer,
+];
+
+#[test]
+fn sim_auto_equals_fixed_in_every_renderer_mode() {
+    for mode in MODES {
+        let fixed = cfg(mode, 2);
+        let mut auto = fixed.clone();
+        auto.auto_place = true;
+        auto.verify = true; // every invariant checked on the auto run
+        let a = SimRunner::new(fixed, scene()).run();
+        let b = SimRunner::new(auto, scene()).run();
+        assert_eq!(
+            checksums(&a.outputs.expect("fixed film")),
+            checksums(&b.outputs.expect("auto film")),
+            "{mode:?}: auto placement changed the film"
+        );
+    }
+}
+
+#[test]
+fn native_auto_equals_fixed_in_every_renderer_mode() {
+    for mode in MODES {
+        let fixed = cfg(mode, 2);
+        let mut auto = fixed.clone();
+        auto.auto_place = true;
+        let a = run_native(&fixed, scene());
+        let b = run_native(&auto, scene());
+        assert_eq!(
+            checksums(&a.frames),
+            checksums(&b.frames),
+            "{mode:?}: native auto placement changed the film"
+        );
+        // And both equal the sequential oracle.
+        let mut ref_cfg = fixed.clone();
+        if mode == RendererMode::McpcRenderer {
+            ref_cfg.renderer = RendererMode::SingleRenderer;
+        }
+        assert_eq!(b.frames, reference_frames(&ref_cfg, scene()));
+    }
+}
+
+#[test]
+fn des_auto_equals_fixed_single_renderer() {
+    // The DES validator covers the single-renderer configuration.
+    let fixed = cfg(RendererMode::SingleRenderer, 2);
+    let mut auto = fixed.clone();
+    auto.auto_place = true;
+    auto.verify = true;
+    let a = run_des(&fixed, scene());
+    let b = run_des(&auto, scene());
+    assert_eq!(
+        checksums(&a.frames.expect("fixed film")),
+        checksums(&b.frames.expect("auto film")),
+        "DES: auto placement changed the film"
+    );
+}
+
+fn kill_spec(stage: u32) -> FaultSpec {
+    FaultSpec {
+        kills: vec![KillSpec {
+            pipeline: 0,
+            stage,
+            at_ms: 1,
+        }],
+        heartbeat_period_us: 2_000,
+        phi_dead: 2.0,
+        ..FaultSpec::default()
+    }
+}
+
+#[test]
+fn sim_auto_survives_kills_bit_identical() {
+    // Kill the replicated bottleneck's primary (stage 1, blur) and a
+    // merged-tail stage (stage 3, flicker): the supervisor must migrate
+    // the scheduler placement — group siblings included — and still
+    // deliver the reference film.
+    for stage in [1u32, 3] {
+        let mut auto = cfg(RendererMode::SingleRenderer, 2);
+        auto.auto_place = true;
+        auto.fault = Some(kill_spec(stage));
+        let report = SimRunner::new(auto.clone(), scene()).run();
+        assert!(
+            !report.recoveries.is_empty(),
+            "stage {stage}: the kill must be detected and migrated"
+        );
+        let mut clean = auto.clone();
+        clean.fault = None;
+        assert_eq!(
+            report.outputs.expect("killed run film"),
+            reference_frames(&clean, scene()),
+            "stage {stage}: recovery lost film fidelity under auto placement"
+        );
+    }
+}
+
+#[test]
+fn des_auto_survives_kills_bit_identical() {
+    let mut auto = cfg(RendererMode::SingleRenderer, 2);
+    auto.auto_place = true;
+    auto.verify = true;
+    auto.fault = Some(kill_spec(3));
+    let report = run_des(&auto, scene());
+    assert_eq!(report.recoveries.len(), 1);
+    let mut clean = auto.clone();
+    clean.fault = None;
+    assert_eq!(
+        report.frames.expect("killed run film"),
+        reference_frames(&clean, scene())
+    );
+}
+
+#[test]
+fn native_auto_survives_message_faults_bit_identical() {
+    let mut auto = cfg(RendererMode::SingleRenderer, 2);
+    auto.auto_place = true;
+    auto.verify = true; // ARQ ledgers audited at thread exit
+    auto.fault = Some(FaultSpec {
+        seed: 0xC1A05,
+        drop_rate: 0.05,
+        corrupt_rate: 0.05,
+        timeout_us: 100_000,
+        retry_budget: 5,
+        ..FaultSpec::default()
+    });
+    let report = run_native(&auto, scene());
+    let mut clean = auto.clone();
+    clean.fault = None;
+    assert_eq!(report.frames, reference_frames(&clean, scene()));
+}
+
+#[test]
+fn auto_throughput_dominates_every_fixed_arrangement() {
+    // The scheduler's reason to exist: replicating blur and merging the
+    // idle tail must beat (or tie within 1%) each fixed arrangement's
+    // simulated frame rate on the film workload.
+    let base = RunConfig::builder()
+        .renderer(RendererMode::SingleRenderer)
+        .arrangement(Arrangement::Ordered)
+        .pipelines(2)
+        .size(100, 100)
+        .frames(16)
+        .seed(23)
+        .fidelity(Fidelity::TimingOnly)
+        .build()
+        .expect("valid config");
+    let mut auto = base.clone();
+    auto.auto_place = true;
+    let auto_secs = SimRunner::new(auto, scene()).run().total_secs;
+    for arr in [
+        Arrangement::Unordered,
+        Arrangement::Ordered,
+        Arrangement::Flipped,
+    ] {
+        let mut fixed = base.clone();
+        fixed.arrangement = arr;
+        let fixed_secs = SimRunner::new(fixed, scene()).run().total_secs;
+        assert!(
+            auto_secs <= fixed_secs * 1.01,
+            "{arr:?}: auto {auto_secs:.3}s must not lose to fixed {fixed_secs:.3}s"
+        );
+    }
+}
