@@ -11,14 +11,19 @@
 //!                  [--pipelines P] [--kills 10,50,150]
 //!   bench autoplace [--smoke] [--out PATH] [--frames N] [--size WxH]
 //!                   [--pipelines P]
+//!   bench kernels [--smoke] [--out PATH] [--frames N] [--size WxH]
+//!                 [--threads 1,2,4]
 //!
 //! `--smoke` shrinks everything to a seconds-long configuration for CI;
 //! the defaults measure the paper's 400×400 silent-film geometry.
 //! `autoplace` sweeps the stage-graph scheduler's placement against the
 //! three fixed arrangements in virtual time and writes
-//! `BENCH_autoplace.json`.
+//! `BENCH_autoplace.json`. `kernels` isolates the filter kernels
+//! (scalar/simd × fused/unfused × threads, no render or transport) and
+//! writes `BENCH_kernels.json`.
 
 use scc_bench::autoplace::measure_autoplace;
+use scc_bench::kernels::measure_kernels;
 use scc_bench::native_throughput::measure_native_throughput;
 use scc_bench::recovery::measure_recovery;
 use scc_bench::standard_scene;
@@ -34,7 +39,8 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let recovery_mode = args.first().map(|a| a == "recovery").unwrap_or(false);
     let autoplace_mode = args.first().map(|a| a == "autoplace").unwrap_or(false);
-    if recovery_mode || autoplace_mode {
+    let kernels_mode = args.first().map(|a| a == "kernels").unwrap_or(false);
+    if recovery_mode || autoplace_mode || kernels_mode {
         args.remove(0);
     }
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -43,6 +49,8 @@ fn main() {
             "BENCH_recovery.json".into()
         } else if autoplace_mode {
             "BENCH_autoplace.json".into()
+        } else if kernels_mode {
+            "BENCH_kernels.json".into()
         } else {
             "BENCH_native_pipeline.json".into()
         }
@@ -67,6 +75,25 @@ fn main() {
                 .collect()
         })
         .unwrap_or_else(|| if smoke { vec![1, 2] } else { vec![1, 2, 4] });
+
+    if kernels_mode {
+        eprintln!(
+            "measuring filter kernels: {}x{} f={} threads={threads:?}{}",
+            width,
+            height,
+            frames,
+            if smoke { " (smoke)" } else { "" },
+        );
+        let report = measure_kernels(width, height, frames, 0x51CC_F11F, &threads);
+        print!("{}", report.render_text());
+        std::fs::write(&out_path, report.to_json()).expect("write bench json");
+        println!("wrote {out_path}");
+        if !report.output_consistent {
+            eprintln!("FATAL: a kernel variant changed pixels");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     let cfg = RunConfig::builder()
         .pipelines(pipelines)

@@ -1,0 +1,273 @@
+//! Raw filter-kernel throughput sweep — the `BENCH_kernels.json`
+//! trajectory.
+//!
+//! Unlike `native_throughput` (which times the whole pipeline, render
+//! and transport included), this sweep isolates the five filter kernels:
+//! it synthesises deterministic frames once, then times the standard
+//! chain over them for every point of backend (scalar / simd) ×
+//! execution (unfused / fused) × kernel-thread count. The oracle is the
+//! same as everywhere else in the repo: every point must produce
+//! byte-identical pixels to the scalar-unfused single-thread reference —
+//! a kernel variant that changes a pixel is a bug, not a speedup.
+
+use scc_core::viz::frame_checksum;
+use scc_core::HostTiming;
+use scc_filters::{standard_chain, FrameCtx, FusedPass, Image, KernelBackend};
+use scc_telemetry::Json;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured (backend, fused, threads) point.
+#[derive(Debug, Clone)]
+pub struct KernelPoint {
+    pub backend: KernelBackend,
+    pub fused: bool,
+    pub kernel_threads: u32,
+    pub timing: HostTiming,
+    /// Throughput relative to the scalar / unfused / 1-thread point.
+    pub speedup_vs_scalar: f64,
+    /// FNV fold of all output frame checksums; equal across points.
+    pub output_checksum: u64,
+}
+
+/// The full sweep, ready to render as `BENCH_kernels.json`.
+#[derive(Debug, Clone)]
+pub struct KernelsReport {
+    pub width: u32,
+    pub height: u32,
+    pub frames: u64,
+    pub seed: u64,
+    pub host_cpus: u32,
+    pub points: Vec<KernelPoint>,
+    /// True when every point delivered bit-identical frames.
+    pub output_consistent: bool,
+}
+
+/// Deterministic synthetic frame (xorshift-mixed pixels) so the sweep
+/// needs no scene or renderer.
+fn synth_frame(width: u32, height: u32, seed: u64, frame: u64) -> Image {
+    let mut img = Image::new(width, height);
+    let mut s = seed ^ frame.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    for y in 0..height {
+        for x in 0..width {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            img.set(x, y, [s as u8, (s >> 8) as u8, (s >> 16) as u8, 255]);
+        }
+    }
+    img
+}
+
+/// Apply the standard chain to `img` under one sweep point. Fused
+/// execution runs the maximal pointwise tail (scratch → flicker → swap)
+/// as one traversal; sepia stays standalone because blur (a stencil)
+/// breaks its run, exactly like the native runner's segmenter.
+fn apply_point(
+    img: &mut Image,
+    ctx: &FrameCtx,
+    backend: KernelBackend,
+    fused: Option<&FusedPass>,
+    threads: usize,
+) {
+    let chain = standard_chain();
+    match fused {
+        None => {
+            for f in &chain {
+                f.apply_vectored(img, ctx, backend, threads);
+            }
+        }
+        Some(pass) => {
+            chain[0].apply_vectored(img, ctx, backend, threads);
+            chain[1].apply_vectored(img, ctx, backend, threads);
+            pass.apply_chunked(img, ctx, threads);
+        }
+    }
+}
+
+fn fold_checksums(frames: &[Image]) -> u64 {
+    let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+    for img in frames {
+        for b in frame_checksum(img).to_le_bytes() {
+            acc ^= b as u64;
+            acc = acc.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    acc
+}
+
+/// Run the sweep over every backend × fused × `thread_counts` point.
+pub fn measure_kernels(
+    width: u32,
+    height: u32,
+    frames: u64,
+    seed: u64,
+    thread_counts: &[u32],
+) -> KernelsReport {
+    assert!(!thread_counts.is_empty(), "no thread counts to sweep");
+    let inputs: Vec<Image> = (0..frames)
+        .map(|f| synth_frame(width, height, seed, f))
+        .collect();
+
+    let mut points = Vec::new();
+    for backend in [KernelBackend::Scalar, KernelBackend::Simd] {
+        for fused in [false, true] {
+            let pass = fused.then(|| {
+                FusedPass::from_standard_indices(&[2, 3, 4], backend)
+                    .expect("scratch/flicker/swap are a legal pointwise run")
+            });
+            for &threads in thread_counts {
+                let mut outputs = inputs.clone();
+                let start = Instant::now();
+                for (f, img) in outputs.iter_mut().enumerate() {
+                    let ctx = FrameCtx::whole_frame(f as u64, seed, width, height);
+                    apply_point(img, &ctx, backend, pass.as_ref(), threads as usize);
+                }
+                let wall = start.elapsed().as_secs_f64();
+                points.push(KernelPoint {
+                    backend,
+                    fused,
+                    kernel_threads: threads,
+                    timing: HostTiming::from_wall(wall, frames, width, height),
+                    speedup_vs_scalar: 0.0, // filled below
+                    output_checksum: fold_checksums(&outputs),
+                });
+            }
+        }
+    }
+
+    let baseline = points
+        .iter()
+        .find(|p| p.backend == KernelBackend::Scalar && !p.fused && p.kernel_threads == 1)
+        .unwrap_or(&points[0])
+        .timing;
+    for p in points.iter_mut() {
+        p.speedup_vs_scalar = p.timing.speedup_over(&baseline);
+    }
+    let output_consistent = points
+        .windows(2)
+        .all(|w| w[0].output_checksum == w[1].output_checksum);
+
+    KernelsReport {
+        width,
+        height,
+        frames,
+        seed,
+        host_cpus: std::thread::available_parallelism()
+            .map(|n| n.get() as u32)
+            .unwrap_or(1),
+        points,
+        output_consistent,
+    }
+}
+
+impl KernelsReport {
+    /// Render the report as the `BENCH_kernels.json` document.
+    pub fn to_json(&self) -> String {
+        let config = Json::obj()
+            .field("width", Json::U64(u64::from(self.width)))
+            .field("height", Json::U64(u64::from(self.height)))
+            .field("frames", Json::U64(self.frames))
+            .field("seed", Json::U64(self.seed));
+        let points = Json::Arr(
+            self.points
+                .iter()
+                .map(|p| {
+                    Json::obj()
+                        .field("backend", Json::str(p.backend.name()))
+                        .field("fused", Json::Bool(p.fused))
+                        .field("kernel_threads", Json::U64(u64::from(p.kernel_threads)))
+                        .field("wall_secs", Json::F64(p.timing.wall_secs))
+                        .field("mpixels_per_sec", Json::F64(p.timing.mpixels_per_sec))
+                        .field("speedup_vs_scalar", Json::F64(p.speedup_vs_scalar))
+                        .field(
+                            "output_checksum",
+                            Json::str(format!("{:#018x}", p.output_checksum)),
+                        )
+                })
+                .collect(),
+        );
+        Json::obj()
+            .field("bench", Json::str("kernels"))
+            .field("config", config)
+            .field("host_cpus", Json::U64(u64::from(self.host_cpus)))
+            .field(
+                "note",
+                Json::str(
+                    "filter-chain-only throughput (no render/transport); \
+                     mpixels_per_sec counts delivered frame pixels per second",
+                ),
+            )
+            .field("output_consistent", Json::Bool(self.output_consistent))
+            .field("points", points)
+            .render()
+    }
+
+    /// Plain-text table for the terminal.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "filter kernel throughput — {}x{} f={} (host cpus: {})",
+            self.width, self.height, self.frames, self.host_cpus,
+        );
+        let _ = writeln!(
+            out,
+            "{:>8} {:>6} {:>8} {:>10} {:>9} {:>9}",
+            "backend", "fused", "threads", "wall_s", "Mpx/s", "speedup"
+        );
+        for p in &self.points {
+            let _ = writeln!(
+                out,
+                "{:>8} {:>6} {:>8} {:>10.4} {:>9.2} {:>8.2}x",
+                p.backend.name(),
+                if p.fused { "on" } else { "off" },
+                p.kernel_threads,
+                p.timing.wall_secs,
+                p.timing.mpixels_per_sec,
+                p.speedup_vs_scalar,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "output {}",
+            if self.output_consistent {
+                "bit-identical across all points"
+            } else {
+                "DIVERGED — a kernel variant changed pixels!"
+            }
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_consistent_and_json_well_formed() {
+        let report = measure_kernels(48, 36, 3, 0xBEEF, &[1, 2]);
+        assert!(report.output_consistent, "a kernel variant changed pixels");
+        // 2 backends x 2 fusion settings x 2 thread counts.
+        assert_eq!(report.points.len(), 8);
+        let base = &report.points[0];
+        assert_eq!(base.backend, KernelBackend::Scalar);
+        assert!(!base.fused);
+        assert!((base.speedup_vs_scalar - 1.0).abs() < 1e-9);
+        let json = report.to_json();
+        for key in [
+            "\"bench\": \"kernels\"",
+            "\"backend\"",
+            "\"fused\"",
+            "\"mpixels_per_sec\"",
+            "\"speedup_vs_scalar\"",
+            "\"output_consistent\": true",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(report.render_text().contains("bit-identical"));
+    }
+}

@@ -7,6 +7,7 @@
 
 pub mod autoplace;
 pub mod experiments;
+pub mod kernels;
 pub mod native_throughput;
 pub mod recovery;
 pub mod report;

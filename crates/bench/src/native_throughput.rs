@@ -72,12 +72,14 @@ pub fn measure_native_throughput(
         .map(|&t| NativeTuning {
             kernel_threads: t,
             buffer_pool: true,
+            ..NativeTuning::default()
         })
         .collect();
     for &t in [thread_counts[0], *thread_counts.last().unwrap()].iter() {
         let unpooled = NativeTuning {
             kernel_threads: t,
             buffer_pool: false,
+            ..NativeTuning::default()
         };
         if !variants.contains(&unpooled) {
             variants.push(unpooled);

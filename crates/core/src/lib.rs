@@ -58,15 +58,18 @@ pub use frame::Frame;
 pub use generic::{run_generic_chain, FnStage, GenericReport, MacroStage, StageWork};
 pub use invariant::{check_report, enforce, Violation};
 pub use metrics::{DegradationEvent, HostTiming, RecoveryEvent, StageReport, WalkthroughReport};
-pub use partition::{auto_place, partition, placement_for, plan_for, AutoPlacement, StagePlan};
+pub use partition::{
+    auto_place, partition, partition_with, placement_for, plan_for, AutoPlacement, GroupCosting,
+    StagePlan,
+};
 pub use placement::{place, place_dvfs_single_pipeline, Placement, ReplicaSlot};
 pub use pool::{BufferPool, PoolStats};
 pub use runner::des::{run_des, DesReport};
 pub use runner::native::{run_native, NativeReport};
 pub use runner::sim::{DvfsPlan, SimRunner};
 pub use spec::{
-    Arrangement, FaultSpec, Fidelity, KillSpec, NativeTuning, RendererMode, RunConfig,
-    RunConfigBuilder, StageKind, StallSpec,
+    Arrangement, FaultSpec, Fidelity, FuseChoice, KernelChoice, KillSpec, NativeTuning,
+    RendererMode, RunConfig, RunConfigBuilder, StageKind, StallSpec,
 };
 pub use stage_graph::{StageClass, StageGraph, StageNode, StageWeights, WeightSource};
 pub use supervise::{resolve_kills, CheckpointRing, Supervisor, STAGE_PROVISION_BYTES};

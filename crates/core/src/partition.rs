@@ -18,9 +18,10 @@
 //! property suite (`tests/partition_props.rs`) and the golden decision
 //! tables rely on.
 
+use crate::cost::CostModel;
 use crate::placement::{Placement, ReplicaSlot};
 use crate::spec::{RendererMode, RunConfig, StageKind};
-use crate::stage_graph::{StageGraph, StageNode, StageWeights};
+use crate::stage_graph::{StageClass, StageGraph, StageNode, StageWeights};
 use scc_sim::topology::{CoreId, TileId, CORES_PER_TILE, MESH_H, MESH_W, NUM_CORES};
 use serde::Serialize;
 
@@ -110,9 +111,47 @@ impl StagePlan {
     }
 }
 
+/// How the partitioner prices a multi-stage group.
+#[derive(Debug, Clone, Copy)]
+pub enum GroupCosting<'a> {
+    /// Plain sum of member weights — every pass pays its own memory
+    /// traversal (the pre-fusion executor).
+    Sum,
+    /// Maximal pointwise runs inside a group execute as one fused
+    /// traversal (the native runner's `FusedPass`): the run's followers
+    /// are discounted via [`CostModel::fused_group_cycles`]. Stencil
+    /// members (blur) still pay full price — they never fuse.
+    Fused(&'a CostModel),
+}
+
+/// Effective weight of the contiguous stage slice `range` under
+/// `costing`: plain sum, or the fused price where each maximal
+/// pointwise run collapses onto a single traversal.
+fn slice_weight(nodes: &[StageNode], range: std::ops::Range<usize>, costing: GroupCosting) -> f64 {
+    match costing {
+        GroupCosting::Sum => range.map(|j| nodes[j].weight).sum(),
+        GroupCosting::Fused(cost) => {
+            let mut total = 0.0;
+            let mut run: Vec<f64> = Vec::new();
+            for j in range {
+                if nodes[j].class == StageClass::Pointwise {
+                    run.push(nodes[j].weight);
+                } else {
+                    total += cost.fused_group_cycles(&run);
+                    run.clear();
+                    total += nodes[j].weight;
+                }
+            }
+            total + cost.fused_group_cycles(&run)
+        }
+    }
+}
+
 /// Partition `nodes` (the interior stage chain of one lane) for `lanes`
 /// identical lanes sharing `interior_budget` cores, keeping
-/// [`SPARE_RESERVE`] cores free for the supervisor.
+/// [`SPARE_RESERVE`] cores free for the supervisor. Groups are priced
+/// as plain weight sums; see [`partition_with`] for fusion-aware
+/// costing.
 ///
 /// Guarantees (enforced by `tests/partition_props.rs`):
 /// * every stage lands in exactly one group, order preserved;
@@ -124,6 +163,20 @@ pub fn partition(
     nodes: &[StageNode],
     lanes: u32,
     interior_budget: u32,
+) -> Result<StagePlan, String> {
+    partition_with(nodes, lanes, interior_budget, GroupCosting::Sum)
+}
+
+/// [`partition`] with an explicit group-costing policy. Fused costing
+/// changes *prices*, never *legality*: the merge rules (mergeable
+/// classes only, cadence bound, budget fit) and the replication rules
+/// are identical — so every `partition_props` guarantee holds for both
+/// policies.
+pub fn partition_with(
+    nodes: &[StageNode],
+    lanes: u32,
+    interior_budget: u32,
+    costing: GroupCosting,
 ) -> Result<StagePlan, String> {
     if nodes.is_empty() {
         return Err("cannot partition an empty stage chain".into());
@@ -139,24 +192,21 @@ pub fn partition(
     let bottleneck_w = nodes.iter().map(|n| n.weight).fold(0.0f64, f64::max);
 
     // Pass 1 — greedy adjacent merge: extend the open group while the
-    // merged weight stays within the bottleneck's service time (the
-    // cadence, so merging is free) and both sides are mergeable.
+    // merged weight (fusion-discounted under fused costing) stays
+    // within the bottleneck's service time (the cadence, so merging is
+    // free) and both sides are mergeable.
     let mut groups: Vec<StageGroup> = Vec::new();
     let mut start = 0usize;
-    let mut acc = nodes[0].weight;
     for j in 1..nodes.len() {
         let open_mergeable = nodes[start..j].iter().all(|n| n.class.mergeable());
-        let fits = acc + nodes[j].weight <= bottleneck_w;
-        if open_mergeable && nodes[j].class.mergeable() && fits {
-            acc += nodes[j].weight;
-        } else {
+        let fits = slice_weight(nodes, start..j + 1, costing) <= bottleneck_w;
+        if !(open_mergeable && nodes[j].class.mergeable() && fits) {
             groups.push(StageGroup {
                 start,
                 len: j - start,
                 replicas: 1,
             });
             start = j;
-            acc = nodes[j].weight;
         }
     }
     groups.push(StageGroup {
@@ -167,7 +217,12 @@ pub fn partition(
 
     // Pass 2 — force-fit: if the budget cannot seat one core per group
     // per lane, keep merging the cheapest mergeable adjacent pair.
-    let group_w = |g: &StageGroup| -> f64 { g.stages().map(|j| nodes[j].weight).sum() };
+    let group_w = |g: &StageGroup| -> f64 { slice_weight(nodes, g.stages(), costing) };
+    // The merged pair is one contiguous slice — priced as such, so a
+    // fused run spanning the old group boundary gets its discount.
+    let pair_w = |a: &StageGroup, b: &StageGroup| -> f64 {
+        slice_weight(nodes, a.start..b.start + b.len, costing)
+    };
     while lanes as u64 * groups.len() as u64 > interior_budget as u64 {
         let mergeable_pair = (0..groups.len().saturating_sub(1))
             .filter(|&i| {
@@ -177,8 +232,8 @@ pub fn partition(
                     .all(|j| nodes[j].class.mergeable())
             })
             .min_by(|&a, &b| {
-                let wa = group_w(&groups[a]) + group_w(&groups[a + 1]);
-                let wb = group_w(&groups[b]) + group_w(&groups[b + 1]);
+                let wa = pair_w(&groups[a], &groups[a + 1]);
+                let wb = pair_w(&groups[b], &groups[b + 1]);
                 wa.partial_cmp(&wb).unwrap_or(std::cmp::Ordering::Equal)
             });
         match mergeable_pair {
@@ -240,6 +295,10 @@ pub struct AutoPlacement {
     pub weights: StageWeights,
     pub plan: StagePlan,
     pub placement: Placement,
+    /// Whether groups were priced with the fused-traversal discount
+    /// ("fused") or as plain weight sums ("sum") — pinned in the
+    /// decision table so the goldens distinguish the two schedules.
+    pub costing: &'static str,
 }
 
 impl AutoPlacement {
@@ -272,10 +331,11 @@ impl AutoPlacement {
             ));
         }
         out.push_str(&format!(
-            "plan groups={} cores_per_lane={} source={}\n",
+            "plan groups={} cores_per_lane={} source={} costing={}\n",
             self.plan.groups.len(),
             self.plan.cores_per_lane(),
             self.weights.source.name(),
+            self.costing,
         ));
         out
     }
@@ -299,13 +359,24 @@ pub fn auto_place(cfg: &RunConfig) -> AutoPlacement {
         RendererMode::McpcRenderer => 2, // connector + transfer
     };
     let interior_budget = NUM_CORES as u32 - endpoint_cores;
-    let plan = partition(&interior, p, interior_budget).expect("validated config fits");
+    // Price merged groups the way the native executor will run them:
+    // fused pointwise runs cross memory once, so with fusion enabled a
+    // merged pointwise group is cheaper than the sum of its passes.
+    let cost = CostModel::default();
+    let (costing, tag) = if cfg.tuning.fuse.enabled() {
+        (GroupCosting::Fused(&cost), "fused")
+    } else {
+        (GroupCosting::Sum, "sum")
+    };
+    let plan =
+        partition_with(&interior, p, interior_budget, costing).expect("validated config fits");
     let placement = realize(cfg, &plan);
     AutoPlacement {
         graph,
         weights,
         plan,
         placement,
+        costing: tag,
     }
 }
 

@@ -445,8 +445,10 @@ pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
                 };
                 let cycles = cost.filter_cycles(impls[j].as_ref(), &proxy, &ctx);
                 if full_fidelity {
+                    // Backend-dispatched but bit-identical to scalar; the
+                    // cycle charge above is backend-independent.
                     let img = strip_images.get_mut(&(i, f)).expect("strip rendered");
-                    impls[j].apply(img, &ctx);
+                    impls[j].apply_vectored(img, &ctx, cfg.tuning.kernel.resolve(), 1);
                 }
                 t = platform.compute(core, t, cycles as u64);
                 let traffic = cost.stage_traffic(kind, bytes);

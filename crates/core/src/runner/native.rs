@@ -15,7 +15,9 @@ use crate::pool::{BufferPool, PoolStats};
 use crate::spec::{RendererMode, RunConfig, StageKind};
 use crate::trace::{Phase, TraceLog};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use scc_filters::{standard_chain, vswap, Image, StripInfo};
+use scc_filters::{
+    standard_chain, vswap, FusedPass, Image, KernelBackend, StripInfo, STANDARD_POINTWISE,
+};
 use scc_rcce::{communicator, crc32, Endpoint, MpbConfig, RcceError, Reliability};
 use scc_render::{Renderer, Scene, Walkthrough};
 use scc_sim::fault::{FaultConfig, FaultPlan};
@@ -94,6 +96,46 @@ impl SpanRecorder {
     fn into_log(self) -> TraceLog {
         self.log
     }
+}
+
+/// One executable unit of a merged group's stage list: a standalone
+/// stage (stencils, or everything when fusion is off) or a maximal
+/// pointwise run fused into a single memory traversal per row pair.
+enum ExecSegment {
+    Single(usize),
+    Fused(FusedPass, Vec<usize>),
+}
+
+/// Split a merged group's stage list into execution segments. Fusion
+/// applies only to runs of ≥ 2 consecutive pointwise stages — a lone
+/// pointwise stage gains nothing from the fused program and keeps its
+/// (backend-dispatched) standalone kernel. Blur is a stencil and always
+/// stays standalone, so the legality envelope of the stage graph
+/// (`StageClass::Pointwise` ⇔ `STANDARD_POINTWISE`) is what licenses
+/// every fused segment.
+fn exec_segments(stages: &[usize], backend: KernelBackend, fuse: bool) -> Vec<ExecSegment> {
+    let pointwise = |j: usize| STANDARD_POINTWISE.get(j).copied().unwrap_or(false);
+    let mut segs = Vec::new();
+    let mut i = 0;
+    while i < stages.len() {
+        if fuse && pointwise(stages[i]) {
+            let mut end = i + 1;
+            while end < stages.len() && pointwise(stages[end]) {
+                end += 1;
+            }
+            if end - i >= 2 {
+                let idxs = stages[i..end].to_vec();
+                let pass = FusedPass::from_standard_indices(&idxs, backend)
+                    .expect("maximal pointwise run is fusable");
+                segs.push(ExecSegment::Fused(pass, idxs));
+                i = end;
+                continue;
+            }
+        }
+        segs.push(ExecSegment::Single(stages[i]));
+        i += 1;
+    }
+    segs
 }
 
 /// Wire format: `crc32(rest) || header || RGBA payload`. The checksum
@@ -433,6 +475,8 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
                     thread::spawn(move || {
                         let mut rec = SpanRecorder::new(tracing, start, rank, kind, Some(i as u32));
                         let chain = standard_chain();
+                        let backend = cfg.tuning.kernel.resolve();
+                        let segments = exec_segments(&stages, backend, cfg.tuning.fuse.enabled());
                         let mut handled = 0u64;
                         // Replica k owns frames f ≡ k (mod r) — the
                         // strip order within the lane never changes.
@@ -448,23 +492,60 @@ pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
                             rec.span(frame.id, Phase::Wait, w0, r0);
                             // A merged group's stages run back-to-back on
                             // this thread: internal hops are plain
-                            // function calls, no message, no copy.
+                            // function calls, no message, no copy — and a
+                            // fused pointwise run collapses further into
+                            // one traversal of the strip.
                             let mut prev = r0;
-                            for &j in &stages {
-                                chain[j].apply_chunked(
-                                    frame.image.as_mut().expect("pixels"),
-                                    &ctx,
-                                    kernel_threads,
-                                );
-                                let now = Instant::now();
-                                rec.span_kind(
-                                    StageKind::PIPELINE_FILTERS[j],
-                                    frame.id,
-                                    Phase::Compute,
-                                    prev,
-                                    now,
-                                );
-                                prev = now;
+                            for seg in &segments {
+                                let img = frame.image.as_mut().expect("pixels");
+                                match seg {
+                                    ExecSegment::Single(j) => {
+                                        chain[*j].apply_vectored(
+                                            img,
+                                            &ctx,
+                                            backend,
+                                            kernel_threads,
+                                        );
+                                        let now = Instant::now();
+                                        rec.span_kind(
+                                            StageKind::PIPELINE_FILTERS[*j],
+                                            frame.id,
+                                            Phase::Compute,
+                                            prev,
+                                            now,
+                                        );
+                                        prev = now;
+                                    }
+                                    ExecSegment::Fused(pass, idxs) => {
+                                        pass.apply_chunked(img, &ctx, kernel_threads);
+                                        let now = Instant::now();
+                                        // One traversal served the whole
+                                        // run: attribute an equal share of
+                                        // the interval to each stage so
+                                        // per-stage span totals stay
+                                        // meaningful. Degenerate (empty)
+                                        // sub-spans are skipped.
+                                        let step = (now - prev) / idxs.len() as u32;
+                                        for (n, &j) in idxs.iter().enumerate() {
+                                            let t0 = prev + step * n as u32;
+                                            let t1 = if n + 1 == idxs.len() {
+                                                now
+                                            } else {
+                                                prev + step * (n as u32 + 1)
+                                            };
+                                            if t1 > t0 {
+                                                rec.span_kind(
+                                                    StageKind::PIPELINE_FILTERS[j],
+                                                    frame.id,
+                                                    Phase::Compute,
+                                                    t0,
+                                                    t1,
+                                                );
+                                            }
+                                        }
+                                        prev = now;
+                                    }
+                                }
                             }
                             let dst = dst_ranks[(f % dst_ranks.len() as u64) as usize];
                             send_bytes(&ep, reliable, dst, encode_frame(&frame));
@@ -829,6 +910,7 @@ mod tests {
             c.tuning = NativeTuning {
                 kernel_threads: threads,
                 buffer_pool: pooled,
+                ..NativeTuning::default()
             };
             let report = run_native(&c, scene());
             assert_eq!(

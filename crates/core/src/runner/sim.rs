@@ -637,6 +637,7 @@ impl SimRunner {
                         &mut healer,
                         in_flight,
                         &pool,
+                        self.cfg.tuning.kernel.resolve(),
                     ) {
                         Ok(done) => {
                             swap_arrivals[i] = done;
@@ -1257,6 +1258,38 @@ fn send_strip(
     }
 }
 
+/// A walk that aborts mid-chain skips the end-of-walk clock sync in
+/// [`run_strip_on_lane`], but the core time it already spent is real:
+/// re-align every multi-stage group to its latest member clock, and
+/// floor the group of `active` — the stage whose core was still busy
+/// (retrying a dead handoff) when the abort was detected — at the
+/// detection time `at`. Without this, the next strip walked on this
+/// lane pipelines into busy spans the merged core has already emitted,
+/// which a single core cannot do (the trace-overlap invariant catches
+/// exactly that).
+fn sync_group_clocks_on_abort(
+    plan: &StagePlan,
+    lane_states: &mut [StageState; 5],
+    active: usize,
+    at: SimTime,
+) {
+    for g in &plan.groups {
+        if g.len > 1 {
+            let mut group_free = if g.stages().contains(&active) {
+                at
+            } else {
+                SimTime::ZERO
+            };
+            for j in g.stages() {
+                group_free = group_free.max(lane_states[j].free);
+            }
+            for j in g.stages() {
+                lane_states[j].free = group_free;
+            }
+        }
+    }
+}
+
 /// Run one strip through the five filter stages of `lane_states`,
 /// charging virtual time exactly like the healthy inline path. Under
 /// faults, sends use the retry protocol; a fail-stopped stage triggers a
@@ -1288,6 +1321,7 @@ fn run_strip_on_lane(
     healer: &mut Option<Healer>,
     in_flight: u32,
     pool: &crate::pool::BufferPool,
+    backend: scc_filters::KernelBackend,
 ) -> Result<SimTime, (usize, SimTime)> {
     let ctx = frame.ctx(run_seed);
     let bytes = frame.byte_len();
@@ -1334,14 +1368,20 @@ fn run_strip_on_lane(
                         avail = resident;
                         continue;
                     }
-                    None => return Err((j, start + fc.horizon())),
+                    None => {
+                        let at = start + fc.horizon();
+                        sync_group_clocks_on_abort(plan, lane_states, j, at);
+                        return Err((j, at));
+                    }
                 }
             }
             // The upstream sender's retransmissions go unanswered while
             // this core is stalled; past the full horizon it is declared
             // dead before any more virtual time is sunk into it.
             if fc.plan.stall_remaining(stage_core.raw(), start) > fc.horizon() {
-                return Err((j, start + fc.horizon()));
+                let at = start + fc.horizon();
+                sync_group_clocks_on_abort(plan, lane_states, j, at);
+                return Err((j, at));
             }
         }
         lane_states[j].idle_samples.push(if merged_prev {
@@ -1384,8 +1424,15 @@ fn run_strip_on_lane(
         let cycles = match &frame.image {
             Some(img) => {
                 let c = cost.filter_cycles(impls[j].as_ref(), img, &ctx);
-                // Mutate the pixels.
-                impls[j].apply(frame.image.as_mut().expect("image present"), &ctx);
+                // Mutate the pixels through the configured kernel backend
+                // (bit-identical to scalar; the charge above is unchanged —
+                // the cost model prices P54C cycles, not host instructions).
+                impls[j].apply_vectored(
+                    frame.image.as_mut().expect("image present"),
+                    &ctx,
+                    backend,
+                    1,
+                );
                 c
             }
             None => {
@@ -1435,7 +1482,7 @@ fn run_strip_on_lane(
         let resident = if j + 1 < 5 && plan.merged_with_prev(j + 1) {
             t
         } else {
-            run_strip_handoff(
+            match run_strip_handoff(
                 platform,
                 lane_states,
                 lane,
@@ -1454,7 +1501,15 @@ fn run_strip_on_lane(
                 stage_kind,
                 start,
                 t,
-            )?
+            ) {
+                Ok(resident) => resident,
+                Err((failed, at)) => {
+                    // The *sender* (stage j) burned the retry horizon on
+                    // its core before the receiver was declared dead.
+                    sync_group_clocks_on_abort(plan, lane_states, j, at);
+                    return Err((failed, at));
+                }
+            }
         };
         let stage = &mut lane_states[j];
         stage.busy += resident - start;

@@ -289,6 +289,74 @@ impl FaultSpec {
     }
 }
 
+/// Which filter-kernel backend the runners execute. `Auto` (the
+/// default, and the only value the golden configs use) resolves to the
+/// build's default backend: vectorized when `scc-filters` was compiled
+/// with the `simd` feature, scalar otherwise. Both backends are always
+/// compiled and bit-identical, so this knob — like the rest of
+/// [`NativeTuning`] — can never move a pixel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Default)]
+pub enum KernelChoice {
+    #[default]
+    Auto,
+    /// Force the paper-literal scalar loops.
+    Scalar,
+    /// Force the lane-vectorized kernels.
+    Simd,
+}
+
+impl KernelChoice {
+    /// Resolve to a concrete backend.
+    pub fn resolve(&self) -> scc_filters::KernelBackend {
+        match self {
+            KernelChoice::Auto => scc_filters::KernelBackend::default_backend(),
+            KernelChoice::Scalar => scc_filters::KernelBackend::Scalar,
+            KernelChoice::Simd => scc_filters::KernelBackend::Simd,
+        }
+    }
+
+    /// Short name for digests and fuzz-repro lines.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelChoice::Auto => "auto",
+            KernelChoice::Scalar => "scalar",
+            KernelChoice::Simd => "simd",
+        }
+    }
+}
+
+/// Whether the native runner fuses maximal pointwise stage runs into a
+/// single memory traversal per row pair (see `scc_filters::FusedPass`).
+/// `Auto` resolves to on. Fusion only ever applies inside a merged
+/// placement group, so fixed arrangements (singleton groups) are
+/// unaffected by construction; auto-placed runs additionally feed the
+/// fused group weights to the partitioner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Default)]
+pub enum FuseChoice {
+    #[default]
+    Auto,
+    /// Run every stage as its own pass (the pre-fusion executor).
+    Off,
+    /// Fuse maximal pointwise runs.
+    On,
+}
+
+impl FuseChoice {
+    /// Resolve to a concrete on/off decision.
+    pub fn enabled(&self) -> bool {
+        !matches!(self, FuseChoice::Off)
+    }
+
+    /// Short name for digests and fuzz-repro lines.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FuseChoice::Auto => "auto",
+            FuseChoice::Off => "off",
+            FuseChoice::On => "on",
+        }
+    }
+}
+
 /// Host-execution tuning for the native runner (and the runners' buffer
 /// management). These knobs affect performance only: output is guaranteed
 /// bit-identical across every setting, which `tests/parallel_equivalence.rs`
@@ -303,6 +371,11 @@ pub struct NativeTuning {
     /// Recycle frame/strip allocations through `scc-core`'s buffer pool
     /// instead of hitting the allocator every hop.
     pub buffer_pool: bool,
+    /// Filter-kernel backend (scalar reference loops vs lane-vectorized
+    /// kernels; `Auto` follows the build's `simd` feature).
+    pub kernel: KernelChoice,
+    /// Pointwise stage fusion in the native executor (`Auto` = on).
+    pub fuse: FuseChoice,
 }
 
 impl Default for NativeTuning {
@@ -310,6 +383,8 @@ impl Default for NativeTuning {
         NativeTuning {
             kernel_threads: 1,
             buffer_pool: true,
+            kernel: KernelChoice::Auto,
+            fuse: FuseChoice::Auto,
         }
     }
 }
@@ -570,6 +645,20 @@ impl RunConfigBuilder {
         self
     }
 
+    /// Pick the filter-kernel backend (default `Auto`, which follows
+    /// the build's `simd` feature).
+    pub fn kernel(mut self, kernel: KernelChoice) -> Self {
+        self.cfg.tuning.kernel = kernel;
+        self
+    }
+
+    /// Toggle pointwise stage fusion in the native executor (default
+    /// `Auto` = on).
+    pub fn fuse(mut self, fuse: FuseChoice) -> Self {
+        self.cfg.tuning.fuse = fuse;
+        self
+    }
+
     /// Validate once and hand out the finished config.
     pub fn build(self) -> Result<RunConfig, String> {
         self.cfg.validate()?;
@@ -756,8 +845,31 @@ mod tests {
         cfg.tuning = NativeTuning {
             kernel_threads: 8,
             buffer_pool: false,
+            ..NativeTuning::default()
         };
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn kernel_and_fuse_choices_resolve_and_default_to_auto() {
+        let t = NativeTuning::default();
+        assert_eq!(t.kernel, KernelChoice::Auto);
+        assert_eq!(t.fuse, FuseChoice::Auto);
+        assert_eq!(
+            KernelChoice::Auto.resolve(),
+            scc_filters::KernelBackend::default_backend()
+        );
+        assert_eq!(
+            KernelChoice::Scalar.resolve(),
+            scc_filters::KernelBackend::Scalar
+        );
+        assert_eq!(
+            KernelChoice::Simd.resolve(),
+            scc_filters::KernelBackend::Simd
+        );
+        assert!(FuseChoice::Auto.enabled());
+        assert!(FuseChoice::On.enabled());
+        assert!(!FuseChoice::Off.enabled());
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! Kernel backend selection: scalar reference loops vs the lane-
+//! vectorized kernels of [`crate::lanes`].
+//!
+//! Both backends are always compiled; the `simd` cargo feature only
+//! flips which one [`KernelBackend::default_backend`] resolves to, so a
+//! build with the feature off can still run (and test) the vectorized
+//! path explicitly, and vice versa. Every vectorized kernel is
+//! bit-identical to its scalar twin — the backend is a *speed* knob,
+//! never a *pixels* knob (DESIGN.md §15).
+
+/// Which kernel implementation a filter stage runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum KernelBackend {
+    /// The paper-literal per-pixel loops — the reference semantics.
+    Scalar,
+    /// Lane-vectorized kernels: `[f32; 8]` lane arithmetic for the
+    /// float-formula stages (sepia), an exact per-frame lookup table
+    /// for flicker, and an exact sliding-window reformulation for blur.
+    /// Scratch and vswap are copy/paint kernels already bound by
+    /// `memcpy` bandwidth; they run the same code under both backends.
+    Simd,
+}
+
+impl KernelBackend {
+    /// The backend a build runs when nothing is requested explicitly:
+    /// vectorized when the `simd` feature is on, scalar otherwise.
+    pub fn default_backend() -> KernelBackend {
+        if cfg!(feature = "simd") {
+            KernelBackend::Simd
+        } else {
+            KernelBackend::Scalar
+        }
+    }
+
+    /// Short name for digests, bench JSON and fuzz-repro lines.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Simd => "simd",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_backend_follows_the_feature_gate() {
+        let d = KernelBackend::default_backend();
+        if cfg!(feature = "simd") {
+            assert_eq!(d, KernelBackend::Simd);
+        } else {
+            assert_eq!(d, KernelBackend::Scalar);
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(KernelBackend::Scalar.name(), "scalar");
+        assert_eq!(KernelBackend::Simd.name(), "simd");
+    }
+}

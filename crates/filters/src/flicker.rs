@@ -7,6 +7,7 @@
 //! strip of a frame must shift by the same amount, so it comes from the
 //! deterministic per-frame RNG.
 
+use crate::backend::KernelBackend;
 use crate::chunk::par_row_chunks;
 use crate::filter::{FrameCtx, ImageFilter};
 use crate::frame_rng::frame_rng;
@@ -35,11 +36,34 @@ impl Flicker {
 }
 
 /// The shared kernel: add the frame's brightness offset to every RGB byte.
-fn shift_bytes(bytes: &mut [u8], d: f32) {
+pub(crate) fn shift_bytes(bytes: &mut [u8], d: f32) {
     for px in bytes.chunks_exact_mut(BYTES_PER_PIXEL) {
         for c in px.iter_mut().take(3) {
             *c = from_unit(to_unit(*c) + d);
         }
+    }
+}
+
+/// The vectorized kernel's strength reduction: the offset is one value
+/// per frame and a channel byte has only 256 states, so the whole
+/// float path `from_unit(to_unit(c) + d)` collapses into a 256-entry
+/// table built once per frame with the *scalar* formula — the per-pixel
+/// work becomes three table loads, bit-identical to [`shift_bytes`] by
+/// construction.
+pub(crate) fn shift_lut(d: f32) -> [u8; 256] {
+    let mut lut = [0u8; 256];
+    for (c, out) in lut.iter_mut().enumerate() {
+        *out = from_unit(to_unit(c as u8) + d);
+    }
+    lut
+}
+
+/// Apply a prebuilt per-frame shift table to every RGB byte.
+pub(crate) fn shift_bytes_lut(bytes: &mut [u8], lut: &[u8; 256]) {
+    for px in bytes.chunks_exact_mut(BYTES_PER_PIXEL) {
+        px[0] = lut[px[0] as usize];
+        px[1] = lut[px[1] as usize];
+        px[2] = lut[px[2] as usize];
     }
 }
 
@@ -59,6 +83,23 @@ impl ImageFilter for Flicker {
         // regardless of how rows are distributed (chunk-rule 2).
         let d = self.offset(ctx);
         par_row_chunks(img, workers, |_, rows| shift_bytes(rows, d));
+    }
+
+    fn apply_vectored(
+        &self,
+        img: &mut Image,
+        ctx: &FrameCtx,
+        backend: KernelBackend,
+        workers: usize,
+    ) {
+        let d = self.offset(ctx);
+        match backend {
+            KernelBackend::Scalar => par_row_chunks(img, workers, |_, rows| shift_bytes(rows, d)),
+            KernelBackend::Simd => {
+                let lut = shift_lut(d);
+                par_row_chunks(img, workers, |_, rows| shift_bytes_lut(rows, &lut));
+            }
+        }
     }
 
     fn work_units(&self, img: &Image, _ctx: &FrameCtx) -> f64 {
@@ -136,6 +177,22 @@ mod tests {
         img.set(0, 0, [10, 20, 30, 99]);
         f.apply(&mut img, &ctx(0));
         assert_eq!(img.get(0, 0)[3], 99);
+    }
+
+    #[test]
+    fn lut_kernel_is_bit_identical_to_scalar() {
+        // Every byte state × a spread of offsets, including clamping
+        // extremes and an offset landing exactly on a rounding boundary.
+        for d in [-0.1f32, -0.05, -0.001, 0.0, 0.001, 0.05, 0.1, 0.5, -0.5] {
+            let lut = shift_lut(d);
+            let mut scalar: Vec<u8> = (0..=255u16)
+                .flat_map(|c| [c as u8, c as u8, c as u8, 200])
+                .collect();
+            let mut fast = scalar.clone();
+            shift_bytes(&mut scalar, d);
+            shift_bytes_lut(&mut fast, &lut);
+            assert_eq!(scalar, fast, "diverged at offset {d}");
+        }
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! Stage fusion: apply a maximal pointwise run of the filter chain to
+//! each cache-blocked row pair in one memory traversal.
+//!
+//! Sequential execution walks the whole strip once *per stage*: a
+//! 4-stage pointwise run reads and writes every byte four times. The
+//! pointwise stages of the standard chain (sepia, scratch, flicker,
+//! vswap — everything except the blur stencil) are row-local, so the
+//! traversal order can be inverted: walk the rows once and apply the
+//! whole run to each row while it is hot in cache.
+//!
+//! The row *pair* is the fusion unit, not the single row, because vswap
+//! exchanges row `i` with row `h − 1 − i`: holding both rows lets the
+//! exchange happen in-pair, keeping every pair's bytes closed under the
+//! whole run. Legality and bit-identity come from three facts:
+//!
+//! 1. every fused stage is `StageClass::Pointwise` in the stage graph's
+//!    legality envelope — row-local, no cross-row data flow;
+//! 2. all frame randomness (scratch plan, flicker offset) is drawn once
+//!    *before* the fan-out, exactly as the chunked kernels do;
+//! 3. vswap's row exchange is closed within the pair (the odd middle
+//!    row pairs with itself, where the exchange is the identity).
+//!
+//! Under 1–3, applying the stage run pair-by-pair performs, per row,
+//! the exact same byte operations in the exact same stage order as the
+//! sequential whole-strip passes — bit-identical by construction, for
+//! any subset of pointwise stages in chain order (DESIGN.md §15).
+
+use crate::backend::KernelBackend;
+use crate::chunk::chunk_rows;
+use crate::filter::FrameCtx;
+use crate::flicker::{shift_bytes, shift_bytes_lut, shift_lut, Flicker};
+use crate::image::{Image, BYTES_PER_PIXEL};
+use crate::scratch::{paint_row, Scratch};
+use crate::sepia::sepia_row;
+
+/// Which stages of the 5-stage standard chain are pointwise, i.e.
+/// legal to fuse (index order: sepia, blur, scratch, flicker, swap).
+/// Mirrors `StageClass::Pointwise` in the scc-core stage graph — blur
+/// is a stencil and always runs standalone.
+pub const STANDARD_POINTWISE: [bool; 5] = [true, false, true, true, true];
+
+/// One stage of a fused run.
+#[derive(Debug, Clone, Copy)]
+enum FusedStage {
+    Sepia,
+    Scratch(Scratch),
+    Flicker(Flicker),
+    VSwap,
+}
+
+/// A fused pointwise run of the standard chain, executable over a strip
+/// in a single memory traversal.
+#[derive(Debug, Clone)]
+pub struct FusedPass {
+    stages: Vec<FusedStage>,
+    backend: KernelBackend,
+}
+
+/// Per-frame row program: every stage with its frame randomness (and
+/// backend-specific strength reductions) resolved, ready to fan out.
+enum RowOp {
+    Sepia,
+    Scratch { color: [u8; 3], columns: Vec<u32> },
+    Flicker { d: f32 },
+    FlickerLut { lut: Box<[u8; 256]> },
+    Swap,
+}
+
+impl FusedPass {
+    /// Build a fused pass from standard-chain stage indices (strictly
+    /// increasing, default parameters). Returns `None` when the run is
+    /// empty or contains a non-pointwise stage — the caller keeps those
+    /// stages standalone.
+    pub fn from_standard_indices(indices: &[usize], backend: KernelBackend) -> Option<FusedPass> {
+        if indices.is_empty() {
+            return None;
+        }
+        let mut stages = Vec::with_capacity(indices.len());
+        let mut prev: Option<usize> = None;
+        for &j in indices {
+            if j >= STANDARD_POINTWISE.len() || !STANDARD_POINTWISE[j] {
+                return None;
+            }
+            if prev.is_some_and(|p| p >= j) {
+                return None;
+            }
+            prev = Some(j);
+            stages.push(match j {
+                0 => FusedStage::Sepia,
+                2 => FusedStage::Scratch(Scratch::default()),
+                3 => FusedStage::Flicker(Flicker::default()),
+                4 => FusedStage::VSwap,
+                _ => unreachable!("pointwise index"),
+            });
+        }
+        Some(FusedPass { stages, backend })
+    }
+
+    /// Number of fused stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True when the run is empty (never constructed, but keeps clippy
+    /// and callers honest).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Resolve the frame's row program: one RNG draw per RNG-bearing
+    /// stage, before any fan-out (chunk-rule 2).
+    fn row_ops(&self, ctx: &FrameCtx) -> Vec<RowOp> {
+        self.stages
+            .iter()
+            .map(|s| match s {
+                FusedStage::Sepia => RowOp::Sepia,
+                FusedStage::Scratch(sc) => {
+                    let plan = sc.plan(ctx);
+                    RowOp::Scratch {
+                        color: plan.color,
+                        columns: plan.columns,
+                    }
+                }
+                FusedStage::Flicker(fl) => {
+                    let d = fl.offset(ctx);
+                    match self.backend {
+                        KernelBackend::Scalar => RowOp::Flicker { d },
+                        KernelBackend::Simd => RowOp::FlickerLut {
+                            lut: Box::new(shift_lut(d)),
+                        },
+                    }
+                }
+                FusedStage::VSwap => RowOp::Swap,
+            })
+            .collect()
+    }
+
+    /// Apply the fused run to the whole strip, sequentially.
+    pub fn apply(&self, img: &mut Image, ctx: &FrameCtx) {
+        let ops = self.row_ops(ctx);
+        let h = img.height() as usize;
+        let row_bytes = img.width() as usize * BYTES_PER_PIXEL;
+        let data = img.as_bytes_mut();
+        for i in 0..h.div_ceil(2) {
+            let j = h - 1 - i;
+            if i == j {
+                let row = &mut data[i * row_bytes..(i + 1) * row_bytes];
+                apply_rows(&ops, self.backend, &mut [row]);
+            } else {
+                let (a, b) = data.split_at_mut(j * row_bytes);
+                let top = &mut a[i * row_bytes..(i + 1) * row_bytes];
+                let bottom = &mut b[..row_bytes];
+                apply_rows(&ops, self.backend, &mut [top, bottom]);
+            }
+        }
+    }
+
+    /// Apply the fused run over up to `workers` threads. Row pairs are
+    /// the parallel unit: matching chunks peel off the front of the top
+    /// half and the back of the bottom half (the vswap pairing), each
+    /// pair disjoint from every other, so the program runs concurrently
+    /// without changing a byte relative to [`FusedPass::apply`].
+    pub fn apply_chunked(&self, img: &mut Image, ctx: &FrameCtx, workers: usize) {
+        if workers <= 1 || img.height() < 4 {
+            return self.apply(img, ctx);
+        }
+        let ops = self.row_ops(ctx);
+        let h = img.height() as usize;
+        let half = h / 2;
+        let row_bytes = img.width() as usize * BYTES_PER_PIXEL;
+        let backend = self.backend;
+        let data = img.as_bytes_mut();
+        let (mut top, rest) = data.split_at_mut(half * row_bytes);
+        let (mid, mut bottom) = rest.split_at_mut((h - 2 * half) * row_bytes);
+        crossbeam::thread::scope(|s| {
+            let ops = &ops;
+            for &(_, rows) in &chunk_rows(half as u32, workers) {
+                let bytes = rows as usize * row_bytes;
+                let (t, t_rest) = top.split_at_mut(bytes);
+                top = t_rest;
+                let (b_rest, b) = bottom.split_at_mut(bottom.len() - bytes);
+                bottom = b_rest;
+                s.spawn(move || {
+                    for (tr, br) in t
+                        .chunks_exact_mut(row_bytes)
+                        .zip(b.chunks_exact_mut(row_bytes).rev())
+                    {
+                        apply_rows(ops, backend, &mut [tr, br]);
+                    }
+                });
+            }
+            if !mid.is_empty() {
+                apply_rows(ops, backend, &mut [mid]);
+            }
+        });
+    }
+}
+
+/// Run the frame's row program over one row pair (or the self-paired
+/// middle row, where the swap is the identity).
+fn apply_rows(ops: &[RowOp], backend: KernelBackend, rows: &mut [&mut [u8]]) {
+    for op in ops {
+        match op {
+            RowOp::Sepia => {
+                for row in rows.iter_mut() {
+                    sepia_row(row, backend);
+                }
+            }
+            RowOp::Scratch { color, columns } => {
+                for row in rows.iter_mut() {
+                    paint_row(row, color, columns);
+                }
+            }
+            RowOp::Flicker { d } => {
+                for row in rows.iter_mut() {
+                    shift_bytes(row, *d);
+                }
+            }
+            RowOp::FlickerLut { lut } => {
+                for row in rows.iter_mut() {
+                    shift_bytes_lut(row, lut);
+                }
+            }
+            RowOp::Swap => {
+                if let [a, b] = rows {
+                    a.swap_with_slice(b);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard_chain;
+
+    fn patterned(w: u32, h: u32) -> Image {
+        let mut img = Image::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                img.set(
+                    x,
+                    y,
+                    [
+                        (x * 31 + y * 97) as u8,
+                        ((x >> 1) ^ y) as u8,
+                        (x + 3 * y) as u8,
+                        (200 + (x % 17)) as u8,
+                    ],
+                );
+            }
+        }
+        img
+    }
+
+    fn sequential_reference(img: &Image, ctx: &FrameCtx, indices: &[usize]) -> Image {
+        let chain = standard_chain();
+        let mut out = img.clone();
+        for &j in indices {
+            chain[j].apply(&mut out, ctx);
+        }
+        out
+    }
+
+    #[test]
+    fn rejects_stencil_unordered_and_empty_runs() {
+        for backend in [KernelBackend::Scalar, KernelBackend::Simd] {
+            assert!(FusedPass::from_standard_indices(&[], backend).is_none());
+            assert!(FusedPass::from_standard_indices(&[1], backend).is_none());
+            assert!(FusedPass::from_standard_indices(&[0, 1, 2], backend).is_none());
+            assert!(FusedPass::from_standard_indices(&[2, 0], backend).is_none());
+            assert!(FusedPass::from_standard_indices(&[0, 0], backend).is_none());
+            assert!(FusedPass::from_standard_indices(&[5], backend).is_none());
+            assert!(FusedPass::from_standard_indices(&[0, 2, 3, 4], backend).is_some());
+        }
+    }
+
+    #[test]
+    fn fused_run_equals_sequential_passes_bit_exactly() {
+        // Every pointwise subset in chain order × geometries exercising
+        // even, odd and single-row strips × both backends × worker
+        // fan-outs.
+        let subsets: &[&[usize]] = &[
+            &[0],
+            &[2],
+            &[3],
+            &[4],
+            &[0, 2],
+            &[0, 4],
+            &[2, 3],
+            &[3, 4],
+            &[0, 2, 3],
+            &[0, 3, 4],
+            &[2, 3, 4],
+            &[0, 2, 3, 4],
+        ];
+        for &(w, h) in &[(9u32, 1u32), (8, 2), (7, 5), (16, 12), (33, 7)] {
+            let img = patterned(w, h);
+            let ctx = FrameCtx::whole_frame(13, 0xFACE, w, h);
+            for indices in subsets {
+                let want = sequential_reference(&img, &ctx, indices);
+                for backend in [KernelBackend::Scalar, KernelBackend::Simd] {
+                    let pass = FusedPass::from_standard_indices(indices, backend).unwrap();
+                    let mut fused = img.clone();
+                    pass.apply(&mut fused, &ctx);
+                    assert_eq!(fused, want, "{w}x{h} {indices:?} {backend:?} sequential");
+                    for workers in [2usize, 3, 8] {
+                        let mut par = img.clone();
+                        pass.apply_chunked(&mut par, &ctx, workers);
+                        assert_eq!(
+                            par, want,
+                            "{w}x{h} {indices:?} {backend:?} workers={workers}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_run_respects_strip_context() {
+        // A strip mid-frame: scratch columns come from the full width,
+        // flicker from the frame id — the fused pass must match the
+        // stage-by-stage strip application exactly.
+        let (info, mut strip) = {
+            let full = patterned(24, 18);
+            full.split_strips(3).remove(1)
+        };
+        let ctx = FrameCtx {
+            frame_id: 5,
+            run_seed: 0xD00D,
+            strip: info,
+            full_width: 24,
+        };
+        let want = sequential_reference(&strip, &ctx, &[0, 2, 3, 4]);
+        let pass = FusedPass::from_standard_indices(&[0, 2, 3, 4], KernelBackend::Scalar).unwrap();
+        pass.apply_chunked(&mut strip, &ctx, 4);
+        assert_eq!(strip, want);
+    }
+}

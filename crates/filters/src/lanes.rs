@@ -1,0 +1,124 @@
+//! Portable lane arithmetic for the vectorized kernel backend.
+//!
+//! [`F32x8`] is a fixed-width 8-lane f32 vector implemented as a plain
+//! array with elementwise operations. No target intrinsics: every lane
+//! performs the *same scalar IEEE-754 operation* the reference kernels
+//! perform, in the same order, so lane results are bit-identical to the
+//! scalar loops by construction — the compiler is free to lower the
+//! elementwise loops to whatever SIMD the target offers (SSE/AVX on
+//! x86, NEON on aarch64, plain scalar elsewhere), but correctness never
+//! depends on it doing so.
+//!
+//! Remainder handling is the caller's job: kernels walk full 8-pixel
+//! blocks through these lanes and hand the `< 8`-pixel row tail to the
+//! scalar kernel, which runs the identical per-lane arithmetic.
+
+use crate::image::{from_unit, to_unit};
+
+/// Lane count of [`F32x8`] (8 pixels per block).
+pub const LANES: usize = 8;
+
+/// An 8-lane f32 vector with elementwise semantics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct F32x8(pub [f32; LANES]);
+
+impl F32x8 {
+    /// All lanes set to `v`.
+    #[inline]
+    pub fn splat(v: f32) -> F32x8 {
+        F32x8([v; LANES])
+    }
+
+    /// Elementwise `a * b`.
+    ///
+    /// Deliberately an inherent method rather than `std::ops::Mul` (and
+    /// likewise `add`/`sub` below): the kernels chain these by explicit
+    /// name to mirror the scalar reference expressions token for token,
+    /// and an operator impl would invite mixed-width overloads later.
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn mul(self, o: F32x8) -> F32x8 {
+        F32x8(std::array::from_fn(|l| self.0[l] * o.0[l]))
+    }
+
+    /// Elementwise `a + b`.
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn add(self, o: F32x8) -> F32x8 {
+        F32x8(std::array::from_fn(|l| self.0[l] + o.0[l]))
+    }
+
+    /// Elementwise `a - b`.
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn sub(self, o: F32x8) -> F32x8 {
+        F32x8(std::array::from_fn(|l| self.0[l] - o.0[l]))
+    }
+
+    /// Elementwise `v.clamp(0.0, 1.0)` — the paper's `clamp`, exactly
+    /// as the scalar kernels call it.
+    #[inline]
+    pub fn clamp01(self) -> F32x8 {
+        F32x8(std::array::from_fn(|l| self.0[l].clamp(0.0, 1.0)))
+    }
+
+    /// Load 8 channel bytes through [`to_unit`] (one byte per lane,
+    /// stride `stride` starting at `offset` — gathers one colour channel
+    /// out of an interleaved RGBA block).
+    #[inline]
+    pub fn gather_unit(bytes: &[u8], offset: usize, stride: usize) -> F32x8 {
+        let mut r = [0.0; LANES];
+        for l in 0..LANES {
+            r[l] = to_unit(bytes[offset + l * stride]);
+        }
+        F32x8(r)
+    }
+
+    /// Store 8 lanes through [`from_unit`] back into an interleaved
+    /// block (inverse of [`F32x8::gather_unit`]).
+    #[inline]
+    pub fn scatter_unit(self, bytes: &mut [u8], offset: usize, stride: usize) {
+        for l in 0..LANES {
+            bytes[offset + l * stride] = from_unit(self.0[l]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_ops_match_scalar_ops_bitwise() {
+        // The whole point of the lane type: every elementwise op is the
+        // scalar op, lane by lane, including the weird corners of IEEE
+        // arithmetic (subnormals, exact rounding).
+        let a = F32x8([0.1, 0.25, 1.0, 0.0, 1e-40, 3.5e-3, 0.999, 0.5]);
+        let b = F32x8([0.3, 0.59, 0.11, 1.0, 2.0, 1e-40, 0.001, 0.5]);
+        for l in 0..LANES {
+            assert_eq!(a.mul(b).0[l].to_bits(), (a.0[l] * b.0[l]).to_bits());
+            assert_eq!(a.add(b).0[l].to_bits(), (a.0[l] + b.0[l]).to_bits());
+            assert_eq!(a.sub(b).0[l].to_bits(), (a.0[l] - b.0[l]).to_bits());
+            assert_eq!(a.clamp01().0[l].to_bits(), a.0[l].clamp(0.0, 1.0).to_bits());
+        }
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_interleaved_rgba() {
+        // 8 RGBA pixels; gather the G channel, scatter it back.
+        let mut bytes: Vec<u8> = (0..32).map(|i| (i * 7) as u8).collect();
+        let orig = bytes.clone();
+        let g = F32x8::gather_unit(&bytes, 1, 4);
+        for l in 0..LANES {
+            assert_eq!(g.0[l], to_unit(orig[1 + l * 4]));
+        }
+        g.scatter_unit(&mut bytes, 1, 4);
+        // from_unit(to_unit(c)) == c for every byte.
+        assert_eq!(bytes, orig);
+    }
+
+    #[test]
+    fn splat_fills_all_lanes() {
+        assert_eq!(F32x8::splat(0.25).0, [0.25; LANES]);
+    }
+}

@@ -17,21 +17,26 @@
 //! and the [`chunk`] row-chunk decomposition that lets a single stage
 //! spread its kernel over spare cores without changing a pixel.
 
+pub mod backend;
 pub mod blur;
 pub mod chunk;
 pub mod filter;
 pub mod flicker;
 pub mod frame_rng;
+pub mod fuse;
 pub mod image;
+pub mod lanes;
 pub mod oriented_scratch;
 pub mod scratch;
 pub mod sepia;
 pub mod vswap;
 
+pub use backend::KernelBackend;
 pub use blur::Blur;
 pub use chunk::{chunk_rows, par_row_chunks};
 pub use filter::{FrameCtx, ImageFilter, Traffic};
 pub use flicker::Flicker;
+pub use fuse::{FusedPass, STANDARD_POINTWISE};
 pub use image::{Image, StripInfo, BYTES_PER_PIXEL};
 pub use oriented_scratch::OrientedScratch;
 pub use scratch::Scratch;
@@ -103,6 +108,38 @@ mod tests {
             }
         }
         assert_eq!(Image::assemble(&strips), whole);
+    }
+
+    #[test]
+    fn vectored_kernels_match_sequential_bit_exactly() {
+        // The backend invariant: `apply_vectored` must equal `apply`
+        // for every filter, backend and worker count — the backend is
+        // an instruction-selection knob, never a pixels knob.
+        let mut img = Image::new(41, 23);
+        for y in 0..23 {
+            for x in 0..41 {
+                img.set(x, y, [(x * 11) as u8, (y * 5) as u8, (x * y) as u8, 255]);
+            }
+        }
+        for frame in [0u64, 9] {
+            let ctx = FrameCtx::whole_frame(frame, 4242, 41, 23);
+            for f in standard_chain() {
+                let mut seq = img.clone();
+                f.apply(&mut seq, &ctx);
+                for backend in [KernelBackend::Scalar, KernelBackend::Simd] {
+                    for workers in [1usize, 2, 4] {
+                        let mut vec = img.clone();
+                        f.apply_vectored(&mut vec, &ctx, backend, workers);
+                        assert_eq!(
+                            vec,
+                            seq,
+                            "{} diverged at {backend:?} workers={workers} frame={frame}",
+                            f.name()
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

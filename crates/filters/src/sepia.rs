@@ -9,9 +9,11 @@
 //! rgb_new = clamp(S1·(1 − mix) + S2·mix)
 //! ```
 
+use crate::backend::KernelBackend;
 use crate::chunk::par_row_chunks;
 use crate::filter::{FrameCtx, ImageFilter};
 use crate::image::{from_unit, to_unit, Image, BYTES_PER_PIXEL};
+use crate::lanes::{F32x8, LANES};
 
 /// The darkest sepia tone.
 pub const S1: [f32; 3] = [0.2, 0.05, 0.0];
@@ -38,12 +40,52 @@ pub struct Sepia;
 
 /// The shared kernel: sepia is strictly per-pixel, so the same byte loop
 /// serves the sequential path and any row chunk of the parallel one.
-fn sepia_bytes(bytes: &mut [u8]) {
+pub(crate) fn sepia_bytes(bytes: &mut [u8]) {
     for px in bytes.chunks_exact_mut(BYTES_PER_PIXEL) {
         let [r, g, b] = sepia_pixel(to_unit(px[0]), to_unit(px[1]), to_unit(px[2]));
         px[0] = from_unit(r);
         px[1] = from_unit(g);
         px[2] = from_unit(b);
+    }
+}
+
+/// The lane-vectorized kernel: 8 pixels per block through [`F32x8`],
+/// running the exact per-lane operation sequence of [`sepia_pixel`]
+/// (same multiplies, same adds, same clamps, in the same order), with
+/// the `< 8`-pixel row tail handed to the scalar loop — bit-identical
+/// to [`sepia_bytes`] on every input.
+pub(crate) fn sepia_bytes_lanes(bytes: &mut [u8]) {
+    const BLOCK: usize = BYTES_PER_PIXEL * LANES;
+    let mut blocks = bytes.chunks_exact_mut(BLOCK);
+    for px in &mut blocks {
+        let r = F32x8::gather_unit(px, 0, BYTES_PER_PIXEL);
+        let g = F32x8::gather_unit(px, 1, BYTES_PER_PIXEL);
+        let b = F32x8::gather_unit(px, 2, BYTES_PER_PIXEL);
+        // mix = clamp(0.3·r + 0.59·g + 0.11·b), left-associated like
+        // the scalar formula.
+        let mix = F32x8::splat(LUMA[0])
+            .mul(r)
+            .add(F32x8::splat(LUMA[1]).mul(g))
+            .add(F32x8::splat(LUMA[2]).mul(b))
+            .clamp01();
+        let inv = F32x8::splat(1.0).sub(mix);
+        for c in 0..3 {
+            F32x8::splat(S1[c])
+                .mul(inv)
+                .add(F32x8::splat(S2[c]).mul(mix))
+                .clamp01()
+                .scatter_unit(px, c, BYTES_PER_PIXEL);
+        }
+    }
+    sepia_bytes(blocks.into_remainder());
+}
+
+/// Backend dispatch for one row (or any pixel-aligned byte run).
+#[inline]
+pub(crate) fn sepia_row(bytes: &mut [u8], backend: KernelBackend) {
+    match backend {
+        KernelBackend::Scalar => sepia_bytes(bytes),
+        KernelBackend::Simd => sepia_bytes_lanes(bytes),
     }
 }
 
@@ -58,6 +100,16 @@ impl ImageFilter for Sepia {
 
     fn apply_chunked(&self, img: &mut Image, _ctx: &FrameCtx, workers: usize) {
         par_row_chunks(img, workers, |_, rows| sepia_bytes(rows));
+    }
+
+    fn apply_vectored(
+        &self,
+        img: &mut Image,
+        _ctx: &FrameCtx,
+        backend: KernelBackend,
+        workers: usize,
+    ) {
+        par_row_chunks(img, workers, |_, rows| sepia_row(rows, backend));
     }
 
     fn work_units(&self, img: &Image, _ctx: &FrameCtx) -> f64 {
@@ -115,6 +167,21 @@ mod tests {
         assert_eq!(img.get(2, 2)[3], 77, "alpha untouched");
         assert_eq!(img.width(), 6);
         assert_eq!(img.height(), 4);
+    }
+
+    #[test]
+    fn lane_kernel_is_bit_identical_to_scalar() {
+        // Widths straddling the 8-pixel block size: full blocks only,
+        // block + remainder, and a single pixel.
+        for n_px in [1usize, 7, 8, 9, 16, 23, 64, 257] {
+            let mut scalar: Vec<u8> = (0..n_px * BYTES_PER_PIXEL)
+                .map(|i| (i.wrapping_mul(37) ^ (i >> 3)) as u8)
+                .collect();
+            let mut lanes = scalar.clone();
+            sepia_bytes(&mut scalar);
+            sepia_bytes_lanes(&mut lanes);
+            assert_eq!(scalar, lanes, "diverged at {n_px} pixels");
+        }
     }
 
     #[test]

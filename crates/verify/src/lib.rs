@@ -273,9 +273,10 @@ pub fn digest_case(case: &GoldenCase) -> String {
 /// One-line canonical config rendering for digest headers. The
 /// scheduler suffix (`auto=1`, explicit weights) only appears when the
 /// case opts in, so the fixed-arrangement digests are byte-stable
-/// across the scheduler's introduction.
+/// across the scheduler's introduction; likewise the kernel/fusion
+/// suffix appears only when a case departs from the `Auto` defaults.
 pub fn config_line(cfg: &RunConfig) -> String {
-    let auto = if cfg.auto_place {
+    let mut auto = if cfg.auto_place {
         match &cfg.stage_weights {
             Some(w) => format!(" auto=1 weights={w:?}"),
             None => " auto=1".to_string(),
@@ -283,6 +284,12 @@ pub fn config_line(cfg: &RunConfig) -> String {
     } else {
         String::new()
     };
+    if cfg.tuning.kernel != scc_core::KernelChoice::Auto {
+        auto.push_str(&format!(" kernel={}", cfg.tuning.kernel.name()));
+    }
+    if cfg.tuning.fuse != scc_core::FuseChoice::Auto {
+        auto.push_str(&format!(" fuse={}", cfg.tuning.fuse.name()));
+    }
     format!(
         "{} {} p={} {}x{}x{} seed={:#x}{auto} fault={}",
         cfg.renderer.name(),
@@ -327,6 +334,7 @@ pub fn native_tuning_digest() -> String {
         c.tuning = NativeTuning {
             kernel_threads: threads,
             buffer_pool: pool,
+            ..NativeTuning::default()
         };
         let report = run_native(&c, verify_scene());
         out.push_str(&format!(
@@ -365,6 +373,35 @@ pub fn autoplace_decision_digest() -> String {
     out
 }
 
+/// Digest of the scheduler's decision tables under *explicit* fusion
+/// costing — `fuse=off` (plain weight sums) next to `fuse=on` (fused
+/// pointwise runs discounted) for every renderer mode. Pinned alongside
+/// `autoplace-decision` so the repartitioning effect of fused-group
+/// weights is itself a reviewed, byte-stable artefact.
+pub fn autoplace_decision_fused_digest() -> String {
+    use scc_core::spec::RendererMode;
+    use scc_core::FuseChoice;
+    let mut out = String::from("== autoplace-decision-fused\n");
+    for (tag, mode) in [
+        ("single", RendererMode::SingleRenderer),
+        ("perpipe", RendererMode::PerPipelineRenderer),
+        ("mcpc", RendererMode::McpcRenderer),
+    ] {
+        for (fuse_tag, fuse) in [("off", FuseChoice::Off), ("on", FuseChoice::On)] {
+            let mut cfg = base_cfg();
+            cfg.renderer = mode;
+            cfg.auto_place = true;
+            cfg.tuning.fuse = fuse;
+            let table = scc_core::auto_place(&cfg).decision_table();
+            out.push_str(&format!(
+                "-- {tag} fuse={fuse_tag} digest={:016x}\n{table}",
+                fnv1a_str(&table)
+            ));
+        }
+    }
+    out
+}
+
 fn film_hash(frames: &[scc_filters::Image]) -> u64 {
     let mut h = FNV_OFFSET;
     for f in frames {
@@ -394,11 +431,13 @@ pub fn bench_schema_digest() -> String {
     let throughput = measure_native_throughput(&cfg, &scene, &[1]);
     let recovery = measure_recovery(&cfg, &scene, &[1]);
     let autoplace = measure_autoplace(&cfg, &scene);
+    let kernels = scc_bench::kernels::measure_kernels(48, 32, 2, cfg.seed, &[1]);
     let mut out = String::from("== bench-schema\n");
     for (name, json) in [
         ("native_pipeline", throughput.to_json()),
         ("recovery", recovery.to_json()),
         ("autoplace", autoplace.to_json()),
+        ("kernels", kernels.to_json()),
     ] {
         let keys = json_keys(&json);
         out.push_str(&format!(

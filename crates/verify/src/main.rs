@@ -58,6 +58,10 @@ fn cmd_golden(update: bool) -> i32 {
         "autoplace-decision".into(),
         scc_verify::autoplace_decision_digest(),
     ));
+    blocks.push((
+        "autoplace-decision-fused".into(),
+        scc_verify::autoplace_decision_fused_digest(),
+    ));
     blocks.push(("bench-schema".into(), scc_verify::bench_schema_digest()));
     if update {
         std::fs::create_dir_all(&dir).expect("create golden dir");

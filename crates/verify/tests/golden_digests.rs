@@ -8,8 +8,8 @@
 #![cfg(not(feature = "verify-selftest"))]
 
 use scc_verify::{
-    autoplace_decision_digest, bench_schema_digest, digest_case, golden_matrix,
-    native_tuning_digest,
+    autoplace_decision_digest, autoplace_decision_fused_digest, bench_schema_digest, digest_case,
+    golden_matrix, native_tuning_digest,
 };
 use std::path::PathBuf;
 
@@ -74,6 +74,16 @@ fn autoplace_decision_digest_matches_the_pinned_file() {
     }
 }
 
+#[test]
+fn autoplace_decision_fused_digest_matches_the_pinned_file() {
+    if let Err(e) = check_or_update(
+        "autoplace-decision-fused",
+        &autoplace_decision_fused_digest(),
+    ) {
+        panic!("{e}");
+    }
+}
+
 /// The acceptance bar: two consecutive runs of the whole matrix must be
 /// byte-identical — no wall-clock, allocator or iteration-order leak.
 #[test]
@@ -88,5 +98,9 @@ fn consecutive_matrix_runs_are_byte_identical() {
     }
     assert_eq!(native_tuning_digest(), native_tuning_digest());
     assert_eq!(autoplace_decision_digest(), autoplace_decision_digest());
+    assert_eq!(
+        autoplace_decision_fused_digest(),
+        autoplace_decision_fused_digest()
+    );
     assert_eq!(bench_schema_digest(), bench_schema_digest());
 }

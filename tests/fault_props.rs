@@ -202,7 +202,7 @@ proptest! {
                 retry_budget: 5,
                 ..FaultSpec::default()
             })
-            .tuning(NativeTuning { kernel_threads, buffer_pool })
+            .tuning(NativeTuning { kernel_threads, buffer_pool, ..NativeTuning::default() })
             .build()
             .expect("valid config");
         let mut clean = cfg.clone();

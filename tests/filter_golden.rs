@@ -8,7 +8,7 @@
 //! constants with `UPDATE_GOLDEN=1 cargo test -p scc-bench --test
 //! filter_golden -- --nocapture` and paste the printed table).
 
-use scc_filters::{standard_chain, FrameCtx, Image, StripInfo};
+use scc_filters::{standard_chain, FrameCtx, FusedPass, Image, KernelBackend, StripInfo};
 
 const W: u32 = 64;
 const H: u32 = 48;
@@ -159,6 +159,148 @@ fn golden_hashes_chunked() {
                 gstrip,
                 "{gname} chunked (workers={workers}) != golden mid-strip hash"
             );
+        }
+    }
+}
+
+/// Pinned hashes for the vectorized/fused kernel paths at the widths
+/// that exercise every lane-handling branch of the SIMD backend:
+/// 64 px = 8 full 8-lane blocks, 37 px = 4 blocks + a 5-px scalar
+/// remainder, 1 px = pure-remainder rows. Height 11 keeps an odd,
+/// self-pairing middle row in the fused traversal. Each row is
+/// (width, [per-filter hash; 5], fused-[0,2,3,4] hash); every hash must
+/// come out of BOTH backends and (per filter) the unfused vectored
+/// path — bit-identity across kernels is the acceptance bar, so one
+/// constant per cell pins all paths at once.
+const LANE_H: u32 = 11;
+const GOLDEN_LANES: &[(u32, [u64; 5], u64)] = &[
+    (
+        64,
+        [
+            0x1ff14d1f6e7411c8,
+            0x8c9220b72c21ab71,
+            0xc41eb2065e42a002,
+            0xe612eddbd6bacace,
+            0xad8509df7b3191ba,
+        ],
+        0xc2298e6b9d7a8926,
+    ),
+    (
+        37,
+        [
+            0xba61e72bbc1a2a03,
+            0x3f9a73d2f79bfeb1,
+            0x7b8af74eb0b6be5a,
+            0xa3ef4f3ad66a2a99,
+            0xf9660124d50bfd9d,
+        ],
+        0xfadc67c6d44c95bb,
+    ),
+    (
+        1,
+        [
+            0xafbbd686d134d1ba,
+            0xeed0de1471632322,
+            0x8d84855ef557660c,
+            0x66880e8bc8a31b63,
+            0x4076d87a93096243,
+        ],
+        0xc6a02c36098ef98e,
+    ),
+];
+
+fn lane_frame(w: u32) -> Image {
+    let mut img = Image::new(w, LANE_H);
+    for y in 0..LANE_H {
+        for x in 0..w {
+            let v = (x as u64)
+                .wrapping_mul(53)
+                .wrapping_add((y as u64).wrapping_mul(131));
+            img.set(
+                x,
+                y,
+                [
+                    (v % 251) as u8,
+                    ((v >> 2) % 247) as u8,
+                    ((v >> 4) % 239) as u8,
+                    255,
+                ],
+            );
+        }
+    }
+    img
+}
+
+fn lane_table() -> Vec<(u32, [u64; 5], u64)> {
+    GOLDEN_LANES
+        .iter()
+        .map(|&(w, _, _)| {
+            let ctx = FrameCtx::whole_frame(FRAME_ID, RUN_SEED, w, LANE_H);
+            let per_filter: Vec<u64> = standard_chain()
+                .iter()
+                .map(|f| {
+                    let mut img = lane_frame(w);
+                    f.apply_vectored(&mut img, &ctx, KernelBackend::Scalar, 1);
+                    fnv1a(img.as_bytes())
+                })
+                .collect();
+            let mut fused = lane_frame(w);
+            FusedPass::from_standard_indices(&[0, 2, 3, 4], KernelBackend::Scalar)
+                .unwrap()
+                .apply(&mut fused, &ctx);
+            (
+                w,
+                per_filter.try_into().expect("5 filters"),
+                fnv1a(fused.as_bytes()),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn golden_hashes_lane_widths() {
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        println!("const GOLDEN_LANES: &[(u32, [u64; 5], u64)] = &[");
+        for (w, filters, fused) in lane_table() {
+            println!("    (");
+            println!("        {w},");
+            println!("        [");
+            for h in filters {
+                println!("            {h:#018x},");
+            }
+            println!("        ],");
+            println!("        {fused:#018x},");
+            println!("    ),");
+        }
+        println!("];");
+        return;
+    }
+    // The pinned table itself comes from the scalar path; both backends
+    // and every worker fan-out must land on the same bytes.
+    for backend in [KernelBackend::Scalar, KernelBackend::Simd] {
+        for workers in [1usize, 3] {
+            for &(w, ref filters, fused) in GOLDEN_LANES {
+                let ctx = FrameCtx::whole_frame(FRAME_ID, RUN_SEED, w, LANE_H);
+                for (f, &want) in standard_chain().iter().zip(filters.iter()) {
+                    let mut img = lane_frame(w);
+                    f.apply_vectored(&mut img, &ctx, backend, workers);
+                    assert_eq!(
+                        fnv1a(img.as_bytes()),
+                        want,
+                        "{} w={w} {backend:?} workers={workers} drifted",
+                        f.name()
+                    );
+                }
+                let mut img = lane_frame(w);
+                FusedPass::from_standard_indices(&[0, 2, 3, 4], backend)
+                    .unwrap()
+                    .apply_chunked(&mut img, &ctx, workers);
+                assert_eq!(
+                    fnv1a(img.as_bytes()),
+                    fused,
+                    "fused run w={w} {backend:?} workers={workers} drifted"
+                );
+            }
         }
     }
 }

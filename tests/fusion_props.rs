@@ -1,0 +1,191 @@
+//! Property tests for stage fusion: a [`FusedPass`] over any in-order
+//! subset of the pointwise stages must equal the sequential stage-by-
+//! stage application bit for bit — for arbitrary geometries, strip
+//! positions, worker fan-outs, RNG draws (frame id × run seed feed the
+//! scratch plan and flicker offset) and both kernel backends.
+
+use proptest::prelude::*;
+use scc_filters::{standard_chain, FrameCtx, FusedPass, Image, KernelBackend};
+
+/// Deterministic pseudo-random frame content from a seed.
+fn seeded_frame(w: u32, h: u32, seed: u64) -> Image {
+    let mut img = Image::new(w, h);
+    let mut state = seed | 1;
+    for y in 0..h {
+        for x in 0..w {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            img.set(
+                x,
+                y,
+                [
+                    state as u8,
+                    (state >> 8) as u8,
+                    (state >> 16) as u8,
+                    (state >> 24) as u8,
+                ],
+            );
+        }
+    }
+    img
+}
+
+/// Apply `indices` of the standard chain one stage at a time (the
+/// reference the fused traversal must reproduce exactly).
+fn sequential(img: &Image, ctx: &FrameCtx, indices: &[usize]) -> Image {
+    let chain = standard_chain();
+    let mut out = img.clone();
+    for &j in indices {
+        chain[j].apply(&mut out, ctx);
+    }
+    out
+}
+
+/// Strategy: a non-empty, strictly increasing subset of the pointwise
+/// stage indices (sepia=0, scratch=2, flicker=3, vswap=4), drawn as a
+/// 4-bit inclusion mask.
+fn pointwise_subset() -> impl Strategy<Value = Vec<usize>> {
+    (1u8..16).prop_map(|mask| {
+        [0usize, 2, 3, 4]
+            .iter()
+            .enumerate()
+            .filter(|&(bit, _)| mask >> bit & 1 == 1)
+            .map(|(_, &stage)| stage)
+            .collect()
+    })
+}
+
+proptest! {
+    /// Whole-frame fusion at arbitrary geometry, subset, seed, worker
+    /// count and backend is bit-identical to the sequential passes.
+    #[test]
+    fn fused_equals_sequential_whole_frame(
+        indices in pointwise_subset(),
+        w in 1u32..48,
+        h in 1u32..24,
+        frame_id in 0u64..1000,
+        run_seed in any::<u64>(),
+        content_seed in any::<u64>(),
+        workers in 1usize..9,
+        simd in any::<bool>(),
+    ) {
+        let backend = if simd { KernelBackend::Simd } else { KernelBackend::Scalar };
+        let img = seeded_frame(w, h, content_seed);
+        let ctx = FrameCtx::whole_frame(frame_id, run_seed, w, h);
+        let want = sequential(&img, &ctx, &indices);
+        let pass = FusedPass::from_standard_indices(&indices, backend)
+            .expect("pointwise subsets are fusable");
+        let mut got = img.clone();
+        pass.apply_chunked(&mut got, &ctx, workers);
+        prop_assert_eq!(
+            got, want,
+            "{}x{} {:?} {:?} workers={}", w, h, indices, backend, workers
+        );
+    }
+
+    /// Mid-strip fusion (y0 ≠ 0, strip height ≠ full height) matches the
+    /// sequential strip application: frame randomness must resolve from
+    /// the frame context, never from strip-local state.
+    #[test]
+    fn fused_equals_sequential_mid_strip(
+        indices in pointwise_subset(),
+        w in 1u32..40,
+        strips in 2u32..5,
+        strip_index in 0u32..4,
+        frame_id in 0u64..1000,
+        run_seed in any::<u64>(),
+        content_seed in any::<u64>(),
+        workers in 1usize..9,
+        simd in any::<bool>(),
+    ) {
+        let backend = if simd { KernelBackend::Simd } else { KernelBackend::Scalar };
+        let full_h = strips * 6 + 1; // not divisible: uneven strip split
+        let full = seeded_frame(w, full_h, content_seed);
+        let mut parts = full.split_strips(strips);
+        let (info, strip) = parts.remove((strip_index % strips) as usize);
+        let ctx = FrameCtx {
+            frame_id,
+            run_seed,
+            strip: info,
+            full_width: w,
+        };
+        let want = sequential(&strip, &ctx, &indices);
+        let pass = FusedPass::from_standard_indices(&indices, backend)
+            .expect("pointwise subsets are fusable");
+        let mut got = strip;
+        pass.apply_chunked(&mut got, &ctx, workers);
+        prop_assert_eq!(
+            got, want,
+            "strip {}/{} {:?} {:?} workers={}",
+            ctx.strip.index, strips, indices, backend, workers
+        );
+    }
+
+    /// The two backends agree with each other on the fused output (the
+    /// SIMD lane math and the flicker LUT are exact reformulations).
+    #[test]
+    fn fused_backends_agree(
+        indices in pointwise_subset(),
+        w in 1u32..48,
+        h in 1u32..24,
+        frame_id in 0u64..1000,
+        run_seed in any::<u64>(),
+        content_seed in any::<u64>(),
+    ) {
+        let img = seeded_frame(w, h, content_seed);
+        let ctx = FrameCtx::whole_frame(frame_id, run_seed, w, h);
+        let mut scalar = img.clone();
+        FusedPass::from_standard_indices(&indices, KernelBackend::Scalar)
+            .unwrap()
+            .apply(&mut scalar, &ctx);
+        let mut simd = img.clone();
+        FusedPass::from_standard_indices(&indices, KernelBackend::Simd)
+            .unwrap()
+            .apply(&mut simd, &ctx);
+        prop_assert_eq!(scalar, simd, "{}x{} {:?}", w, h, indices);
+    }
+
+    /// Unfused vectored kernels ≡ the plain chunked kernels, per stage,
+    /// for every stage of the chain (blur's stencil included): the
+    /// backend choice never changes a byte, only the traversal.
+    #[test]
+    fn vectored_equals_chunked_per_stage(
+        stage in 0usize..5,
+        w in 1u32..48,
+        h in 1u32..24,
+        frame_id in 0u64..1000,
+        run_seed in any::<u64>(),
+        content_seed in any::<u64>(),
+        workers in 1usize..9,
+        simd in any::<bool>(),
+    ) {
+        let backend = if simd { KernelBackend::Simd } else { KernelBackend::Scalar };
+        let img = seeded_frame(w, h, content_seed);
+        let ctx = FrameCtx::whole_frame(frame_id, run_seed, w, h);
+        let chain = standard_chain();
+        let mut want = img.clone();
+        chain[stage].apply_chunked(&mut want, &ctx, workers);
+        let mut got = img.clone();
+        chain[stage].apply_vectored(&mut got, &ctx, backend, workers);
+        prop_assert_eq!(
+            got, want,
+            "{} {}x{} {:?} workers={}", chain[stage].name(), w, h, backend, workers
+        );
+    }
+}
+
+/// Non-proptest spot check: `StripInfo` middle-strip geometry with an
+/// odd height self-pairs the middle row, where vswap is the identity.
+#[test]
+fn odd_height_middle_row_is_identity_under_swap_only() {
+    let img = seeded_frame(12, 7, 0xABCD);
+    let ctx = FrameCtx::whole_frame(1, 2, 12, 7);
+    let pass = FusedPass::from_standard_indices(&[4], KernelBackend::Scalar).unwrap();
+    let mut out = img.clone();
+    pass.apply(&mut out, &ctx);
+    for x in 0..12 {
+        assert_eq!(out.get(x, 3), img.get(x, 3), "middle row must not move");
+        assert_eq!(out.get(x, 0), img.get(x, 6), "outer rows must swap");
+    }
+}

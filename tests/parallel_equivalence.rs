@@ -5,7 +5,8 @@
 //! that changes a pixel is a correctness bug dressed up as a speedup.
 
 use scc_core::{
-    reference::reference_frames, run_native, Fidelity, NativeTuning, RendererMode, RunConfig,
+    reference::reference_frames, run_native, Fidelity, FuseChoice, KernelChoice, NativeTuning,
+    RendererMode, RunConfig,
 };
 use scc_filters::Image;
 use scc_render::{CityConfig, Scene};
@@ -38,35 +39,41 @@ const MODES: [RendererMode; 3] = [
     RendererMode::McpcRenderer,
 ];
 
-/// Every (kernel_threads, buffer_pool) point we sweep against baseline.
-const TUNINGS: [NativeTuning; 5] = [
+const fn tune(kernel_threads: u32, buffer_pool: bool) -> NativeTuning {
     NativeTuning {
-        kernel_threads: 1,
-        buffer_pool: false,
-    },
+        kernel_threads,
+        buffer_pool,
+        kernel: KernelChoice::Auto,
+        fuse: FuseChoice::Auto,
+    }
+}
+
+const fn tune_kernel(kernel_threads: u32, kernel: KernelChoice, fuse: FuseChoice) -> NativeTuning {
     NativeTuning {
-        kernel_threads: 2,
+        kernel_threads,
         buffer_pool: true,
-    },
-    NativeTuning {
-        kernel_threads: 4,
-        buffer_pool: true,
-    },
-    NativeTuning {
-        kernel_threads: 4,
-        buffer_pool: false,
-    },
-    NativeTuning {
-        kernel_threads: 7,
-        buffer_pool: true,
-    },
+        kernel,
+        fuse,
+    }
+}
+
+/// Every (kernel_threads, buffer_pool, kernel backend, fusion) point we
+/// sweep against baseline — the backend and fusion knobs must be just
+/// as invisible in the pixels as the thread count.
+const TUNINGS: [NativeTuning; 9] = [
+    tune(1, false),
+    tune(2, true),
+    tune(4, true),
+    tune(4, false),
+    tune(7, true),
+    tune_kernel(1, KernelChoice::Simd, FuseChoice::Off),
+    tune_kernel(1, KernelChoice::Scalar, FuseChoice::On),
+    tune_kernel(4, KernelChoice::Simd, FuseChoice::On),
+    tune_kernel(4, KernelChoice::Scalar, FuseChoice::Off),
 ];
 
 fn baseline() -> NativeTuning {
-    NativeTuning {
-        kernel_threads: 1,
-        buffer_pool: true,
-    }
+    tune(1, true)
 }
 
 fn raw_frames(frames: &[Image]) -> Vec<&[u8]> {
@@ -99,13 +106,7 @@ fn threaded_pooled_native_matches_sequential_reference() {
     // Not just self-consistent: the most aggressive tuning still equals
     // the single-threaded sequential oracle, byte for byte.
     for mode in MODES {
-        let c = cfg(
-            mode,
-            NativeTuning {
-                kernel_threads: 4,
-                buffer_pool: true,
-            },
-        );
+        let c = cfg(mode, tune(4, true));
         let mut ref_cfg = c.clone();
         if mode == RendererMode::McpcRenderer {
             ref_cfg.renderer = RendererMode::SingleRenderer;
@@ -132,16 +133,7 @@ fn pool_stats_reflect_the_knob() {
         "pooled run never recycled a buffer"
     );
 
-    let unpooled = run_native(
-        &cfg(
-            RendererMode::SingleRenderer,
-            NativeTuning {
-                kernel_threads: 1,
-                buffer_pool: false,
-            },
-        ),
-        scene(),
-    );
+    let unpooled = run_native(&cfg(RendererMode::SingleRenderer, tune(1, false)), scene());
     assert_eq!(
         unpooled.pool_stats.recycled, 0,
         "disabled pool must not recycle"

@@ -126,6 +126,7 @@ fn all_three_runners_agree_with_each_other() {
     tuned.tuning = scc_core::NativeTuning {
         kernel_threads: 3,
         buffer_pool: true,
+        ..scc_core::NativeTuning::default()
     };
     let native_tuned = run_native(&tuned, scene());
     assert_eq!(a, checksums(&native_tuned.frames), "sim vs tuned native");
@@ -173,6 +174,7 @@ fn chaos_walkthrough_delivers_every_frame() {
     nc.tuning = scc_core::NativeTuning {
         kernel_threads: 4,
         buffer_pool: true,
+        ..scc_core::NativeTuning::default()
     };
     let native = run_native(&nc, scene());
     assert_eq!(
