@@ -13,6 +13,8 @@
 //!                   [--pipelines P]
 //!   bench kernels [--smoke] [--out PATH] [--frames N] [--size WxH]
 //!                 [--threads 1,2,4]
+//!   bench tasks [--smoke] [--out PATH] [--frames N] [--size WxH]
+//!               [--pipelines P]
 //!
 //! `--smoke` shrinks everything to a seconds-long configuration for CI;
 //! the defaults measure the paper's 400×400 silent-film geometry.
@@ -27,6 +29,7 @@ use scc_bench::kernels::measure_kernels;
 use scc_bench::native_throughput::measure_native_throughput;
 use scc_bench::recovery::measure_recovery;
 use scc_bench::standard_scene;
+use scc_bench::tasks::measure_tasks;
 use scc_core::{Fidelity, RunConfig};
 
 fn parse_flag(args: &[String], name: &str) -> Option<String> {
@@ -40,7 +43,8 @@ fn main() {
     let recovery_mode = args.first().map(|a| a == "recovery").unwrap_or(false);
     let autoplace_mode = args.first().map(|a| a == "autoplace").unwrap_or(false);
     let kernels_mode = args.first().map(|a| a == "kernels").unwrap_or(false);
-    if recovery_mode || autoplace_mode || kernels_mode {
+    let tasks_mode = args.first().map(|a| a == "tasks").unwrap_or(false);
+    if recovery_mode || autoplace_mode || kernels_mode || tasks_mode {
         args.remove(0);
     }
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -51,6 +55,8 @@ fn main() {
             "BENCH_autoplace.json".into()
         } else if kernels_mode {
             "BENCH_kernels.json".into()
+        } else if tasks_mode {
+            "BENCH_tasks.json".into()
         } else {
             "BENCH_native_pipeline.json".into()
         }
@@ -103,6 +109,35 @@ fn main() {
         .fidelity(Fidelity::Full)
         .build()
         .expect("bench configuration");
+
+    if tasks_mode {
+        eprintln!(
+            "measuring task runtime vs static pipeline: {}x{} f={} p={}{}",
+            width,
+            height,
+            frames,
+            pipelines,
+            if smoke { " (smoke)" } else { "" },
+        );
+        let scene = standard_scene();
+        let report = measure_tasks(&cfg, &scene);
+        print!("{}", report.render_text());
+        std::fs::write(&out_path, report.to_json()).expect("write bench json");
+        println!("wrote {out_path}");
+        if !report.output_consistent() {
+            eprintln!("FATAL: the task runtime changed a pixel");
+            std::process::exit(1);
+        }
+        if !report.no_lost_tasks() {
+            eprintln!("FATAL: the task ledger does not balance (lost tasks)");
+            std::process::exit(1);
+        }
+        if !report.spread_reduced() {
+            eprintln!("FATAL: idle-quartile spread not reduced vs static");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     if autoplace_mode {
         eprintln!(

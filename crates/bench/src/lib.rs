@@ -11,5 +11,6 @@ pub mod kernels;
 pub mod native_throughput;
 pub mod recovery;
 pub mod report;
+pub mod tasks;
 
 pub use experiments::*;

@@ -141,9 +141,12 @@ pub fn run_with_scene(cfg: &RunConfig, backend: Backend, scene: Arc<Scene>) -> R
             }
         }
         Backend::Des => {
-            assert_eq!(
-                cfg.renderer,
-                RendererMode::SingleRenderer,
+            // The task runtime runs all three renderer modes under DES
+            // (one engine, DES-flavored schedule); the static-pipeline
+            // cross-validator remains single-renderer only.
+            assert!(
+                cfg.runtime == crate::spec::Runtime::Tasks
+                    || cfg.renderer == RendererMode::SingleRenderer,
                 "the DES backend covers the single-renderer configuration"
             );
             let report = run_des(cfg, scene);

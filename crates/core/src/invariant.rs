@@ -88,10 +88,85 @@ pub fn check_report(report: &WalkthroughReport) -> Vec<Violation> {
     check_frame_conservation(report, &mut v);
     check_energy_identity(report, &mut v);
     check_events(report, &mut v);
+    check_tasks(report, &mut v);
     if let Some(trace) = &report.trace {
         check_trace(report, trace.events(), &mut v);
     }
     v
+}
+
+/// Exactly-once task accounting for `Runtime::Tasks` runs: every spawned
+/// task is either completed or degraded (`completed + degraded ==
+/// spawned`, the ISSUE's `completed + re-queued + degraded = spawned`
+/// with every re-queued task having re-entered its chain by run end);
+/// re-runs only ever *add* executions (`executed >= completed`), never
+/// completions; and the steal ledger is internally consistent.
+fn check_tasks(r: &WalkthroughReport, v: &mut Vec<Violation>) {
+    use crate::spec::Runtime;
+    let Some(t) = &r.task_stats else {
+        if r.config.runtime == Runtime::Tasks {
+            v.push(Violation::new(
+                "task-conservation",
+                "Tasks run produced no task ledger",
+            ));
+        }
+        return;
+    };
+    if r.config.runtime != Runtime::Tasks {
+        v.push(Violation::new(
+            "task-conservation",
+            "task ledger present on a static-placement run",
+        ));
+    }
+    if t.completed + t.degraded != t.spawned {
+        v.push(Violation::new(
+            "task-conservation",
+            format!(
+                "completed {} + degraded {} != spawned {} — a task was \
+                 duplicated or lost",
+                t.completed, t.degraded, t.spawned
+            ),
+        ));
+    }
+    if t.executed < t.completed {
+        v.push(Violation::new(
+            "task-conservation",
+            format!(
+                "executed {} < completed {} — a completion without an execution",
+                t.executed, t.completed
+            ),
+        ));
+    }
+    if t.executed > t.completed && t.requeued == 0 {
+        v.push(Violation::new(
+            "task-conservation",
+            format!(
+                "{} re-executions with no re-queue recorded",
+                t.executed - t.completed
+            ),
+        ));
+    }
+    if t.steals > t.steal_attempts {
+        v.push(Violation::new(
+            "task-conservation",
+            format!(
+                "{} completed steals out of {} attempts",
+                t.steals, t.steal_attempts
+            ),
+        ));
+    }
+    let expected = r.config.pipelines as u64
+        * r.config.frames
+        * crate::partition::plan_for(&r.config).groups.len() as u64;
+    if t.spawned != expected {
+        v.push(Violation::new(
+            "task-conservation",
+            format!(
+                "{} tasks spawned, plan implies {} (strips x groups)",
+                t.spawned, expected
+            ),
+        ));
+    }
 }
 
 fn check_totals(r: &WalkthroughReport, v: &mut Vec<Violation>) {

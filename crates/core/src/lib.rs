@@ -48,6 +48,7 @@ pub mod runner;
 pub mod spec;
 pub mod stage_graph;
 pub mod supervise;
+pub(crate) mod taskrt;
 pub mod trace;
 pub mod viz;
 
@@ -57,7 +58,9 @@ pub use facade::{default_scene, run, run_with_scene, Backend, BackendReport, Run
 pub use frame::Frame;
 pub use generic::{run_generic_chain, FnStage, GenericReport, MacroStage, StageWork};
 pub use invariant::{check_report, enforce, Violation};
-pub use metrics::{DegradationEvent, HostTiming, RecoveryEvent, StageReport, WalkthroughReport};
+pub use metrics::{
+    DegradationEvent, HostTiming, RecoveryEvent, StageReport, TaskStats, WalkthroughReport,
+};
 pub use partition::{
     auto_place, partition, partition_with, placement_for, plan_for, AutoPlacement, GroupCosting,
     StagePlan,
@@ -69,7 +72,7 @@ pub use runner::native::{run_native, NativeReport};
 pub use runner::sim::{DvfsPlan, SimRunner};
 pub use spec::{
     Arrangement, FaultSpec, Fidelity, FuseChoice, KernelChoice, KillSpec, NativeTuning,
-    RendererMode, RunConfig, RunConfigBuilder, StageKind, StallSpec,
+    RendererMode, RunConfig, RunConfigBuilder, Runtime, StageKind, StallSpec, TaskTuning,
 };
 pub use stage_graph::{StageClass, StageGraph, StageNode, StageWeights, WeightSource};
 pub use supervise::{resolve_kills, CheckpointRing, Supervisor, STAGE_PROVISION_BYTES};

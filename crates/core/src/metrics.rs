@@ -128,6 +128,40 @@ pub struct RecoveryEvent {
     pub mttr_secs: f64,
 }
 
+/// Exactly-once accounting for a [`crate::spec::Runtime::Tasks`] run:
+/// the task runtime's whole ledger, checked by the invariant checker's
+/// `task-conservation` audit (`completed + degraded == spawned`, with
+/// re-queued tasks re-entering the same chain rather than forking it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct TaskStats {
+    /// Tasks created from the stage plan (strips × stage groups).
+    pub spawned: u64,
+    /// Tasks whose *first* completion was recorded (each task counts
+    /// once, however many times a re-queue made it re-run).
+    pub completed: u64,
+    /// Total task executions, re-runs included (`>= completed`).
+    pub executed: u64,
+    /// Task-chain re-injections after a fence (checkpoint re-queues).
+    pub requeued: u64,
+    /// Tasks abandoned because no surviving core could take them.
+    pub degraded: u64,
+    /// Steal handshakes initiated by hungry cores.
+    pub steal_attempts: u64,
+    /// Handshakes that transferred a task (claim accepted).
+    pub steals: u64,
+    /// Handshakes answered with an empty queue or a rejected claim.
+    pub steal_rejects: u64,
+    /// Handshake legs lost or corrupted in flight (ARQ-style backoff
+    /// paid, no task moved).
+    pub steal_losses: u64,
+    /// Handshakes cut short by a fail-stop of one of the two parties.
+    pub midsteal_kills: u64,
+    /// Producer stalls against a full bounded deque (backpressure).
+    pub backpressure_stalls: u64,
+    /// High-water mark of any per-core deque.
+    pub max_queue_depth: u64,
+}
+
 /// Everything measured in one walkthrough run.
 #[derive(Serialize)]
 pub struct WalkthroughReport {
@@ -151,6 +185,9 @@ pub struct WalkthroughReport {
     /// Self-healing episodes: detected kills migrated to spare cores
     /// (empty unless kills were injected and a spare was available).
     pub recoveries: Vec<RecoveryEvent>,
+    /// Task-runtime ledger; `Some` exactly when the run executed under
+    /// [`crate::spec::Runtime::Tasks`].
+    pub task_stats: Option<TaskStats>,
     /// Final assembled frames (full fidelity only).
     #[serde(skip)]
     pub outputs: Option<Vec<Image>>,
@@ -189,6 +226,17 @@ impl WalkthroughReport {
             self.config.frames,
             self.config.seed,
         );
+        if self.config.runtime != crate::spec::Runtime::Static {
+            let t = &self.config.task_tuning;
+            let _ = writeln!(
+                out,
+                "runtime {} qcap={} steal_us={} retries={}",
+                self.config.runtime.name(),
+                t.queue_capacity,
+                t.steal_timeout_us,
+                t.steal_retries,
+            );
+        }
         if let Some(fault) = &self.config.fault {
             let _ = writeln!(
                 out,
@@ -264,6 +312,25 @@ impl WalkthroughReport {
                 r.resumed_at_secs.to_bits(),
                 r.frames_replayed,
                 r.mttr_secs.to_bits(),
+            );
+        }
+        if let Some(t) = &self.task_stats {
+            let _ = writeln!(
+                out,
+                "tasks spawned={} completed={} executed={} requeued={} degraded={} \
+                 steal_attempts={} steals={} rejects={} losses={} midsteal={} stalls={} maxq={}",
+                t.spawned,
+                t.completed,
+                t.executed,
+                t.requeued,
+                t.degraded,
+                t.steal_attempts,
+                t.steals,
+                t.steal_rejects,
+                t.steal_losses,
+                t.midsteal_kills,
+                t.backpressure_stalls,
+                t.max_queue_depth,
             );
         }
         if let Some(outputs) = &self.outputs {
@@ -366,6 +433,7 @@ mod tests {
                 frames_replayed: 1,
                 mttr_secs: 0.5,
             }],
+            task_stats: None,
             outputs: None,
             trace: None,
             telemetry: None,

@@ -80,6 +80,22 @@ fn kill_time(kills: &[CoreKill], core: CoreId) -> Option<SimTime> {
 /// [`crate::RunOutcome`] view. Kept public for callers that want the
 /// raw [`DesReport`] alone.
 pub fn run_des(cfg: &RunConfig, scene: Arc<Scene>) -> DesReport {
+    if cfg.runtime == crate::spec::Runtime::Tasks {
+        // The task runtime has one engine; the DES flavor drives it with a
+        // different schedule (steal-RNG stream, idle-scan order) so the
+        // differential suite can prove the film and the conservation
+        // ledgers are schedule-independent.
+        let report = crate::taskrt::run_tasks(
+            super::sim::SimRunner::new(cfg.clone(), scene),
+            crate::taskrt::ScheduleFlavor::Des,
+        );
+        return DesReport {
+            total_secs: report.total_secs,
+            frames: report.outputs,
+            recoveries: report.recoveries,
+            telemetry: report.telemetry,
+        };
+    }
     assert_eq!(
         cfg.renderer,
         RendererMode::SingleRenderer,

@@ -295,6 +295,12 @@ fn ranks(mode: RendererMode, p: usize, plan: &StagePlan) -> Ranks {
 /// raw [`NativeReport`] alone.
 pub fn run_native(cfg: &RunConfig, scene: Arc<Scene>) -> NativeReport {
     cfg.validate().expect("invalid run configuration");
+    assert_eq!(
+        cfg.runtime,
+        crate::spec::Runtime::Static,
+        "the native backend runs the static pipeline only; \
+         Runtime::Tasks is a sim/DES execution model"
+    );
     let p = cfg.pipelines as usize;
     let plan = crate::partition::plan_for(cfg);
     let layout = ranks(cfg.renderer, p, &plan);

@@ -33,20 +33,22 @@ use scc_telemetry::{names, EventKind, TelemetrySink, IDLE_MS_BUCKETS, SECONDS_BU
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Per-stage runtime state.
-struct StageState {
-    kind: StageKind,
-    core: CoreId,
-    pipeline: Option<u32>,
+/// Per-stage runtime state. Shared with the task runtime
+/// ([`crate::taskrt`]), whose ledgers keep the same shape so both
+/// executors produce identical stage-report structures.
+pub(crate) struct StageState {
+    pub(crate) kind: StageKind,
+    pub(crate) core: CoreId,
+    pub(crate) pipeline: Option<u32>,
     /// Time the stage finished its previous frame (ready for the next).
-    free: SimTime,
-    busy: SimTime,
-    idle_samples: Vec<SimTime>,
-    frames: u64,
+    pub(crate) free: SimTime,
+    pub(crate) busy: SimTime,
+    pub(crate) idle_samples: Vec<SimTime>,
+    pub(crate) frames: u64,
 }
 
 impl StageState {
-    fn new(kind: StageKind, core: CoreId, pipeline: Option<u32>) -> StageState {
+    pub(crate) fn new(kind: StageKind, core: CoreId, pipeline: Option<u32>) -> StageState {
         StageState {
             kind,
             core,
@@ -58,7 +60,7 @@ impl StageState {
         }
     }
 
-    fn report(&self) -> StageReport {
+    pub(crate) fn report(&self) -> StageReport {
         StageReport {
             kind: self.kind,
             pipeline: self.pipeline,
@@ -86,35 +88,39 @@ pub struct DvfsPlan {
 /// Resolved fault-injection context for a run: the schedule plus the
 /// retry protocol's virtual-time parameters.
 #[derive(Clone)]
-struct FaultCtx {
-    plan: Arc<FaultPlan>,
+pub(crate) struct FaultCtx {
+    pub(crate) plan: Arc<FaultPlan>,
     /// First-attempt acknowledgement window; attempt `n` waits `2^n` times
     /// as long.
-    timeout: SimTime,
+    pub(crate) timeout: SimTime,
     /// Retransmissions after the first attempt.
-    budget: u32,
+    pub(crate) budget: u32,
     /// The run's shared telemetry sink (disabled unless
     /// `RunConfig::telemetry`); lets the ARQ and recovery paths record
     /// retries, misses, and migrations as they happen.
-    tel: TelemetrySink,
+    pub(crate) tel: TelemetrySink,
 }
 
 impl FaultCtx {
     /// Worst-case wait across every attempt starting from `attempt`:
     /// `timeout * (2^(budget+1) - 2^attempt)`.
-    fn patience_from(&self, attempt: u32) -> SimTime {
+    pub(crate) fn patience_from(&self, attempt: u32) -> SimTime {
         self.timeout * ((1u64 << (self.budget + 1)) - (1u64 << attempt))
     }
 
     /// Total patience of the full retry schedule — beyond this, a silent
     /// peer is declared dead.
-    fn horizon(&self) -> SimTime {
+    pub(crate) fn horizon(&self) -> SimTime {
         self.patience_from(0)
     }
 
     /// Build the simulator-facing plan from a [`FaultSpec`], resolving the
     /// stall's (pipeline, stage) address to a physical core.
-    fn from_spec(spec: &FaultSpec, placement: &Placement, tel: TelemetrySink) -> FaultCtx {
+    pub(crate) fn from_spec(
+        spec: &FaultSpec,
+        placement: &Placement,
+        tel: TelemetrySink,
+    ) -> FaultCtx {
         let stalls = spec
             .stall
             .iter()
@@ -149,16 +155,16 @@ impl FaultCtx {
 
 /// The simulated-SCC pipeline runner.
 pub struct SimRunner {
-    cfg: RunConfig,
-    cost: CostModel,
-    placement: Placement,
-    plan: StagePlan,
-    platform: SccPlatform,
-    renderer: Arc<Renderer>,
-    walkthrough: Walkthrough,
-    dvfs: DvfsPlan,
-    fault: Option<FaultCtx>,
-    tel: TelemetrySink,
+    pub(crate) cfg: RunConfig,
+    pub(crate) cost: CostModel,
+    pub(crate) placement: Placement,
+    pub(crate) plan: StagePlan,
+    pub(crate) platform: SccPlatform,
+    pub(crate) renderer: Arc<Renderer>,
+    pub(crate) walkthrough: Walkthrough,
+    pub(crate) dvfs: DvfsPlan,
+    pub(crate) fault: Option<FaultCtx>,
+    pub(crate) tel: TelemetrySink,
 }
 
 impl SimRunner {
@@ -228,6 +234,9 @@ impl SimRunner {
     /// Constructing a `SimRunner` directly remains the right move for
     /// sim-only knobs such as [`SimRunner::with_parts`] DVFS plans.
     pub fn run(mut self) -> WalkthroughReport {
+        if self.cfg.runtime == crate::spec::Runtime::Tasks {
+            return crate::taskrt::run_tasks(self, crate::taskrt::ScheduleFlavor::Sim);
+        }
         for (core, freq) in &self.dvfs.settings {
             self.platform.set_core_frequency(*core, *freq);
         }
@@ -899,6 +908,7 @@ impl SimRunner {
             platform: self.platform.stats(),
             degradations,
             recoveries,
+            task_stats: None,
             outputs: (fidelity == Fidelity::Full).then_some(outputs),
             trace,
             telemetry: self.tel.snapshot(),
@@ -921,7 +931,7 @@ impl SimRunner {
 /// busy time, frame count — into the sink under `{stage, pipeline}`
 /// labels (`pipeline="-"` for unpipelined stages, keeping one label set
 /// per metric family).
-fn record_stage_telemetry(tel: &TelemetrySink, s: &StageState) {
+pub(crate) fn record_stage_telemetry(tel: &TelemetrySink, s: &StageState) {
     let pl = s.pipeline.map(|i| i.to_string());
     let labels = [
         ("pipeline", pl.as_deref().unwrap_or("-")),
@@ -941,7 +951,7 @@ fn record_stage_telemetry(tel: &TelemetrySink, s: &StageState) {
 /// growing ack window before the retransmission. Fails (returning the
 /// detection time) when the receiver is stalled beyond everything the
 /// sender is still willing to wait, or when every attempt is lost.
-fn faulted_send(
+pub(crate) fn faulted_send(
     platform: &mut SccPlatform,
     ctx: &FaultCtx,
     seqs: &mut HashMap<(u8, u8), u64>,
@@ -1667,7 +1677,7 @@ fn route_replicas(
     }
 }
 
-fn strip_info(i: usize, bounds: &[(u32, u32)], full_height: u32) -> StripInfo {
+pub(crate) fn strip_info(i: usize, bounds: &[(u32, u32)], full_height: u32) -> StripInfo {
     let (y0, h) = bounds[i];
     StripInfo {
         index: i as u32,
@@ -1679,7 +1689,7 @@ fn strip_info(i: usize, bounds: &[(u32, u32)], full_height: u32) -> StripInfo {
 }
 
 /// Split an (optional) full frame into per-pipeline strip frames.
-fn make_strips(
+pub(crate) fn make_strips(
     frame_id: u64,
     bounds: &[(u32, u32)],
     width: u32,

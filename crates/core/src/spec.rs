@@ -357,6 +357,79 @@ impl FuseChoice {
     }
 }
 
+/// How strips are scheduled onto cores.
+///
+/// `Static` is the paper's model: every stage owns a core for the whole
+/// run (possibly merged/replicated by the auto-placer). `Tasks` turns
+/// each (frame, strip, stage-group) into a dependency-tracked task and
+/// runs a randomized work-stealing protocol over the same placement —
+/// the BDDT-SCC direction of ROADMAP item 4. Output film is guaranteed
+/// bit-identical across both runtimes; only *when and where* a strip is
+/// processed changes, which is exactly what flattens the paper's
+/// Figure 15 idle-time spread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Default)]
+pub enum Runtime {
+    /// Fixed stage-to-core placement (the paper's execution model).
+    #[default]
+    Static,
+    /// Dependency-driven task runtime with per-core deques, randomized
+    /// work stealing, and re-queue recovery.
+    Tasks,
+}
+
+impl Runtime {
+    /// Short name for digests and fuzz-repro lines.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Runtime::Static => "static",
+            Runtime::Tasks => "tasks",
+        }
+    }
+}
+
+/// Knobs of the dependency-driven task runtime ([`Runtime::Tasks`]).
+/// Like [`NativeTuning`] these are performance/robustness knobs only:
+/// the output film is bit-identical for every legal setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct TaskTuning {
+    /// Bounded per-core deque capacity. A producer whose target deque is
+    /// full *stalls* (backpressure) instead of growing the queue — the
+    /// runtime can never OOM on a slow consumer.
+    pub queue_capacity: u32,
+    /// Per-attempt steal-request acknowledgement window, microseconds of
+    /// virtual time. Attempt `n` waits `2^n` times as long (exponential
+    /// backoff), mirroring the ARQ layer's schedule.
+    pub steal_timeout_us: u64,
+    /// Steal attempts a hungry core makes (each against a fresh random
+    /// victim) before re-checking its own deque.
+    pub steal_retries: u32,
+}
+
+impl Default for TaskTuning {
+    fn default() -> Self {
+        TaskTuning {
+            queue_capacity: 8,
+            steal_timeout_us: 200,
+            steal_retries: 3,
+        }
+    }
+}
+
+impl TaskTuning {
+    pub fn validate(&self) -> Result<(), String> {
+        if self.queue_capacity == 0 {
+            return Err("task queue_capacity must be at least 1".into());
+        }
+        if self.steal_timeout_us == 0 {
+            return Err("steal_timeout_us must be at least 1".into());
+        }
+        if self.steal_retries == 0 {
+            return Err("steal_retries must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
 /// Host-execution tuning for the native runner (and the runners' buffer
 /// management). These knobs affect performance only: output is guaranteed
 /// bit-identical across every setting, which `tests/parallel_equivalence.rs`
@@ -444,6 +517,12 @@ pub struct RunConfig {
     /// previous run's `scc_stage_idle_ms` histograms and feeds them in
     /// here.
     pub stage_weights: Option<Vec<f64>>,
+    /// Execution model: static stage-to-core placement (default) or the
+    /// dependency-driven work-stealing task runtime. Film output is
+    /// bit-identical either way.
+    pub runtime: Runtime,
+    /// Knobs of the task runtime (ignored under [`Runtime::Static`]).
+    pub task_tuning: TaskTuning,
 }
 
 impl Default for RunConfig {
@@ -467,6 +546,8 @@ impl Default for RunConfig {
             telemetry: false,
             auto_place: false,
             stage_weights: None,
+            runtime: Runtime::Static,
+            task_tuning: TaskTuning::default(),
         }
     }
 }
@@ -501,6 +582,7 @@ impl RunConfig {
             fault.validate(self.pipelines)?;
         }
         self.tuning.validate()?;
+        self.task_tuning.validate()?;
         if let Some(w) = &self.stage_weights {
             if w.len() != StageKind::PIPELINE_FILTERS.len() {
                 return Err(format!(
@@ -656,6 +738,37 @@ impl RunConfigBuilder {
     /// `Auto` = on).
     pub fn fuse(mut self, fuse: FuseChoice) -> Self {
         self.cfg.tuning.fuse = fuse;
+        self
+    }
+
+    /// Pick the execution model (default [`Runtime::Static`]).
+    pub fn runtime(mut self, runtime: Runtime) -> Self {
+        self.cfg.runtime = runtime;
+        self
+    }
+
+    /// Replace the whole task-runtime tuning block.
+    pub fn task_tuning(mut self, task_tuning: TaskTuning) -> Self {
+        self.cfg.task_tuning = task_tuning;
+        self
+    }
+
+    /// Bounded per-core task deque capacity (task runtime only).
+    pub fn task_queue_capacity(mut self, queue_capacity: u32) -> Self {
+        self.cfg.task_tuning.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Per-attempt steal-request timeout in microseconds (task runtime
+    /// only; attempts back off exponentially).
+    pub fn steal_timeout_us(mut self, steal_timeout_us: u64) -> Self {
+        self.cfg.task_tuning.steal_timeout_us = steal_timeout_us;
+        self
+    }
+
+    /// Steal attempts per hunger episode (task runtime only).
+    pub fn steal_retries(mut self, steal_retries: u32) -> Self {
+        self.cfg.task_tuning.steal_retries = steal_retries;
         self
     }
 
@@ -913,6 +1026,10 @@ mod tests {
             .buffer_pool(false)
             .auto_place(true)
             .stage_weights(vec![1.0, 5.0, 1.0, 1.0, 1.0])
+            .runtime(Runtime::Tasks)
+            .task_queue_capacity(16)
+            .steal_timeout_us(500)
+            .steal_retries(5)
             .build()
             .expect("valid config");
         assert_eq!(cfg.renderer, RendererMode::McpcRenderer);
@@ -931,6 +1048,45 @@ mod tests {
             cfg.stage_weights.as_deref(),
             Some(&[1.0, 5.0, 1.0, 1.0, 1.0][..])
         );
+        assert_eq!(cfg.runtime, Runtime::Tasks);
+        assert_eq!(cfg.task_tuning.queue_capacity, 16);
+        assert_eq!(cfg.task_tuning.steal_timeout_us, 500);
+        assert_eq!(cfg.task_tuning.steal_retries, 5);
+    }
+
+    #[test]
+    fn runtime_and_task_tuning() {
+        assert_eq!(Runtime::default(), Runtime::Static);
+        assert_eq!(Runtime::Static.name(), "static");
+        assert_eq!(Runtime::Tasks.name(), "tasks");
+        let d = TaskTuning::default();
+        assert_eq!(
+            (d.queue_capacity, d.steal_timeout_us, d.steal_retries),
+            (8, 200, 3)
+        );
+        // Every zero knob is rejected through build().
+        let err = RunConfig::builder()
+            .task_queue_capacity(0)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("queue_capacity"), "{err}");
+        let err = RunConfig::builder()
+            .steal_timeout_us(0)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("steal_timeout_us"), "{err}");
+        let err = RunConfig::builder().steal_retries(0).build().unwrap_err();
+        assert!(err.contains("steal_retries"), "{err}");
+        // Whole-block setter.
+        let cfg = RunConfig::builder()
+            .task_tuning(TaskTuning {
+                queue_capacity: 4,
+                steal_timeout_us: 50,
+                steal_retries: 2,
+            })
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.task_tuning.queue_capacity, 4);
     }
 
     #[test]

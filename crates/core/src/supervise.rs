@@ -123,8 +123,14 @@ pub fn book_heartbeats(
         let silent_from = plan.kill_time(core.raw()).unwrap_or(SimTime::MAX);
         let mut t = SimTime::ZERO;
         while t < until && t < silent_from {
-            platform.heartbeat(core, t);
-            booked += 1;
+            // A stalled core issues nothing until its window closes; a
+            // datagram whose window closes after the run end (forever,
+            // for a permanent stall) never gets out — that silence is
+            // exactly what the failure detector sees.
+            if plan.stall_adjusted(core.raw(), t) < until {
+                platform.heartbeat(core, t);
+                booked += 1;
+            }
             t += period;
         }
     }

@@ -16,6 +16,9 @@
 //! * [`collective`] — broadcast / gather / scatter built over send/recv;
 //! * [`health`] — heartbeat datagrams and the phi-style accrual failure
 //!   detector feeding the supervision control plane;
+//! * [`steal`] — work-stealing control messages (request / grant /
+//!   claim / ack) and the victim-side [`ClaimTable`] that makes task
+//!   hand-off idempotent under message loss;
 //! * [`mpb`] — the Message Passing Buffer chunking model shared with the
 //!   simulator's timing path.
 //!
@@ -30,6 +33,7 @@ pub mod error;
 pub mod health;
 pub mod mpb;
 pub mod onesided;
+pub mod steal;
 
 pub use collective::{broadcast, gather, scatter};
 pub use comm::{communicator, CommStats, Endpoint, Reliability};
@@ -41,3 +45,9 @@ pub use health::{
 };
 pub use mpb::MpbConfig;
 pub use onesided::{one_sided, recv_via_get, send_via_put, OneSided};
+pub use steal::{
+    decode_claim_ack, decode_steal_grant, decode_steal_request, decode_task_claim,
+    encode_claim_ack, encode_steal_grant, encode_steal_request, encode_task_claim, ClaimAck,
+    ClaimReject, ClaimTable, ClaimVerdict, StealGrant, StealRequest, TaskClaim, TaskId,
+    CLAIM_ACK_WIRE_BYTES, STEAL_GRANT_WIRE_BYTES, STEAL_REQUEST_WIRE_BYTES, TASK_CLAIM_WIRE_BYTES,
+};

@@ -7,8 +7,10 @@
 
 use bytes::Bytes;
 use scc_rcce::{
-    await_heartbeat, communicator, poll_heartbeat, send_heartbeat, MpbConfig, RcceError,
-    Reliability,
+    await_heartbeat, communicator, decode_claim_ack, decode_steal_grant, decode_steal_request,
+    decode_task_claim, encode_claim_ack, encode_steal_grant, encode_steal_request,
+    encode_task_claim, poll_heartbeat, send_heartbeat, ClaimAck, ClaimReject, ClaimTable,
+    ClaimVerdict, MpbConfig, RcceError, Reliability, StealGrant, StealRequest, TaskClaim, TaskId,
 };
 use scc_sim::{FaultConfig, FaultPlan};
 use std::sync::Arc;
@@ -154,5 +156,182 @@ fn invalid_ranks_are_rejected_up_front() {
     assert_eq!(
         await_heartbeat(&a, 9, Duration::from_millis(1)),
         Err(invalid(9))
+    );
+}
+
+// ---- steal/claim wire messages (the task runtime's control plane) ----
+
+fn steal_task() -> TaskId {
+    TaskId {
+        frame: 3,
+        strip: 1,
+        group: 2,
+    }
+}
+
+/// A truncated steal frame — any prefix of any of the four messages —
+/// decodes to `None` rather than a bogus message.
+#[test]
+fn truncated_steal_frames_are_rejected() {
+    let frames: Vec<Bytes> = vec![
+        encode_steal_request(StealRequest {
+            thief: 1,
+            epoch: 0,
+            nonce: 5,
+        }),
+        encode_steal_grant(StealGrant {
+            victim: 2,
+            epoch: 0,
+            nonce: 5,
+            task: steal_task(),
+        }),
+        encode_task_claim(TaskClaim {
+            thief: 1,
+            epoch: 0,
+            nonce: 5,
+        }),
+        encode_claim_ack(ClaimAck {
+            accepted: true,
+            nonce: 5,
+        }),
+    ];
+    for wire in frames {
+        for cut in 0..wire.len() {
+            let short = &wire[..cut];
+            assert_eq!(decode_steal_request(short), None, "cut {cut}");
+            assert_eq!(decode_steal_grant(short), None, "cut {cut}");
+            assert_eq!(decode_task_claim(short), None, "cut {cut}");
+            assert_eq!(decode_claim_ack(short), None, "cut {cut}");
+        }
+    }
+}
+
+/// A single flipped bit anywhere in a steal frame trips the embedded
+/// CRC: the frame decodes to `None` instead of smuggling a wrong nonce,
+/// epoch, or task identity into the handshake.
+#[test]
+fn corrupt_crc_rejects_every_steal_frame() {
+    let wire = encode_steal_grant(StealGrant {
+        victim: 2,
+        epoch: 1,
+        nonce: 77,
+        task: steal_task(),
+    });
+    assert!(decode_steal_grant(&wire).is_some(), "intact frame decodes");
+    for byte in 0..wire.len() {
+        let mut bad = wire.to_vec();
+        bad[byte] ^= 0x01;
+        assert_eq!(
+            decode_steal_grant(&bad),
+            None,
+            "bit flip at byte {byte} undetected"
+        );
+    }
+    let wire = encode_task_claim(TaskClaim {
+        thief: 1,
+        epoch: 1,
+        nonce: 77,
+    });
+    for byte in 0..wire.len() {
+        let mut bad = wire.to_vec();
+        bad[byte] ^= 0x80;
+        assert_eq!(decode_task_claim(&bad), None, "flip at byte {byte}");
+    }
+}
+
+/// A claim whose epoch does not match the victim's offer — the thief is
+/// working from a pre-fence grant — is rejected, and after the fence the
+/// nonce is gone entirely; the task went back to the victim's queue
+/// either way.
+#[test]
+fn claim_for_unknown_or_fenced_epoch_is_rejected() {
+    let mut table = ClaimTable::new();
+    table.offer(10, 1, steal_task());
+    // Thief claims with a made-up future epoch: rejected as stale.
+    assert_eq!(
+        table.claim(TaskClaim {
+            thief: 1,
+            epoch: 99,
+            nonce: 10
+        }),
+        ClaimVerdict::Rejected(ClaimReject::StaleEpoch)
+    );
+    // Supervisor fences the victim: the offer's task is reclaimed...
+    assert_eq!(table.fence(1), vec![steal_task()]);
+    // ...and the straggling claim for the old epoch finds nothing.
+    assert_eq!(
+        table.claim(TaskClaim {
+            thief: 1,
+            epoch: 0,
+            nonce: 10
+        }),
+        ClaimVerdict::Rejected(ClaimReject::UnknownNonce)
+    );
+}
+
+/// Two thieves racing for the same grant: exactly one wins ownership.
+/// The winner's retransmitted claim stays accepted (idempotence), the
+/// loser is rejected every time — a task is never handed out twice.
+#[test]
+fn double_claim_is_rejected_exactly_once_semantics() {
+    let mut table = ClaimTable::new();
+    table.offer(42, 1, steal_task());
+    let won = table.claim(TaskClaim {
+        thief: 1,
+        epoch: 0,
+        nonce: 42,
+    });
+    assert_eq!(won, ClaimVerdict::Accepted(steal_task()));
+    // A different thief replaying the same nonce never gets the task.
+    for _ in 0..3 {
+        assert_eq!(
+            table.claim(TaskClaim {
+                thief: 2,
+                epoch: 0,
+                nonce: 42
+            }),
+            ClaimVerdict::Rejected(ClaimReject::ForeignThief)
+        );
+    }
+    // The winner's duplicate (lost-ack retransmit) is answered the same.
+    assert_eq!(
+        table.claim(TaskClaim {
+            thief: 1,
+            epoch: 0,
+            nonce: 42,
+        }),
+        ClaimVerdict::Accepted(steal_task())
+    );
+    // And the victim can no longer cancel what it no longer owns.
+    assert_eq!(table.cancel(42), None);
+}
+
+/// Steal control frames survive a real (lossless) channel round trip and
+/// a cross-decode attempt: a grant never parses as a request and vice
+/// versa, so a misrouted frame cannot corrupt the handshake state.
+#[test]
+fn steal_frames_cross_decode_as_none_over_a_channel() {
+    let mut eps = communicator(2, 4, MpbConfig::default());
+    let b = eps.pop().unwrap();
+    let a = eps.pop().unwrap();
+    a.send(
+        1,
+        encode_steal_request(StealRequest {
+            thief: 0,
+            epoch: 0,
+            nonce: 1,
+        }),
+    )
+    .unwrap();
+    let raw = b.recv(0).unwrap();
+    assert_eq!(decode_steal_grant(&raw), None, "request is not a grant");
+    assert_eq!(decode_claim_ack(&raw), None, "request is not an ack");
+    assert_eq!(
+        decode_steal_request(&raw),
+        Some(StealRequest {
+            thief: 0,
+            epoch: 0,
+            nonce: 1
+        })
     );
 }

@@ -107,6 +107,18 @@ pub mod names {
     pub const POOL_RECYCLED_TOTAL: &str = "scc_pool_recycled_total";
     /// Counter, buffers the native pool had to allocate fresh.
     pub const POOL_FRESH_TOTAL: &str = "scc_pool_fresh_total";
+    /// Counter, tasks spawned by the dependency-driven task runtime.
+    pub const TASK_SPAWNED_TOTAL: &str = "scc_task_spawned_total";
+    /// Counter, steal handshakes the task runtime attempted.
+    pub const TASK_STEAL_ATTEMPTS_TOTAL: &str = "scc_task_steal_attempts_total";
+    /// Counter, steal handshakes that transferred a task.
+    pub const TASK_STEALS_TOTAL: &str = "scc_task_steals_total";
+    /// Counter, tasks re-queued after a fence (kill/stall recovery).
+    pub const TASK_REQUEUES_TOTAL: &str = "scc_task_requeues_total";
+    /// Counter, producer stalls against a full bounded deque.
+    pub const TASK_BACKPRESSURE_STALLS_TOTAL: &str = "scc_task_backpressure_stalls_total";
+    /// Gauge, deepest per-core task deque observed over the run.
+    pub const TASK_QUEUE_DEPTH_MAX: &str = "scc_task_queue_depth_max";
 
     /// Every catalogued name, for schema tests.
     pub const ALL: &[&str] = &[
@@ -131,6 +143,12 @@ pub mod names {
         HOST_MPIXELS_PER_SEC,
         POOL_RECYCLED_TOTAL,
         POOL_FRESH_TOTAL,
+        TASK_SPAWNED_TOTAL,
+        TASK_STEAL_ATTEMPTS_TOTAL,
+        TASK_STEALS_TOTAL,
+        TASK_REQUEUES_TOTAL,
+        TASK_BACKPRESSURE_STALLS_TOTAL,
+        TASK_QUEUE_DEPTH_MAX,
     ];
 }
 

@@ -13,7 +13,7 @@ use rand::Rng;
 use scc_core::runner::sim::SimRunner;
 use scc_core::spec::{
     Arrangement, FaultSpec, Fidelity, FuseChoice, KernelChoice, KillSpec, RendererMode, RunConfig,
-    StallSpec,
+    Runtime, StallSpec, TaskTuning,
 };
 use scc_core::viz::frame_checksum;
 use scc_sim::fault::{FaultConfig, FaultPlan, MessageOutcome};
@@ -111,6 +111,18 @@ impl FuzzCase {
         }
         if c.tuning.fuse != FuseChoice::Auto {
             extras.push_str(&format!(" fuse={}", c.tuning.fuse.name()));
+        }
+        // The task runtime and its knobs ride the run line only when the
+        // case left the static pipeline, so pre-runtime repros parse
+        // unchanged.
+        if c.runtime != Runtime::Static {
+            extras.push_str(&format!(
+                " runtime={} qcap={} steal_us={} steal_retries={}",
+                c.runtime.name(),
+                c.task_tuning.queue_capacity,
+                c.task_tuning.steal_timeout_us,
+                c.task_tuning.steal_retries,
+            ));
         }
         let mut out = format!(
             "run mode={} arr={} p={} w={} h={} f={} seed={:#x} fid={} threads={} pool={}{extras}\n",
@@ -232,6 +244,19 @@ impl FuzzCase {
                             other => return Err(format!("unknown fuse `{other}`")),
                         };
                     }
+                    // Optional: absent in pre-task-runtime repros.
+                    if kvs.iter().any(|(k, _)| *k == "runtime") {
+                        c.runtime = match get(&kvs, "runtime")? {
+                            "static" => Runtime::Static,
+                            "tasks" => Runtime::Tasks,
+                            other => return Err(format!("unknown runtime `{other}`")),
+                        };
+                        c.task_tuning = TaskTuning {
+                            queue_capacity: int(&kvs, "qcap")? as u32,
+                            steal_timeout_us: int(&kvs, "steal_us")?,
+                            steal_retries: int(&kvs, "steal_retries")? as u32,
+                        };
+                    }
                 }
                 "weights" => {
                     let list = get(&kvs, "w")?;
@@ -304,7 +329,7 @@ impl FuzzCase {
 
     fn mutate_once(&mut self, rng: &mut StdRng) {
         let c = &mut self.cfg;
-        match rng.gen_range(0u32..21) {
+        match rng.gen_range(0u32..24) {
             0 => {
                 c.renderer = [
                     RendererMode::SingleRenderer,
@@ -415,6 +440,42 @@ impl FuzzCase {
                 let palette = [0.0, 0.1, 1.0, 4.0, 250.0];
                 c.stage_weights = Some((0..5).map(|_| palette[rng.gen_range(0usize..5)]).collect());
             }
+            21 => {
+                c.runtime = if rng.gen() {
+                    Runtime::Tasks
+                } else {
+                    Runtime::Static
+                };
+            }
+            22 => {
+                // Task-runtime knob palette: a capacity of 1 forces
+                // backpressure on every chain handoff (the
+                // `task:queue-full` arm); the timeout/retry spread
+                // exercises the steal ARQ's backoff schedule.
+                c.runtime = Runtime::Tasks;
+                c.task_tuning = TaskTuning {
+                    queue_capacity: [1, 2, 8, 32][rng.gen_range(0usize..4)],
+                    steal_timeout_us: [50, 200, 1_000][rng.gen_range(0usize..3)],
+                    steal_retries: rng.gen_range(1u32..=4),
+                };
+            }
+            23 => {
+                // Chaos arm: a kill on top of a lossy message plane while
+                // the task runtime is stealing — the `task:kill-midsteal`
+                // and `task:steal-loss` labels in one mutant.
+                let pipelines = c.pipelines;
+                c.runtime = Runtime::Tasks;
+                let f = c.fault.get_or_insert_with(FaultSpec::default);
+                f.drop_rate = [0.05, 0.2][rng.gen_range(0usize..2)];
+                f.kills.push(KillSpec {
+                    pipeline: rng.gen_range(0..pipelines),
+                    stage: rng.gen_range(0u32..5),
+                    at_ms: rng.gen_range(0u64..=40),
+                });
+                if f.kills.len() > 3 {
+                    f.kills.drain(..f.kills.len() - 3);
+                }
+            }
             _ => c.stage_weights = None,
         }
         // Drop fault sub-specs that point past a shrunken pipeline count.
@@ -472,6 +533,22 @@ pub fn coverage(case: &FuzzCase, outcome_events: &CoverageEvents) -> BTreeSet<St
     }
     if c.stage_weights.is_some() {
         set.insert("weights:explicit".into());
+    }
+    if c.runtime == Runtime::Tasks {
+        set.insert("runtime:tasks".into());
+        if let Some(f) = &c.fault {
+            // Steal-handshake legs (request/grant/claim/ack) traverse
+            // the same lossy message plane as data, so any loss rate
+            // reaches the ARQ path of the steal protocol.
+            if f.drop_rate > 0.0 || f.corrupt_rate > 0.0 || f.delay_rate > 0.0 {
+                set.insert("task:steal-loss".into());
+            }
+            // A kill can land between a steal grant and its claim-ack;
+            // the fence must then reject the stale claim and re-queue.
+            if !f.kills.is_empty() {
+                set.insert("task:kill-midsteal".into());
+            }
+        }
     }
     if let Some(f) = &c.fault {
         if f.degraded_links > 0 && f.degrade_factor < 1.0 {
@@ -551,6 +628,12 @@ pub fn coverage(case: &FuzzCase, outcome_events: &CoverageEvents) -> BTreeSet<St
     if outcome_events.frames_replayed > 0 {
         set.insert("event:replay".into());
     }
+    if outcome_events.task_backpressure > 0 {
+        set.insert("task:queue-full".into());
+    }
+    if outcome_events.task_steals > 0 {
+        set.insert("task:steal".into());
+    }
     set
 }
 
@@ -560,11 +643,22 @@ pub struct CoverageEvents {
     pub degradations: usize,
     pub recoveries: usize,
     pub frames_replayed: u32,
+    /// Backpressure stalls the task runtime's bounded deques recorded.
+    pub task_backpressure: u64,
+    /// Successful steals the task runtime completed.
+    pub task_steals: u64,
 }
 
 /// Is this configuration inside the DES validator's supported envelope?
-/// (Single renderer, kills-only faults, enough spares to recover.)
+/// The static pipeline's cross-validator covers single-renderer,
+/// kills-only fault plans with enough spares; the task runtime runs the
+/// same engine under both backends (DES-flavored schedule), so it covers
+/// every renderer mode, kills without spares, and lossy transport —
+/// stalls stay out for both.
 fn des_eligible(cfg: &RunConfig) -> bool {
+    if cfg.runtime == Runtime::Tasks {
+        return cfg.fault.as_ref().is_none_or(|f| f.stall.is_none());
+    }
     if cfg.renderer != RendererMode::SingleRenderer {
         return false;
     }
@@ -676,6 +770,8 @@ pub fn run_oracle(case: &FuzzCase) -> Outcome {
                     degradations: report.degradations.len(),
                     recoveries: report.recoveries.len(),
                     frames_replayed: report.recoveries.iter().map(|r| r.frames_replayed).sum(),
+                    task_backpressure: report.task_stats.map_or(0, |t| t.backpressure_stalls),
+                    task_steals: report.task_stats.map_or(0, |t| t.steals),
                 };
                 return Outcome {
                     failures,
@@ -726,7 +822,17 @@ pub fn run_oracle(case: &FuzzCase) -> Outcome {
         if boundary_kills > 0 {
             boundary_cov = Some("replay:boundary-kill".to_string());
         }
-        if des.recoveries.len() != report.recoveries.len() {
+        // Under the task runtime the two backends run differently
+        // flavored schedules, so whether a kill is observed with chains
+        // still queued (a fence records a recovery) or caught at handoff
+        // time and re-routed (no event) — and how much in-flight work a
+        // fence catches — are both legitimately schedule-dependent. The
+        // cross-backend instruments there are the film and the conserved
+        // task ledger; the replay-count comparison only binds the static
+        // pipeline, whose recovery schedule is deterministic.
+        if case.cfg.runtime != Runtime::Static {
+            // fallthrough to the film comparison below
+        } else if des.recoveries.len() != report.recoveries.len() {
             let diff = report.recoveries.len().abs_diff(des.recoveries.len());
             if diff > boundary_kills {
                 failures.push(Failure {
@@ -771,6 +877,8 @@ pub fn run_oracle(case: &FuzzCase) -> Outcome {
         degradations: report.degradations.len(),
         recoveries: report.recoveries.len(),
         frames_replayed: report.recoveries.iter().map(|r| r.frames_replayed).sum(),
+        task_backpressure: report.task_stats.map_or(0, |t| t.backpressure_stalls),
+        task_steals: report.task_stats.map_or(0, |t| t.steals),
     };
     let mut cov = coverage(case, &events);
     cov.extend(boundary_cov);
@@ -833,6 +941,12 @@ fn cost(case: &FuzzCase) -> u64 {
     if c.auto_place {
         k += 50;
     }
+    if c.runtime != Runtime::Static {
+        k += 75;
+    }
+    if c.task_tuning != TaskTuning::default() {
+        k += 5;
+    }
     if c.stage_weights.is_some() {
         k += 25;
     }
@@ -885,6 +999,11 @@ pub fn shrink(mut case: FuzzCase, check: &str) -> FuzzCase {
         |c| c.renderer = RendererMode::SingleRenderer,
         |c| c.arrangement = Arrangement::Unordered,
         |c| c.tuning = Default::default(),
+        |c| {
+            c.runtime = Runtime::Static;
+            c.task_tuning = Default::default();
+        },
+        |c| c.task_tuning = Default::default(),
         |c| c.stage_weights = None,
         |c| {
             c.auto_place = false;
@@ -934,6 +1053,93 @@ mod tests {
             let back = FuzzCase::from_text(&text).expect("parse own output");
             assert_eq!(back.to_text(), text, "round trip changed the case");
         }
+    }
+
+    #[test]
+    fn coverage_sees_task_runtime_arms() {
+        let mut case = FuzzCase::base(3);
+        case.cfg.runtime = Runtime::Tasks;
+        case.cfg.fault = Some(FaultSpec {
+            drop_rate: 0.05,
+            kills: vec![KillSpec {
+                pipeline: 0,
+                stage: 1,
+                at_ms: 3,
+            }],
+            ..FaultSpec::default()
+        });
+        let set = coverage(
+            &case,
+            &CoverageEvents {
+                task_backpressure: 1,
+                task_steals: 2,
+                ..CoverageEvents::default()
+            },
+        );
+        for label in [
+            "runtime:tasks",
+            "task:steal-loss",
+            "task:kill-midsteal",
+            "task:queue-full",
+            "task:steal",
+        ] {
+            assert!(set.contains(label), "missing {label} in {set:?}");
+        }
+        let clean = coverage(&FuzzCase::base(1), &CoverageEvents::default());
+        assert!(
+            !clean
+                .iter()
+                .any(|c| c.starts_with("task:") || c.starts_with("runtime:")),
+            "static case claims task coverage: {clean:?}"
+        );
+    }
+
+    #[test]
+    fn oracle_clears_task_runtime_chaos() {
+        // A kill on a lossy plane under the task runtime: the oracle must
+        // see a bit-identical film, balanced ledgers, and sim/DES
+        // agreement — the chaos shows up as coverage, not failures.
+        let mut case = FuzzCase::base(9);
+        case.cfg.runtime = Runtime::Tasks;
+        case.cfg.fault = Some(FaultSpec {
+            seed: 7,
+            drop_rate: 0.05,
+            kills: vec![KillSpec {
+                pipeline: 0,
+                stage: 1,
+                at_ms: 3,
+            }],
+            heartbeat_period_us: 2_000,
+            phi_dead: 2.0,
+            ..FaultSpec::default()
+        });
+        let out = run_oracle(&case);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert!(out.coverage.contains("runtime:tasks"));
+        assert!(out.coverage.contains("task:kill-midsteal"));
+        assert!(out.coverage.contains("task:steal-loss"));
+    }
+
+    #[test]
+    fn oracle_clears_stalled_thief_repro() {
+        // tests/regressions/stalled-thief-steal.txt: a permanently
+        // stalled worker used to run the steal handshake as a thief; the
+        // platform pushed its legs past the stall window (the end of
+        // virtual time) and the run never terminated. The stalled core
+        // must be fenced as fail-stop-equivalent and the oracle must
+        // come back clean.
+        let text = "\
+run mode=single arr=unordered p=1 w=64 h=48 f=4 seed=0xd22d65871def9b4c fid=full threads=4 pool=0 runtime=tasks qcap=8 steal_us=200 steal_retries=3
+fault seed=0xa5b5766792751374 drop=0 corrupt=0.2 delay=0 max_delay_us=200 links=2 factor=1 timeout_us=5000 retries=3
+sup hb_us=2000 phi=2 spares=4294967295 depth=4
+kill p=0 s=3 at_ms=34
+kill p=0 s=1 at_ms=27
+stall p=0 s=4 at_ms=0 for_ms=18446744073709551615
+";
+        let case = FuzzCase::from_text(text).expect("repro parses");
+        let out = run_oracle(&case);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert!(out.coverage.contains("runtime:tasks"));
     }
 
     #[test]

@@ -88,7 +88,7 @@ fn base_cfg() -> RunConfig {
 /// degraded (permanent stall, no spares), a recovered (kill + spare),
 /// and a lossy-links variant. All run under the invariant checker.
 pub fn golden_matrix() -> Vec<GoldenCase> {
-    use scc_core::spec::{Arrangement, FaultSpec, KillSpec, RendererMode, StallSpec};
+    use scc_core::spec::{Arrangement, FaultSpec, KillSpec, RendererMode, Runtime, StallSpec};
     let mut cases = Vec::new();
     for mode in [
         RendererMode::SingleRenderer,
@@ -194,6 +194,34 @@ pub fn golden_matrix() -> Vec<GoldenCase> {
         name: "auto-recovered".into(),
         cfg: auto_recovered,
     });
+    // The dependency-driven task runtime: the steal scheduler must
+    // deliver the *same film hash* as the fixed digests, and the
+    // exactly-once ledger (spawned/completed/requeued/steals) rides in
+    // the fingerprint so any conservation drift moves the digest.
+    let mut tasks_clean = base_cfg();
+    tasks_clean.runtime = Runtime::Tasks;
+    tasks_clean.trace = false;
+    cases.push(GoldenCase {
+        name: "tasks-clean".into(),
+        cfg: tasks_clean,
+    });
+    let mut tasks_recovered = base_cfg();
+    tasks_recovered.runtime = Runtime::Tasks;
+    tasks_recovered.trace = false;
+    tasks_recovered.fault = Some(FaultSpec {
+        kills: vec![KillSpec {
+            pipeline: 0,
+            stage: 1,
+            at_ms: 1,
+        }],
+        heartbeat_period_us: 2_000,
+        phi_dead: 2.0,
+        ..FaultSpec::default()
+    });
+    cases.push(GoldenCase {
+        name: "tasks-recovered".into(),
+        cfg: tasks_recovered,
+    });
     cases
 }
 
@@ -289,6 +317,17 @@ pub fn config_line(cfg: &RunConfig) -> String {
     }
     if cfg.tuning.fuse != scc_core::FuseChoice::Auto {
         auto.push_str(&format!(" fuse={}", cfg.tuning.fuse.name()));
+    }
+    // Like the scheduler suffix: only non-default runtimes print, so the
+    // pre-task-runtime digests stay byte-stable.
+    if cfg.runtime != scc_core::spec::Runtime::Static {
+        auto.push_str(&format!(
+            " runtime={} qcap={} steal_us={} retries={}",
+            cfg.runtime.name(),
+            cfg.task_tuning.queue_capacity,
+            cfg.task_tuning.steal_timeout_us,
+            cfg.task_tuning.steal_retries
+        ));
     }
     format!(
         "{} {} p={} {}x{}x{} seed={:#x}{auto} fault={}",
@@ -432,12 +471,14 @@ pub fn bench_schema_digest() -> String {
     let recovery = measure_recovery(&cfg, &scene, &[1]);
     let autoplace = measure_autoplace(&cfg, &scene);
     let kernels = scc_bench::kernels::measure_kernels(48, 32, 2, cfg.seed, &[1]);
+    let tasks = scc_bench::tasks::measure_tasks(&cfg, &scene);
     let mut out = String::from("== bench-schema\n");
     for (name, json) in [
         ("native_pipeline", throughput.to_json()),
         ("recovery", recovery.to_json()),
         ("autoplace", autoplace.to_json()),
         ("kernels", kernels.to_json()),
+        ("tasks", tasks.to_json()),
     ] {
         let keys = json_keys(&json);
         out.push_str(&format!(
@@ -523,8 +564,8 @@ mod tests {
         let cases = golden_matrix();
         assert_eq!(
             cases.len(),
-            16,
-            "3x3 matrix + 3 fault variants + 4 scheduler variants"
+            18,
+            "3x3 matrix + 3 fault variants + 4 scheduler variants + 2 task-runtime variants"
         );
         let names: Vec<_> = cases.iter().map(|c| c.name.as_str()).collect();
         assert!(names.contains(&"single-ordered"));
@@ -532,6 +573,8 @@ mod tests {
         assert!(names.contains(&"fault-recovered"));
         assert!(names.contains(&"auto-single"));
         assert!(names.contains(&"auto-recovered"));
+        assert!(names.contains(&"tasks-clean"));
+        assert!(names.contains(&"tasks-recovered"));
         for c in &cases {
             assert_eq!(
                 c.name.starts_with("auto-"),

@@ -17,6 +17,11 @@ use scc_verify::fuzz::{run_oracle, shrink, FuzzCase};
 
 fn kill_case() -> FuzzCase {
     let mut case = FuzzCase::base(3);
+    // Six frames keep the 22 ms kill well clear of the end-of-run
+    // boundary window (which starts at ~0.62 × total here) — inside
+    // that window the oracle deliberately tolerates replay-count skew
+    // and the planted mutant would go unseen.
+    case.cfg.frames = 6;
     // The kill lands while the *third* frame is in flight: by then the
     // lagging acknowledgement has pinned a delivered strip in the
     // checkpoint ring, so the sim replays 2 frames where the DES

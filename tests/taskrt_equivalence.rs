@@ -1,0 +1,190 @@
+//! Differential suite for the dependency-driven task runtime
+//! ([`Runtime::Tasks`]): work stealing may move a strip's filter chain
+//! anywhere, but it must never move a pixel. Every renderer mode is run
+//! under the static pipeline and under the task runtime on *both*
+//! virtual-time backends (the frame-major simulator and the DES-flavored
+//! schedule) and the films must match bit for bit — clean, under a
+//! fail-stop kill, and over a lossy message plane where the steal
+//! handshake itself loses legs. A property test then pins the robustness
+//! claim: fence + re-queue recovery, which provisions no spare cores,
+//! must resume no later than the supervisor's spare-migration path for
+//! the same kill.
+
+use proptest::prelude::*;
+use scc_core::viz::frame_checksum;
+use scc_core::{
+    run_des, FaultSpec, Fidelity, KillSpec, RendererMode, RunConfig, Runtime, SimRunner,
+};
+use scc_filters::Image;
+use scc_render::{CityConfig, Scene};
+use std::sync::Arc;
+
+fn scene() -> Arc<Scene> {
+    Arc::new(Scene::city(CityConfig {
+        side: 8,
+        spacing: 8.0,
+        seed: 17,
+    }))
+}
+
+fn cfg(mode: RendererMode, pipelines: u32, frames: u64) -> RunConfig {
+    RunConfig::builder()
+        .renderer(mode)
+        .pipelines(pipelines)
+        .size(48, 40)
+        .frames(frames)
+        .seed(23)
+        .fidelity(Fidelity::Full)
+        .build()
+        .expect("valid config")
+}
+
+fn checksums(frames: &[Image]) -> Vec<u64> {
+    frames.iter().map(frame_checksum).collect()
+}
+
+const MODES: [RendererMode; 3] = [
+    RendererMode::SingleRenderer,
+    RendererMode::PerPipelineRenderer,
+    RendererMode::McpcRenderer,
+];
+
+/// Clean runs: static sim film == tasks sim film == tasks DES film, in
+/// every renderer mode, with balanced exactly-once ledgers.
+#[test]
+fn tasks_film_is_bit_identical_in_every_mode_on_both_backends() {
+    for mode in MODES {
+        let st = cfg(mode, 2, 4);
+        let want = checksums(
+            &SimRunner::new(st.clone(), scene())
+                .run()
+                .outputs
+                .expect("static film"),
+        );
+
+        let mut tk = st.clone();
+        tk.runtime = Runtime::Tasks;
+        let sim = SimRunner::new(tk.clone(), scene()).run();
+        assert_eq!(
+            checksums(&sim.outputs.expect("tasks sim film")),
+            want,
+            "tasks/sim film diverged in {mode:?}"
+        );
+        let stats = sim.task_stats.expect("task ledger");
+        assert_eq!(
+            stats.completed + stats.degraded,
+            stats.spawned,
+            "ledger unbalanced in {mode:?}: {stats:?}"
+        );
+
+        let des = run_des(&tk, scene());
+        assert_eq!(
+            checksums(des.frames.as_ref().expect("tasks DES film")),
+            want,
+            "tasks/DES film diverged in {mode:?}"
+        );
+    }
+}
+
+/// A fail-stop kill *and* a lossy message plane at once: dropped and
+/// corrupted legs hit both the data path and the steal handshake, the
+/// kill forces a fence — the film must still match the fault-free static
+/// run in every mode on both backends, with no task lost or duplicated.
+#[test]
+fn kills_and_lossy_transport_leave_the_film_identical() {
+    for mode in MODES {
+        let clean = cfg(mode, 2, 4);
+        let want = checksums(
+            &SimRunner::new(clean.clone(), scene())
+                .run()
+                .outputs
+                .expect("static film"),
+        );
+
+        let mut tk = clean.clone();
+        tk.runtime = Runtime::Tasks;
+        tk.fault = Some(FaultSpec {
+            drop_rate: 0.05,
+            corrupt_rate: 0.05,
+            delay_rate: 0.1,
+            kills: vec![KillSpec {
+                pipeline: 0,
+                stage: 1,
+                at_ms: 8,
+            }],
+            heartbeat_period_us: 2_000,
+            phi_dead: 2.0,
+            ..FaultSpec::default()
+        });
+        let sim = SimRunner::new(tk.clone(), scene()).run();
+        let stats = sim.task_stats.expect("task ledger");
+        assert_eq!(
+            stats.completed + stats.degraded,
+            stats.spawned,
+            "a task was lost or duplicated in {mode:?}: {stats:?}"
+        );
+        assert_eq!(
+            checksums(&sim.outputs.expect("tasks sim film")),
+            want,
+            "chaos moved a pixel in {mode:?} (sim)"
+        );
+
+        let des = run_des(&tk, scene());
+        assert_eq!(
+            checksums(des.frames.as_ref().expect("tasks DES film")),
+            want,
+            "chaos moved a pixel in {mode:?} (DES)"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        .. ProptestConfig::default()
+    })]
+
+    /// The robustness claim of the runtime: re-queue recovery provisions
+    /// no spare core, yet for the same kill it must resume no later than
+    /// the static pipeline's supervised spare migration.
+    #[test]
+    fn requeue_mttr_not_worse_than_spare_migration(
+        at_ms in 4u64..24,
+        stage in 0u32..5,
+        seed in 1u64..5,
+    ) {
+        let mut base = cfg(RendererMode::SingleRenderer, 2, 4);
+        base.seed = seed;
+        let fault = FaultSpec {
+            kills: vec![KillSpec { pipeline: 0, stage, at_ms }],
+            heartbeat_period_us: 2_000,
+            phi_dead: 2.0,
+            ..FaultSpec::default()
+        };
+
+        let mut st = base.clone();
+        st.fault = Some(fault.clone());
+        let static_report = SimRunner::new(st, scene()).run();
+
+        let mut tk = base;
+        tk.runtime = Runtime::Tasks;
+        tk.fault = Some(FaultSpec { max_spares: 0, ..fault });
+        let tasks_report = SimRunner::new(tk, scene()).run();
+        let stats = tasks_report.task_stats.expect("task ledger");
+        prop_assert_eq!(stats.completed + stats.degraded, stats.spawned);
+
+        // A kill can land after the stage's last strip left (or before
+        // any arrived); one path may then see nothing to recover. The
+        // MTTR comparison only makes sense when both paths recovered.
+        if static_report.recoveries.is_empty() || tasks_report.recoveries.is_empty() {
+            return;
+        }
+        let migration = static_report.recoveries[0].mttr_secs;
+        let requeue = tasks_report.recoveries[0].mttr_secs;
+        prop_assert!(
+            requeue <= migration + 1e-9,
+            "re-queue MTTR {requeue:.6}s worse than spare migration {migration:.6}s \
+             (kill stage {stage} at {at_ms}ms, seed {seed})"
+        );
+    }
+}
