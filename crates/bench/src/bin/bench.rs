@@ -15,6 +15,8 @@
 //!                 [--threads 1,2,4]
 //!   bench tasks [--smoke] [--out PATH] [--frames N] [--size WxH]
 //!               [--pipelines P]
+//!   bench serving [--smoke] [--out PATH] [--size WxH] [--pipelines P]
+//!                 [--sessions 8,16,32]
 //!
 //! `--smoke` shrinks everything to a seconds-long configuration for CI;
 //! the defaults measure the paper's 400×400 silent-film geometry.
@@ -28,6 +30,7 @@ use scc_bench::autoplace::measure_autoplace;
 use scc_bench::kernels::measure_kernels;
 use scc_bench::native_throughput::measure_native_throughput;
 use scc_bench::recovery::measure_recovery;
+use scc_bench::serving::measure_serving;
 use scc_bench::standard_scene;
 use scc_bench::tasks::measure_tasks;
 use scc_core::{Fidelity, RunConfig};
@@ -44,7 +47,8 @@ fn main() {
     let autoplace_mode = args.first().map(|a| a == "autoplace").unwrap_or(false);
     let kernels_mode = args.first().map(|a| a == "kernels").unwrap_or(false);
     let tasks_mode = args.first().map(|a| a == "tasks").unwrap_or(false);
-    if recovery_mode || autoplace_mode || kernels_mode || tasks_mode {
+    let serving_mode = args.first().map(|a| a == "serving").unwrap_or(false);
+    if recovery_mode || autoplace_mode || kernels_mode || tasks_mode || serving_mode {
         args.remove(0);
     }
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -57,6 +61,8 @@ fn main() {
             "BENCH_kernels.json".into()
         } else if tasks_mode {
             "BENCH_tasks.json".into()
+        } else if serving_mode {
+            "BENCH_serving.json".into()
         } else {
             "BENCH_native_pipeline.json".into()
         }
@@ -109,6 +115,41 @@ fn main() {
         .fidelity(Fidelity::Full)
         .build()
         .expect("bench configuration");
+
+    if serving_mode {
+        let session_counts: Vec<u32> = parse_flag(&args, "--sessions")
+            .map(|v| {
+                v.split(',')
+                    .map(|t| t.trim().parse().expect("--sessions a,b,c"))
+                    .collect()
+            })
+            .unwrap_or_else(|| if smoke { vec![4, 8] } else { vec![16, 32, 64] });
+        eprintln!(
+            "measuring serving layer: {}x{} p={} sessions={session_counts:?}{}",
+            width,
+            height,
+            pipelines,
+            if smoke { " (smoke)" } else { "" },
+        );
+        let scene = standard_scene();
+        let report = measure_serving(&cfg, &scene, &session_counts);
+        print!("{}", report.render_text());
+        std::fs::write(&out_path, report.to_json()).expect("write bench json");
+        println!("wrote {out_path}");
+        if !report.cache_transparent() {
+            eprintln!("FATAL: the strip cache changed a pixel");
+            std::process::exit(1);
+        }
+        if !report.cache_speeds_up() {
+            eprintln!("FATAL: sessions/s not strictly higher with the cache on");
+            std::process::exit(1);
+        }
+        if !report.ledger_balanced() {
+            eprintln!("FATAL: the session ledger does not balance (silent shed)");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     if tasks_mode {
         eprintln!(

@@ -11,6 +11,7 @@ pub mod kernels;
 pub mod native_throughput;
 pub mod recovery;
 pub mod report;
+pub mod serving;
 pub mod tasks;
 
 pub use experiments::*;

@@ -95,6 +95,27 @@ pub fn check_report(report: &WalkthroughReport) -> Vec<Violation> {
     v
 }
 
+/// Exactly-once session accounting for the serving layer (`scc-serve`):
+/// every session the frontend took responsibility for must reach exactly
+/// one terminal state — `completed + shed == admitted` — so load shedding
+/// can never be silent. Plain-argument form because the serving ledger
+/// lives above this crate; `scc-serve` calls it and feeds the result to
+/// [`enforce`].
+pub fn check_session_ledger(admitted: u64, completed: u64, shed: u64) -> Vec<Violation> {
+    let mut v = Vec::new();
+    if completed + shed != admitted {
+        v.push(Violation::new(
+            "session-ledger",
+            format!(
+                "completed ({completed}) + shed ({shed}) != admitted ({admitted}); \
+                 {} session(s) unaccounted for",
+                admitted as i128 - (completed + shed) as i128
+            ),
+        ));
+    }
+    v
+}
+
 /// Exactly-once task accounting for `Runtime::Tasks` runs: every spawned
 /// task is either completed or degraded (`completed + degraded ==
 /// spawned`, the ISSUE's `completed + re-queued + degraded = spawned`

@@ -57,7 +57,7 @@ pub use cost::CostModel;
 pub use facade::{default_scene, run, run_with_scene, Backend, BackendReport, RunOutcome};
 pub use frame::Frame;
 pub use generic::{run_generic_chain, FnStage, GenericReport, MacroStage, StageWork};
-pub use invariant::{check_report, enforce, Violation};
+pub use invariant::{check_report, check_session_ledger, enforce, Violation};
 pub use metrics::{
     DegradationEvent, HostTiming, RecoveryEvent, StageReport, TaskStats, WalkthroughReport,
 };

@@ -1,0 +1,296 @@
+//! Content-addressed strip cache.
+//!
+//! Keys are the full provenance of a rendered-and-filtered strip: the
+//! renderer mode, frame geometry, strip decomposition, filter seed, pose
+//! and strip index. Because the filter chain draws its randomness from
+//! `(frame_id, run_seed)` — never wall clock — a strip is a pure function
+//! of its key, so any two sessions requesting the same pose may share
+//! bytes. The map is bucketed FNV with **full-key comparison** inside a
+//! bucket (a colliding hash can never alias pixels) and bounded by a
+//! deterministic tick-based LRU.
+
+use scc_filters::{Image, StripInfo};
+
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub const FNV_PRIME: u64 = 0x100_0000_01B3;
+
+/// FNV-1a over a byte slice (same parameters as `scc-verify`).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Full provenance of one cached strip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct StripKey {
+    /// Renderer mode discriminant (modes never share entries even though
+    /// single-renderer and MCPC produce identical pixels — conservative).
+    pub mode: u8,
+    pub width: u32,
+    pub height: u32,
+    /// Strip decomposition arity (changes strip geometry and blur seams).
+    pub pipelines: u32,
+    /// Filter-chain seed (`RunConfig::seed`).
+    pub run_seed: u64,
+    /// Walkthrough pose (the reference frame id).
+    pub pose: u64,
+    /// Strip index within the decomposition.
+    pub strip: u32,
+}
+
+impl StripKey {
+    /// FNV-1a over the key's canonical little-endian encoding.
+    pub fn hash(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(37);
+        bytes.push(self.mode);
+        bytes.extend_from_slice(&self.width.to_le_bytes());
+        bytes.extend_from_slice(&self.height.to_le_bytes());
+        bytes.extend_from_slice(&self.pipelines.to_le_bytes());
+        bytes.extend_from_slice(&self.run_seed.to_le_bytes());
+        bytes.extend_from_slice(&self.pose.to_le_bytes());
+        bytes.extend_from_slice(&self.strip.to_le_bytes());
+        fnv1a(&bytes)
+    }
+}
+
+/// Cache observability counters (all deterministic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    /// Lookups that probed a bucket holding at least one *different* key
+    /// — the collisions full-key comparison disambiguated.
+    pub collisions: u64,
+    pub insertions: u64,
+}
+
+impl CacheStats {
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    key: StripKey,
+    info: StripInfo,
+    img: Image,
+    last_used: u64,
+}
+
+/// Bounded, bucketed, LRU strip cache. `capacity == 0` disables it:
+/// every lookup misses and inserts are dropped, so the serving engine
+/// runs the exact same control flow cache-on and cache-off.
+#[derive(Debug, Clone)]
+pub struct StripCache {
+    buckets: Vec<Vec<Entry>>,
+    capacity: usize,
+    tick: u64,
+    len: usize,
+    pub stats: CacheStats,
+}
+
+impl StripCache {
+    pub fn new(capacity: u32, buckets: u32) -> StripCache {
+        StripCache {
+            buckets: vec![Vec::new(); buckets.max(1) as usize],
+            capacity: capacity as usize,
+            tick: 0,
+            len: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bucket_of(&self, key: &StripKey) -> usize {
+        (key.hash() % self.buckets.len() as u64) as usize
+    }
+
+    /// Look up a strip; a hit refreshes its LRU tick and clones the
+    /// bytes out (entries stay shareable).
+    pub fn get(&mut self, key: &StripKey) -> Option<(StripInfo, Image)> {
+        if !self.enabled() {
+            self.stats.misses += 1;
+            return None;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let b = self.bucket_of(key);
+        let bucket = &mut self.buckets[b];
+        if bucket.iter().any(|e| e.key != *key) {
+            self.stats.collisions += 1;
+        }
+        for e in bucket.iter_mut() {
+            if e.key == *key {
+                e.last_used = tick;
+                self.stats.hits += 1;
+                return Some((e.info, e.img.clone()));
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Insert a strip, evicting the least-recently-used entry (smallest
+    /// tick; ties broken by bucket then slot order, so eviction is
+    /// deterministic) when at capacity. Re-inserting an existing key
+    /// refreshes it in place.
+    pub fn insert(&mut self, key: StripKey, info: StripInfo, img: Image) {
+        if !self.enabled() {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let b = self.bucket_of(&key);
+        if let Some(e) = self.buckets[b].iter_mut().find(|e| e.key == key) {
+            e.last_used = tick;
+            return;
+        }
+        if self.len >= self.capacity {
+            self.evict_lru();
+        }
+        self.buckets[b].push(Entry {
+            key,
+            info,
+            img,
+            last_used: tick,
+        });
+        self.len += 1;
+        self.stats.insertions += 1;
+    }
+
+    fn evict_lru(&mut self) {
+        let mut victim: Option<(usize, usize, u64)> = None;
+        for (bi, bucket) in self.buckets.iter().enumerate() {
+            for (ei, e) in bucket.iter().enumerate() {
+                let better = match victim {
+                    None => true,
+                    Some((_, _, t)) => e.last_used < t,
+                };
+                if better {
+                    victim = Some((bi, ei, e.last_used));
+                }
+            }
+        }
+        if let Some((bi, ei, _)) = victim {
+            self.buckets[bi].remove(ei);
+            self.len -= 1;
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(pose: u64, strip: u32) -> StripKey {
+        StripKey {
+            mode: 0,
+            width: 16,
+            height: 16,
+            pipelines: 2,
+            run_seed: 7,
+            pose,
+            strip,
+        }
+    }
+
+    fn strip(tag: u8) -> (StripInfo, Image) {
+        let mut img = Image::new(16, 8);
+        img.set(0, 0, [tag, tag, tag, 255]);
+        (
+            StripInfo {
+                index: 0,
+                count: 2,
+                y0: 0,
+                height: 8,
+                full_height: 16,
+            },
+            img,
+        )
+    }
+
+    #[test]
+    fn hit_returns_exact_bytes() {
+        let mut c = StripCache::new(4, 4);
+        let (info, img) = strip(9);
+        c.insert(key(1, 0), info, img.clone());
+        let (_, got) = c.get(&key(1, 0)).expect("hit");
+        assert_eq!(got.as_bytes(), img.as_bytes());
+        assert_eq!(c.stats.hits, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_without_panics() {
+        let mut c = StripCache::new(0, 4);
+        assert!(!c.enabled());
+        let (info, img) = strip(1);
+        c.insert(key(1, 0), info, img);
+        assert!(c.get(&key(1, 0)).is_none());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.stats.misses, 1);
+    }
+
+    #[test]
+    fn single_bucket_collisions_resolved_by_full_key() {
+        // One bucket: every key collides; lookups must still return the
+        // right bytes for each key.
+        let mut c = StripCache::new(8, 1);
+        for pose in 0..4u64 {
+            let (info, img) = strip(pose as u8);
+            c.insert(key(pose, 0), info, img);
+        }
+        for pose in 0..4u64 {
+            let (_, got) = c.get(&key(pose, 0)).expect("hit");
+            assert_eq!(got.get(0, 0)[0], pose as u8, "collision aliased pixels");
+        }
+        assert!(c.stats.collisions > 0, "one bucket must collide");
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first() {
+        let mut c = StripCache::new(2, 4);
+        let (info, img) = strip(0);
+        c.insert(key(0, 0), info, img.clone());
+        c.insert(key(1, 0), info, img.clone());
+        assert!(c.get(&key(0, 0)).is_some()); // refresh 0 → 1 is now LRU
+        c.insert(key(2, 0), info, img.clone());
+        assert_eq!(c.stats.evictions, 1);
+        assert!(c.get(&key(1, 0)).is_none(), "LRU entry should be gone");
+        assert!(c.get(&key(0, 0)).is_some());
+        assert!(c.get(&key(2, 0)).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_in_place() {
+        let mut c = StripCache::new(2, 4);
+        let (info, img) = strip(0);
+        c.insert(key(0, 0), info, img.clone());
+        c.insert(key(0, 0), info, img.clone());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats.insertions, 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Session lifecycle bookkeeping: the exactly-once ledger.
+//!
+//! Every arriving session is *admitted* into the ledger (the frontend
+//! takes responsibility for it) and then reaches exactly one terminal
+//! state: *completed* (all frames delivered) or *shed* (rejected by
+//! admission control, with the reason recorded). `completed + shed ==
+//! admitted` is enforced through `scc_core::invariant::check_session_ledger`
+//! — sheds are never silent.
+
+/// Why admission control refused to activate a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The session's tenant already had `queue_depth` active sessions.
+    TenantQueueFull,
+    /// The global `max_sessions` concurrency cap was reached.
+    SessionCap,
+}
+
+impl ShedReason {
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::TenantQueueFull => "tenant-queue-full",
+            ShedReason::SessionCap => "session-cap",
+        }
+    }
+}
+
+/// One recorded shed decision (never silent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedEvent {
+    /// Scheduling round at which the arrival was refused.
+    pub round: u64,
+    /// Global session id of the refused arrival.
+    pub session: u32,
+    /// Tenant index of the refused arrival.
+    pub tenant: u32,
+    pub reason: ShedReason,
+}
+
+/// Live state of an admitted-and-activated session.
+#[derive(Debug, Clone)]
+pub struct ActiveSession {
+    pub id: u32,
+    pub tenant: u32,
+    pub shard: u32,
+    pub start_pose: u64,
+    pub frames: u32,
+    /// Next frame index (0-based) awaiting a slot.
+    pub next_frame: u32,
+    /// Virtual time the next frame became ready (admission for frame 0,
+    /// previous frame's completion afterwards). Frame latency is
+    /// `completion − ready`: it includes slot-queueing under overload.
+    pub ready_vtime: f64,
+    /// Per-frame FNV checksums, in frame order.
+    pub checksums: Vec<u64>,
+    /// Rendered frames, only retained under `keep_films`.
+    pub film: Vec<scc_filters::Image>,
+}
+
+impl ActiveSession {
+    pub fn pose(&self) -> u64 {
+        self.start_pose + self.next_frame as u64
+    }
+
+    pub fn done(&self) -> bool {
+        self.next_frame >= self.frames
+    }
+}
+
+/// Terminal record of a finished session, kept in id order for the
+/// outcome's deterministic film digest.
+#[derive(Debug, Clone)]
+pub struct SessionFilm {
+    pub id: u32,
+    pub tenant: u32,
+    pub start_pose: u64,
+    pub checksums: Vec<u64>,
+    pub film: Vec<scc_filters::Image>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shed_reasons_have_stable_names() {
+        assert_eq!(ShedReason::TenantQueueFull.name(), "tenant-queue-full");
+        assert_eq!(ShedReason::SessionCap.name(), "session-cap");
+    }
+}

@@ -119,6 +119,28 @@ pub mod names {
     pub const TASK_BACKPRESSURE_STALLS_TOTAL: &str = "scc_task_backpressure_stalls_total";
     /// Gauge, deepest per-core task deque observed over the run.
     pub const TASK_QUEUE_DEPTH_MAX: &str = "scc_task_queue_depth_max";
+    /// Counter, sessions the serving frontend took responsibility for
+    /// (every arrival enters the ledger; shed ⊂ admitted, never silent).
+    pub const SERVE_SESSIONS_ADMITTED_TOTAL: &str = "scc_serve_sessions_admitted_total";
+    /// Counter, sessions refused by admission control. Labels: `reason`.
+    pub const SERVE_SESSIONS_SHED_TOTAL: &str = "scc_serve_sessions_shed_total";
+    /// Counter, sessions that delivered every requested frame.
+    pub const SERVE_SESSIONS_COMPLETED_TOTAL: &str = "scc_serve_sessions_completed_total";
+    /// Counter, frames delivered across all sessions.
+    pub const SERVE_FRAMES_TOTAL: &str = "scc_serve_frames_total";
+    /// Counter, strip-cache lookups served from cached bytes.
+    pub const SERVE_CACHE_HITS_TOTAL: &str = "scc_serve_cache_hits_total";
+    /// Counter, strip-cache lookups that fell through to a render.
+    pub const SERVE_CACHE_MISSES_TOTAL: &str = "scc_serve_cache_misses_total";
+    /// Counter, strips evicted by the cache's LRU bound.
+    pub const SERVE_CACHE_EVICTIONS_TOTAL: &str = "scc_serve_cache_evictions_total";
+    /// Gauge, end-of-run cache hit ratio in [0, 1].
+    pub const SERVE_CACHE_HIT_RATIO: &str = "scc_serve_cache_hit_ratio";
+    /// Gauge, deepest per-tenant active-session queue. Labels: `tenant`.
+    pub const SERVE_TENANT_QUEUE_DEPTH: &str = "scc_serve_tenant_queue_depth";
+    /// Histogram, seconds. Ready-to-delivered latency per frame
+    /// (includes slot queueing under overload; p50/p99 in reports).
+    pub const SERVE_FRAME_LATENCY_SECONDS: &str = "scc_serve_frame_latency_seconds";
 
     /// Every catalogued name, for schema tests.
     pub const ALL: &[&str] = &[
@@ -149,6 +171,16 @@ pub mod names {
         TASK_REQUEUES_TOTAL,
         TASK_BACKPRESSURE_STALLS_TOTAL,
         TASK_QUEUE_DEPTH_MAX,
+        SERVE_SESSIONS_ADMITTED_TOTAL,
+        SERVE_SESSIONS_SHED_TOTAL,
+        SERVE_SESSIONS_COMPLETED_TOTAL,
+        SERVE_FRAMES_TOTAL,
+        SERVE_CACHE_HITS_TOTAL,
+        SERVE_CACHE_MISSES_TOTAL,
+        SERVE_CACHE_EVICTIONS_TOTAL,
+        SERVE_CACHE_HIT_RATIO,
+        SERVE_TENANT_QUEUE_DEPTH,
+        SERVE_FRAME_LATENCY_SECONDS,
     ];
 }
 

@@ -16,6 +16,7 @@ use scc_core::spec::{
     Runtime, StallSpec, TaskTuning,
 };
 use scc_core::viz::frame_checksum;
+use scc_serve::{serve, ServeConfig, TenantSpec};
 use scc_sim::fault::{FaultConfig, FaultPlan, MessageOutcome};
 use scc_sim::SimTime;
 use std::collections::BTreeSet;
@@ -33,10 +34,49 @@ use std::collections::BTreeSet;
 /// frame period even when end-to-end times agree exactly.
 pub const DES_TIMING_TOLERANCE: f64 = 0.05;
 
-/// One point in the fault space: a full run configuration.
+/// One point in the fault space: a full run configuration, optionally
+/// extended with a serving-frontend workload (two tenants driving the
+/// same pipeline geometry through `scc-serve`).
 #[derive(Debug, Clone)]
 pub struct FuzzCase {
     pub cfg: RunConfig,
+    pub serve: Option<ServeFuzz>,
+}
+
+/// The serving knobs the fuzzer mutates: workload shape (session counts,
+/// per-session frames), tenant weights, cache geometry (capacity 0 =
+/// disabled, 1 bucket = every key collides) and the admission thresholds
+/// that trigger shedding. Everything else in [`ServeConfig`] is pinned
+/// so repros stay one text line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeFuzz {
+    pub sessions_a: u32,
+    pub sessions_b: u32,
+    pub weight_a: u32,
+    pub weight_b: u32,
+    pub frames: u32,
+    pub cache_capacity: u32,
+    pub cache_buckets: u32,
+    pub pool: u32,
+    pub queue_depth: u32,
+    pub max_sessions: u32,
+}
+
+impl Default for ServeFuzz {
+    fn default() -> ServeFuzz {
+        ServeFuzz {
+            sessions_a: 4,
+            sessions_b: 2,
+            weight_a: 2,
+            weight_b: 1,
+            frames: 2,
+            cache_capacity: 16,
+            cache_buckets: 8,
+            pool: 2,
+            queue_depth: 4,
+            max_sessions: 8,
+        }
+    }
 }
 
 /// One oracle failure: the stable name of the check that tripped plus a
@@ -92,7 +132,38 @@ impl FuzzCase {
                 .fidelity(Fidelity::Full)
                 .build()
                 .expect("valid config"),
+            serve: None,
         }
+    }
+
+    /// The serving config a case's `serve` knobs describe: two tenants on
+    /// the case's pipeline geometry, clean transport (the serving engine
+    /// models admission and caching, not the fault plane), small pinned
+    /// pose span so overlapping walkthroughs exercise the cache.
+    pub fn serve_config(&self) -> Option<ServeConfig> {
+        let s = self.serve.as_ref()?;
+        let mut run = self.cfg.clone();
+        run.fault = None;
+        run.trace = false;
+        run.verify = false;
+        Some(ServeConfig {
+            run,
+            tenants: vec![
+                TenantSpec::new("a", s.weight_a, s.sessions_a, s.frames),
+                TenantSpec::new("b", s.weight_b, s.sessions_b, s.frames),
+            ],
+            shards: 2,
+            pool: s.pool,
+            cache_capacity: s.cache_capacity,
+            cache_buckets: s.cache_buckets,
+            queue_depth: s.queue_depth,
+            max_sessions: s.max_sessions,
+            batch_frames: 3,
+            pose_span: 3,
+            arrival_burst: 4,
+            seed: self.cfg.seed,
+            keep_films: false,
+        })
     }
 
     /// Serialise to the ≤ 10-line repro format. Floats use Rust's
@@ -166,6 +237,23 @@ impl FuzzCase {
                     s.pipeline, s.stage, s.at_ms, s.for_ms
                 ));
             }
+        }
+        // The serving workload rides one optional line, so pre-serving
+        // repros parse unchanged and the 10-line bound holds.
+        if let Some(s) = &self.serve {
+            out.push_str(&format!(
+                "serve sa={} sb={} wa={} wb={} f={} cache={} buckets={} pool={} qd={} cap={}\n",
+                s.sessions_a,
+                s.sessions_b,
+                s.weight_a,
+                s.weight_b,
+                s.frames,
+                s.cache_capacity,
+                s.cache_buckets,
+                s.pool,
+                s.queue_depth,
+                s.max_sessions,
+            ));
         }
         out
     }
@@ -302,6 +390,20 @@ impl FuzzCase {
                         for_ms: int(&kvs, "for_ms")?,
                     });
                 }
+                "serve" => {
+                    case.serve = Some(ServeFuzz {
+                        sessions_a: int(&kvs, "sa")? as u32,
+                        sessions_b: int(&kvs, "sb")? as u32,
+                        weight_a: int(&kvs, "wa")? as u32,
+                        weight_b: int(&kvs, "wb")? as u32,
+                        frames: int(&kvs, "f")? as u32,
+                        cache_capacity: int(&kvs, "cache")? as u32,
+                        cache_buckets: int(&kvs, "buckets")? as u32,
+                        pool: int(&kvs, "pool")? as u32,
+                        queue_depth: int(&kvs, "qd")? as u32,
+                        max_sessions: int(&kvs, "cap")? as u32,
+                    });
+                }
                 other => return Err(format!("unknown directive `{other}`")),
             }
         }
@@ -311,6 +413,9 @@ impl FuzzCase {
         case.cfg
             .validate()
             .map_err(|e| format!("invalid repro: {e}"))?;
+        if let Some(scfg) = case.serve_config() {
+            scfg.validate().map_err(|e| format!("invalid repro: {e}"))?;
+        }
         Ok(case)
     }
 
@@ -320,7 +425,8 @@ impl FuzzCase {
         for _ in 0..24 {
             let mut next = self.clone();
             next.mutate_once(rng);
-            if next.cfg.validate().is_ok() {
+            let serve_ok = next.serve_config().is_none_or(|s| s.validate().is_ok());
+            if next.cfg.validate().is_ok() && serve_ok {
                 *self = next;
                 return;
             }
@@ -329,7 +435,7 @@ impl FuzzCase {
 
     fn mutate_once(&mut self, rng: &mut StdRng) {
         let c = &mut self.cfg;
-        match rng.gen_range(0u32..24) {
+        match rng.gen_range(0u32..29) {
             0 => {
                 c.renderer = [
                     RendererMode::SingleRenderer,
@@ -476,6 +582,40 @@ impl FuzzCase {
                     f.kills.drain(..f.kills.len() - 3);
                 }
             }
+            24 => {
+                // Serving workload shape: session counts and per-session
+                // frame budgets, small enough that the double run (cache
+                // on + off) stays cheap.
+                let s = self.serve.get_or_insert_with(ServeFuzz::default);
+                s.sessions_a = [1, 2, 4, 8][rng.gen_range(0usize..4)];
+                s.sessions_b = [1, 2, 4][rng.gen_range(0usize..3)];
+                s.frames = rng.gen_range(1u32..=3);
+            }
+            25 => {
+                // Tenant weights: equal, skewed, and strongly skewed mixes
+                // drive the WFQ allocator through its contended regimes.
+                let s = self.serve.get_or_insert_with(ServeFuzz::default);
+                s.weight_a = rng.gen_range(1u32..=4);
+                s.weight_b = rng.gen_range(1u32..=2);
+            }
+            26 => {
+                // Cache geometry: capacity 0 disables the cache, 1–2 force
+                // eviction (`serve:cache-evict`); a single bucket forces a
+                // collision on every probe.
+                let s = self.serve.get_or_insert_with(ServeFuzz::default);
+                s.cache_capacity = [0, 1, 2, 8, 64][rng.gen_range(0usize..5)];
+                s.cache_buckets = [1, 2, 16][rng.gen_range(0usize..3)];
+            }
+            27 => {
+                // Pool size and shed thresholds: a queue depth / session
+                // cap of 1–2 against the burst size forces deterministic
+                // load shedding (`serve:shed`).
+                let s = self.serve.get_or_insert_with(ServeFuzz::default);
+                s.pool = [1, 2, 4][rng.gen_range(0usize..3)];
+                s.queue_depth = [1, 2, 8][rng.gen_range(0usize..3)];
+                s.max_sessions = [2, 4, 16][rng.gen_range(0usize..3)];
+            }
+            28 => self.serve = None,
             _ => c.stage_weights = None,
         }
         // Drop fault sub-specs that point past a shrunken pipeline count.
@@ -634,6 +774,24 @@ pub fn coverage(case: &FuzzCase, outcome_events: &CoverageEvents) -> BTreeSet<St
     if outcome_events.task_steals > 0 {
         set.insert("task:steal".into());
     }
+    if let Some(s) = &case.serve {
+        set.insert("serve:on".into());
+        if s.cache_capacity == 0 {
+            set.insert("serve:cache-off".into());
+        }
+        if s.weight_a != s.weight_b {
+            set.insert("serve:weighted".into());
+        }
+    }
+    if outcome_events.serve_sheds > 0 {
+        set.insert("serve:shed".into());
+    }
+    if outcome_events.serve_cache_hits > 0 {
+        set.insert("serve:cache-hit".into());
+    }
+    if outcome_events.serve_cache_evictions > 0 {
+        set.insert("serve:cache-evict".into());
+    }
     set
 }
 
@@ -647,6 +805,12 @@ pub struct CoverageEvents {
     pub task_backpressure: u64,
     /// Successful steals the task runtime completed.
     pub task_steals: u64,
+    /// Sessions the serving frontend shed (admission control fired).
+    pub serve_sheds: u64,
+    /// Strip-cache hits the serving frontend recorded.
+    pub serve_cache_hits: u64,
+    /// Strip-cache evictions the serving frontend recorded.
+    pub serve_cache_evictions: u64,
 }
 
 /// Is this configuration inside the DES validator's supported envelope?
@@ -772,6 +936,7 @@ pub fn run_oracle(case: &FuzzCase) -> Outcome {
                     frames_replayed: report.recoveries.iter().map(|r| r.frames_replayed).sum(),
                     task_backpressure: report.task_stats.map_or(0, |t| t.backpressure_stalls),
                     task_steals: report.task_stats.map_or(0, |t| t.steals),
+                    ..CoverageEvents::default()
                 };
                 return Outcome {
                     failures,
@@ -873,12 +1038,79 @@ pub fn run_oracle(case: &FuzzCase) -> Outcome {
         }
     }
 
+    // Serving oracle: when the case carries a serving workload, the
+    // frontend must (a) keep the exactly-once session ledger balanced,
+    // (b) be *semantically transparent* about its strip cache — the film
+    // fingerprint and frame count with the cache on must equal a second
+    // run with the cache disabled — and (c) never shed silently (counter
+    // and event log agree). The decisions are cache-independent by
+    // construction, so this is exact, not statistical.
+    let (mut serve_sheds, mut serve_hits, mut serve_evicts) = (0u64, 0u64, 0u64);
+    if let Some(scfg) = case.serve_config() {
+        match run_caught(|| serve(&scfg, &crate::verify_scene())) {
+            Ok(on) => {
+                let r = &on.report;
+                for v in scc_core::check_session_ledger(r.admitted, r.completed, r.shed) {
+                    failures.push(Failure {
+                        check: v.check.to_string(),
+                        detail: v.detail,
+                    });
+                }
+                if r.shed != r.shed_events.len() as u64 {
+                    failures.push(Failure {
+                        check: "serve-silent-shed".into(),
+                        detail: format!(
+                            "shed counter {} but {} shed event(s) recorded",
+                            r.shed,
+                            r.shed_events.len()
+                        ),
+                    });
+                }
+                let mut off_cfg = scfg.clone();
+                off_cfg.cache_capacity = 0;
+                match run_caught(|| serve(&off_cfg, &crate::verify_scene())) {
+                    Ok(off) => {
+                        if r.film_hash != off.report.film_hash
+                            || r.frames_served != off.report.frames_served
+                        {
+                            failures.push(Failure {
+                                check: "serve-cache-transparency".into(),
+                                detail: format!(
+                                    "cache on: film {:016x} / {} frames, \
+                                     cache off: film {:016x} / {} frames",
+                                    r.film_hash,
+                                    r.frames_served,
+                                    off.report.film_hash,
+                                    off.report.frames_served
+                                ),
+                            });
+                        }
+                    }
+                    Err(msg) => failures.push(Failure {
+                        check: "panic".into(),
+                        detail: format!("serving engine panicked (cache off): {msg}"),
+                    }),
+                }
+                serve_sheds = r.shed;
+                serve_hits = r.cache.hits;
+                serve_evicts = r.cache.evictions;
+            }
+            Err(msg) => failures.push(Failure {
+                check: "panic".into(),
+                detail: format!("serving engine panicked: {msg}"),
+            }),
+        }
+    }
+
     let events = CoverageEvents {
         degradations: report.degradations.len(),
         recoveries: report.recoveries.len(),
         frames_replayed: report.recoveries.iter().map(|r| r.frames_replayed).sum(),
         task_backpressure: report.task_stats.map_or(0, |t| t.backpressure_stalls),
         task_steals: report.task_stats.map_or(0, |t| t.steals),
+        serve_sheds,
+        serve_cache_hits: serve_hits,
+        serve_cache_evictions: serve_evicts,
     };
     let mut cov = coverage(case, &events);
     cov.extend(boundary_cov);
@@ -901,7 +1133,9 @@ fn run_caught<T>(f: impl FnOnce() -> T) -> Result<T, String> {
 
 /// Does the case still fail with the same check name?
 fn still_fails(case: &FuzzCase, check: &str) -> bool {
-    case.cfg.validate().is_ok() && run_oracle(case).failures.iter().any(|f| f.check == check)
+    case.cfg.validate().is_ok()
+        && case.serve_config().is_none_or(|s| s.validate().is_ok())
+        && run_oracle(case).failures.iter().any(|f| f.check == check)
 }
 
 /// Complexity score the shrinker minimises. A candidate is only accepted
@@ -950,6 +1184,14 @@ fn cost(case: &FuzzCase) -> u64 {
     if c.stage_weights.is_some() {
         k += 25;
     }
+    if let Some(s) = &case.serve {
+        k += 200;
+        k += u64::from(s.sessions_a + s.sessions_b) * 10;
+        k += u64::from(s.frames) * 5;
+        if s.cache_capacity > 0 {
+            k += 5;
+        }
+    }
     if c.seed != 1 {
         k += 1;
     }
@@ -960,62 +1202,70 @@ fn cost(case: &FuzzCase) -> u64 {
 /// check. Candidate simplifications are applied greedily to fixpoint;
 /// the result is what lands in `tests/regressions/`.
 pub fn shrink(mut case: FuzzCase, check: &str) -> FuzzCase {
-    let candidates: Vec<fn(&mut RunConfig)> = vec![
-        |c| c.fault = None,
-        |c| {
-            if let Some(f) = &mut c.fault {
+    let candidates: Vec<fn(&mut FuzzCase)> = vec![
+        |t| t.cfg.fault = None,
+        |t| {
+            if let Some(f) = &mut t.cfg.fault {
                 f.stall = None;
             }
         },
-        |c| {
-            if let Some(f) = &mut c.fault {
+        |t| {
+            if let Some(f) = &mut t.cfg.fault {
                 f.kills.truncate(1);
             }
         },
-        |c| {
-            if let Some(f) = &mut c.fault {
+        |t| {
+            if let Some(f) = &mut t.cfg.fault {
                 f.kills.clear();
             }
         },
-        |c| {
-            if let Some(f) = &mut c.fault {
+        |t| {
+            if let Some(f) = &mut t.cfg.fault {
                 f.drop_rate = 0.0;
                 f.corrupt_rate = 0.0;
                 f.delay_rate = 0.0;
             }
         },
-        |c| {
-            if let Some(f) = &mut c.fault {
+        |t| {
+            if let Some(f) = &mut t.cfg.fault {
                 f.degraded_links = 0;
                 f.degrade_factor = 1.0;
             }
         },
-        |c| c.pipelines = 1,
-        |c| c.frames = 2,
-        |c| {
-            c.width = 32;
-            c.height = 24;
+        |t| t.cfg.pipelines = 1,
+        |t| t.cfg.frames = 2,
+        |t| {
+            t.cfg.width = 32;
+            t.cfg.height = 24;
         },
-        |c| c.renderer = RendererMode::SingleRenderer,
-        |c| c.arrangement = Arrangement::Unordered,
-        |c| c.tuning = Default::default(),
-        |c| {
-            c.runtime = Runtime::Static;
-            c.task_tuning = Default::default();
+        |t| t.cfg.renderer = RendererMode::SingleRenderer,
+        |t| t.cfg.arrangement = Arrangement::Unordered,
+        |t| t.cfg.tuning = Default::default(),
+        |t| {
+            t.cfg.runtime = Runtime::Static;
+            t.cfg.task_tuning = Default::default();
         },
-        |c| c.task_tuning = Default::default(),
-        |c| c.stage_weights = None,
-        |c| {
-            c.auto_place = false;
-            c.stage_weights = None;
+        |t| t.cfg.task_tuning = Default::default(),
+        |t| t.cfg.stage_weights = None,
+        |t| {
+            t.cfg.auto_place = false;
+            t.cfg.stage_weights = None;
         },
-        |c| c.seed = 1,
+        |t| t.serve = None,
+        |t| {
+            if let Some(s) = &mut t.serve {
+                s.sessions_a = 1;
+                s.sessions_b = 1;
+                s.frames = 1;
+            }
+        },
+        |t| t.cfg.seed = 1,
     ];
     loop {
         let mut improved = false;
         for candidate in &candidates {
             let mut trial = case.clone();
-            candidate(&mut trial.cfg);
+            candidate(&mut trial);
             if let Some(f) = &mut trial.cfg.fault {
                 let p = trial.cfg.pipelines;
                 f.kills.retain(|k| k.pipeline < p);
@@ -1149,7 +1399,104 @@ stall p=0 s=4 at_ms=0 for_ms=18446744073709551615
         for _ in 0..200 {
             case.mutate(&mut rng);
             case.cfg.validate().expect("mutants stay valid");
+            if let Some(scfg) = case.serve_config() {
+                scfg.validate().expect("serve mutants stay valid");
+            }
         }
+    }
+
+    #[test]
+    fn coverage_sees_serving_arms() {
+        let mut case = FuzzCase::base(3);
+        case.serve = Some(ServeFuzz {
+            weight_a: 3,
+            weight_b: 1,
+            ..ServeFuzz::default()
+        });
+        let set = coverage(
+            &case,
+            &CoverageEvents {
+                serve_sheds: 2,
+                serve_cache_hits: 5,
+                serve_cache_evictions: 1,
+                ..CoverageEvents::default()
+            },
+        );
+        for label in [
+            "serve:on",
+            "serve:weighted",
+            "serve:shed",
+            "serve:cache-hit",
+            "serve:cache-evict",
+        ] {
+            assert!(set.contains(label), "missing {label} in {set:?}");
+        }
+        let clean = coverage(&FuzzCase::base(1), &CoverageEvents::default());
+        assert!(
+            !clean.iter().any(|c| c.starts_with("serve:")),
+            "pipeline-only case claims serving coverage: {clean:?}"
+        );
+    }
+
+    #[test]
+    fn serve_repro_line_round_trips() {
+        let mut case = FuzzCase::base(5);
+        case.serve = Some(ServeFuzz {
+            sessions_a: 8,
+            cache_capacity: 0,
+            cache_buckets: 1,
+            queue_depth: 1,
+            ..ServeFuzz::default()
+        });
+        let text = case.to_text();
+        assert!(text.lines().any(|l| l.starts_with("serve ")));
+        let back = FuzzCase::from_text(&text).expect("parse own output");
+        assert_eq!(back.serve, case.serve);
+        assert_eq!(back.to_text(), text);
+        // Pre-serving repros still parse to a pipeline-only case.
+        let old = FuzzCase::base(5).to_text();
+        assert_eq!(FuzzCase::from_text(&old).expect("parse").serve, None);
+    }
+
+    #[test]
+    #[cfg_attr(feature = "verify-selftest", ignore = "mutants make every run fail")]
+    fn oracle_clears_serving_cases() {
+        // An overloaded serving workload with a collision-prone cache:
+        // the oracle must see a balanced ledger, non-silent sheds and a
+        // cache-transparent film — the pressure shows up as coverage.
+        let mut case = FuzzCase::base(3);
+        case.serve = Some(ServeFuzz {
+            sessions_a: 8,
+            sessions_b: 2,
+            cache_capacity: 2,
+            cache_buckets: 1,
+            queue_depth: 1,
+            max_sessions: 2,
+            ..ServeFuzz::default()
+        });
+        let out = run_oracle(&case);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        for label in ["serve:on", "serve:shed", "serve:cache-evict"] {
+            assert!(
+                out.coverage.contains(label),
+                "missing {label} in {:?}",
+                out.coverage
+            );
+        }
+
+        // A roomy cache over an overlapping pose span: hits, no pressure.
+        let mut warm = FuzzCase::base(3);
+        warm.serve = Some(ServeFuzz {
+            sessions_a: 8,
+            ..ServeFuzz::default()
+        });
+        let out = run_oracle(&warm);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert!(
+            out.coverage.contains("serve:cache-hit"),
+            "missing serve:cache-hit in {:?}",
+            out.coverage
+        );
     }
 
     #[test]

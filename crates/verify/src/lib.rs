@@ -441,6 +441,80 @@ pub fn autoplace_decision_fused_digest() -> String {
     out
 }
 
+/// Digest of a pinned multi-tenant serving run: the session ledger, the
+/// cache counters, the WFQ contention split, the film fingerprint and
+/// the virtual-time fields (as IEEE-754 bits), all byte-stable because
+/// the serving engine's control loop runs in virtual time. Any change to
+/// admission, WFQ, cache keying or shed policy moves this file.
+pub fn serving_smoke_digest() -> String {
+    use scc_serve::{serve, ServeConfig, TenantSpec};
+    let mut run = base_cfg();
+    run.width = 48;
+    run.height = 32;
+    run.trace = false;
+    let cfg = ServeConfig {
+        run,
+        tenants: vec![
+            TenantSpec::new("gold", 3, 8, 3),
+            TenantSpec::new("bronze", 1, 8, 3),
+        ],
+        shards: 2,
+        pool: 2,
+        cache_capacity: 32,
+        cache_buckets: 16,
+        queue_depth: 4,
+        max_sessions: 10,
+        batch_frames: 3,
+        pose_span: 4,
+        arrival_burst: 6,
+        seed: 0x5EC5_E55,
+        keep_films: false,
+    };
+    let out = serve(&cfg, &verify_scene());
+    let r = &out.report;
+    let mut doc = String::from("== serving-smoke\n");
+    doc.push_str(&format!(
+        "config shards={} pool={} cache={}x{} qd={} cap={} batch={} span={} seed={:#x}\n",
+        cfg.shards,
+        cfg.pool,
+        cfg.cache_capacity,
+        cfg.cache_buckets,
+        cfg.queue_depth,
+        cfg.max_sessions,
+        cfg.batch_frames,
+        cfg.pose_span,
+        cfg.seed
+    ));
+    doc.push_str(&format!(
+        "ledger admitted={} completed={} shed={} events={}\n",
+        r.admitted,
+        r.completed,
+        r.shed,
+        r.shed_events.len()
+    ));
+    doc.push_str(&format!(
+        "frames served={} unique_renders={} rounds={} contended={} contended_frames={}\n",
+        r.frames_served, r.unique_renders, r.rounds, r.contended_rounds, r.contended_frames_total
+    ));
+    doc.push_str(&format!(
+        "cache hits={} misses={} evictions={} collisions={} insertions={}\n",
+        r.cache.hits, r.cache.misses, r.cache.evictions, r.cache.collisions, r.cache.insertions
+    ));
+    for t in &r.per_tenant {
+        doc.push_str(&format!(
+            "tenant {} w={} offered={} shed={} sessions={} frames={} contended={}\n",
+            t.name, t.weight, t.offered, t.shed, t.completed_sessions, t.frames_completed,
+            t.contended_frames
+        ));
+    }
+    doc.push_str(&format!(
+        "film={:016x} vtime={:016x}\n",
+        r.film_hash,
+        r.virtual_secs.to_bits()
+    ));
+    doc
+}
+
 fn film_hash(frames: &[scc_filters::Image]) -> u64 {
     let mut h = FNV_OFFSET;
     for f in frames {
@@ -472,6 +546,7 @@ pub fn bench_schema_digest() -> String {
     let autoplace = measure_autoplace(&cfg, &scene);
     let kernels = scc_bench::kernels::measure_kernels(48, 32, 2, cfg.seed, &[1]);
     let tasks = scc_bench::tasks::measure_tasks(&cfg, &scene);
+    let serving = scc_bench::serving::measure_serving(&cfg, &scene, &[2]);
     let mut out = String::from("== bench-schema\n");
     for (name, json) in [
         ("native_pipeline", throughput.to_json()),
@@ -479,6 +554,7 @@ pub fn bench_schema_digest() -> String {
         ("autoplace", autoplace.to_json()),
         ("kernels", kernels.to_json()),
         ("tasks", tasks.to_json()),
+        ("serving", serving.to_json()),
     ] {
         let keys = json_keys(&json);
         out.push_str(&format!(
@@ -536,6 +612,8 @@ pub fn golden_document() -> String {
     out.push_str(&native_tuning_digest());
     out.push('\n');
     out.push_str(&autoplace_decision_digest());
+    out.push('\n');
+    out.push_str(&serving_smoke_digest());
     out.push('\n');
     out.push_str(&bench_schema_digest());
     out

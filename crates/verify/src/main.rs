@@ -62,6 +62,7 @@ fn cmd_golden(update: bool) -> i32 {
         "autoplace-decision-fused".into(),
         scc_verify::autoplace_decision_fused_digest(),
     ));
+    blocks.push(("serving-smoke".into(), scc_verify::serving_smoke_digest()));
     blocks.push(("bench-schema".into(), scc_verify::bench_schema_digest()));
     if update {
         std::fs::create_dir_all(&dir).expect("create golden dir");

@@ -9,7 +9,7 @@
 
 use scc_verify::{
     autoplace_decision_digest, autoplace_decision_fused_digest, bench_schema_digest, digest_case,
-    golden_matrix, native_tuning_digest,
+    golden_matrix, native_tuning_digest, serving_smoke_digest,
 };
 use std::path::PathBuf;
 
@@ -68,6 +68,13 @@ fn bench_schema_digest_matches_the_pinned_file() {
 }
 
 #[test]
+fn serving_smoke_digest_matches_the_pinned_file() {
+    if let Err(e) = check_or_update("serving-smoke", &serving_smoke_digest()) {
+        panic!("{e}");
+    }
+}
+
+#[test]
 fn autoplace_decision_digest_matches_the_pinned_file() {
     if let Err(e) = check_or_update("autoplace-decision", &autoplace_decision_digest()) {
         panic!("{e}");
@@ -102,5 +109,6 @@ fn consecutive_matrix_runs_are_byte_identical() {
         autoplace_decision_fused_digest(),
         autoplace_decision_fused_digest()
     );
+    assert_eq!(serving_smoke_digest(), serving_smoke_digest());
     assert_eq!(bench_schema_digest(), bench_schema_digest());
 }

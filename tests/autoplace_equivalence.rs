@@ -8,45 +8,17 @@
 //! simulated frame rate beats (or ties within 1%) every fixed
 //! arrangement on the film workload.
 
-use scc_core::viz::frame_checksum;
+mod common;
+
+use common::{cfg_with, checksums, scene, MODES};
 use scc_core::{
-    reference::reference_frames, run_des, run_native, Arrangement, FaultSpec, Fidelity, KillSpec,
+    reference::reference_frames, run_des, run_native, Arrangement, FaultSpec, Fidelity,
     RendererMode, RunConfig, SimRunner,
 };
-use scc_filters::Image;
-use scc_render::{CityConfig, Scene};
-use std::sync::Arc;
-
-fn scene() -> Arc<Scene> {
-    Arc::new(Scene::city(CityConfig {
-        side: 8,
-        spacing: 8.0,
-        seed: 17,
-    }))
-}
 
 fn cfg(mode: RendererMode, pipelines: u32) -> RunConfig {
-    RunConfig::builder()
-        .renderer(mode)
-        .arrangement(Arrangement::Ordered)
-        .pipelines(pipelines)
-        .size(48, 40)
-        .frames(4)
-        .seed(23)
-        .fidelity(Fidelity::Full)
-        .build()
-        .expect("valid config")
+    cfg_with(mode, Arrangement::Ordered, pipelines, 4)
 }
-
-fn checksums(frames: &[Image]) -> Vec<u64> {
-    frames.iter().map(frame_checksum).collect()
-}
-
-const MODES: [RendererMode; 3] = [
-    RendererMode::SingleRenderer,
-    RendererMode::PerPipelineRenderer,
-    RendererMode::McpcRenderer,
-];
 
 #[test]
 fn sim_auto_equals_fixed_in_every_renderer_mode() {
@@ -104,16 +76,7 @@ fn des_auto_equals_fixed_single_renderer() {
 }
 
 fn kill_spec(stage: u32) -> FaultSpec {
-    FaultSpec {
-        kills: vec![KillSpec {
-            pipeline: 0,
-            stage,
-            at_ms: 1,
-        }],
-        heartbeat_period_us: 2_000,
-        phi_dead: 2.0,
-        ..FaultSpec::default()
-    }
+    common::kill_spec(0, stage, 1)
 }
 
 #[test]

@@ -7,73 +7,18 @@
 //! timeline; and MTTR must be finite and monotone in the heartbeat
 //! period.
 
-use proptest::prelude::*;
-use scc_core::viz::frame_checksum;
-use scc_core::{
-    place, reference::reference_frames, run_des, Arrangement, FaultSpec, Fidelity, KillSpec,
-    RendererMode, RunConfig, SimRunner, StageKind, StallSpec,
-};
-use scc_filters::Image;
-use scc_render::{CityConfig, Scene};
-use std::sync::Arc;
+mod common;
 
-fn scene() -> Arc<Scene> {
-    Arc::new(Scene::city(CityConfig {
-        side: 8,
-        spacing: 8.0,
-        seed: 17,
-    }))
-}
+use common::{cfg_with, checksums, kill_spec, oracle, scene, ARRANGEMENTS, MODES};
+use proptest::prelude::*;
+use scc_core::{
+    place, run_des, Arrangement, FaultSpec, Fidelity, RendererMode, RunConfig, SimRunner,
+    StageKind, StallSpec,
+};
 
 fn cfg(mode: RendererMode, arr: Arrangement, pipelines: u32) -> RunConfig {
-    RunConfig::builder()
-        .renderer(mode)
-        .arrangement(arr)
-        .pipelines(pipelines)
-        .size(48, 40)
-        .frames(4)
-        .seed(23)
-        .fidelity(Fidelity::Full)
-        .build()
-        .expect("valid config")
+    cfg_with(mode, arr, pipelines, 4)
 }
-
-/// A fast-detecting supervisor spec with one kill.
-fn kill_spec(pipeline: u32, stage: u32, at_ms: u64) -> FaultSpec {
-    FaultSpec {
-        kills: vec![KillSpec {
-            pipeline,
-            stage,
-            at_ms,
-        }],
-        heartbeat_period_us: 2_000,
-        phi_dead: 2.0,
-        ..FaultSpec::default()
-    }
-}
-
-fn checksums(frames: &[Image]) -> Vec<u64> {
-    frames.iter().map(frame_checksum).collect()
-}
-
-fn oracle(c: &RunConfig) -> Vec<u64> {
-    let mut rc = c.clone();
-    if rc.renderer == RendererMode::McpcRenderer {
-        rc.renderer = RendererMode::SingleRenderer;
-    }
-    checksums(&reference_frames(&rc, scene()))
-}
-
-const MODES: [RendererMode; 3] = [
-    RendererMode::SingleRenderer,
-    RendererMode::PerPipelineRenderer,
-    RendererMode::McpcRenderer,
-];
-const ARRANGEMENTS: [Arrangement; 3] = [
-    Arrangement::Unordered,
-    Arrangement::Ordered,
-    Arrangement::Flipped,
-];
 
 /// The tentpole guarantee, swept across every renderer mode and core
 /// arrangement: one mid-pipeline fail-stop, detected over the heartbeat

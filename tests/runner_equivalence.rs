@@ -4,60 +4,16 @@
 //! reference, for every renderer mode and every pipeline arrangement —
 //! and the guarantee must survive injected message faults.
 
-use scc_core::viz::frame_checksum;
-use scc_core::{
-    reference::reference_frames, run_des, run_native, Arrangement, FaultSpec, Fidelity,
-    RendererMode, RunConfig, SimRunner, StallSpec,
-};
-use scc_filters::Image;
-use scc_render::{CityConfig, Scene};
-use std::sync::Arc;
+mod common;
 
-fn scene() -> Arc<Scene> {
-    Arc::new(Scene::city(CityConfig {
-        side: 8,
-        spacing: 8.0,
-        seed: 17,
-    }))
-}
+use common::{cfg_with, checksums, oracle, scene, ARRANGEMENTS, MODES};
+use scc_core::{
+    run_des, run_native, Arrangement, FaultSpec, RendererMode, RunConfig, SimRunner, StallSpec,
+};
 
 fn cfg(mode: RendererMode, arr: Arrangement, pipelines: u32) -> RunConfig {
-    RunConfig::builder()
-        .renderer(mode)
-        .arrangement(arr)
-        .pipelines(pipelines)
-        .size(48, 40)
-        .frames(3)
-        .seed(23)
-        .fidelity(Fidelity::Full)
-        .build()
-        .expect("valid config")
+    cfg_with(mode, arr, pipelines, 3)
 }
-
-fn checksums(frames: &[Image]) -> Vec<u64> {
-    frames.iter().map(frame_checksum).collect()
-}
-
-/// The reference data path for a config: MCPC mode renders full frames
-/// and splits, exactly like the single-renderer reference.
-fn oracle(c: &RunConfig) -> Vec<u64> {
-    let mut rc = c.clone();
-    if rc.renderer == RendererMode::McpcRenderer {
-        rc.renderer = RendererMode::SingleRenderer;
-    }
-    checksums(&reference_frames(&rc, scene()))
-}
-
-const MODES: [RendererMode; 3] = [
-    RendererMode::SingleRenderer,
-    RendererMode::PerPipelineRenderer,
-    RendererMode::McpcRenderer,
-];
-const ARRANGEMENTS: [Arrangement; 3] = [
-    Arrangement::Unordered,
-    Arrangement::Ordered,
-    Arrangement::Flipped,
-];
 
 #[test]
 fn sim_matches_reference_in_every_mode_and_arrangement() {

@@ -10,44 +10,17 @@
 //! must resume no later than the supervisor's spare-migration path for
 //! the same kill.
 
-use proptest::prelude::*;
-use scc_core::viz::frame_checksum;
-use scc_core::{
-    run_des, FaultSpec, Fidelity, KillSpec, RendererMode, RunConfig, Runtime, SimRunner,
-};
-use scc_filters::Image;
-use scc_render::{CityConfig, Scene};
-use std::sync::Arc;
+mod common;
 
-fn scene() -> Arc<Scene> {
-    Arc::new(Scene::city(CityConfig {
-        side: 8,
-        spacing: 8.0,
-        seed: 17,
-    }))
-}
+use common::{cfg_with, checksums, scene, MODES};
+use proptest::prelude::*;
+use scc_core::{
+    run_des, Arrangement, FaultSpec, KillSpec, RendererMode, RunConfig, Runtime, SimRunner,
+};
 
 fn cfg(mode: RendererMode, pipelines: u32, frames: u64) -> RunConfig {
-    RunConfig::builder()
-        .renderer(mode)
-        .pipelines(pipelines)
-        .size(48, 40)
-        .frames(frames)
-        .seed(23)
-        .fidelity(Fidelity::Full)
-        .build()
-        .expect("valid config")
+    cfg_with(mode, Arrangement::Unordered, pipelines, frames)
 }
-
-fn checksums(frames: &[Image]) -> Vec<u64> {
-    frames.iter().map(frame_checksum).collect()
-}
-
-const MODES: [RendererMode; 3] = [
-    RendererMode::SingleRenderer,
-    RendererMode::PerPipelineRenderer,
-    RendererMode::McpcRenderer,
-];
 
 /// Clean runs: static sim film == tasks sim film == tasks DES film, in
 /// every renderer mode, with balanced exactly-once ledgers.
