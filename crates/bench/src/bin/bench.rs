@@ -17,6 +17,7 @@
 //!               [--pipelines P]
 //!   bench serving [--smoke] [--out PATH] [--size WxH] [--pipelines P]
 //!                 [--sessions 8,16,32]
+//!   bench dvfs [--smoke] [--out PATH] [--frames N] [--size WxH]
 //!
 //! `--smoke` shrinks everything to a seconds-long configuration for CI;
 //! the defaults measure the paper's 400×400 silent-film geometry.
@@ -27,6 +28,7 @@
 //! writes `BENCH_kernels.json`.
 
 use scc_bench::autoplace::measure_autoplace;
+use scc_bench::dvfs::measure_dvfs;
 use scc_bench::kernels::measure_kernels;
 use scc_bench::native_throughput::measure_native_throughput;
 use scc_bench::recovery::measure_recovery;
@@ -48,7 +50,8 @@ fn main() {
     let kernels_mode = args.first().map(|a| a == "kernels").unwrap_or(false);
     let tasks_mode = args.first().map(|a| a == "tasks").unwrap_or(false);
     let serving_mode = args.first().map(|a| a == "serving").unwrap_or(false);
-    if recovery_mode || autoplace_mode || kernels_mode || tasks_mode || serving_mode {
+    let dvfs_mode = args.first().map(|a| a == "dvfs").unwrap_or(false);
+    if recovery_mode || autoplace_mode || kernels_mode || tasks_mode || serving_mode || dvfs_mode {
         args.remove(0);
     }
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -63,6 +66,8 @@ fn main() {
             "BENCH_tasks.json".into()
         } else if serving_mode {
             "BENCH_serving.json".into()
+        } else if dvfs_mode {
+            "BENCH_dvfs.json".into()
         } else {
             "BENCH_native_pipeline.json".into()
         }
@@ -146,6 +151,38 @@ fn main() {
         }
         if !report.ledger_balanced() {
             eprintln!("FATAL: the session ledger does not balance (silent shed)");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if dvfs_mode {
+        eprintln!(
+            "measuring dvfs power plane: film {}x{} f={} + wavefront{}",
+            width,
+            height,
+            frames,
+            if smoke { " (smoke)" } else { "" },
+        );
+        let scene = standard_scene();
+        let report = measure_dvfs(&cfg, &scene);
+        print!("{}", report.render_text());
+        std::fs::write(&out_path, report.to_json()).expect("write bench json");
+        println!("wrote {out_path}");
+        if !report.film_output_consistent {
+            eprintln!("FATAL: a power plan changed a film pixel");
+            std::process::exit(1);
+        }
+        if !report.wavefront_digest_consistent {
+            eprintln!("FATAL: a power plan or backend drifted the wavefront digest");
+            std::process::exit(1);
+        }
+        if !report.decision_parity {
+            eprintln!("FATAL: governed decision traces split between sim and des");
+            std::process::exit(1);
+        }
+        if !report.governed_not_dominated {
+            eprintln!("FATAL: the governor lost to every static split on time and energy");
             std::process::exit(1);
         }
         return;

@@ -6,6 +6,7 @@
 //! the same entry points.
 
 pub mod autoplace;
+pub mod dvfs;
 pub mod experiments;
 pub mod kernels;
 pub mod native_throughput;

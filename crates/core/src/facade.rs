@@ -14,6 +14,7 @@
 //! plans, alternative platforms); new code that just wants "run this
 //! config and look at the numbers" should come through here.
 
+use crate::generic::{run_workload_des, run_workload_sim, GenericReport};
 use crate::metrics::{DegradationEvent, HostTiming, RecoveryEvent, StageReport, WalkthroughReport};
 use crate::runner::des::{run_des, DesReport};
 use crate::runner::native::{run_native, NativeReport};
@@ -55,6 +56,10 @@ pub enum BackendReport {
     Sim(WalkthroughReport),
     Des(DesReport),
     Native(NativeReport),
+    /// Workload-plane runs ([`crate::spec::Workload::Generic`] and
+    /// [`crate::spec::Workload::Wavefront`]): both virtual-time backends
+    /// produce the same report shape.
+    Generic(GenericReport),
 }
 
 /// What every backend can tell you about a finished run.
@@ -119,6 +124,31 @@ pub fn run(cfg: &RunConfig, backend: Backend) -> RunOutcome {
 /// [`run`] with an explicit scene.
 pub fn run_with_scene(cfg: &RunConfig, backend: Backend, scene: Arc<Scene>) -> RunOutcome {
     cfg.validate().expect("invalid run configuration");
+    if !cfg.workload.is_film() {
+        // The workload plane: spec-defined chains (no scene, no frames)
+        // through the generic executors. `frames` reports items.
+        let report = match backend {
+            Backend::Sim => run_workload_sim(cfg),
+            Backend::Des => run_workload_des(cfg),
+            Backend::Native => panic!(
+                "the native backend runs the film workload only; \
+                 run {} on sim or des",
+                cfg.workload.name()
+            ),
+        };
+        return RunOutcome {
+            backend,
+            total_secs: report.total_secs,
+            frames: report.items,
+            stage_reports: Vec::new(),
+            degradations: Vec::new(),
+            recoveries: Vec::new(),
+            host: None,
+            trace: None,
+            telemetry: report.telemetry.clone(),
+            report: BackendReport::Generic(report),
+        };
+    }
     match backend {
         Backend::Sim => {
             let report = SimRunner::new(cfg.clone(), scene).run();

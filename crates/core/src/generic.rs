@@ -11,12 +11,31 @@
 //! See `examples/generic_pipeline.rs` for a compress→encrypt→checksum
 //! stream-processing pipeline reproducing the paper's qualitative story
 //! on a non-graphics workload.
+//!
+//! Two entry styles coexist:
+//!
+//! * **The workload plane** (preferred): put a [`crate::spec::Workload`]
+//!   into [`RunConfig`] and call [`crate::run`]. The spec-driven
+//!   executors here ([`run_workload_sim`], [`run_workload_des`]) run the
+//!   chain on either virtual-time backend with the full run machinery —
+//!   telemetry, the power plane (static plans *and* the closed-loop DVFS
+//!   governor), chain-merge auto-placement, invariant checking, and an
+//!   output digest that gates drift.
+//! * [`run_generic_chain`] — the original trait-object side door. Soft
+//!   deprecated: it still works for imperative closure-defined stages,
+//!   but it bypasses the power plane, telemetry, and verification, and
+//!   new code should declare a [`crate::spec::GenericChainSpec`] instead.
 
-use crate::spec::Arrangement;
+use crate::governor::{Governor, GovernorDecision, StationSample};
+use crate::spec::{Arrangement, PowerConfig, RunConfig, Workload};
 use scc_sim::platform::MemOp;
 use scc_sim::stats::Quartiles;
-use scc_sim::{CoreId, SccPlatform, SimTime};
+use scc_sim::{CoreId, DvfsState, IslandId, SccConfig, SccPlatform, SimTime};
+use scc_telemetry::{names, TelemetrySink, IDLE_MS_BUCKETS};
 use serde::Serialize;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::ops::Range;
 
 /// What one stage does to one work item.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,6 +93,20 @@ pub struct GenericReport {
     pub stages: Vec<GenericStageReport>,
     pub mean_power: f64,
     pub energy_joules: f64,
+    /// FNV-1a fingerprint of the workload's output (the reconstructed
+    /// grid for wavefront runs, the payload-flow profile for declarative
+    /// chains). Zero for the legacy [`run_generic_chain`] side door,
+    /// whose closures the executor cannot fingerprint.
+    pub output_digest: u64,
+    /// Idle floor (watts) of the cheapest DVFS state the run visited —
+    /// the same floor the energy-identity invariant checks against.
+    pub scc_idle_power: f64,
+    /// The governor's decision trace, in epoch order; empty on static
+    /// power plans.
+    pub dvfs_decisions: Vec<GovernorDecision>,
+    /// Metrics recorded during the run when `cfg.telemetry` was set.
+    #[serde(skip)]
+    pub telemetry: Option<scc_telemetry::Snapshot>,
 }
 
 impl GenericReport {
@@ -91,6 +124,13 @@ impl GenericReport {
 /// `source_bytes` initial payload each, on consecutive SCC cores chosen
 /// by `arrangement`, using the same rendezvous semantics as the paper's
 /// rendering pipeline. The last stage's output is delivered off-chip.
+///
+/// Soft deprecated: this side door predates the workload plane and skips
+/// the power plane, telemetry, auto-placement, and invariant checking.
+/// Declare the chain as a [`crate::spec::GenericChainSpec`] in
+/// [`RunConfig::workload`](crate::spec::RunConfig) and call
+/// [`crate::run`] instead; this entry remains for closure-defined
+/// stages whose work cannot be written as an affine spec.
 pub fn run_generic_chain(
     mut platform: SccPlatform,
     stages: &mut [Box<dyn MacroStage>],
@@ -189,7 +229,706 @@ pub fn run_generic_chain(
             .collect(),
         mean_power: energy / finish.as_secs_f64().max(1e-12),
         energy_joules: energy,
+        output_digest: 0,
+        scc_idle_power: platform.idle_power_for(platform.dvfs()),
+        dvfs_decisions: Vec::new(),
+        telemetry: None,
     }
+}
+
+// ---------------------------------------------------------------------
+// The spec-driven workload plane: `RunConfig::workload` resolved to a
+// pure per-(stage, item) work table and executed by either virtual-time
+// backend with the full run machinery.
+// ---------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(digest: u64, value: u64) -> u64 {
+    let mut d = digest;
+    for byte in value.to_le_bytes() {
+        d = (d ^ byte as u64).wrapping_mul(FNV_PRIME);
+    }
+    d
+}
+
+/// Per-cell cost constants of the wavefront chain (cycles and bytes as
+/// functions of the wave's frontier size `n`). Expand dominates by an
+/// order of magnitude — the chain's blur — but unlike blur its absolute
+/// cost moves with every wave.
+fn wavefront_stage(stage: usize, n: u64) -> StageWork {
+    let nf = n as f64;
+    match stage {
+        // Drain the frontier queue, order the records.
+        0 => StageWork {
+            cycles: 900.0 + 45.0 * nf,
+            read_bytes: 0,
+            write_bytes: 0,
+            out_bytes: 16 * n,
+        },
+        // Dilate: fetch each cell's mask neighborhood, compare, write
+        // the grown marker values back.
+        1 => StageWork {
+            cycles: 2_400.0 + 520.0 * nf,
+            read_bytes: 32 * n,
+            write_bytes: 16 * n,
+            out_bytes: 16 * n,
+        },
+        // Commit the delta log off-chip.
+        2 => StageWork {
+            cycles: 700.0 + 60.0 * nf,
+            read_bytes: 0,
+            write_bytes: 8 * n,
+            out_bytes: 8 * n + 16,
+        },
+        _ => unreachable!("the wavefront chain has 3 stages"),
+    }
+}
+
+/// Names of the wavefront chain's stages, in order.
+pub const WAVEFRONT_STAGES: [&str; 3] = ["ingest", "expand", "commit"];
+
+/// A workload resolved into an executable chain: per-(stage, item) work
+/// precomputed as a pure function of the spec, so both backends charge
+/// exactly the same cycles and bytes, in a possibly different order.
+pub(crate) struct ResolvedChain {
+    pub names: Vec<String>,
+    /// Input payload per stage; one entry when uniform across items,
+    /// `items` entries otherwise.
+    ins: Vec<Vec<u64>>,
+    works: Vec<Vec<StageWork>>,
+    pub items: u64,
+    pub output_digest: u64,
+}
+
+impl ResolvedChain {
+    pub(crate) fn resolve(cfg: &RunConfig) -> ResolvedChain {
+        match &cfg.workload {
+            Workload::Generic(spec) => {
+                let mut digest = fnv_fold(FNV_OFFSET, spec.items);
+                digest = fnv_fold(digest, spec.source_bytes);
+                let mut in_bytes = spec.source_bytes;
+                let mut ins = Vec::with_capacity(spec.stages.len());
+                let mut works = Vec::with_capacity(spec.stages.len());
+                let mut names = Vec::with_capacity(spec.stages.len());
+                for s in &spec.stages {
+                    let w = StageWork {
+                        cycles: s.fixed_cycles + s.cycles_per_byte * in_bytes as f64,
+                        read_bytes: (s.read_factor * in_bytes as f64) as u64,
+                        write_bytes: (s.write_factor * in_bytes as f64) as u64,
+                        out_bytes: (s.out_factor * in_bytes as f64) as u64,
+                    };
+                    digest = fnv_fold(digest, w.out_bytes);
+                    ins.push(vec![in_bytes]);
+                    works.push(vec![w]);
+                    names.push(s.name.clone());
+                    in_bytes = w.out_bytes;
+                }
+                ResolvedChain {
+                    names,
+                    ins,
+                    works,
+                    items: spec.items,
+                    output_digest: digest,
+                }
+            }
+            Workload::Wavefront(spec) => {
+                let trace = crate::wavefront::propagate(spec, cfg.seed);
+                let items = trace.waves.len() as u64;
+                let mut ins = Vec::with_capacity(3);
+                let mut works = Vec::with_capacity(3);
+                for stage in 0..3 {
+                    let per_item: Vec<StageWork> = trace
+                        .waves
+                        .iter()
+                        .map(|&n| wavefront_stage(stage, n))
+                        .collect();
+                    let stage_in: Vec<u64> = if stage == 0 {
+                        // Stage 0 ingests the raw frontier queue.
+                        trace.waves.iter().map(|&n| 8 * n).collect()
+                    } else {
+                        trace
+                            .waves
+                            .iter()
+                            .map(|&n| wavefront_stage(stage - 1, n).out_bytes)
+                            .collect()
+                    };
+                    ins.push(stage_in);
+                    works.push(per_item);
+                }
+                ResolvedChain {
+                    names: WAVEFRONT_STAGES.iter().map(|s| s.to_string()).collect(),
+                    ins,
+                    works,
+                    items,
+                    output_digest: trace.digest,
+                }
+            }
+            Workload::Film => unreachable!("the film workload runs on the strip executors"),
+        }
+    }
+
+    fn stages(&self) -> usize {
+        self.works.len()
+    }
+
+    fn in_bytes(&self, stage: usize, item: u64) -> u64 {
+        let v = &self.ins[stage];
+        v[if v.len() == 1 { 0 } else { item as usize }]
+    }
+
+    fn work(&self, stage: usize, item: u64) -> StageWork {
+        let v = &self.works[stage];
+        v[if v.len() == 1 { 0 } else { item as usize }]
+    }
+
+    /// Mean per-item cost of a stage in cycle-equivalents, for the
+    /// chain-merge planner (memory traffic weighted at a rough 1.5
+    /// cycles per byte).
+    fn stage_cost(&self, stage: usize) -> f64 {
+        let v = &self.works[stage];
+        let sum: f64 = v
+            .iter()
+            .map(|w| w.cycles + 1.5 * (w.read_bytes + w.write_bytes + w.out_bytes) as f64)
+            .sum();
+        sum / v.len() as f64
+    }
+}
+
+/// Chain-merge auto-placement: greedily merge the cheapest adjacent
+/// group pair while the merged cost stays at or below the bottleneck
+/// stage's cost — merged stages share a core and skip the partition
+/// handover, without ever slowing the cadence the bottleneck sets.
+/// With `auto_place` off every stage keeps its own core.
+pub(crate) fn plan_groups(chain: &ResolvedChain, auto_place: bool) -> Vec<Range<usize>> {
+    let mut groups: Vec<Range<usize>> = (0..chain.stages()).map(|j| j..j + 1).collect();
+    if !auto_place {
+        return groups;
+    }
+    let mut cost: Vec<f64> = (0..chain.stages()).map(|j| chain.stage_cost(j)).collect();
+    while groups.len() > 1 {
+        let bottleneck = cost.iter().cloned().fold(0.0, f64::max);
+        let (mut best, mut best_cost) = (None, f64::INFINITY);
+        for i in 0..groups.len() - 1 {
+            let c = cost[i] + cost[i + 1];
+            if c < best_cost {
+                best = Some(i);
+                best_cost = c;
+            }
+        }
+        let Some(i) = best else { break };
+        if best_cost > bottleneck {
+            break;
+        }
+        groups[i] = groups[i].start..groups[i + 1].end;
+        groups.remove(i + 1);
+        cost[i] = best_cost;
+        cost.remove(i + 1);
+    }
+    groups
+}
+
+/// Stage-group to core mapping for the workload plane: island-major, so
+/// consecutive groups land on *different* voltage islands. A chain of up
+/// to six groups owns one island per group — the natural placement for a
+/// power-plane experiment (raising one group's tile never drags a
+/// neighbor group's voltage up), and deliberately different from the
+/// film pipeline's row-major packing, so the governor's converged split
+/// is workload-specific rather than an artifact of shared tiles.
+pub(crate) fn island_major_core(k: usize) -> CoreId {
+    assert!(k < 48, "chain group {k} beyond the 48-core die");
+    let island = IslandId::new((k % 6) as u8);
+    let tile = island.tiles()[(k / 6) % 4];
+    CoreId::new(tile.raw() * 2 + (k / 24) as u8)
+}
+
+/// Apply the static power plan (if any) and arm the governor (if any).
+/// Returns the governor and the epoch length in items (`u64::MAX` under
+/// a static plan, so the epoch branch never fires).
+fn arm_power_plane(cfg: &RunConfig, platform: &mut SccPlatform) -> (Option<Governor>, u64) {
+    match &cfg.power {
+        PowerConfig::Static(pairs) => {
+            if !pairs.is_empty() {
+                let mut state = platform.dvfs().clone();
+                for (core, freq) in pairs {
+                    state.set_core_tile(*core, *freq);
+                }
+                platform.apply_dvfs(&state);
+            }
+            (None, u64::MAX)
+        }
+        PowerConfig::Governed(tuning) => {
+            let gov = Governor::new(
+                tuning.clone(),
+                platform.power_calibration().clone(),
+                platform.dvfs().clone(),
+            );
+            // Every chain stage is a station; there is no render core to
+            // protect.
+            (Some(gov), tuning.epoch_frames as u64)
+        }
+    }
+}
+
+/// The frame-major flavor of the workload plane: items stream through
+/// the stage groups in item-major order, exactly like the legacy chain
+/// loop, plus the power plane, epoch-sampled governor, telemetry, and
+/// invariant checking.
+pub(crate) fn run_workload_sim(cfg: &RunConfig) -> GenericReport {
+    let chain = ResolvedChain::resolve(cfg);
+    let groups = plan_groups(&chain, cfg.auto_place);
+    let mut platform = SccPlatform::new(SccConfig::default());
+    let tel = TelemetrySink::from_enabled(cfg.telemetry);
+    let (mut governor, epoch_items) = arm_power_plane(cfg, &mut platform);
+    let cores: Vec<CoreId> = (0..groups.len()).map(island_major_core).collect();
+    platform.set_spinning(cores.clone());
+
+    let n = groups.len();
+    let mut free = vec![SimTime::ZERO; n];
+    let mut busy = vec![SimTime::ZERO; n];
+    let mut idle: Vec<Vec<SimTime>> = vec![Vec::new(); n];
+    let mut finish = SimTime::ZERO;
+    let mut dvfs_schedule: Vec<(SimTime, DvfsState)> =
+        vec![(SimTime::ZERO, platform.dvfs().clone())];
+    let mut pending_dvfs: VecDeque<(u64, DvfsState)> = VecDeque::new();
+    let mut epoch_mark = SimTime::ZERO;
+    let mut epoch_idle = vec![SimTime::ZERO; n];
+
+    for item in 0..chain.items {
+        if let Some((at, _)) = pending_dvfs.front() {
+            if *at == item {
+                let (_, state) = pending_dvfs.pop_front().expect("front checked");
+                platform.apply_dvfs(&state);
+                // The boundary on the virtual timeline is the previous
+                // item's off-chip delivery, the same instant the epoch
+                // accounting closed on.
+                dvfs_schedule.push((finish, state));
+            }
+        }
+        let mut avail = free[0];
+        for (g, range) in groups.iter().enumerate() {
+            let core = cores[g];
+            let wait = avail.saturating_sub(free[g]);
+            idle[g].push(wait);
+            epoch_idle[g] += wait;
+            let start = avail.max(free[g]);
+            let mut t =
+                platform.fetch_from_partition(core, start, chain.in_bytes(range.start, item));
+            let mut out = 0u64;
+            for j in range.clone() {
+                let w = chain.work(j, item);
+                t = platform.compute(core, t, w.cycles as u64);
+                if w.read_bytes > 0 {
+                    t = platform.mem_stream(core, t, MemOp::Read, w.read_bytes);
+                }
+                if w.write_bytes > 0 {
+                    t = platform.mem_stream(core, t, MemOp::Write, w.write_bytes);
+                }
+                out = w.out_bytes;
+            }
+            platform.record_busy(core, start, t);
+            let resident = if g + 1 < n {
+                let send_start = t.max(free[g + 1]);
+                let r = platform.send_to_partition(core, cores[g + 1], send_start, out);
+                platform.record_busy(core, send_start, r);
+                r
+            } else {
+                let r = platform.chip_to_host(core, t, out);
+                platform.record_busy(core, t, r);
+                r
+            };
+            busy[g] += resident - start;
+            free[g] = resident;
+            avail = resident;
+        }
+        finish = avail;
+
+        if let Some(gov) = governor.as_mut() {
+            if (item + 1) % epoch_items == 0 {
+                let dur = (finish.saturating_sub(epoch_mark)).as_secs_f64();
+                let stations: Vec<StationSample> = (0..n)
+                    .map(|g| {
+                        let frac = if dur > 0.0 {
+                            epoch_idle[g].as_secs_f64() / dur
+                        } else {
+                            0.0
+                        };
+                        StationSample::new(cores[g], frac)
+                    })
+                    .collect();
+                if let Some(state) = gov.observe_epoch(&stations) {
+                    pending_dvfs.push_back((item + 1 + epoch_items, state));
+                }
+                epoch_idle.iter_mut().for_each(|t| *t = SimTime::ZERO);
+                epoch_mark = finish;
+            }
+        }
+    }
+
+    finish_workload_report(
+        cfg,
+        &chain,
+        &groups,
+        &cores,
+        &platform,
+        &tel,
+        &busy,
+        &idle,
+        finish,
+        governor.as_ref(),
+        &dvfs_schedule,
+    )
+}
+
+/// DES event kinds per (group, item) node: the compute half (fetch +
+/// cycles + auxiliary traffic) and the send half (rendezvous handover or
+/// off-chip delivery). Splitting the two keeps the recurrence identical
+/// to the item-major loop — a sender computes as soon as its input and
+/// core are free, then blocks in the send until the receiver drains the
+/// previous item — while the event queue books platform contention in
+/// global time order instead of item-major order.
+const EV_COMPUTE: u8 = 0;
+const EV_SEND: u8 = 1;
+
+/// The event-driven flavor of the workload plane: the same resolved
+/// chain executed as a dependency-counted DES, cross-validating the
+/// frame-major executor. Work, placement, epochs, and the governor's
+/// item-to-frequency mapping are identical by construction; only the
+/// platform booking order differs, so totals agree to contention noise
+/// and the output digest is bit-identical.
+pub(crate) fn run_workload_des(cfg: &RunConfig) -> GenericReport {
+    let chain = ResolvedChain::resolve(cfg);
+    let groups = plan_groups(&chain, cfg.auto_place);
+    let mut platform = SccPlatform::new(SccConfig::default());
+    let tel = TelemetrySink::from_enabled(cfg.telemetry);
+    let (mut governor, epoch_items) = arm_power_plane(cfg, &mut platform);
+    let cores: Vec<CoreId> = (0..groups.len()).map(island_major_core).collect();
+    platform.set_spinning(cores.clone());
+
+    let n = groups.len();
+    let items = chain.items as usize;
+    let idx = |g: usize, k: usize| k * n + g;
+
+    let mut comp_start = vec![SimTime::ZERO; n * items];
+    let mut comp_done = vec![SimTime::ZERO; n * items];
+    let mut send_done = vec![SimTime::ZERO; n * items];
+    let mut out_bytes = vec![0u64; n * items];
+    // Remaining dependencies per event; compute waits on own-prev send
+    // and upstream arrival, send waits on its compute and the
+    // receiver-side rendezvous.
+    let mut indeg = vec![0u8; 2 * n * items];
+    for k in 0..items {
+        for g in 0..n {
+            indeg[2 * idx(g, k) + EV_COMPUTE as usize] =
+                u8::from(k > 0) + u8::from(g > 0);
+            indeg[2 * idx(g, k) + EV_SEND as usize] =
+                1 + u8::from(g + 1 < n && k > 0);
+        }
+    }
+
+    let mut busy = vec![SimTime::ZERO; n];
+    let mut idle: Vec<Vec<SimTime>> = vec![Vec::new(); n];
+    // Per-epoch idle accumulators: nodes of epoch e + 1 legally run
+    // before epoch e closes (pipelined lookahead), so idle is bucketed
+    // by the item's epoch rather than accumulated in a single window.
+    let n_epochs = if epoch_items == u64::MAX {
+        0
+    } else {
+        items / epoch_items as usize + 1
+    };
+    let mut epoch_idle: Vec<Vec<SimTime>> = vec![vec![SimTime::ZERO; n]; n_epochs];
+    // Decided DVFS state per epoch; two seed entries cover the control
+    // lag (a decision at the end of epoch e takes effect in e + 2).
+    let mut epoch_states: Vec<DvfsState> = if governor.is_some() {
+        vec![platform.dvfs().clone(), platform.dvfs().clone()]
+    } else {
+        Vec::new()
+    };
+    let mut dvfs_schedule: Vec<(SimTime, DvfsState)> =
+        vec![(SimTime::ZERO, platform.dvfs().clone())];
+    let mut epoch_mark = SimTime::ZERO;
+    let mut finish = SimTime::ZERO;
+
+    // Ready events keyed by earliest-start estimate (max of dependency
+    // completion times), tie-broken by (item, group, kind) so the pop
+    // order is total and deterministic.
+    let mut heap: BinaryHeap<Reverse<(SimTime, usize, usize, u8)>> = BinaryHeap::new();
+    heap.push(Reverse((SimTime::ZERO, 0, 0, EV_COMPUTE)));
+
+    let apply_epoch_state = |platform: &mut SccPlatform, epoch_states: &[DvfsState], k: usize| {
+        if epoch_states.is_empty() {
+            return;
+        }
+        let e = k / epoch_items as usize;
+        // Chains deeper than epoch + lag can outrun the decided prefix;
+        // clamping to the newest decision keeps the run legal (and the
+        // convergence suite pins the exact-parity regime).
+        let state = epoch_states.get(e).unwrap_or_else(|| {
+            epoch_states.last().expect("seeded with two entries")
+        });
+        if platform.dvfs() != state {
+            let state = state.clone();
+            platform.apply_dvfs(&state);
+        }
+    };
+
+    let mut processed = 0usize;
+    while let Some(Reverse((_, k, g, kind))) = heap.pop() {
+        processed += 1;
+        let i = idx(g, k);
+        let core = cores[g];
+        apply_epoch_state(&mut platform, &epoch_states, k);
+        if kind == EV_COMPUTE {
+            let arrival = if g > 0 { send_done[idx(g - 1, k)] } else { SimTime::ZERO };
+            let own_free = if k > 0 { send_done[idx(g, k - 1)] } else { SimTime::ZERO };
+            let wait = if g > 0 {
+                arrival.saturating_sub(own_free)
+            } else {
+                SimTime::ZERO
+            };
+            idle[g].push(wait);
+            if n_epochs > 0 {
+                epoch_idle[k / epoch_items as usize][g] += wait;
+            }
+            let range = &groups[g];
+            let start = arrival.max(own_free);
+            let mut t =
+                platform.fetch_from_partition(core, start, chain.in_bytes(range.start, k as u64));
+            let mut out = 0u64;
+            for j in range.clone() {
+                let w = chain.work(j, k as u64);
+                t = platform.compute(core, t, w.cycles as u64);
+                if w.read_bytes > 0 {
+                    t = platform.mem_stream(core, t, MemOp::Read, w.read_bytes);
+                }
+                if w.write_bytes > 0 {
+                    t = platform.mem_stream(core, t, MemOp::Write, w.write_bytes);
+                }
+                out = w.out_bytes;
+            }
+            platform.record_busy(core, start, t);
+            comp_start[i] = start;
+            comp_done[i] = t;
+            out_bytes[i] = out;
+            // Enable this node's send half.
+            let si = 2 * i + EV_SEND as usize;
+            indeg[si] -= 1;
+            if indeg[si] == 0 {
+                let rendezvous = if g + 1 < n && k > 0 {
+                    send_done[idx(g + 1, k - 1)]
+                } else {
+                    SimTime::ZERO
+                };
+                heap.push(Reverse((t.max(rendezvous), k, g, EV_SEND)));
+            }
+        } else {
+            let t = comp_done[i];
+            let r = if g + 1 < n {
+                let rendezvous = if k > 0 { send_done[idx(g + 1, k - 1)] } else { SimTime::ZERO };
+                let send_start = t.max(rendezvous);
+                let r = platform.send_to_partition(core, cores[g + 1], send_start, out_bytes[i]);
+                platform.record_busy(core, send_start, r);
+                r
+            } else {
+                let r = platform.chip_to_host(core, t, out_bytes[i]);
+                platform.record_busy(core, t, r);
+                r
+            };
+            busy[g] += r - comp_start[i];
+            send_done[i] = r;
+
+            if g + 1 == n {
+                finish = finish.max(r);
+                // Epoch close: the last group's send of item (e+1)E - 1
+                // transitively depends on every node of epoch e, so the
+                // idle buckets are complete here.
+                if n_epochs > 0 && (k as u64 + 1) % epoch_items == 0 {
+                    let gov = governor.as_mut().expect("epochs imply a governor");
+                    let e = k / epoch_items as usize;
+                    let dur = (r.saturating_sub(epoch_mark)).as_secs_f64();
+                    let stations: Vec<StationSample> = (0..n)
+                        .map(|g| {
+                            let frac = if dur > 0.0 {
+                                epoch_idle[e][g].as_secs_f64() / dur
+                            } else {
+                                0.0
+                            };
+                            StationSample::new(cores[g], frac)
+                        })
+                        .collect();
+                    gov.observe_epoch(&stations);
+                    epoch_states.push(gov.state().clone());
+                    epoch_mark = r;
+                }
+                // Piecewise-energy boundary: record the state the next
+                // item runs under, stamped at this item's delivery (the
+                // same boundary instant the frame-major flavor uses).
+                if !epoch_states.is_empty() && k + 1 < items {
+                    let e_next = (k + 1) / epoch_items as usize;
+                    let next = epoch_states
+                        .get(e_next)
+                        .unwrap_or_else(|| epoch_states.last().expect("seeded"));
+                    let last = &dvfs_schedule.last().expect("seeded").1;
+                    if next != last {
+                        dvfs_schedule.push((r, next.clone()));
+                    }
+                }
+            }
+
+            // Enable dependents: own next compute, downstream compute,
+            // upstream rendezvous.
+            let mut enable = |g2: usize, k2: usize, kind2: u8, heap: &mut BinaryHeap<_>| {
+                let j = 2 * idx(g2, k2) + kind2 as usize;
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    let est = if kind2 == EV_COMPUTE {
+                        let a = if g2 > 0 { send_done[idx(g2 - 1, k2)] } else { SimTime::ZERO };
+                        let f = if k2 > 0 { send_done[idx(g2, k2 - 1)] } else { SimTime::ZERO };
+                        a.max(f)
+                    } else {
+                        let rv = if g2 + 1 < n && k2 > 0 {
+                            send_done[idx(g2 + 1, k2 - 1)]
+                        } else {
+                            SimTime::ZERO
+                        };
+                        comp_done[idx(g2, k2)].max(rv)
+                    };
+                    heap.push(Reverse((est, k2, g2, kind2)));
+                }
+            };
+            if k + 1 < items {
+                enable(g, k + 1, EV_COMPUTE, &mut heap);
+            }
+            if g + 1 < n {
+                enable(g + 1, k, EV_COMPUTE, &mut heap);
+            }
+            if g > 0 && k + 1 < items {
+                enable(g - 1, k + 1, EV_SEND, &mut heap);
+            }
+        }
+    }
+    assert_eq!(processed, 2 * n * items, "DES drained every event");
+
+    finish_workload_report(
+        cfg,
+        &chain,
+        &groups,
+        &cores,
+        &platform,
+        &tel,
+        &busy,
+        &idle,
+        finish,
+        governor.as_ref(),
+        &dvfs_schedule,
+    )
+}
+
+/// Shared tail of both workload executors: energy accounting (piecewise
+/// when the governor moved a frequency), telemetry rollups, the report,
+/// and — behind `cfg.verify` — the invariant checker.
+#[allow(clippy::too_many_arguments)]
+fn finish_workload_report(
+    cfg: &RunConfig,
+    chain: &ResolvedChain,
+    groups: &[Range<usize>],
+    cores: &[CoreId],
+    platform: &SccPlatform,
+    tel: &TelemetrySink,
+    busy: &[SimTime],
+    idle: &[Vec<SimTime>],
+    finish: SimTime,
+    governor: Option<&Governor>,
+    dvfs_schedule: &[(SimTime, DvfsState)],
+) -> GenericReport {
+    let total = finish.as_secs_f64();
+    let (energy, idle_floor) = if dvfs_schedule.len() > 1 {
+        (
+            platform.energy_joules_piecewise(dvfs_schedule, finish),
+            dvfs_schedule
+                .iter()
+                .map(|(_, s)| platform.idle_power_for(s))
+                .fold(f64::INFINITY, f64::min),
+        )
+    } else {
+        (
+            platform.energy_joules(finish),
+            platform.idle_power_for(platform.dvfs()),
+        )
+    };
+    let group_names: Vec<String> = groups
+        .iter()
+        .map(|r| chain.names[r.clone()].join("+"))
+        .collect();
+    let stages: Vec<GenericStageReport> = group_names
+        .iter()
+        .enumerate()
+        .map(|(g, name)| GenericStageReport {
+            name: name.clone(),
+            core_id: cores[g].raw(),
+            busy_secs: busy[g].as_secs_f64(),
+            idle_ms: Quartiles::from_times(&idle[g]),
+            utilisation: busy[g].as_secs_f64() / total.max(1e-12),
+        })
+        .collect();
+
+    if tel.is_enabled() {
+        for (g, name) in group_names.iter().enumerate() {
+            let labels = [("pipeline", "-"), ("stage", name.as_str())];
+            if let Some(h) = tel.histogram(names::STAGE_IDLE_MS, &labels, IDLE_MS_BUCKETS) {
+                for t in &idle[g] {
+                    h.observe(t.as_secs_f64() * 1e3);
+                }
+            }
+            tel.gauge(names::STAGE_BUSY_SECONDS, &labels, busy[g].as_secs_f64());
+            tel.count(names::STAGE_FRAMES_TOTAL, &labels, chain.items);
+        }
+        tel.count(names::FRAMES_TOTAL, &[], chain.items);
+        tel.gauge(names::WALKTHROUGH_SECONDS, &[], total);
+        tel.gauge(names::ENERGY_JOULES, &[], energy);
+        let stats = platform.stats();
+        tel.count(names::NOC_MESSAGES_TOTAL, &[], stats.noc_messages);
+        tel.count(names::NOC_BYTES_TOTAL, &[], stats.noc_bytes);
+        if let Some(gov) = governor {
+            tel.count(names::DVFS_EPOCHS_TOTAL, &[], gov.epochs() as u64);
+            tel.count(names::DVFS_RAISES_TOTAL, &[], gov.raises() as u64);
+            tel.count(names::DVFS_THROTTLES_TOTAL, &[], gov.throttles() as u64);
+            tel.count(names::DVFS_CAP_BLOCKS_TOTAL, &[], gov.cap_blocks() as u64);
+            let last = &dvfs_schedule.last().expect("seeded").1;
+            for tile in scc_sim::TileId::all() {
+                let freq = last.tile_freq(tile);
+                if freq != scc_sim::FreqMHz::F533 {
+                    let label = tile.raw().to_string();
+                    tel.gauge(
+                        names::DVFS_TILE_FREQ_MHZ,
+                        &[("tile", &label)],
+                        freq.mhz() as f64,
+                    );
+                }
+            }
+        }
+    }
+
+    let report = GenericReport {
+        total_secs: total,
+        items: chain.items,
+        stages,
+        mean_power: energy / total.max(1e-12),
+        energy_joules: energy,
+        output_digest: chain.output_digest,
+        scc_idle_power: idle_floor,
+        dvfs_decisions: governor.map(|g| g.decisions().to_vec()).unwrap_or_default(),
+        telemetry: tel.snapshot(),
+    };
+    if cfg.verify {
+        let mut violations = crate::invariant::check_generic_report(&report);
+        if let Err(e) = platform.audit_noc() {
+            violations.push(crate::invariant::Violation::new("noc-conservation", e));
+        }
+        crate::invariant::enforce(cfg, &violations);
+    }
+    report
 }
 
 #[cfg(test)]
@@ -348,5 +1087,165 @@ mod tests {
     #[should_panic(expected = "empty pipeline")]
     fn rejects_empty_chain() {
         run(&mut [], 1);
+    }
+
+    // --- the spec-driven workload plane ------------------------------
+
+    use crate::spec::{GenericChainSpec, GenericStageSpec, GovernorTuning, WavefrontSpec};
+
+    fn chain_cfg() -> RunConfig {
+        RunConfig::builder()
+            .workload(Workload::Generic(GenericChainSpec {
+                stages: vec![
+                    GenericStageSpec::compute("parse", 12.0),
+                    GenericStageSpec {
+                        read_factor: 1.0,
+                        out_factor: 1.0 / 3.0,
+                        ..GenericStageSpec::compute("compress", 90.0)
+                    },
+                    GenericStageSpec::compute("encrypt", 25.0),
+                ],
+                items: 48,
+                source_bytes: 64 * 1024,
+            }))
+            .build()
+            .expect("valid chain config")
+    }
+
+    fn wavefront_cfg(governed: bool) -> RunConfig {
+        let mut b = RunConfig::builder()
+            .seed(11)
+            .workload(Workload::Wavefront(WavefrontSpec::default()));
+        if governed {
+            b = b.power_governed(GovernorTuning::default());
+        }
+        b.build().expect("valid wavefront config")
+    }
+
+    #[test]
+    fn resolve_threads_payload_and_digests_the_flow() {
+        let chain = ResolvedChain::resolve(&chain_cfg());
+        assert_eq!(chain.names, ["parse", "compress", "encrypt"]);
+        assert_eq!(chain.items, 48);
+        // Payload threads: 64K into parse, 64K into compress, 64K/3 out.
+        assert_eq!(chain.in_bytes(1, 0), 64 * 1024);
+        assert_eq!(chain.work(1, 7).out_bytes, 64 * 1024 / 3);
+        assert_eq!(chain.in_bytes(2, 0), 64 * 1024 / 3);
+        let again = ResolvedChain::resolve(&chain_cfg());
+        assert_eq!(chain.output_digest, again.output_digest);
+        assert_ne!(chain.output_digest, 0);
+    }
+
+    #[test]
+    fn wavefront_resolve_is_item_varying_and_seed_keyed() {
+        let a = ResolvedChain::resolve(&wavefront_cfg(false));
+        assert_eq!(a.names, WAVEFRONT_STAGES);
+        assert!(a.items >= 16, "only {} waves", a.items);
+        // Per-item work moves with the frontier — not a uniform table.
+        let cycles: Vec<u64> = (0..a.items).map(|k| a.work(1, k).cycles as u64).collect();
+        assert!(cycles.iter().any(|&c| c != cycles[0]));
+        let mut other = wavefront_cfg(false);
+        other.seed = 12;
+        let b = ResolvedChain::resolve(&other);
+        assert_ne!(a.output_digest, b.output_digest);
+    }
+
+    #[test]
+    fn plan_groups_merges_only_under_the_bottleneck() {
+        // One heavy stage and three light ones: the light neighbors can
+        // share a core without slowing the cadence the heavy stage sets.
+        let cfg = RunConfig::builder()
+            .workload(Workload::Generic(GenericChainSpec {
+                stages: vec![
+                    GenericStageSpec::compute("parse", 10.0),
+                    GenericStageSpec::compute("compress", 90.0),
+                    GenericStageSpec::compute("encrypt", 15.0),
+                    GenericStageSpec::compute("checksum", 4.0),
+                ],
+                items: 16,
+                source_bytes: 64 * 1024,
+            }))
+            .build()
+            .expect("valid config");
+        let chain = ResolvedChain::resolve(&cfg);
+        assert_eq!(plan_groups(&chain, false), vec![0..1, 1..2, 2..3, 3..4]);
+        let merged = plan_groups(&chain, true);
+        // encrypt + checksum merge under the compress bottleneck; every
+        // stage still appears exactly once, contiguously.
+        assert!(merged.len() < 4, "nothing merged: {merged:?}");
+        assert_eq!(merged.first().unwrap().start, 0);
+        assert_eq!(merged.last().unwrap().end, 4);
+        for pair in merged.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        let bottleneck = (0..4).map(|j| chain.stage_cost(j)).fold(0.0, f64::max);
+        for g in &merged {
+            let cost: f64 = g.clone().map(|j| chain.stage_cost(j)).sum();
+            assert!(cost <= bottleneck * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn island_major_placement_spreads_groups_across_islands() {
+        let cores: Vec<CoreId> = (0..12).map(island_major_core).collect();
+        let mut seen = std::collections::HashSet::new();
+        for c in &cores {
+            assert!(seen.insert(c.raw()), "core {} reused", c.raw());
+        }
+        // The first six groups each own a distinct voltage island.
+        let islands: std::collections::HashSet<u8> = cores[..6]
+            .iter()
+            .map(|c| IslandId::of_tile(c.tile()).index() as u8)
+            .collect();
+        assert_eq!(islands.len(), 6);
+    }
+
+    #[test]
+    fn workload_backends_agree_on_output_and_disagree_only_in_noise() {
+        for cfg in [chain_cfg(), wavefront_cfg(false)] {
+            let sim = run_workload_sim(&cfg);
+            let des = run_workload_des(&cfg);
+            assert_eq!(sim.output_digest, des.output_digest);
+            assert_eq!(sim.items, des.items);
+            assert!(sim.dvfs_decisions.is_empty());
+            let diff = (sim.total_secs - des.total_secs).abs() / sim.total_secs;
+            assert!(
+                diff < 0.03,
+                "{}: sim {} vs des {} ({:.2}%)",
+                cfg.workload.name(),
+                sim.total_secs,
+                des.total_secs,
+                diff * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn governed_wavefront_matches_across_backends() {
+        let cfg = wavefront_cfg(true);
+        let sim = run_workload_sim(&cfg);
+        let des = run_workload_des(&cfg);
+        // The governor must act, identically under both schedules, and
+        // the workload output must not notice the frequency moves.
+        assert!(!sim.dvfs_decisions.is_empty(), "governor never acted");
+        assert_eq!(sim.dvfs_decisions, des.dvfs_decisions);
+        assert_eq!(sim.output_digest, des.output_digest);
+        let stat = run_workload_sim(&wavefront_cfg(false));
+        assert_eq!(sim.output_digest, stat.output_digest);
+        assert!(crate::invariant::check_generic_report(&sim).is_empty());
+        assert!(crate::invariant::check_generic_report(&des).is_empty());
+    }
+
+    #[test]
+    fn static_power_plan_changes_the_workload_timeline() {
+        let base = run_workload_sim(&chain_cfg());
+        let mut throttled = chain_cfg();
+        // Slow the bottleneck group's core (group 1 -> island 1).
+        let core = island_major_core(1);
+        throttled.power =
+            PowerConfig::Static(vec![(core, scc_sim::FreqMHz::F400)]);
+        let slow = run_workload_sim(&throttled);
+        assert!(slow.total_secs > base.total_secs * 1.05);
+        assert_eq!(slow.output_digest, base.output_digest);
     }
 }

@@ -89,9 +89,123 @@ pub fn check_report(report: &WalkthroughReport) -> Vec<Violation> {
     check_energy_identity(report, &mut v);
     check_events(report, &mut v);
     check_tasks(report, &mut v);
+    v.extend(check_dvfs_decisions(&report.dvfs_decisions));
     if let Some(trace) = &report.trace {
         check_trace(report, trace.events(), &mut v);
     }
+    v
+}
+
+/// Every governor decision must be a *legal* move: epochs strictly
+/// increase (one decision per epoch, in order) and each Raise/Throttle
+/// steps exactly one rung of the 400/533/800 ladder — the control law
+/// never teleports a tile across the frequency range in one epoch.
+pub fn check_dvfs_decisions(decisions: &[crate::governor::GovernorDecision]) -> Vec<Violation> {
+    use crate::governor::{adjacent_steps, GovernorAction};
+    let mut v = Vec::new();
+    let mut prev_epoch: Option<u32> = None;
+    for d in decisions {
+        if let Some(p) = prev_epoch {
+            if d.epoch <= p {
+                v.push(Violation::new(
+                    "dvfs-legality",
+                    format!("decision at epoch {} after epoch {p}", d.epoch),
+                ));
+            }
+        }
+        prev_epoch = Some(d.epoch);
+        match d.action {
+            GovernorAction::Raise { tile, from, to } => {
+                if to.mhz() <= from.mhz() || !adjacent_steps(from, to) {
+                    v.push(Violation::new(
+                        "dvfs-legality",
+                        format!(
+                            "epoch {}: raise of tile {} from {} to {} MHz is not \
+                             one step up",
+                            d.epoch,
+                            tile.index(),
+                            from.mhz(),
+                            to.mhz()
+                        ),
+                    ));
+                }
+            }
+            GovernorAction::Throttle { island, from, to } => {
+                if to.mhz() >= from.mhz() || !adjacent_steps(from, to) {
+                    v.push(Violation::new(
+                        "dvfs-legality",
+                        format!(
+                            "epoch {}: throttle of island {} from {} to {} MHz is \
+                             not one step down",
+                            d.epoch,
+                            island.index(),
+                            from.mhz(),
+                            to.mhz()
+                        ),
+                    ));
+                }
+            }
+            GovernorAction::Hold | GovernorAction::CapBlocked { .. } => {}
+        }
+    }
+    v
+}
+
+/// Report-level invariants for the workload plane (`Generic` and
+/// `Wavefront` runs): finite positive totals, per-group busy time inside
+/// the walkthrough, the energy identity against the cheapest idle floor
+/// the run visited, and a legal governor trace.
+pub fn check_generic_report(r: &crate::generic::GenericReport) -> Vec<Violation> {
+    let mut v = Vec::new();
+    if !(r.total_secs.is_finite() && r.total_secs > 0.0) {
+        v.push(Violation::new(
+            "totals",
+            format!("workload time {} not positive finite", r.total_secs),
+        ));
+    }
+    if r.items == 0 {
+        v.push(Violation::new("totals", "run processed zero items"));
+    }
+    for s in &r.stages {
+        if !(s.busy_secs.is_finite() && s.busy_secs >= 0.0)
+            || s.busy_secs > r.total_secs * (1.0 + 1e-9)
+        {
+            v.push(Violation::new(
+                "totals",
+                format!(
+                    "group {} busy {}s outside [0, total {}s]",
+                    s.name, s.busy_secs, r.total_secs
+                ),
+            ));
+        }
+        if !(0.0..=1.0 + 1e-9).contains(&s.utilisation) {
+            v.push(Violation::new(
+                "totals",
+                format!("group {} utilisation {}", s.name, s.utilisation),
+            ));
+        }
+    }
+    let idle_floor = r.scc_idle_power * r.total_secs;
+    let eps = 1e-6 * r.energy_joules.abs().max(1.0);
+    if !(r.energy_joules.is_finite() && r.energy_joules + eps >= idle_floor) {
+        v.push(Violation::new(
+            "energy-identity",
+            format!(
+                "energy {} J below the idle floor {} J ({} W x {} s)",
+                r.energy_joules, idle_floor, r.scc_idle_power, r.total_secs
+            ),
+        ));
+    }
+    if (r.mean_power * r.total_secs - r.energy_joules).abs() > eps {
+        v.push(Violation::new(
+            "energy-identity",
+            format!(
+                "mean power {} W x {} s != {} J",
+                r.mean_power, r.total_secs, r.energy_joules
+            ),
+        ));
+    }
+    v.extend(check_dvfs_decisions(&r.dvfs_decisions));
     v
 }
 

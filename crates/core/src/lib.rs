@@ -38,6 +38,7 @@ pub mod cost;
 pub mod facade;
 pub mod frame;
 pub mod generic;
+pub mod governor;
 pub mod invariant;
 pub mod metrics;
 pub mod partition;
@@ -51,13 +52,23 @@ pub mod supervise;
 pub(crate) mod taskrt;
 pub mod trace;
 pub mod viz;
+pub mod wavefront;
 
 pub use baseline::{run_baseline, BaselineReport};
 pub use cost::CostModel;
 pub use facade::{default_scene, run, run_with_scene, Backend, BackendReport, RunOutcome};
 pub use frame::Frame;
-pub use generic::{run_generic_chain, FnStage, GenericReport, MacroStage, StageWork};
-pub use invariant::{check_report, check_session_ledger, enforce, Violation};
+pub use generic::{
+    run_generic_chain, FnStage, GenericReport, GenericStageReport, MacroStage, StageWork,
+    WAVEFRONT_STAGES,
+};
+pub use governor::{
+    adjacent_steps, replay_decisions, Governor, GovernorAction, GovernorDecision, StationSample,
+};
+pub use invariant::{
+    check_dvfs_decisions, check_generic_report, check_report, check_session_ledger, enforce,
+    Violation,
+};
 pub use metrics::{
     DegradationEvent, HostTiming, RecoveryEvent, StageReport, TaskStats, WalkthroughReport,
 };
@@ -71,10 +82,12 @@ pub use runner::des::{run_des, DesReport};
 pub use runner::native::{run_native, NativeReport};
 pub use runner::sim::{DvfsPlan, SimRunner};
 pub use spec::{
-    Arrangement, FaultSpec, Fidelity, FuseChoice, KernelChoice, KillSpec, NativeTuning,
-    RendererMode, RunConfig, RunConfigBuilder, Runtime, StageKind, StallSpec, TaskTuning,
+    Arrangement, FaultSpec, Fidelity, FuseChoice, GenericChainSpec, GenericStageSpec,
+    GovernorTuning, KernelChoice, KillSpec, NativeTuning, PowerConfig, RendererMode, RunConfig,
+    RunConfigBuilder, Runtime, StageKind, StallSpec, TaskTuning, WavefrontSpec, Workload,
 };
 pub use stage_graph::{StageClass, StageGraph, StageNode, StageWeights, WeightSource};
 pub use supervise::{resolve_kills, CheckpointRing, Supervisor, STAGE_PROVISION_BYTES};
 pub use trace::{Phase, TraceEvent, TraceLog};
 pub use viz::{VizClient, VizReport};
+pub use wavefront::{propagate, WavefrontTrace};

@@ -188,6 +188,10 @@ pub struct WalkthroughReport {
     /// Task-runtime ledger; `Some` exactly when the run executed under
     /// [`crate::spec::Runtime::Tasks`].
     pub task_stats: Option<TaskStats>,
+    /// Closed-loop DVFS decision trace, one entry per observed epoch
+    /// (empty unless the power plane is
+    /// [`crate::spec::PowerConfig::Governed`]).
+    pub dvfs_decisions: Vec<crate::governor::GovernorDecision>,
     /// Final assembled frames (full fidelity only).
     #[serde(skip)]
     pub outputs: Option<Vec<Image>>,
@@ -261,6 +265,32 @@ impl WalkthroughReport {
                     fault.max_spares,
                 );
             }
+        }
+        if !self.config.power.is_default() {
+            match &self.config.power {
+                crate::spec::PowerConfig::Static(pairs) => {
+                    let _ = write!(out, "power static");
+                    for (core, freq) in pairs {
+                        let _ = write!(out, " {}@{}", core.raw(), freq.mhz());
+                    }
+                    let _ = writeln!(out);
+                }
+                crate::spec::PowerConfig::Governed(t) => {
+                    let _ = writeln!(
+                        out,
+                        "power governed epoch={} hyst={} raise={:016x} throttle={:016x} \
+                         cap={:016x}",
+                        t.epoch_frames,
+                        t.hysteresis_epochs,
+                        t.bottleneck_idle_frac.to_bits(),
+                        t.throttle_idle_frac.to_bits(),
+                        t.power_cap_watts.to_bits(),
+                    );
+                }
+            }
+        }
+        for d in &self.dvfs_decisions {
+            let _ = writeln!(out, "dvfs e={} {:?}", d.epoch, d.action);
         }
         let _ = writeln!(out, "total={:016x}", self.total_secs.to_bits());
         for s in &self.stage_reports {
@@ -434,6 +464,7 @@ mod tests {
                 mttr_secs: 0.5,
             }],
             task_stats: None,
+            dvfs_decisions: vec![],
             outputs: None,
             trace: None,
             telemetry: None,

@@ -327,22 +327,53 @@ fn place_rows(mode: RendererMode, p: u32, flip: bool) -> Placement {
 }
 
 /// A placement for the DVFS experiment (§VI-D, Figure 18): a single
-/// pipeline with the blur stage *alone on its own tile*, in a voltage
-/// island not shared with any other stage, so only that island needs the
-/// 1.3 V uplift. Returns the placement; the blur core is
-/// `placement.pipelines[0][1]`.
+/// pipeline with the bottleneck filter *alone on its own tile*, in a
+/// voltage island not shared with any other stage, so only that island
+/// needs the 1.3 V uplift. Returns the placement; the isolated core is
+/// `placement.pipelines[0][1]` (blur, under the calibrated cost model).
+///
+/// Which filter earns the isolation is read off the scheduler's own
+/// weight table ([`crate::partition::auto_place`]'s decision graph)
+/// rather than hardcoded, so a cost-model recalibration that moves the
+/// bottleneck moves the 1.3 V uplift with it.
 pub fn place_dvfs_single_pipeline(mode: RendererMode) -> Placement {
-    assert!(
-        mode != RendererMode::PerPipelineRenderer || mode.cores_needed(1) <= 48,
-        "always fits"
-    );
-    // Island layout: islands are 2×2 tiles. Put blur on tile (2,0)
-    // (island 1) and everything else in islands 0 and 2.
-    let blur = core_at(2, 0, 0);
-    let sepia = core_at(1, 0, 0);
-    let scratch = core_at(4, 0, 0);
-    let flicker = core_at(4, 0, 1);
-    let swap = core_at(5, 0, 0);
+    let cfg = crate::spec::RunConfig {
+        renderer: mode,
+        pipelines: 1,
+        ..crate::spec::RunConfig::default()
+    };
+    let auto = crate::partition::auto_place(&cfg);
+    let interior = auto.graph.interior();
+    let filters = interior.len();
+    assert_eq!(filters, 5, "the film chain has five filter stages");
+    let hot = (0..filters)
+        .max_by(|&a, &b| {
+            interior[a]
+                .weight
+                .partial_cmp(&interior[b].weight)
+                .expect("finite stage weights")
+        })
+        .expect("non-empty chain");
+
+    // Island geometry: islands are 2×2 tiles. The hot stage sits alone
+    // on tile (2,0) — island 1, otherwise empty — while the remaining
+    // filters pack into islands 0 and 2 (one neighbour beside the
+    // source, the cool tail two-per-tile next to the transfer core), so
+    // exactly one island pays for 800 MHz.
+    let isolated = core_at(2, 0, 0);
+    let shared = [
+        core_at(1, 0, 0),
+        core_at(4, 0, 0),
+        core_at(4, 0, 1),
+        core_at(5, 0, 0),
+    ];
+    let mut shared_slots = shared.iter();
+    let mut lane = [isolated; 5];
+    for (j, slot) in lane.iter_mut().enumerate() {
+        if j != hot {
+            *slot = *shared_slots.next().expect("four shared slots");
+        }
+    }
     let transfer = core_at(5, 0, 1);
     let source = core_at(0, 0, 0);
     let (renderers, connector) = match mode {
@@ -352,11 +383,22 @@ pub fn place_dvfs_single_pipeline(mode: RendererMode) -> Placement {
     let p = Placement {
         renderers,
         connector,
-        pipelines: vec![[sepia, blur, scratch, flicker, swap]],
+        pipelines: vec![lane],
         replicas: Vec::new(),
         transfer,
     };
     p.assert_valid();
+    // The isolated tile's island hosts nothing else.
+    let hot_island = scc_sim::dvfs::IslandId::of_tile(lane[hot].tile());
+    for c in p.all_cores() {
+        if c != lane[hot] {
+            assert_ne!(
+                scc_sim::dvfs::IslandId::of_tile(c.tile()),
+                hot_island,
+                "the bottleneck island must not be shared"
+            );
+        }
+    }
     p
 }
 

@@ -234,11 +234,19 @@ impl SimRunner {
     /// Constructing a `SimRunner` directly remains the right move for
     /// sim-only knobs such as [`SimRunner::with_parts`] DVFS plans.
     pub fn run(mut self) -> WalkthroughReport {
-        if self.cfg.runtime == crate::spec::Runtime::Tasks {
-            return crate::taskrt::run_tasks(self, crate::taskrt::ScheduleFlavor::Sim);
-        }
+        // Static operating point, set before the runtime dispatch so the
+        // task executor shares it. The deprecated `DvfsPlan` alias goes
+        // first; the `RunConfig` power plane wins where they overlap.
         for (core, freq) in &self.dvfs.settings {
             self.platform.set_core_frequency(*core, *freq);
+        }
+        if let crate::spec::PowerConfig::Static(pairs) = &self.cfg.power {
+            for (core, freq) in pairs {
+                self.platform.set_core_frequency(*core, *freq);
+            }
+        }
+        if self.cfg.runtime == crate::spec::Runtime::Tasks {
+            return crate::taskrt::run_tasks(self, crate::taskrt::ScheduleFlavor::Sim);
         }
         // Every placed stage spin-waits on its RCCE flags when idle.
         self.platform.set_spinning(self.placement.all_cores());
@@ -359,8 +367,55 @@ impl SimRunner {
             None => Vec::new(),
         };
 
+        // ---- closed-loop DVFS (governed power plane) ----
+        // Epoch e covers frames [eE, (e+1)E); its samples are observed at
+        // the end of frame (e+1)E - 1 and the decision takes effect at
+        // the top of frame (e+2)E — the one-epoch lag keeps the DES
+        // backend's pipelined lookahead on an already-decided state, and
+        // both backends inherit the identical frame-to-epoch mapping.
+        let epoch_frames = match &self.cfg.power {
+            crate::spec::PowerConfig::Governed(t) => t.epoch_frames as u64,
+            crate::spec::PowerConfig::Static(_) => u64::MAX,
+        };
+        let mut governor = match &self.cfg.power {
+            crate::spec::PowerConfig::Governed(t) => Some(
+                crate::governor::Governor::new(
+                    t.clone(),
+                    self.platform.power_calibration().clone(),
+                    self.platform.dvfs().clone(),
+                )
+                .protect(
+                    self.placement
+                        .renderers
+                        .iter()
+                        .copied()
+                        .chain(self.placement.connector),
+                ),
+            ),
+            crate::spec::PowerConfig::Static(_) => None,
+        };
+        // Piecewise-energy boundaries: the DVFS state in force from each
+        // instant. A single entry (ungoverned, or governed with no moves)
+        // reduces to the legacy whole-run accounting.
+        let mut dvfs_schedule: Vec<(SimTime, scc_sim::DvfsState)> =
+            vec![(SimTime::ZERO, self.platform.dvfs().clone())];
+        let mut pending_dvfs: std::collections::VecDeque<(u64, scc_sim::DvfsState)> =
+            std::collections::VecDeque::new();
+        let mut epoch_mark = SimTime::ZERO;
+        let mut idle_seen: HashMap<u8, SimTime> = HashMap::new();
+
         for f in 0..self.cfg.frames {
             let cam = self.walkthrough.camera(f);
+            if let Some((at, _)) = pending_dvfs.front() {
+                if *at == f {
+                    let (_, state) = pending_dvfs.pop_front().expect("front checked");
+                    self.platform.apply_dvfs(&state);
+                    // The epoch boundary on the virtual timeline is the
+                    // previous frame's transfer-out — the same instant
+                    // the epoch-duration accounting uses.
+                    dvfs_schedule.push((transfer.free, state));
+                }
+            }
             route_replicas(&plan, &mut filters, &mut extras, f);
 
             // ---- source: produce the P strips of frame f ----
@@ -790,6 +845,51 @@ impl SimRunner {
             // Return the frame's replicas to their pool slots (swap is an
             // involution), so frame f + 1 routes from a clean layout.
             route_replicas(&plan, &mut filters, &mut extras, f);
+
+            // ---- governed power plane: end-of-epoch observation ----
+            if let Some(gov) = governor.as_mut() {
+                if (f + 1) % epoch_frames == 0 {
+                    let epoch_end = transfer.free;
+                    let dur = (epoch_end - epoch_mark).as_secs_f64();
+                    if dur > 0.0 {
+                        // Stations are the placed filter stages (primaries
+                        // and replicas) plus the transfer stage: the cores
+                        // whose idle histogram Figure 15 plots and whose
+                        // tiles the paper's §VI-D split moves.
+                        let mut stations: Vec<crate::governor::StationSample> = Vec::new();
+                        {
+                            let mut sample = |s: &StageState| {
+                                let total: SimTime = s.idle_samples.iter().copied().sum();
+                                let prev = idle_seen
+                                    .insert(s.core.raw(), total)
+                                    .unwrap_or(SimTime::ZERO);
+                                let idle = (total.saturating_sub(prev)).as_secs_f64();
+                                stations.push(crate::governor::StationSample::new(
+                                    s.core,
+                                    idle / dur,
+                                ));
+                            };
+                            for pipe in &filters {
+                                for s in pipe {
+                                    sample(s);
+                                }
+                            }
+                            for lane in &extras {
+                                for states in lane {
+                                    for s in states {
+                                        sample(s);
+                                    }
+                                }
+                            }
+                            sample(&transfer);
+                        }
+                        if let Some(state) = gov.observe_epoch(&stations) {
+                            pending_dvfs.push_back((f + 1 + epoch_frames, state));
+                        }
+                    }
+                    epoch_mark = epoch_end;
+                }
+            }
         }
         // Release the healer's borrows on the supervision state before
         // the report is assembled.
@@ -839,8 +939,26 @@ impl SimRunner {
         }
         stage_reports.push(transfer.report());
 
-        let power_trace = self.platform.power_trace(finish, SimTime::from_secs(1));
-        let energy = self.platform.energy_joules(finish);
+        // Governed runs with applied moves integrate energy piecewise
+        // over the schedule; everything else keeps the byte-identical
+        // whole-run path.
+        let (power_trace, energy, idle_floor) = if dvfs_schedule.len() > 1 {
+            (
+                self.platform
+                    .power_trace_piecewise(&dvfs_schedule, finish, SimTime::from_secs(1)),
+                self.platform.energy_joules_piecewise(&dvfs_schedule, finish),
+                dvfs_schedule
+                    .iter()
+                    .map(|(_, s)| self.platform.idle_power_for(s))
+                    .fold(f64::INFINITY, f64::min),
+            )
+        } else {
+            (
+                self.platform.power_trace(finish, SimTime::from_secs(1)),
+                self.platform.energy_joules(finish),
+                self.platform.idle_power(),
+            )
+        };
 
         // ---- telemetry: fold the run's ledgers into the sink ----
         // Pure observation of state the report already carries, recorded
@@ -892,6 +1010,27 @@ impl SimRunner {
                     },
                 );
             }
+            if let Some(gov) = governor.as_ref() {
+                self.tel
+                    .count(names::DVFS_EPOCHS_TOTAL, &[], gov.epochs() as u64);
+                self.tel
+                    .count(names::DVFS_RAISES_TOTAL, &[], gov.raises() as u64);
+                self.tel
+                    .count(names::DVFS_THROTTLES_TOTAL, &[], gov.throttles() as u64);
+                self.tel
+                    .count(names::DVFS_CAP_BLOCKS_TOTAL, &[], gov.cap_blocks() as u64);
+                for tile in scc_sim::TileId::all() {
+                    let freq = self.platform.dvfs().tile_freq(tile);
+                    if freq != FreqMHz::F533 {
+                        let label = tile.raw().to_string();
+                        self.tel.gauge(
+                            names::DVFS_TILE_FREQ_MHZ,
+                            &[("tile", &label)],
+                            freq.mhz() as f64,
+                        );
+                    }
+                }
+            }
             if let Some(log) = trace.as_ref() {
                 log.record_into(&self.tel);
             }
@@ -903,7 +1042,11 @@ impl SimRunner {
             stage_reports,
             power_trace,
             scc_energy_joules: energy,
-            scc_idle_power: self.platform.idle_power(),
+            scc_idle_power: idle_floor,
+            dvfs_decisions: governor
+                .as_ref()
+                .map(|g| g.decisions().to_vec())
+                .unwrap_or_default(),
             mcpc_busy_secs: mcpc_busy.as_secs_f64(),
             platform: self.platform.stats(),
             degradations,
@@ -2210,3 +2353,7 @@ mod trace_tests {
         assert!(report.trace.is_none());
     }
 }
+
+// The governor's convergence behaviour (which tiles it raises, which
+// islands it throttles, sim/DES decision-trace equality) is pinned by
+// the dedicated suite in `tests/governor_convergence.rs`.

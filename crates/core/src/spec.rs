@@ -1,5 +1,6 @@
 //! Pipeline configuration: renderer mode, arrangement, geometry, fidelity.
 
+use scc_sim::{CoreId, FreqMHz};
 use serde::Serialize;
 
 /// The stage types of the paper's macro pipeline (§IV).
@@ -471,6 +472,336 @@ impl NativeTuning {
     }
 }
 
+/// Tuning of the closed-loop per-tile DVFS governor
+/// ([`PowerConfig::Governed`]). The governor samples per-stage idle
+/// fractions once per `epoch_frames` delivered frames and moves one tile
+/// (or one voltage island) one frequency step at a time: the stage with
+/// the smallest idle fraction is raised when it sits below
+/// `bottleneck_idle_frac`, and a whole island is throttled when every
+/// stage on it idles above `throttle_idle_frac`. Raises are suppressed
+/// once the floor-power delta over the uniform-533 baseline would exceed
+/// `power_cap_watts`. A candidate move must repeat for
+/// `hysteresis_epochs` consecutive epochs before it is applied, which
+/// bounds frequency flips (the no-oscillation invariant).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GovernorTuning {
+    /// Frames (or generic work items) per control epoch. Decisions made
+    /// at the end of epoch `e` take effect in epoch `e + 2`, so both
+    /// virtual-time backends — frame-major and event-driven — see the
+    /// identical work-to-frequency mapping despite pipelined lookahead.
+    pub epoch_frames: u32,
+    /// Consecutive epochs a candidate move must persist before it is
+    /// applied.
+    pub hysteresis_epochs: u32,
+    /// A stage idling below this fraction of the epoch is a bottleneck
+    /// candidate.
+    pub bottleneck_idle_frac: f64,
+    /// An island whose every resident stage idles above this fraction is
+    /// a throttle candidate.
+    pub throttle_idle_frac: f64,
+    /// Energy budget: cap on the chip floor-power increase (watts) over
+    /// the uniform-533 baseline that raises may accumulate.
+    pub power_cap_watts: f64,
+}
+
+impl Default for GovernorTuning {
+    fn default() -> Self {
+        GovernorTuning {
+            epoch_frames: 8,
+            hysteresis_epochs: 2,
+            bottleneck_idle_frac: 0.10,
+            throttle_idle_frac: 0.55,
+            power_cap_watts: 8.0,
+        }
+    }
+}
+
+impl GovernorTuning {
+    pub fn validate(&self) -> Result<(), String> {
+        if self.epoch_frames == 0 {
+            return Err("governor epoch_frames must be at least 1 (zero epoch)".into());
+        }
+        if self.hysteresis_epochs == 0 {
+            return Err("governor hysteresis_epochs must be at least 1".into());
+        }
+        for (name, v) in [
+            ("bottleneck_idle_frac", self.bottleneck_idle_frac),
+            ("throttle_idle_frac", self.throttle_idle_frac),
+        ] {
+            if !v.is_finite() || !(0.0..1.0).contains(&v) {
+                return Err(format!("governor {name} {v} outside [0, 1)"));
+            }
+        }
+        if self.bottleneck_idle_frac >= self.throttle_idle_frac {
+            return Err(format!(
+                "governor bottleneck_idle_frac {} must sit below throttle_idle_frac {}",
+                self.bottleneck_idle_frac, self.throttle_idle_frac
+            ));
+        }
+        if !self.power_cap_watts.is_finite() || self.power_cap_watts < 0.0 {
+            return Err(format!(
+                "governor power_cap_watts {} is not a finite non-negative budget",
+                self.power_cap_watts
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The power plane of a run: how per-tile frequencies are chosen.
+///
+/// This lifts the sim-runner-private `DvfsPlan` into [`RunConfig`], so
+/// both virtual-time backends honor the same plan. `Static` is the
+/// paper's open-loop experiment (a fixed frequency per listed core's
+/// tile, everything else at the 533 MHz default); `Governed` closes the
+/// loop with the [`GovernorTuning`] controller.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum PowerConfig {
+    /// Fixed per-tile settings applied before the run starts. The empty
+    /// list is the uniform-533 default.
+    Static(Vec<(CoreId, FreqMHz)>),
+    /// Closed-loop per-tile DVFS driven by live idle telemetry.
+    Governed(GovernorTuning),
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        PowerConfig::Static(Vec::new())
+    }
+}
+
+impl PowerConfig {
+    /// Build a static plan from raw core ids, rejecting ids off the die.
+    pub fn static_plan(
+        pairs: impl IntoIterator<Item = (u8, FreqMHz)>,
+    ) -> Result<PowerConfig, String> {
+        let mut settings = Vec::new();
+        for (raw, freq) in pairs {
+            let core =
+                CoreId::try_new(raw).ok_or_else(|| format!("unknown core {raw} (0..48)"))?;
+            settings.push((core, freq));
+        }
+        Ok(PowerConfig::Static(settings))
+    }
+
+    /// Is this the uniform-533 default (empty static plan)?
+    pub fn is_default(&self) -> bool {
+        matches!(self, PowerConfig::Static(s) if s.is_empty())
+    }
+
+    /// Is the closed-loop governor armed?
+    pub fn governed(&self) -> bool {
+        matches!(self, PowerConfig::Governed(_))
+    }
+
+    /// Short name for digests and fuzz-repro lines.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PowerConfig::Static(_) => "static",
+            PowerConfig::Governed(_) => "governed",
+        }
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            PowerConfig::Static(settings) => {
+                let mut tiles_seen = Vec::new();
+                for (core, _) in settings {
+                    let tile = core.tile();
+                    if tiles_seen.contains(&tile) {
+                        return Err(format!(
+                            "duplicate tile {}: frequency is per tile, set it once",
+                            tile.raw()
+                        ));
+                    }
+                    tiles_seen.push(tile);
+                }
+                Ok(())
+            }
+            PowerConfig::Governed(tuning) => tuning.validate(),
+        }
+    }
+}
+
+/// A declarative stage of a generic macro pipeline: work is an affine
+/// function of the item's input payload, so the whole chain's work
+/// profile is a pure function of the spec (deterministic across
+/// backends).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GenericStageSpec {
+    /// Stage name for reports.
+    pub name: String,
+    /// Cycles charged per item regardless of payload.
+    pub fixed_cycles: f64,
+    /// Cycles charged per input byte.
+    pub cycles_per_byte: f64,
+    /// Auxiliary DRAM reads as a fraction of the input payload.
+    pub read_factor: f64,
+    /// Auxiliary DRAM writes as a fraction of the input payload.
+    pub write_factor: f64,
+    /// Output payload as a fraction of the input payload.
+    pub out_factor: f64,
+}
+
+impl GenericStageSpec {
+    /// A compute-only stage passing its payload through unchanged.
+    pub fn compute(name: &str, cycles_per_byte: f64) -> GenericStageSpec {
+        GenericStageSpec {
+            name: name.to_string(),
+            fixed_cycles: 0.0,
+            cycles_per_byte,
+            read_factor: 0.0,
+            write_factor: 0.0,
+            out_factor: 1.0,
+        }
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("generic stage name must not be empty".into());
+        }
+        for (field, v) in [
+            ("fixed_cycles", self.fixed_cycles),
+            ("cycles_per_byte", self.cycles_per_byte),
+            ("read_factor", self.read_factor),
+            ("write_factor", self.write_factor),
+            ("out_factor", self.out_factor),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!(
+                    "generic stage {} {field} = {v} is not a finite non-negative value",
+                    self.name
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A declarative generic chain (the spec form of the old
+/// `run_generic_chain` side door, routable through `scc_core::run`).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GenericChainSpec {
+    pub stages: Vec<GenericStageSpec>,
+    /// Work items streamed through the chain.
+    pub items: u64,
+    /// Payload bytes entering stage 0 per item.
+    pub source_bytes: u64,
+}
+
+impl GenericChainSpec {
+    pub fn validate(&self) -> Result<(), String> {
+        if self.stages.is_empty() {
+            return Err("generic chain has no stages".into());
+        }
+        if self.stages.len() > 48 {
+            return Err(format!(
+                "generic chain has {} stages; the SCC has 48 cores",
+                self.stages.len()
+            ));
+        }
+        if self.items == 0 {
+            return Err("generic chain needs at least one item".into());
+        }
+        if self.source_bytes == 0 {
+            return Err("generic chain needs a non-empty source payload".into());
+        }
+        for stage in &self.stages {
+            stage.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// The irregular wavefront-propagation workload: morphological
+/// reconstruction of a seeded marker under a seeded mask grid (Gomes &
+/// Teodoro). Each propagation wave is one pipeline item whose work is
+/// proportional to the wave's frontier size — queue-driven,
+/// data-dependent load, the stress case the film pipeline never shows.
+/// The grids, the wave profile, and the reconstructed-grid digest are
+/// pure functions of `(width, height, seeds, seed)`, so the workload is
+/// deterministic across backends and the digest gates output drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct WavefrontSpec {
+    /// Grid width in cells.
+    pub width: u32,
+    /// Grid height in cells.
+    pub height: u32,
+    /// Marker seed points planted into the mask.
+    pub seeds: u32,
+    /// Cap on propagation waves (0 = run until the frontier drains).
+    pub max_waves: u32,
+}
+
+impl Default for WavefrontSpec {
+    fn default() -> Self {
+        WavefrontSpec {
+            width: 96,
+            height: 96,
+            seeds: 3,
+            max_waves: 0,
+        }
+    }
+}
+
+impl WavefrontSpec {
+    pub fn validate(&self) -> Result<(), String> {
+        if self.width < 8 || self.height < 8 {
+            return Err(format!(
+                "wavefront grid {}x{} below the 8x8 floor",
+                self.width, self.height
+            ));
+        }
+        if self.width > 1024 || self.height > 1024 {
+            return Err(format!(
+                "wavefront grid {}x{} beyond the 1024x1024 cap",
+                self.width, self.height
+            ));
+        }
+        if self.seeds == 0 {
+            return Err("wavefront needs at least one marker seed".into());
+        }
+        if self.seeds as u64 > self.width as u64 * self.height as u64 {
+            return Err(format!(
+                "{} marker seeds exceed the {}x{} grid",
+                self.seeds, self.width, self.height
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// What the pipeline processes: the paper's silent-film walkthrough
+/// (default), a user-declared generic chain, or the irregular wavefront
+/// workload. Non-film workloads run on the sim and DES virtual-time
+/// backends through the same `scc_core::run` facade, with the same
+/// telemetry, power plane, and invariant checking.
+#[derive(Debug, Clone, PartialEq, Serialize, Default)]
+pub enum Workload {
+    /// The paper's render → 5-filter → transfer silent-film pipeline.
+    #[default]
+    Film,
+    /// A declarative generic macro-pipeline chain.
+    Generic(GenericChainSpec),
+    /// Irregular wavefront propagation (morphological reconstruction).
+    Wavefront(WavefrontSpec),
+}
+
+impl Workload {
+    pub fn is_film(&self) -> bool {
+        matches!(self, Workload::Film)
+    }
+
+    /// Short name for digests and fuzz-repro lines.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Film => "film",
+            Workload::Generic(_) => "generic",
+            Workload::Wavefront(_) => "wavefront",
+        }
+    }
+}
+
 /// A complete experiment description.
 #[derive(Debug, Clone, Serialize)]
 pub struct RunConfig {
@@ -523,6 +854,13 @@ pub struct RunConfig {
     pub runtime: Runtime,
     /// Knobs of the task runtime (ignored under [`Runtime::Static`]).
     pub task_tuning: TaskTuning,
+    /// The power plane: fixed per-tile frequencies (the paper's open-loop
+    /// experiment) or the closed-loop governor. Honored by the sim and
+    /// DES backends; frequency never moves a pixel, so output is
+    /// bit-identical across every power plan.
+    pub power: PowerConfig,
+    /// What the pipeline processes (default: the paper's silent film).
+    pub workload: Workload,
 }
 
 impl Default for RunConfig {
@@ -548,6 +886,8 @@ impl Default for RunConfig {
             stage_weights: None,
             runtime: Runtime::Static,
             task_tuning: TaskTuning::default(),
+            power: PowerConfig::default(),
+            workload: Workload::Film,
         }
     }
 }
@@ -597,6 +937,42 @@ impl RunConfig {
                 }
             }
         }
+        self.power.validate()?;
+        if self.power.governed() && self.runtime == Runtime::Tasks {
+            return Err("the DVFS governor requires the static runtime".into());
+        }
+        match &self.workload {
+            Workload::Film => {}
+            Workload::Generic(spec) => {
+                spec.validate()?;
+                self.validate_non_film()?;
+            }
+            Workload::Wavefront(spec) => {
+                spec.validate()?;
+                self.validate_non_film()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Current boundary of the unified workload plane: non-film
+    /// workloads run on both virtual-time backends with telemetry, the
+    /// power plane (static and governed), chain-merge auto-placement,
+    /// and invariant checking — but not yet fault injection or the task
+    /// runtime, which remain film-only.
+    fn validate_non_film(&self) -> Result<(), String> {
+        if self.fault.is_some() {
+            return Err(format!(
+                "fault injection requires the film workload (got {})",
+                self.workload.name()
+            ));
+        }
+        if self.runtime == Runtime::Tasks {
+            return Err(format!(
+                "the task runtime requires the film workload (got {})",
+                self.workload.name()
+            ));
+        }
         Ok(())
     }
 
@@ -627,6 +1003,9 @@ impl RunConfig {
 #[derive(Debug, Clone, Default)]
 pub struct RunConfigBuilder {
     cfg: RunConfig,
+    /// Raw-id static power pairs from [`RunConfigBuilder::power_static`],
+    /// converted (and range-checked: "unknown core") in `build`.
+    raw_power: Option<Vec<(u8, FreqMHz)>>,
 }
 
 impl RunConfigBuilder {
@@ -772,8 +1151,38 @@ impl RunConfigBuilder {
         self
     }
 
+    /// Set the whole power plane at once.
+    pub fn power(mut self, power: PowerConfig) -> Self {
+        self.cfg.power = power;
+        self.raw_power = None;
+        self
+    }
+
+    /// Open-loop static frequency plan from raw core ids. Ids off the
+    /// die surface as an "unknown core" error from [`Self::build`].
+    pub fn power_static(mut self, pairs: impl IntoIterator<Item = (u8, FreqMHz)>) -> Self {
+        self.raw_power = Some(pairs.into_iter().collect());
+        self
+    }
+
+    /// Arm the closed-loop DVFS governor.
+    pub fn power_governed(mut self, tuning: GovernorTuning) -> Self {
+        self.cfg.power = PowerConfig::Governed(tuning);
+        self.raw_power = None;
+        self
+    }
+
+    /// Pick the workload (default [`Workload::Film`]).
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.cfg.workload = workload;
+        self
+    }
+
     /// Validate once and hand out the finished config.
-    pub fn build(self) -> Result<RunConfig, String> {
+    pub fn build(mut self) -> Result<RunConfig, String> {
+        if let Some(raw) = self.raw_power.take() {
+            self.cfg.power = PowerConfig::static_plan(raw)?;
+        }
         self.cfg.validate()?;
         Ok(self.cfg)
     }
@@ -1030,6 +1439,7 @@ mod tests {
             .task_queue_capacity(16)
             .steal_timeout_us(500)
             .steal_retries(5)
+            .power_static([(8, FreqMHz::F800)])
             .build()
             .expect("valid config");
         assert_eq!(cfg.renderer, RendererMode::McpcRenderer);
@@ -1052,6 +1462,10 @@ mod tests {
         assert_eq!(cfg.task_tuning.queue_capacity, 16);
         assert_eq!(cfg.task_tuning.steal_timeout_us, 500);
         assert_eq!(cfg.task_tuning.steal_retries, 5);
+        assert!(
+            matches!(cfg.power, PowerConfig::Static(ref s) if s == &[(CoreId::new(8), FreqMHz::F800)])
+        );
+        assert!(cfg.workload.is_film());
     }
 
     #[test]
@@ -1160,5 +1574,145 @@ mod tests {
             .build()
             .expect("cleared fault plan is valid");
         assert!(cfg.fault.is_none());
+    }
+
+    #[test]
+    fn power_plane_validation() {
+        // A core id off the die surfaces from build().
+        let err = RunConfig::builder()
+            .power_static([(55, FreqMHz::F800)])
+            .build()
+            .unwrap_err();
+        assert!(err.contains("unknown core"), "{err}");
+        // Frequency is per tile: cores 4 and 5 share tile 2.
+        let err = RunConfig::builder()
+            .power_static([(4, FreqMHz::F800), (5, FreqMHz::F400)])
+            .build()
+            .unwrap_err();
+        assert!(err.contains("duplicate tile"), "{err}");
+        // Zero epoch.
+        let err = RunConfig::builder()
+            .power_governed(GovernorTuning {
+                epoch_frames: 0,
+                ..GovernorTuning::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(err.contains("epoch"), "{err}");
+        // The governor needs the static runtime's stage ledgers.
+        let err = RunConfig::builder()
+            .power_governed(GovernorTuning::default())
+            .runtime(Runtime::Tasks)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("static runtime"), "{err}");
+        // Defaults and a valid plan.
+        assert!(PowerConfig::default().is_default());
+        assert!(!PowerConfig::Governed(GovernorTuning::default()).is_default());
+        assert!(PowerConfig::Governed(GovernorTuning::default()).governed());
+        let cfg = RunConfig::builder()
+            .power_static([(4, FreqMHz::F800), (8, FreqMHz::F400)])
+            .build()
+            .expect("valid static plan");
+        assert!(matches!(cfg.power, PowerConfig::Static(ref s) if s.len() == 2));
+        // power() replaces a pending raw plan entirely.
+        let cfg = RunConfig::builder()
+            .power_static([(55, FreqMHz::F800)])
+            .power(PowerConfig::default())
+            .build()
+            .expect("replaced plan is valid");
+        assert!(cfg.power.is_default());
+    }
+
+    #[test]
+    fn governor_tuning_validation() {
+        let ok = GovernorTuning::default();
+        assert!(ok.validate().is_ok());
+        let bad = GovernorTuning {
+            hysteresis_epochs: 0,
+            ..ok.clone()
+        };
+        assert!(bad.validate().unwrap_err().contains("hysteresis"));
+        let bad = GovernorTuning {
+            bottleneck_idle_frac: 0.7,
+            throttle_idle_frac: 0.6,
+            ..ok.clone()
+        };
+        assert!(bad.validate().unwrap_err().contains("below"));
+        let bad = GovernorTuning {
+            throttle_idle_frac: f64::NAN,
+            ..ok.clone()
+        };
+        assert!(bad.validate().is_err());
+        let bad = GovernorTuning {
+            power_cap_watts: -1.0,
+            ..ok
+        };
+        assert!(bad.validate().unwrap_err().contains("power_cap_watts"));
+    }
+
+    #[test]
+    fn workload_plane_validation() {
+        // Degenerate wavefront grids.
+        let err = RunConfig::builder()
+            .workload(Workload::Wavefront(WavefrontSpec {
+                width: 4,
+                ..WavefrontSpec::default()
+            }))
+            .build()
+            .unwrap_err();
+        assert!(err.contains("8x8"), "{err}");
+        let err = RunConfig::builder()
+            .workload(Workload::Wavefront(WavefrontSpec {
+                seeds: 0,
+                ..WavefrontSpec::default()
+            }))
+            .build()
+            .unwrap_err();
+        assert!(err.contains("seed"), "{err}");
+        // Generic chain sanity.
+        let err = RunConfig::builder()
+            .workload(Workload::Generic(GenericChainSpec {
+                stages: vec![],
+                items: 10,
+                source_bytes: 1024,
+            }))
+            .build()
+            .unwrap_err();
+        assert!(err.contains("no stages"), "{err}");
+        let err = RunConfig::builder()
+            .workload(Workload::Generic(GenericChainSpec {
+                stages: vec![GenericStageSpec {
+                    cycles_per_byte: f64::NAN,
+                    ..GenericStageSpec::compute("parse", 1.0)
+                }],
+                items: 10,
+                source_bytes: 1024,
+            }))
+            .build()
+            .unwrap_err();
+        assert!(err.contains("finite"), "{err}");
+        // Boundary: non-film workloads reject faults and the task runtime.
+        let err = RunConfig::builder()
+            .workload(Workload::Wavefront(WavefrontSpec::default()))
+            .fault(FaultSpec::default())
+            .build()
+            .unwrap_err();
+        assert!(err.contains("film workload"), "{err}");
+        let err = RunConfig::builder()
+            .workload(Workload::Wavefront(WavefrontSpec::default()))
+            .runtime(Runtime::Tasks)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("film workload"), "{err}");
+        // A governed wavefront run is a legal configuration.
+        let cfg = RunConfig::builder()
+            .workload(Workload::Wavefront(WavefrontSpec::default()))
+            .power_governed(GovernorTuning::default())
+            .build()
+            .expect("governed wavefront is valid");
+        assert_eq!(cfg.workload.name(), "wavefront");
+        assert!(!cfg.workload.is_film());
+        assert_eq!(cfg.power.name(), "governed");
     }
 }

@@ -1446,6 +1446,7 @@ impl Engine {
             degradations: Vec::new(),
             recoveries: self.recoveries,
             task_stats: Some(self.stats),
+            dvfs_decisions: Vec::new(),
             outputs: (self.r.cfg.fidelity == Fidelity::Full).then_some(self.outputs),
             // The steal scheduler interleaves strips across cores, so the
             // static trace invariants (per-stage frame monotonicity) do

@@ -89,7 +89,7 @@ impl IslandId {
 
 /// The chip-wide DVFS state: one frequency per tile, voltages derived per
 /// island as the minimum that supports the island's fastest tile.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct DvfsState {
     tile_freq: [FreqMHz; NUM_TILES as usize],
 }

@@ -368,6 +368,40 @@ impl SccPlatform {
         self.cfg.power.idle_power(&self.dvfs)
     }
 
+    /// Chip idle power at an arbitrary DVFS state, watts. Governed runs
+    /// report the minimum across their schedule as the power floor.
+    pub fn idle_power_for(&self, dvfs: &DvfsState) -> f64 {
+        self.cfg.power.idle_power(dvfs)
+    }
+
+    /// [`SccPlatform::power_trace`] under a piecewise-constant DVFS
+    /// schedule (governed runs).
+    pub fn power_trace_piecewise(
+        &self,
+        schedule: &[(SimTime, DvfsState)],
+        end: SimTime,
+        dt: SimTime,
+    ) -> Vec<PowerSample> {
+        self.meter.trace_piecewise(&self.cfg.power, schedule, end, dt)
+    }
+
+    /// [`SccPlatform::energy_joules`] under a piecewise-constant DVFS
+    /// schedule (governed runs).
+    pub fn energy_joules_piecewise(&self, schedule: &[(SimTime, DvfsState)], end: SimTime) -> f64 {
+        self.meter.energy_joules_piecewise(&self.cfg.power, schedule, end)
+    }
+
+    /// The power-model calibration constants.
+    pub fn power_calibration(&self) -> &PowerConfig {
+        &self.cfg.power
+    }
+
+    /// Replace the whole DVFS state (the governor applies an epoch's
+    /// decision in one step).
+    pub fn apply_dvfs(&mut self, state: &DvfsState) {
+        self.dvfs = state.clone();
+    }
+
     /// Flit conservation across the mesh: cross-check the per-link
     /// booking statistics against the independently registered route
     /// ledger (see [`crate::noc::Noc::audit`]).

@@ -294,6 +294,164 @@ impl PowerMeter {
         joules
     }
 
+    /// Energy in joules over the window `[from, to)` with the chip held
+    /// in one DVFS state — the building block of the piecewise
+    /// (governed) accounting. `energy_in_window(cfg, dvfs, 0, end)` is
+    /// arithmetic-identical to [`PowerMeter::energy_joules`].
+    pub fn energy_in_window(
+        &self,
+        cfg: &PowerConfig,
+        dvfs: &DvfsState,
+        from: SimTime,
+        to: SimTime,
+    ) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let dur = (to - from).as_secs_f64();
+        let mut joules = cfg.idle_power(dvfs) * dur;
+        for s in &self.spans {
+            let a = s.from.max(from);
+            let b = s.to.min(to);
+            if b <= a {
+                continue;
+            }
+            let v = dvfs.core_volts(s.core);
+            let f = dvfs.core_freq(s.core).mhz() as f64;
+            let spin = if self.spinning.contains(&s.core) {
+                cfg.spin_factor
+            } else {
+                0.0
+            };
+            joules += cfg.core_dyn(f, v) * (b - a).as_secs_f64() * (1.0 - spin);
+        }
+        for core in &self.spinning {
+            let v = dvfs.core_volts(*core);
+            let f = dvfs.core_freq(*core).mhz() as f64;
+            joules += cfg.core_dyn(f, v) * cfg.spin_factor * dur;
+        }
+        if self.spinning.is_empty() {
+            joules += cfg.uncore_active * self.union_busy_in(from, to).as_secs_f64();
+        } else {
+            joules += cfg.uncore_active * dur;
+        }
+        joules
+    }
+
+    /// Total energy over `[0, end]` under a piecewise-constant DVFS
+    /// schedule: `schedule[k]` = (instant the state takes effect, state),
+    /// sorted by instant with the first entry at 0. This is how a
+    /// governed run integrates energy — the chip is in exactly one state
+    /// at any instant, and each segment is an exact span integral.
+    pub fn energy_joules_piecewise(
+        &self,
+        cfg: &PowerConfig,
+        schedule: &[(SimTime, DvfsState)],
+        end: SimTime,
+    ) -> f64 {
+        assert!(!schedule.is_empty(), "empty DVFS schedule");
+        assert!(schedule[0].0.is_zero(), "schedule must start at t=0");
+        let mut joules = 0.0;
+        for (k, (from, dvfs)) in schedule.iter().enumerate() {
+            let to = schedule.get(k + 1).map_or(end, |(t, _)| *t).min(end);
+            joules += self.energy_in_window(cfg, dvfs, *from, to);
+        }
+        joules
+    }
+
+    /// [`PowerMeter::trace`] under a piecewise-constant DVFS schedule:
+    /// each `dt` bucket is rendered against the state in effect at the
+    /// bucket's start.
+    pub fn trace_piecewise(
+        &self,
+        cfg: &PowerConfig,
+        schedule: &[(SimTime, DvfsState)],
+        end: SimTime,
+        dt: SimTime,
+    ) -> Vec<PowerSample> {
+        assert!(!schedule.is_empty(), "empty DVFS schedule");
+        assert!(!dt.is_zero(), "zero sample interval");
+        let buckets = (end.as_ps().div_ceil(dt.as_ps())).max(1) as usize;
+        let mut busy_ps = vec![[0u64; NUM_CORES as usize]; buckets];
+        for s in &self.spans {
+            let mut t = s.from;
+            while t < s.to {
+                let b = (t.as_ps() / dt.as_ps()) as usize;
+                if b >= buckets {
+                    break;
+                }
+                let bucket_end = SimTime::from_ps((b as u64 + 1) * dt.as_ps());
+                let seg_end = s.to.min(bucket_end);
+                busy_ps[b][s.core.index()] += (seg_end - t).as_ps();
+                t = seg_end;
+            }
+        }
+        let mut is_spinning = [false; NUM_CORES as usize];
+        for c in &self.spinning {
+            is_spinning[c.index()] = true;
+        }
+        let mut out = Vec::with_capacity(buckets);
+        for (b, per_core) in busy_ps.iter().enumerate() {
+            let t = SimTime::from_ps(b as u64 * dt.as_ps());
+            let dvfs = &schedule
+                .iter()
+                .rev()
+                .find(|(at, _)| *at <= t)
+                .unwrap_or(&schedule[0])
+                .1;
+            let idle = cfg.idle_power(dvfs);
+            let mut watts = idle;
+            let mut max_frac = 0.0f64;
+            for core in CoreId::all() {
+                let frac = (per_core[core.index()] as f64 / dt.as_ps() as f64).min(1.0);
+                let v = dvfs.core_volts(core);
+                let f = dvfs.core_freq(core).mhz() as f64;
+                let dyn_w = cfg.core_dyn(f, v);
+                if frac > 0.0 {
+                    watts += dyn_w * frac;
+                    max_frac = max_frac.max(frac);
+                }
+                if is_spinning[core.index()] {
+                    watts += dyn_w * cfg.spin_factor * (1.0 - frac);
+                    max_frac = 1.0;
+                }
+            }
+            watts += cfg.uncore_active * max_frac.min(1.0);
+            out.push(PowerSample { t, watts });
+        }
+        out
+    }
+
+    /// Length of the union of all busy intervals clipped to `[from, to]`.
+    fn union_busy_in(&self, from: SimTime, to: SimTime) -> SimTime {
+        let mut intervals: Vec<(SimTime, SimTime)> = self
+            .spans
+            .iter()
+            .map(|s| (s.from.max(from).min(to), s.to.max(from).min(to)))
+            .filter(|(a, b)| b > a)
+            .collect();
+        intervals.sort();
+        let mut total = SimTime::ZERO;
+        let mut cur: Option<(SimTime, SimTime)> = None;
+        for (a, b) in intervals {
+            match cur {
+                None => cur = Some((a, b)),
+                Some((ca, cb)) => {
+                    if a <= cb {
+                        cur = Some((ca, cb.max(b)));
+                    } else {
+                        total += cb - ca;
+                        cur = Some((a, b));
+                    }
+                }
+            }
+        }
+        if let Some((ca, cb)) = cur {
+            total += cb - ca;
+        }
+        total
+    }
+
     /// Length of the union of all busy intervals clipped to `[0, end]`.
     pub fn union_busy_time(&self, end: SimTime) -> SimTime {
         let mut intervals: Vec<(SimTime, SimTime)> = self
@@ -468,5 +626,77 @@ mod tests {
     fn mcpc_power_defaults() {
         let m = McpcPower::default();
         assert_eq!(m.render_delta(), 28.0, "paper's 80 W - 52 W");
+    }
+
+    fn busy_meter() -> PowerMeter {
+        let mut m = PowerMeter::new();
+        m.record(CoreId::new(0), SimTime::from_secs(1), SimTime::from_secs(4));
+        m.record(CoreId::new(8), SimTime::from_secs(2), SimTime::from_secs(9));
+        m.set_spinning(vec![CoreId::new(0), CoreId::new(8), CoreId::new(9)]);
+        m
+    }
+
+    #[test]
+    fn single_state_piecewise_matches_legacy_integral() {
+        let cfg = PowerConfig::default();
+        let dvfs = DvfsState::default();
+        let m = busy_meter();
+        let end = SimTime::from_secs(10);
+        let legacy = m.energy_joules(&cfg, &dvfs, end);
+        let windowed = m.energy_in_window(&cfg, &dvfs, SimTime::ZERO, end);
+        let piecewise = m.energy_joules_piecewise(&cfg, &[(SimTime::ZERO, dvfs)], end);
+        assert!((legacy - windowed).abs() < 1e-9, "{legacy} vs {windowed}");
+        assert!((legacy - piecewise).abs() < 1e-9, "{legacy} vs {piecewise}");
+    }
+
+    #[test]
+    fn windows_partition_the_run() {
+        let cfg = PowerConfig::default();
+        let dvfs = DvfsState::default();
+        let m = busy_meter();
+        let end = SimTime::from_secs(10);
+        let total = m.energy_in_window(&cfg, &dvfs, SimTime::ZERO, end);
+        let split = m.energy_in_window(&cfg, &dvfs, SimTime::ZERO, SimTime::from_secs(3))
+            + m.energy_in_window(&cfg, &dvfs, SimTime::from_secs(3), SimTime::from_secs(7))
+            + m.energy_in_window(&cfg, &dvfs, SimTime::from_secs(7), end);
+        assert!((total - split).abs() < 1e-9, "{total} vs {split}");
+    }
+
+    #[test]
+    fn piecewise_energy_lands_between_the_pure_states() {
+        let cfg = PowerConfig::default();
+        let low = DvfsState::default();
+        let mut high = DvfsState::default();
+        high.set_core_tile(CoreId::new(8), FreqMHz::F800);
+        let m = busy_meter();
+        let end = SimTime::from_secs(10);
+        let e_low = m.energy_joules(&cfg, &low, end);
+        let e_high = m.energy_joules(&cfg, &high, end);
+        let mixed = m.energy_joules_piecewise(
+            &cfg,
+            &[(SimTime::ZERO, low), (SimTime::from_secs(5), high)],
+            end,
+        );
+        assert!(
+            e_low < mixed && mixed < e_high,
+            "{e_low} < {mixed} < {e_high}"
+        );
+    }
+
+    #[test]
+    fn piecewise_trace_switches_floor_at_the_boundary() {
+        let cfg = PowerConfig::default();
+        let low = DvfsState::default();
+        let mut high = DvfsState::default();
+        high.set_core_tile(CoreId::new(8), FreqMHz::F800);
+        let m = PowerMeter::new();
+        let schedule = [(SimTime::ZERO, low.clone()), (SimTime::from_secs(2), high.clone())];
+        let trace = m.trace_piecewise(&cfg, &schedule, SimTime::from_secs(4), SimTime::from_secs(1));
+        assert_eq!(trace.len(), 4);
+        let idle_low = cfg.idle_power(&low);
+        let idle_high = cfg.idle_power(&high);
+        assert!((trace[0].watts - idle_low).abs() < 1e-9);
+        assert!((trace[3].watts - idle_high).abs() < 1e-9);
+        assert!(idle_high > idle_low + 3.0, "1.3 V island uplift visible");
     }
 }

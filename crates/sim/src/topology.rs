@@ -7,6 +7,7 @@
 //! quadrant of the die is served by the memory controller on its corner,
 //! which is the default private-memory mapping used by sccKit.
 
+use serde::Serialize;
 use std::fmt;
 
 /// Mesh width in tiles.
@@ -24,11 +25,11 @@ pub const NUM_MCS: u8 = 4;
 
 /// One of the 48 cores, numbered 0..48 in SCC order (core `2t` and `2t+1`
 /// live on tile `t`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
 pub struct CoreId(u8);
 
 /// One of the 24 tiles / mesh routers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
 pub struct TileId(u8);
 
 /// One of the four memory controllers.

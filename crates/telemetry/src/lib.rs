@@ -141,6 +141,16 @@ pub mod names {
     /// Histogram, seconds. Ready-to-delivered latency per frame
     /// (includes slot queueing under overload; p50/p99 in reports).
     pub const SERVE_FRAME_LATENCY_SECONDS: &str = "scc_serve_frame_latency_seconds";
+    /// Counter, idle-sample epochs the DVFS governor observed.
+    pub const DVFS_EPOCHS_TOTAL: &str = "scc_dvfs_epochs_total";
+    /// Counter, tile frequency raises the governor applied.
+    pub const DVFS_RAISES_TOTAL: &str = "scc_dvfs_raises_total";
+    /// Counter, island throttles the governor applied.
+    pub const DVFS_THROTTLES_TOTAL: &str = "scc_dvfs_throttles_total";
+    /// Counter, raises suppressed by the governor's power cap.
+    pub const DVFS_CAP_BLOCKS_TOTAL: &str = "scc_dvfs_cap_blocks_total";
+    /// Gauge, final tile frequency in MHz. Labels: `tile`.
+    pub const DVFS_TILE_FREQ_MHZ: &str = "scc_dvfs_tile_freq_mhz";
 
     /// Every catalogued name, for schema tests.
     pub const ALL: &[&str] = &[
@@ -181,6 +191,11 @@ pub mod names {
         SERVE_CACHE_HIT_RATIO,
         SERVE_TENANT_QUEUE_DEPTH,
         SERVE_FRAME_LATENCY_SECONDS,
+        DVFS_EPOCHS_TOTAL,
+        DVFS_RAISES_TOTAL,
+        DVFS_THROTTLES_TOTAL,
+        DVFS_CAP_BLOCKS_TOTAL,
+        DVFS_TILE_FREQ_MHZ,
     ];
 }
 

@@ -12,13 +12,14 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use scc_core::runner::sim::SimRunner;
 use scc_core::spec::{
-    Arrangement, FaultSpec, Fidelity, FuseChoice, KernelChoice, KillSpec, RendererMode, RunConfig,
-    Runtime, StallSpec, TaskTuning,
+    Arrangement, FaultSpec, Fidelity, FuseChoice, GovernorTuning, KernelChoice, KillSpec,
+    PowerConfig, RendererMode, RunConfig, Runtime, StallSpec, TaskTuning, WavefrontSpec, Workload,
 };
 use scc_core::viz::frame_checksum;
+use scc_core::{Backend, BackendReport, GovernorAction};
 use scc_serve::{serve, ServeConfig, TenantSpec};
 use scc_sim::fault::{FaultConfig, FaultPlan, MessageOutcome};
-use scc_sim::SimTime;
+use scc_sim::{CoreId, FreqMHz, SimTime};
 use std::collections::BTreeSet;
 
 /// How far apart the frame-major simulator and the DES executor are
@@ -240,6 +241,32 @@ impl FuzzCase {
         }
         // The serving workload rides one optional line, so pre-serving
         // repros parse unchanged and the 10-line bound holds.
+        // Power plane and workload ride optional lines (defaults are
+        // omitted), so pre-power-plane repros parse unchanged.
+        match &c.power {
+            PowerConfig::Static(pairs) if pairs.is_empty() => {}
+            PowerConfig::Static(pairs) => {
+                let list: Vec<String> = pairs
+                    .iter()
+                    .map(|(core, f)| format!("{}:{}", core.raw(), f.mhz()))
+                    .collect();
+                out.push_str(&format!("power kind=static pairs={}\n", list.join(",")));
+            }
+            PowerConfig::Governed(t) => out.push_str(&format!(
+                "power kind=governed epoch={} hyst={} bneck={} thr={} cap_w={}\n",
+                t.epoch_frames,
+                t.hysteresis_epochs,
+                t.bottleneck_idle_frac,
+                t.throttle_idle_frac,
+                t.power_cap_watts,
+            )),
+        }
+        if let Workload::Wavefront(w) = &c.workload {
+            out.push_str(&format!(
+                "workload kind=wavefront w={} h={} seeds={} waves={}\n",
+                w.width, w.height, w.seeds, w.max_waves
+            ));
+        }
         if let Some(s) = &self.serve {
             out.push_str(&format!(
                 "serve sa={} sb={} wa={} wb={} f={} cache={} buckets={} pool={} qd={} cap={}\n",
@@ -390,6 +417,51 @@ impl FuzzCase {
                         for_ms: int(&kvs, "for_ms")?,
                     });
                 }
+                "power" => match get(&kvs, "kind")? {
+                    "static" => {
+                        let pairs: Result<Vec<(CoreId, FreqMHz)>, String> = get(&kvs, "pairs")?
+                            .split(',')
+                            .map(|kv| {
+                                let (core, mhz) = kv
+                                    .split_once(':')
+                                    .ok_or_else(|| format!("malformed power pair `{kv}`"))?;
+                                let core: u8 =
+                                    core.parse().map_err(|e| format!("power core {core}: {e}"))?;
+                                let core = CoreId::try_new(core)
+                                    .ok_or_else(|| format!("power core {core} out of range"))?;
+                                let f = match mhz {
+                                    "400" => FreqMHz::F400,
+                                    "533" => FreqMHz::F533,
+                                    "800" => FreqMHz::F800,
+                                    other => return Err(format!("unknown frequency `{other}`")),
+                                };
+                                Ok((core, f))
+                            })
+                            .collect();
+                        case.cfg.power = PowerConfig::Static(pairs?);
+                    }
+                    "governed" => {
+                        case.cfg.power = PowerConfig::Governed(GovernorTuning {
+                            epoch_frames: int(&kvs, "epoch")? as u32,
+                            hysteresis_epochs: int(&kvs, "hyst")? as u32,
+                            bottleneck_idle_frac: float(&kvs, "bneck")?,
+                            throttle_idle_frac: float(&kvs, "thr")?,
+                            power_cap_watts: float(&kvs, "cap_w")?,
+                        });
+                    }
+                    other => return Err(format!("unknown power kind `{other}`")),
+                },
+                "workload" => match get(&kvs, "kind")? {
+                    "wavefront" => {
+                        case.cfg.workload = Workload::Wavefront(WavefrontSpec {
+                            width: int(&kvs, "w")? as u32,
+                            height: int(&kvs, "h")? as u32,
+                            seeds: int(&kvs, "seeds")? as u32,
+                            max_waves: int(&kvs, "waves")? as u32,
+                        });
+                    }
+                    other => return Err(format!("unknown workload kind `{other}`")),
+                },
                 "serve" => {
                     case.serve = Some(ServeFuzz {
                         sessions_a: int(&kvs, "sa")? as u32,
@@ -425,7 +497,8 @@ impl FuzzCase {
         for _ in 0..24 {
             let mut next = self.clone();
             next.mutate_once(rng);
-            let serve_ok = next.serve_config().is_none_or(|s| s.validate().is_ok());
+            let serve_ok = next.serve_config().is_none_or(|s| s.validate().is_ok())
+                && (next.cfg.workload.is_film() || next.serve.is_none());
             if next.cfg.validate().is_ok() && serve_ok {
                 *self = next;
                 return;
@@ -435,7 +508,7 @@ impl FuzzCase {
 
     fn mutate_once(&mut self, rng: &mut StdRng) {
         let c = &mut self.cfg;
-        match rng.gen_range(0u32..29) {
+        match rng.gen_range(0u32..32) {
             0 => {
                 c.renderer = [
                     RendererMode::SingleRenderer,
@@ -616,6 +689,54 @@ impl FuzzCase {
                 s.max_sessions = [2, 4, 16][rng.gen_range(0usize..3)];
             }
             28 => self.serve = None,
+            29 => {
+                // Governor tuning palette: small epochs make decisions
+                // land inside short fuzz runs; a zero watt cap forces the
+                // `dvfs:cap-block` arm.
+                c.power = if rng.gen() {
+                    PowerConfig::Governed(GovernorTuning {
+                        epoch_frames: [1, 2, 4, 8][rng.gen_range(0usize..4)],
+                        hysteresis_epochs: rng.gen_range(1u32..=2),
+                        power_cap_watts: [0.0, 4.0, 8.0][rng.gen_range(0usize..3)],
+                        ..GovernorTuning::default()
+                    })
+                } else {
+                    PowerConfig::default()
+                };
+            }
+            30 => {
+                // Static splits: one raised and one throttled core drawn
+                // from the filter band, mirroring the paper's hand tuning.
+                let mut pairs = vec![(
+                    CoreId::new(rng.gen_range(0u8..12) * 2),
+                    [FreqMHz::F400, FreqMHz::F800][rng.gen_range(0usize..2)],
+                )];
+                if rng.gen() {
+                    pairs.push((
+                        CoreId::new(rng.gen_range(12u8..24) * 2),
+                        [FreqMHz::F400, FreqMHz::F800][rng.gen_range(0usize..2)],
+                    ));
+                }
+                c.power = PowerConfig::Static(pairs);
+            }
+            31 => {
+                // The wavefront workload excludes the fault plane and the
+                // task runtime (validate enforces it), so this arm clears
+                // both rather than burning its mutation on a rollback.
+                if c.workload.is_film() {
+                    c.fault = None;
+                    c.runtime = Runtime::Static;
+                    self.serve = None;
+                    c.workload = Workload::Wavefront(WavefrontSpec {
+                        width: [32, 64, 96][rng.gen_range(0usize..3)],
+                        height: [32, 64][rng.gen_range(0usize..2)],
+                        seeds: rng.gen_range(1u32..=5),
+                        max_waves: [0, 4, 16][rng.gen_range(0usize..3)],
+                    });
+                } else {
+                    c.workload = Workload::Film;
+                }
+            }
             _ => c.stage_weights = None,
         }
         // Drop fault sub-specs that point past a shrunken pipeline count.
@@ -673,6 +794,36 @@ pub fn coverage(case: &FuzzCase, outcome_events: &CoverageEvents) -> BTreeSet<St
     }
     if c.stage_weights.is_some() {
         set.insert("weights:explicit".into());
+    }
+    match &c.power {
+        PowerConfig::Static(pairs) if pairs.is_empty() => {}
+        PowerConfig::Static(pairs) => {
+            set.insert("dvfs:static".into());
+            if pairs.iter().any(|(_, f)| *f == FreqMHz::F800) {
+                set.insert("dvfs:static-raise".into());
+            }
+            if pairs.iter().any(|(_, f)| *f == FreqMHz::F400) {
+                set.insert("dvfs:static-throttle".into());
+            }
+        }
+        PowerConfig::Governed(t) => {
+            set.insert("dvfs:governed".into());
+            if t.power_cap_watts == 0.0 {
+                set.insert("dvfs:zero-cap".into());
+            }
+        }
+    }
+    match &c.workload {
+        Workload::Film => {}
+        Workload::Generic(_) => {
+            set.insert("workload:generic".into());
+        }
+        Workload::Wavefront(w) => {
+            set.insert("workload:wavefront".into());
+            if w.max_waves > 0 {
+                set.insert("wavefront:capped".into());
+            }
+        }
     }
     if c.runtime == Runtime::Tasks {
         set.insert("runtime:tasks".into());
@@ -783,6 +934,15 @@ pub fn coverage(case: &FuzzCase, outcome_events: &CoverageEvents) -> BTreeSet<St
             set.insert("serve:weighted".into());
         }
     }
+    if outcome_events.dvfs_raises > 0 {
+        set.insert("dvfs:raise".into());
+    }
+    if outcome_events.dvfs_throttles > 0 {
+        set.insert("dvfs:throttle".into());
+    }
+    if outcome_events.dvfs_cap_blocks > 0 {
+        set.insert("dvfs:cap-block".into());
+    }
     if outcome_events.serve_sheds > 0 {
         set.insert("serve:shed".into());
     }
@@ -811,6 +971,12 @@ pub struct CoverageEvents {
     pub serve_cache_hits: u64,
     /// Strip-cache evictions the serving frontend recorded.
     pub serve_cache_evictions: u64,
+    /// Frequency raises the governor applied.
+    pub dvfs_raises: u64,
+    /// Island throttles the governor applied.
+    pub dvfs_throttles: u64,
+    /// Raises the governor wanted but the power cap rejected.
+    pub dvfs_cap_blocks: u64,
 }
 
 /// Is this configuration inside the DES validator's supported envelope?
@@ -824,6 +990,15 @@ fn des_eligible(cfg: &RunConfig) -> bool {
         return cfg.fault.as_ref().is_none_or(|f| f.stall.is_none());
     }
     if cfg.renderer != RendererMode::SingleRenderer {
+        return false;
+    }
+    // Governed power over an auto-placed graph sits outside the film
+    // cross-validator's envelope: replicated/merged groups give the
+    // frame-major and pipelined executors structurally different idle
+    // profiles, so near a governor threshold the two can legitimately
+    // pick different moves. Default-placement governed runs stay in —
+    // their decision traces must match epoch for epoch.
+    if matches!(cfg.power, PowerConfig::Governed(_)) && cfg.auto_place {
         return false;
     }
     match &cfg.fault {
@@ -852,6 +1027,9 @@ fn des_eligible(cfg: &RunConfig) -> bool {
 ///    [`DES_TIMING_TOLERANCE`]) are excluded from the recovery-count
 ///    comparison and surface as `replay:boundary-kill` coverage.
 pub fn run_oracle(case: &FuzzCase) -> Outcome {
+    if !case.cfg.workload.is_film() {
+        return run_workload_oracle(case);
+    }
     let mut failures = Vec::new();
 
     let mut sim_cfg = case.cfg.clone();
@@ -944,7 +1122,14 @@ pub fn run_oracle(case: &FuzzCase) -> Outcome {
                 };
             }
         };
-        if case.cfg.fault.is_none() {
+        // The strict timing bound binds uniform-frequency runs only: a
+        // governed run changes frequency mid-flight, and the frame-major
+        // and pipelined executors overlap those changes with idle time
+        // differently, so end-to-end skew can legitimately exceed the
+        // drain-order tolerance. The governed cross-backend instrument is
+        // the decision trace, which must match epoch for epoch.
+        let uniform_power = matches!(&case.cfg.power, PowerConfig::Static(v) if v.is_empty());
+        if case.cfg.fault.is_none() && uniform_power {
             let dev = (des.total_secs - report.total_secs).abs() / report.total_secs;
             if dev > DES_TIMING_TOLERANCE {
                 failures.push(Failure {
@@ -957,6 +1142,18 @@ pub fn run_oracle(case: &FuzzCase) -> Outcome {
                     ),
                 });
             }
+        }
+        if matches!(&case.cfg.power, PowerConfig::Governed(_))
+            && report.dvfs_decisions != des.dvfs_decisions
+        {
+            failures.push(Failure {
+                check: "dvfs-parity".into(),
+                detail: format!(
+                    "sim made {} decision(s), DES {} — traces differ",
+                    report.dvfs_decisions.len(),
+                    des.dvfs_decisions.len()
+                ),
+            });
         }
         // Boundary-kill tolerance: sim and DES agree on end-to-end time
         // only to ±DES_TIMING_TOLERANCE, and within the *last frame's*
@@ -1102,6 +1299,7 @@ pub fn run_oracle(case: &FuzzCase) -> Outcome {
         }
     }
 
+    let (dvfs_raises, dvfs_throttles, dvfs_cap_blocks) = dvfs_counts(&report.dvfs_decisions);
     let events = CoverageEvents {
         degradations: report.degradations.len(),
         recoveries: report.recoveries.len(),
@@ -1111,12 +1309,138 @@ pub fn run_oracle(case: &FuzzCase) -> Outcome {
         serve_sheds,
         serve_cache_hits: serve_hits,
         serve_cache_evictions: serve_evicts,
+        dvfs_raises,
+        dvfs_throttles,
+        dvfs_cap_blocks,
     };
     let mut cov = coverage(case, &events);
     cov.extend(boundary_cov);
     Outcome {
         failures,
         coverage: cov,
+    }
+}
+
+fn dvfs_counts(decisions: &[scc_core::GovernorDecision]) -> (u64, u64, u64) {
+    let mut raises = 0;
+    let mut throttles = 0;
+    let mut blocks = 0;
+    for d in decisions {
+        match d.action {
+            GovernorAction::Raise { .. } => raises += 1,
+            GovernorAction::Throttle { .. } => throttles += 1,
+            GovernorAction::CapBlocked { .. } => blocks += 1,
+            GovernorAction::Hold => {}
+        }
+    }
+    (raises, throttles, blocks)
+}
+
+/// The oracle for spec-driven (non-film) workloads: the item-major
+/// simulator and the DES executor run the same resolved chain, so their
+/// output digests must be bit-equal and their virtual times within
+/// [`DES_TIMING_TOLERANCE`]; a governed run must additionally produce an
+/// identical decision trace on both backends and the same output digest
+/// as an ungoverned run — the governor moves schedules, never bytes.
+fn run_workload_oracle(case: &FuzzCase) -> Outcome {
+    let mut failures = Vec::new();
+    let mut cfg = case.cfg.clone();
+    cfg.trace = false;
+    cfg.verify = false;
+
+    let generic = |backend: Backend| -> Result<scc_core::GenericReport, String> {
+        run_caught(|| scc_core::run(&cfg, backend)).map(|out| match out.report {
+            BackendReport::Generic(r) => r,
+            _ => unreachable!("workload runs return the generic report"),
+        })
+    };
+    let (sim, des) = match (generic(Backend::Sim), generic(Backend::Des)) {
+        (Ok(s), Ok(d)) => (s, d),
+        (Err(msg), _) | (_, Err(msg)) => {
+            return Outcome {
+                failures: vec![Failure {
+                    check: "panic".into(),
+                    detail: msg,
+                }],
+                coverage: coverage(case, &CoverageEvents::default()),
+            };
+        }
+    };
+
+    for r in [&sim, &des] {
+        for v in scc_core::check_generic_report(r) {
+            failures.push(Failure {
+                check: v.check.to_string(),
+                detail: v.detail,
+            });
+        }
+    }
+    if sim.output_digest != des.output_digest {
+        failures.push(Failure {
+            check: "workload-digest-divergence".into(),
+            detail: format!(
+                "sim digest {:016x} != DES digest {:016x}",
+                sim.output_digest, des.output_digest
+            ),
+        });
+    }
+    let dev = (des.total_secs - sim.total_secs).abs() / sim.total_secs;
+    if dev > DES_TIMING_TOLERANCE {
+        failures.push(Failure {
+            check: "differential-timing".into(),
+            detail: format!(
+                "sim {:.6}s vs DES {:.6}s ({:.1}% apart)",
+                sim.total_secs,
+                des.total_secs,
+                dev * 100.0
+            ),
+        });
+    }
+    if matches!(cfg.power, PowerConfig::Governed(_)) {
+        if sim.dvfs_decisions != des.dvfs_decisions {
+            failures.push(Failure {
+                check: "dvfs-parity".into(),
+                detail: format!(
+                    "sim made {} decision(s), DES {} — traces differ",
+                    sim.dvfs_decisions.len(),
+                    des.dvfs_decisions.len()
+                ),
+            });
+        }
+        let mut ungoverned = cfg.clone();
+        ungoverned.power = PowerConfig::default();
+        match run_caught(|| scc_core::run(&ungoverned, Backend::Sim)) {
+            Ok(out) => {
+                let BackendReport::Generic(r) = out.report else {
+                    unreachable!("workload runs return the generic report")
+                };
+                if r.output_digest != sim.output_digest {
+                    failures.push(Failure {
+                        check: "dvfs-output-drift".into(),
+                        detail: format!(
+                            "governed digest {:016x} != static digest {:016x}",
+                            sim.output_digest, r.output_digest
+                        ),
+                    });
+                }
+            }
+            Err(msg) => failures.push(Failure {
+                check: "panic".into(),
+                detail: format!("ungoverned workload run panicked: {msg}"),
+            }),
+        }
+    }
+
+    let (dvfs_raises, dvfs_throttles, dvfs_cap_blocks) = dvfs_counts(&sim.dvfs_decisions);
+    let events = CoverageEvents {
+        dvfs_raises,
+        dvfs_throttles,
+        dvfs_cap_blocks,
+        ..CoverageEvents::default()
+    };
+    Outcome {
+        failures,
+        coverage: coverage(case, &events),
     }
 }
 
@@ -1192,6 +1516,14 @@ fn cost(case: &FuzzCase) -> u64 {
             k += 5;
         }
     }
+    match &c.power {
+        PowerConfig::Static(pairs) if pairs.is_empty() => {}
+        PowerConfig::Static(pairs) => k += 50 + 10 * pairs.len() as u64,
+        PowerConfig::Governed(_) => k += 100,
+    }
+    if !c.workload.is_film() {
+        k += 150;
+    }
     if c.seed != 1 {
         k += 1;
     }
@@ -1259,6 +1591,8 @@ pub fn shrink(mut case: FuzzCase, check: &str) -> FuzzCase {
                 s.frames = 1;
             }
         },
+        |t| t.cfg.power = PowerConfig::default(),
+        |t| t.cfg.workload = Workload::Film,
         |t| t.cfg.seed = 1,
     ];
     loop {
@@ -1497,6 +1831,102 @@ stall p=0 s=4 at_ms=0 for_ms=18446744073709551615
             "missing serve:cache-hit in {:?}",
             out.coverage
         );
+    }
+
+    #[test]
+    fn power_and_workload_repro_lines_round_trip() {
+        let mut case = FuzzCase::base(5);
+        case.cfg.power = PowerConfig::Governed(GovernorTuning {
+            epoch_frames: 2,
+            power_cap_watts: 0.0,
+            ..GovernorTuning::default()
+        });
+        case.cfg.workload = Workload::Wavefront(WavefrontSpec {
+            width: 32,
+            height: 32,
+            seeds: 2,
+            max_waves: 4,
+        });
+        let text = case.to_text();
+        assert!(text.lines().any(|l| l.starts_with("power kind=governed")));
+        assert!(text.lines().any(|l| l.starts_with("workload kind=wavefront")));
+        let back = FuzzCase::from_text(&text).expect("parse own output");
+        assert_eq!(back.to_text(), text);
+
+        let mut split = FuzzCase::base(5);
+        split.cfg.power = PowerConfig::Static(vec![
+            (CoreId::new(4), FreqMHz::F800),
+            (CoreId::new(8), FreqMHz::F400),
+        ]);
+        let text = split.to_text();
+        assert!(text.contains("power kind=static pairs=4:800,8:400"));
+        assert_eq!(FuzzCase::from_text(&text).expect("parse").to_text(), text);
+
+        // Pre-power-plane repros still parse to the uniform default.
+        let old = FuzzCase::base(5).to_text();
+        let parsed = FuzzCase::from_text(&old).expect("parse");
+        assert!(matches!(parsed.cfg.power, PowerConfig::Static(ref v) if v.is_empty()));
+        assert!(parsed.cfg.workload.is_film());
+    }
+
+    #[test]
+    fn coverage_sees_dvfs_and_workload_arms() {
+        let mut case = FuzzCase::base(3);
+        case.cfg.power = PowerConfig::Governed(GovernorTuning {
+            power_cap_watts: 0.0,
+            ..GovernorTuning::default()
+        });
+        case.cfg.workload = Workload::Wavefront(WavefrontSpec {
+            max_waves: 4,
+            ..WavefrontSpec::default()
+        });
+        let set = coverage(
+            &case,
+            &CoverageEvents {
+                dvfs_raises: 1,
+                dvfs_throttles: 1,
+                dvfs_cap_blocks: 1,
+                ..CoverageEvents::default()
+            },
+        );
+        for label in [
+            "dvfs:governed",
+            "dvfs:zero-cap",
+            "dvfs:raise",
+            "dvfs:throttle",
+            "dvfs:cap-block",
+            "workload:wavefront",
+            "wavefront:capped",
+        ] {
+            assert!(set.contains(label), "missing {label} in {set:?}");
+        }
+        let mut split = FuzzCase::base(3);
+        split.cfg.power = PowerConfig::Static(vec![(CoreId::new(4), FreqMHz::F800)]);
+        let set = coverage(&split, &CoverageEvents::default());
+        assert!(set.contains("dvfs:static"));
+        assert!(set.contains("dvfs:static-raise"));
+        let clean = coverage(&FuzzCase::base(1), &CoverageEvents::default());
+        assert!(
+            !clean
+                .iter()
+                .any(|c| c.starts_with("dvfs:") || c.starts_with("workload:")),
+            "default case claims power/workload coverage: {clean:?}"
+        );
+    }
+
+    #[test]
+    #[cfg_attr(feature = "verify-selftest", ignore = "mutants make every run fail")]
+    fn oracle_clears_governed_wavefront_case() {
+        let mut case = FuzzCase::base(11);
+        case.cfg.workload = Workload::Wavefront(WavefrontSpec::default());
+        case.cfg.power = PowerConfig::Governed(GovernorTuning {
+            epoch_frames: 2,
+            ..GovernorTuning::default()
+        });
+        let out = run_oracle(&case);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert!(out.coverage.contains("workload:wavefront"));
+        assert!(out.coverage.contains("dvfs:governed"));
     }
 
     #[test]

@@ -222,6 +222,26 @@ pub fn golden_matrix() -> Vec<GoldenCase> {
         name: "tasks-recovered".into(),
         cfg: tasks_recovered,
     });
+    // The power plane: a governed film and a hand-tuned static split.
+    // The film hash must stay equal to the fixed digests' — frequency
+    // moves schedules, never pixels — while the fingerprint carries the
+    // power config and decision trace, so any governor drift (an extra
+    // raise, a moved epoch) shifts the digest.
+    let mut dvfs_governed = base_cfg();
+    dvfs_governed.power = scc_core::PowerConfig::Governed(scc_core::GovernorTuning::default());
+    cases.push(GoldenCase {
+        name: "dvfs-governed".into(),
+        cfg: dvfs_governed,
+    });
+    let mut dvfs_static = base_cfg();
+    dvfs_static.power = scc_core::PowerConfig::Static(vec![
+        (scc_sim::CoreId::new(4), scc_sim::FreqMHz::F800),
+        (scc_sim::CoreId::new(8), scc_sim::FreqMHz::F400),
+    ]);
+    cases.push(GoldenCase {
+        name: "dvfs-static".into(),
+        cfg: dvfs_static,
+    });
     cases
 }
 
@@ -328,6 +348,27 @@ pub fn config_line(cfg: &RunConfig) -> String {
             cfg.task_tuning.steal_timeout_us,
             cfg.task_tuning.steal_retries
         ));
+    }
+    // Power and workload suffixes print only away from the defaults, so
+    // every pre-power-plane digest stays byte-stable.
+    match &cfg.power {
+        scc_core::PowerConfig::Static(pairs) if pairs.is_empty() => {}
+        scc_core::PowerConfig::Static(pairs) => {
+            let list: Vec<String> = pairs
+                .iter()
+                .map(|(c, f)| format!("{}:{}", c.raw(), f.mhz()))
+                .collect();
+            auto.push_str(&format!(" power=static[{}]", list.join(",")));
+        }
+        scc_core::PowerConfig::Governed(t) => {
+            auto.push_str(&format!(
+                " power=governed epoch={} hyst={} cap_w={}",
+                t.epoch_frames, t.hysteresis_epochs, t.power_cap_watts
+            ));
+        }
+    }
+    if !cfg.workload.is_film() {
+        auto.push_str(&format!(" workload={}", cfg.workload.name()));
     }
     format!(
         "{} {} p={} {}x{}x{} seed={:#x}{auto} fault={}",
@@ -547,6 +588,7 @@ pub fn bench_schema_digest() -> String {
     let kernels = scc_bench::kernels::measure_kernels(48, 32, 2, cfg.seed, &[1]);
     let tasks = scc_bench::tasks::measure_tasks(&cfg, &scene);
     let serving = scc_bench::serving::measure_serving(&cfg, &scene, &[2]);
+    let dvfs = scc_bench::dvfs::measure_dvfs(&cfg, &scene);
     let mut out = String::from("== bench-schema\n");
     for (name, json) in [
         ("native_pipeline", throughput.to_json()),
@@ -555,6 +597,7 @@ pub fn bench_schema_digest() -> String {
         ("kernels", kernels.to_json()),
         ("tasks", tasks.to_json()),
         ("serving", serving.to_json()),
+        ("dvfs", dvfs.to_json()),
     ] {
         let keys = json_keys(&json);
         out.push_str(&format!(
@@ -642,8 +685,9 @@ mod tests {
         let cases = golden_matrix();
         assert_eq!(
             cases.len(),
-            18,
-            "3x3 matrix + 3 fault variants + 4 scheduler variants + 2 task-runtime variants"
+            20,
+            "3x3 matrix + 3 fault variants + 4 scheduler variants + \
+             2 task-runtime variants + 2 power-plane variants"
         );
         let names: Vec<_> = cases.iter().map(|c| c.name.as_str()).collect();
         assert!(names.contains(&"single-ordered"));
@@ -653,6 +697,8 @@ mod tests {
         assert!(names.contains(&"auto-recovered"));
         assert!(names.contains(&"tasks-clean"));
         assert!(names.contains(&"tasks-recovered"));
+        assert!(names.contains(&"dvfs-governed"));
+        assert!(names.contains(&"dvfs-static"));
         for c in &cases {
             assert_eq!(
                 c.name.starts_with("auto-"),
